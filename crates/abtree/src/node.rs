@@ -1,0 +1,224 @@
+//! (a,b)-tree nodes and consistent node views.
+
+use threepath_htm::{Abort, TxCell};
+use threepath_llxscx::{ScxHeader, Snapshot};
+
+/// Maximum node degree (the paper's `b = 16`: a leaf holds up to 16 pairs,
+/// an internal node up to 16 children and 15 routing keys).
+pub const B: usize = 16;
+
+/// Largest storable key.
+pub const MAX_KEY: u64 = u64::MAX - 1;
+
+/// An (a,b)-tree node.
+///
+/// `leaf` and `tagged` are immutable (structure changes replace nodes).
+/// For internal nodes, `keys` and `size` are also immutable — only the
+/// child pointers in `ptrs` (the LLX mutable fields) ever change, and only
+/// through SCX. Leaves are updated **in place** by the HTM fast path
+/// (keys, values and size), which is safe because the fast path never runs
+/// concurrently with the software path and transactional conflict
+/// detection covers the middle path.
+#[repr(C)]
+pub(crate) struct AbNode {
+    pub(crate) hdr: ScxHeader,
+    /// Mutable fields (LLX snapshot): children (internal) / values (leaf).
+    ptrs: [TxCell; B],
+    /// Leaf: `size` sorted keys. Internal: `size - 1` sorted routing keys.
+    keys: [TxCell; B],
+    size: TxCell,
+    pub(crate) leaf: bool,
+    pub(crate) tagged: bool,
+}
+
+impl AbNode {
+    pub(crate) fn new_leaf(items: &[(u64, u64)]) -> AbNode {
+        assert!(items.len() <= B);
+        let n = AbNode {
+            hdr: ScxHeader::new(),
+            ptrs: std::array::from_fn(|_| TxCell::new(0)),
+            keys: std::array::from_fn(|_| TxCell::new(0)),
+            size: TxCell::new(items.len() as u64),
+            leaf: true,
+            tagged: false,
+        };
+        for (i, (k, v)) in items.iter().enumerate() {
+            // SAFETY: node is private until published.
+            unsafe {
+                n.keys[i].store_plain(*k);
+                n.ptrs[i].store_plain(*v);
+            }
+        }
+        n
+    }
+
+    pub(crate) fn new_internal(keys: &[u64], children: &[u64], tagged: bool) -> AbNode {
+        assert!(children.len() <= B && !children.is_empty());
+        assert_eq!(keys.len() + 1, children.len());
+        let n = AbNode {
+            hdr: ScxHeader::new(),
+            ptrs: std::array::from_fn(|_| TxCell::new(0)),
+            keys: std::array::from_fn(|_| TxCell::new(0)),
+            size: TxCell::new(children.len() as u64),
+            leaf: false,
+            tagged,
+        };
+        for (i, k) in keys.iter().enumerate() {
+            // SAFETY: private until published.
+            unsafe { n.keys[i].store_plain(*k) };
+        }
+        for (i, c) in children.iter().enumerate() {
+            // SAFETY: private until published.
+            unsafe { n.ptrs[i].store_plain(*c) };
+        }
+        n
+    }
+
+    /// The LLX mutable-field slice (child pointers / values).
+    pub(crate) fn mutable(&self) -> &[TxCell] {
+        &self.ptrs
+    }
+
+    pub(crate) fn ptr_cell(&self, i: usize) -> &TxCell {
+        &self.ptrs[i]
+    }
+
+    pub(crate) fn key_cell(&self, i: usize) -> &TxCell {
+        &self.keys[i]
+    }
+
+    pub(crate) fn size_cell(&self) -> &TxCell {
+        &self.size
+    }
+
+    // Quiescent plain readers (validation / drop / collect).
+    pub(crate) fn size_plain(&self) -> usize {
+        self.size.load_plain() as usize
+    }
+    pub(crate) fn key_plain(&self, i: usize) -> u64 {
+        self.keys[i].load_plain()
+    }
+    pub(crate) fn ptr_plain(&self, i: usize) -> u64 {
+        self.ptrs[i].load_plain()
+    }
+}
+
+/// A locally consistent copy of a node's logical content.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeView {
+    pub keys: [u64; B],
+    pub ptrs: [u64; B],
+    pub size: usize,
+}
+
+impl NodeView {
+    /// Reads keys, size and pointers through `read` (sequential paths, or
+    /// transactional template reads).
+    pub(crate) fn read(
+        read: &mut dyn FnMut(&TxCell) -> Result<u64, Abort>,
+        n: &AbNode,
+    ) -> Result<NodeView, Abort> {
+        let size = read(&n.size)? as usize;
+        debug_assert!(size <= B);
+        let mut v = NodeView {
+            keys: [0; B],
+            ptrs: [0; B],
+            size,
+        };
+        let nkeys = if n.leaf { size } else { size.saturating_sub(1) };
+        for i in 0..nkeys {
+            v.keys[i] = read(&n.keys[i])?;
+        }
+        for i in 0..size {
+            v.ptrs[i] = read(&n.ptrs[i])?;
+        }
+        Ok(v)
+    }
+
+    /// Builds a view whose pointers come from an LLX snapshot (the values
+    /// the linked SCX will validate), with keys/size read through `read`.
+    /// Used by template operations on the software path, where keys and
+    /// size are immutable.
+    pub(crate) fn from_snapshot(
+        read: &mut dyn FnMut(&TxCell) -> Result<u64, Abort>,
+        n: &AbNode,
+        snap: &Snapshot,
+    ) -> Result<NodeView, Abort> {
+        let size = read(&n.size)? as usize;
+        debug_assert!(size <= B);
+        let mut v = NodeView {
+            keys: [0; B],
+            ptrs: [0; B],
+            size,
+        };
+        let nkeys = if n.leaf { size } else { size.saturating_sub(1) };
+        for i in 0..nkeys {
+            v.keys[i] = read(&n.keys[i])?;
+        }
+        v.ptrs[..size].copy_from_slice(&snap.as_slice()[..size]);
+        Ok(v)
+    }
+
+    /// Leaf search: `Ok(i)` if `keys[i] == key`, else `Err(insertion_pos)`.
+    pub(crate) fn find_key(&self, key: u64) -> Result<usize, usize> {
+        for i in 0..self.size {
+            if self.keys[i] == key {
+                return Ok(i);
+            }
+            if self.keys[i] > key {
+                return Err(i);
+            }
+        }
+        Err(self.size)
+    }
+
+    /// Leaf items as (key, value) pairs.
+    pub(crate) fn items(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        (0..self.size).map(|i| (self.keys[i], self.ptrs[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_plain(n: &AbNode) -> NodeView {
+        let mut rd = |c: &TxCell| Ok(c.load_plain());
+        NodeView::read(&mut rd, n).unwrap()
+    }
+
+    #[test]
+    fn leaf_round_trip() {
+        let n = AbNode::new_leaf(&[(1, 10), (3, 30), (5, 50)]);
+        let v = read_plain(&n);
+        assert_eq!(v.size, 3);
+        assert_eq!(v.find_key(3), Ok(1));
+        assert_eq!(v.find_key(2), Err(1));
+        assert_eq!(v.find_key(9), Err(3));
+        assert_eq!(v.items().collect::<Vec<_>>(), vec![(1, 10), (3, 30), (5, 50)]);
+    }
+
+    #[test]
+    fn internal_view_round_trip() {
+        // keys [10, 20]: children cover (-inf,10) [10,20) [20,inf).
+        let n = AbNode::new_internal(&[10, 20], &[111, 222, 333], false);
+        let v = read_plain(&n);
+        assert_eq!(v.size, 3);
+        assert_eq!(&v.keys[..2], &[10, 20]);
+        assert_eq!(&v.ptrs[..3], &[111, 222, 333]);
+    }
+
+    #[test]
+    fn node_spans_multiple_cache_lines() {
+        // The paper notes b = 16 nodes occupy ~4 consecutive cache lines.
+        let sz = std::mem::size_of::<AbNode>();
+        assert!(sz >= 4 * 64, "node unexpectedly small: {sz}");
+        assert!(sz <= 6 * 64, "node unexpectedly large: {sz}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn internal_key_child_arity_checked() {
+        let _ = AbNode::new_internal(&[1, 2], &[10, 20], false);
+    }
+}

@@ -1,0 +1,185 @@
+//! Range queries over the (a,b)-tree.
+
+use threepath_htm::{Abort, TxCell};
+use threepath_llxscx::{LlxResult, ScxEngine, ScxThread};
+
+use crate::node::{AbNode, NodeView};
+
+/// Pruned DFS over `[lo, hi)` through an arbitrary read mode; results
+/// ascending.
+pub(crate) fn rq_with(
+    read: &mut dyn FnMut(&TxCell) -> Result<u64, Abort>,
+    entry: *mut AbNode,
+    lo: u64,
+    hi: u64,
+    out: &mut Vec<(u64, u64)>,
+) -> Result<(), Abort> {
+    if lo >= hi {
+        return Ok(());
+    }
+    let root = read(unsafe { &*entry }.ptr_cell(0))? as *mut AbNode;
+    let mut stack: Vec<*mut AbNode> = vec![root];
+    while let Some(ptr) = stack.pop() {
+        // SAFETY: reachable under the operation's epoch pin.
+        let n = unsafe { &*ptr };
+        let v = NodeView::read(read, n)?;
+        if n.leaf {
+            for (k, val) in v.items() {
+                if k >= lo && k < hi {
+                    out.push((k, val));
+                }
+            }
+        } else {
+            // Child i covers [keys[i-1], keys[i]); push overlapping
+            // children in reverse so the leftmost is processed first.
+            for i in (0..v.size).rev() {
+                let lower_ok = i == 0 || v.keys[i - 1] < hi;
+                let upper_ok = i == v.size - 1 || v.keys[i] > lo;
+                if lower_ok && upper_ok {
+                    stack.push(v.ptrs[i] as *mut AbNode);
+                }
+            }
+        }
+    }
+    // Leaves visit in ascending order, but be defensive about interleaved
+    // pushes.
+    out.sort_unstable_by_key(|e| e.0);
+    Ok(())
+}
+
+/// Directed extremum search: the first (or last) pair in key order,
+/// skipping transiently empty leaves. O(depth) plus any empty fringe.
+pub(crate) fn extreme_with(
+    read: &mut dyn FnMut(&TxCell) -> Result<u64, Abort>,
+    entry: *mut AbNode,
+    last: bool,
+    out: &mut Option<(u64, u64)>,
+) -> Result<(), Abort> {
+    let root = read(unsafe { &*entry }.ptr_cell(0))? as *mut AbNode;
+    let mut stack: Vec<*mut AbNode> = vec![root];
+    while let Some(ptr) = stack.pop() {
+        // SAFETY: reachable under the operation's epoch pin.
+        let n = unsafe { &*ptr };
+        let v = NodeView::read(read, n)?;
+        if n.leaf {
+            if v.size > 0 {
+                let i = if last { v.size - 1 } else { 0 };
+                *out = Some((v.keys[i], v.ptrs[i]));
+                return Ok(());
+            }
+        } else if last {
+            // Ascending push: the largest-index child pops first.
+            for i in 0..v.size {
+                stack.push(v.ptrs[i] as *mut AbNode);
+            }
+        } else {
+            for i in (0..v.size).rev() {
+                stack.push(v.ptrs[i] as *mut AbNode);
+            }
+        }
+    }
+    *out = None;
+    Ok(())
+}
+
+/// Software-path extremum: LLX-snapshot walk plus final info validation
+/// (same linearizability argument as `rq_validated`). `None` = retry.
+pub(crate) fn extreme_validated(
+    eng: &ScxEngine,
+    th: &ScxThread,
+    entry: *mut AbNode,
+    last: bool,
+) -> Option<Option<(u64, u64)>> {
+    let rt = eng.runtime();
+    let mut read_direct = |c: &TxCell| Ok::<u64, Abort>(c.load_direct(rt));
+    let root = read_direct(unsafe { &*entry }.ptr_cell(0)).unwrap() as *mut AbNode;
+    let mut visited: Vec<(*mut AbNode, u64)> = Vec::new();
+    let mut stack: Vec<*mut AbNode> = vec![root];
+    let mut found = None;
+    while let Some(ptr) = stack.pop() {
+        // SAFETY: reachable under the caller's epoch pin.
+        let n = unsafe { &*ptr };
+        let h = match eng.llx(th, &n.hdr, n.mutable()) {
+            LlxResult::Snapshot(h) => h,
+            _ => return None,
+        };
+        visited.push((ptr, h.info_observed()));
+        let v = NodeView::from_snapshot(&mut read_direct, n, h.snapshot()).unwrap();
+        if n.leaf {
+            if v.size > 0 {
+                let i = if last { v.size - 1 } else { 0 };
+                found = Some((v.keys[i], v.ptrs[i]));
+                break;
+            }
+        } else if last {
+            for i in 0..v.size {
+                stack.push(v.ptrs[i] as *mut AbNode);
+            }
+        } else {
+            for i in (0..v.size).rev() {
+                stack.push(v.ptrs[i] as *mut AbNode);
+            }
+        }
+    }
+    for (ptr, info) in &visited {
+        let n = unsafe { &**ptr };
+        if n.hdr.info().load_direct(rt) != *info {
+            return None;
+        }
+    }
+    Some(found)
+}
+
+/// Software-path range query: LLX-snapshot DFS plus a final validation of
+/// every visited node's info word (see the BST's `rq_validated` for the
+/// linearizability argument). `None` means validation failed — retry.
+pub(crate) fn rq_validated(
+    eng: &ScxEngine,
+    th: &ScxThread,
+    entry: *mut AbNode,
+    lo: u64,
+    hi: u64,
+) -> Option<Vec<(u64, u64)>> {
+    let rt = eng.runtime();
+    let mut out = Vec::new();
+    if lo >= hi {
+        return Some(out);
+    }
+    let mut read_direct = |c: &TxCell| Ok::<u64, Abort>(c.load_direct(rt));
+    let root = read_direct(unsafe { &*entry }.ptr_cell(0)).unwrap() as *mut AbNode;
+    let mut visited: Vec<(*mut AbNode, u64)> = Vec::new();
+    let mut stack: Vec<*mut AbNode> = vec![root];
+    while let Some(ptr) = stack.pop() {
+        // SAFETY: reachable under the caller's epoch pin.
+        let n = unsafe { &*ptr };
+        let h = match eng.llx(th, &n.hdr, n.mutable()) {
+            LlxResult::Snapshot(h) => h,
+            _ => return None,
+        };
+        visited.push((ptr, h.info_observed()));
+        let v = NodeView::from_snapshot(&mut read_direct, n, h.snapshot()).unwrap();
+        if n.leaf {
+            for (k, val) in v.items() {
+                if k >= lo && k < hi {
+                    out.push((k, val));
+                }
+            }
+        } else {
+            for i in (0..v.size).rev() {
+                let lower_ok = i == 0 || v.keys[i - 1] < hi;
+                let upper_ok = i == v.size - 1 || v.keys[i] > lo;
+                if lower_ok && upper_ok {
+                    stack.push(v.ptrs[i] as *mut AbNode);
+                }
+            }
+        }
+    }
+    for (ptr, info) in &visited {
+        let n = unsafe { &**ptr };
+        if n.hdr.info().load_direct(rt) != *info {
+            return None;
+        }
+    }
+    out.sort_unstable_by_key(|e| e.0);
+    Some(out)
+}

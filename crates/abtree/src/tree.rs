@@ -1,0 +1,855 @@
+//! The public (a,b)-tree: configuration, handles, path wiring, rebalancing
+//! loop, and quiescent validation.
+
+use std::sync::Arc;
+
+use threepath_core::{
+    DirectMem, ExecCtx, Mem, OpOutcome, OrigMode, PathLimits, PathStats, Strategy, TemplateMode,
+};
+use threepath_htm::{codes, Abort, HtmConfig, HtmRuntime, TxCell};
+use threepath_llxscx::{ScxEngine, ScxThread};
+use threepath_reclaim::{Domain, ReclaimMode};
+
+use crate::fix;
+use crate::node::{AbNode, B, MAX_KEY};
+use crate::ops::{self, AbFound, UpdResult};
+use crate::rq;
+
+/// Configuration for an [`AbTree`].
+#[derive(Debug, Clone)]
+pub struct AbTreeConfig {
+    /// Execution-path strategy.
+    pub strategy: Strategy,
+    /// Simulated-HTM parameters.
+    pub htm: HtmConfig,
+    /// Attempt budgets; defaults to the paper's per-strategy values.
+    pub limits: Option<PathLimits>,
+    /// Memory-reclamation mode.
+    pub reclaim: ReclaimMode,
+    /// Minimum degree `a` (the paper fixes `a = 6`, `b = 16`; `b` is the
+    /// compile-time [`B`]). Must satisfy `2 <= a` and `b >= 2a - 1`.
+    pub a: usize,
+    /// Section 8: search phase outside the transaction.
+    pub search_outside_txn: bool,
+    /// Use a SNZI instead of the fetch-and-increment counter `F`
+    /// (Section 5's scalability alternative).
+    pub snzi: bool,
+}
+
+impl Default for AbTreeConfig {
+    fn default() -> Self {
+        AbTreeConfig {
+            strategy: Strategy::ThreePath,
+            htm: HtmConfig::default(),
+            limits: None,
+            reclaim: ReclaimMode::Epoch,
+            a: 6,
+            search_outside_txn: false,
+            snzi: false,
+        }
+    }
+}
+
+/// Shape summary from [`AbTree::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbShape {
+    /// Number of keys stored.
+    pub keys: usize,
+    /// Sum of stored keys.
+    pub key_sum: u128,
+    /// Leaves reachable.
+    pub leaves: usize,
+    /// Internal nodes reachable (excluding the entry).
+    pub internal_nodes: usize,
+    /// Reachable tagged nodes (0 when quiescent and fully rebalanced).
+    pub tagged: usize,
+    /// Reachable non-root nodes with degree `< a`.
+    pub underfull: usize,
+    /// Maximum raw leaf depth.
+    pub depth_max: usize,
+}
+
+/// A concurrent ordered map implemented as a relaxed (a,b)-tree
+/// accelerated per the configured [`Strategy`]. See the crate docs.
+pub struct AbTree {
+    exec: ExecCtx,
+    eng: ScxEngine,
+    entry: *mut AbNode,
+    a: usize,
+    sec8: bool,
+}
+
+// SAFETY: shared mutation of the raw node graph is mediated by the HTM
+// runtime and the LLX/SCX engine.
+unsafe impl Send for AbTree {}
+unsafe impl Sync for AbTree {}
+
+impl AbTree {
+    /// A tree with the default configuration (3-path, a=6, b=16).
+    pub fn new() -> Self {
+        Self::with_config(AbTreeConfig::default())
+    }
+
+    /// A tree with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= a` and `B >= 2a - 1`.
+    pub fn with_config(cfg: AbTreeConfig) -> Self {
+        assert!(cfg.a >= 2 && B >= 2 * cfg.a - 1, "invalid (a, b) pair");
+        let rt = Arc::new(HtmRuntime::new(cfg.htm.clone()));
+        let domain = Arc::new(Domain::new(cfg.reclaim));
+        let eng = ScxEngine::new(rt.clone(), domain);
+        let mut exec = ExecCtx::new(rt, cfg.strategy);
+        if let Some(l) = cfg.limits {
+            exec = exec.with_limits(l);
+        }
+        if cfg.snzi {
+            exec = exec.with_snzi();
+        }
+        // Entry node (never deleted) with the initial empty root leaf.
+        let root = Box::into_raw(Box::new(AbNode::new_leaf(&[])));
+        let entry = Box::into_raw(Box::new(AbNode::new_internal(&[], &[root as u64], false)));
+        AbTree {
+            exec,
+            eng,
+            entry,
+            a: cfg.a,
+            sec8: cfg.search_outside_txn,
+        }
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.exec.strategy()
+    }
+
+    /// The minimum degree `a`.
+    pub fn min_degree(&self) -> usize {
+        self.a
+    }
+
+    /// The underlying HTM runtime.
+    pub fn runtime(&self) -> &Arc<HtmRuntime> {
+        self.exec.runtime()
+    }
+
+    /// The reclamation domain.
+    pub fn domain(&self) -> &Arc<Domain> {
+        self.eng.domain()
+    }
+
+    /// Registers the calling thread and returns an operation handle.
+    pub fn handle(self: &Arc<Self>) -> AbTreeHandle {
+        AbTreeHandle {
+            th: self.eng.register_thread(),
+            tree: Arc::clone(self),
+            stats: PathStats::new(),
+        }
+    }
+
+    fn search_direct(&self, key: u64) -> AbFound {
+        let rt = self.exec.runtime();
+        let mut read = |c: &TxCell| Ok(c.load_direct(rt));
+        ops::search_ab(&mut read, self.entry, key).expect("direct search cannot abort")
+    }
+
+    // ------------------------------------------------------------------
+    // Update bodies per path. Each returns (previous value, fix needed).
+    // ------------------------------------------------------------------
+
+    fn fast_update(
+        &self,
+        th: &mut ScxThread,
+        key: u64,
+        value: Option<u64>, // Some = insert, None = delete
+    ) -> Result<UpdResult, Abort> {
+        if self.sec8 {
+            th.pinned(|th| {
+                let f = self.search_direct(key);
+                self.exec.attempt_seq(&self.eng, th, |m| match value {
+                    Some(v) => ops::insert_seq(m, self.entry, &f, key, v, true),
+                    None => ops::delete_seq(m, self.entry, &f, key, self.a, true),
+                })
+            })
+        } else {
+            self.exec.attempt_seq(&self.eng, th, |m| {
+                let f = {
+                    let mut rd = |c: &TxCell| m.read(c);
+                    ops::search_ab(&mut rd, self.entry, key)?
+                };
+                match value {
+                    Some(v) => ops::insert_seq(m, self.entry, &f, key, v, false),
+                    None => ops::delete_seq(m, self.entry, &f, key, self.a, false),
+                }
+            })
+        }
+    }
+
+    fn middle_update(
+        &self,
+        th: &mut ScxThread,
+        key: u64,
+        value: Option<u64>,
+    ) -> Result<UpdResult, Abort> {
+        if self.sec8 {
+            th.pinned(|th| {
+                let f = self.search_direct(key);
+                self.exec.attempt_template(&self.eng, th, |m| {
+                    let out = match value {
+                        Some(v) => ops::insert_tmpl(m, self.entry, &f, key, v)?,
+                        None => ops::delete_tmpl(m, self.entry, &f, key, self.a)?,
+                    };
+                    finish_tx(out)
+                })
+            })
+        } else {
+            self.exec.attempt_template(&self.eng, th, |m| {
+                let f = {
+                    let mut rd = |c: &TxCell| m.read(c);
+                    ops::search_ab(&mut rd, self.entry, key)?
+                };
+                let out = match value {
+                    Some(v) => ops::insert_tmpl(m, self.entry, &f, key, v)?,
+                    None => ops::delete_tmpl(m, self.entry, &f, key, self.a)?,
+                };
+                finish_tx(out)
+            })
+        }
+    }
+
+    fn fallback_update(&self, th: &mut ScxThread, key: u64, value: Option<u64>) -> UpdResult {
+        loop {
+            let out = th.pinned(|th| {
+                let f = self.search_direct(key);
+                let mut m = OrigMode::new(&self.eng, th);
+                match value {
+                    Some(v) => ops::insert_tmpl(&mut m, self.entry, &f, key, v),
+                    None => ops::delete_tmpl(&mut m, self.entry, &f, key, self.a),
+                }
+            });
+            match out.expect("software path cannot abort") {
+                OpOutcome::Done(r) => return r,
+                OpOutcome::Retry => continue,
+            }
+        }
+    }
+
+    fn locked_update(&self, th: &mut ScxThread, key: u64, value: Option<u64>) -> UpdResult {
+        th.pinned(|th| {
+            let f = self.search_direct(key);
+            let mut m = DirectMem::new(self.exec.runtime(), &th.reclaim);
+            match value {
+                Some(v) => ops::insert_seq(&mut m, self.entry, &f, key, v, false),
+                None => ops::delete_seq(&mut m, self.entry, &f, key, self.a, false),
+            }
+            .expect("direct mode cannot abort")
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Rebalancing step per path. Each returns whether a violation was
+    // found and repaired.
+    // ------------------------------------------------------------------
+
+    fn fast_fix(&self, th: &mut ScxThread, key: u64) -> Result<bool, Abort> {
+        self.exec.attempt_seq(&self.eng, th, |m| {
+            fix::fix_step_seq(m, self.entry, key, self.a, self.sec8)
+        })
+    }
+
+    fn middle_fix(&self, th: &mut ScxThread, key: u64) -> Result<bool, Abort> {
+        self.exec.attempt_template(&self.eng, th, |m| {
+            match fix::fix_step_tmpl(m, self.entry, key, self.a)? {
+                OpOutcome::Done(b) => Ok(b),
+                OpOutcome::Retry => Err(Abort::explicit(codes::VALIDATION)),
+            }
+        })
+    }
+
+    fn fallback_fix(&self, th: &mut ScxThread, key: u64) -> bool {
+        loop {
+            let out = th.pinned(|th| {
+                let mut m = OrigMode::new(&self.eng, th);
+                fix::fix_step_tmpl(&mut m, self.entry, key, self.a)
+            });
+            match out.expect("software path cannot abort") {
+                OpOutcome::Done(b) => return b,
+                OpOutcome::Retry => continue,
+            }
+        }
+    }
+
+    fn locked_fix(&self, th: &mut ScxThread, key: u64) -> bool {
+        th.pinned(|th| {
+            let mut m = DirectMem::new(self.exec.runtime(), &th.reclaim);
+            fix::fix_step_seq(&mut m, self.entry, key, self.a, self.sec8)
+                .expect("direct mode cannot abort")
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Reads.
+    // ------------------------------------------------------------------
+
+    fn fast_get(&self, th: &mut ScxThread, key: u64) -> Result<Option<u64>, Abort> {
+        self.exec.attempt_seq(&self.eng, th, |m| {
+            let mut rd = |c: &TxCell| m.read(c);
+            let f = ops::search_ab(&mut rd, self.entry, key)?;
+            ops::get_with(&mut rd, &f, key)
+        })
+    }
+
+    fn middle_get(&self, th: &mut ScxThread, key: u64) -> Result<Option<u64>, Abort> {
+        self.exec.attempt_template(&self.eng, th, |m| {
+            let mut rd = |c: &TxCell| m.read(c);
+            let f = ops::search_ab(&mut rd, self.entry, key)?;
+            ops::get_with(&mut rd, &f, key)
+        })
+    }
+
+    fn fallback_get(&self, th: &mut ScxThread, key: u64) -> Option<u64> {
+        // Wait-free uninstrumented search; safe because in-place writers
+        // (fast/TLE paths) are excluded while software-path operations run.
+        th.pinned(|_th| {
+            let rt = self.exec.runtime();
+            let mut rd = |c: &TxCell| Ok(c.load_direct(rt));
+            let f = ops::search_ab(&mut rd, self.entry, key).expect("direct search cannot abort");
+            ops::get_with(&mut rd, &f, key).expect("direct read cannot abort")
+        })
+    }
+
+    fn fast_rq(&self, th: &mut ScxThread, lo: u64, hi: u64) -> Result<Vec<(u64, u64)>, Abort> {
+        self.exec.attempt_seq(&self.eng, th, |m| {
+            let mut out = Vec::new();
+            let mut rd = |c: &TxCell| m.read(c);
+            rq::rq_with(&mut rd, self.entry, lo, hi, &mut out)?;
+            Ok(out)
+        })
+    }
+
+    fn middle_rq(&self, th: &mut ScxThread, lo: u64, hi: u64) -> Result<Vec<(u64, u64)>, Abort> {
+        self.exec.attempt_template(&self.eng, th, |m| {
+            let mut out = Vec::new();
+            let mut rd = |c: &TxCell| m.read(c);
+            rq::rq_with(&mut rd, self.entry, lo, hi, &mut out)?;
+            Ok(out)
+        })
+    }
+
+    fn fallback_rq(&self, th: &mut ScxThread, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        loop {
+            let r = th.pinned(|th| rq::rq_validated(&self.eng, th, self.entry, lo, hi));
+            if let Some(out) = r {
+                return out;
+            }
+        }
+    }
+
+    fn locked_rq(&self, th: &mut ScxThread, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        th.pinned(|_th| {
+            let rt = self.exec.runtime();
+            let mut rd = |c: &TxCell| Ok(c.load_direct(rt));
+            let mut out = Vec::new();
+            rq::rq_with(&mut rd, self.entry, lo, hi, &mut out).expect("direct rq cannot abort");
+            out
+        })
+    }
+
+    fn fast_extreme(&self, th: &mut ScxThread, last: bool) -> Result<Option<(u64, u64)>, Abort> {
+        self.exec.attempt_seq(&self.eng, th, |m| {
+            let mut out = None;
+            let mut rd = |c: &TxCell| m.read(c);
+            rq::extreme_with(&mut rd, self.entry, last, &mut out)?;
+            Ok(out)
+        })
+    }
+
+    fn middle_extreme(&self, th: &mut ScxThread, last: bool) -> Result<Option<(u64, u64)>, Abort> {
+        self.exec.attempt_template(&self.eng, th, |m| {
+            let mut out = None;
+            let mut rd = |c: &TxCell| m.read(c);
+            rq::extreme_with(&mut rd, self.entry, last, &mut out)?;
+            Ok(out)
+        })
+    }
+
+    fn fallback_extreme(&self, th: &mut ScxThread, last: bool) -> Option<(u64, u64)> {
+        loop {
+            let r = th.pinned(|th| rq::extreme_validated(&self.eng, th, self.entry, last));
+            if let Some(out) = r {
+                return out;
+            }
+        }
+    }
+
+    fn locked_extreme(&self, th: &mut ScxThread, last: bool) -> Option<(u64, u64)> {
+        th.pinned(|_th| {
+            let rt = self.exec.runtime();
+            let mut rd = |c: &TxCell| Ok(c.load_direct(rt));
+            let mut out = None;
+            rq::extreme_with(&mut rd, self.entry, last, &mut out)
+                .expect("direct walk cannot abort");
+            out
+        })
+    }
+
+    /// Builds a tree from strictly ascending `(key, value)` pairs in
+    /// O(n), producing full-ish nodes (degree between `a` and `b`) — the
+    /// standard bulk-loading construction for B-tree-like structures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if keys are not strictly ascending or exceed
+    /// [`MAX_KEY`](crate::MAX_KEY).
+    pub fn bulk_load(items: &[(u64, u64)], cfg: AbTreeConfig) -> Self {
+        for w in items.windows(2) {
+            assert!(w[0].0 < w[1].0, "bulk_load requires strictly ascending keys");
+        }
+        if let Some(last) = items.last() {
+            assert!(last.0 <= MAX_KEY, "key exceeds MAX_KEY");
+        }
+        let a = cfg.a;
+        let tree = Self::with_config(cfg);
+        if items.is_empty() {
+            return tree;
+        }
+        // Aim for comfortably-full nodes with slack for later updates.
+        let target = (a + B) / 2;
+
+        // Leaf level: (subtree min key, node pointer).
+        let mut level: Vec<(u64, u64)> = chunk_sizes(items.len(), target, a)
+            .into_iter()
+            .scan(0usize, |off, sz| {
+                let chunk = &items[*off..*off + sz];
+                *off += sz;
+                let node = Box::into_raw(Box::new(AbNode::new_leaf(chunk)));
+                Some((chunk[0].0, node as u64))
+            })
+            .collect();
+
+        // Internal levels.
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            let mut off = 0usize;
+            for sz in chunk_sizes(level.len(), target, a) {
+                let group = &level[off..off + sz];
+                off += sz;
+                let keys: Vec<u64> = group[1..].iter().map(|(k, _)| *k).collect();
+                let children: Vec<u64> = group.iter().map(|(_, p)| *p).collect();
+                let node = Box::into_raw(Box::new(AbNode::new_internal(&keys, &children, false)));
+                next.push((group[0].0, node as u64));
+            }
+            level = next;
+        }
+
+        // Swap the new root in for the placeholder empty leaf.
+        // SAFETY: the tree is private (not yet shared).
+        unsafe {
+            let entry = &*tree.entry;
+            let placeholder = entry.ptr_plain(0) as *mut AbNode;
+            entry.ptr_cell(0).store_plain(level[0].1);
+            drop(Box::from_raw(placeholder));
+        }
+        tree
+    }
+
+    // ------------------------------------------------------------------
+    // Quiescent inspection.
+    // ------------------------------------------------------------------
+
+    /// Number of keys. Quiescent only.
+    pub fn len(&self) -> usize {
+        self.validate().expect("invalid tree").keys
+    }
+
+    /// Whether the tree is empty. Quiescent only.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of keys. Quiescent only.
+    pub fn key_sum(&self) -> u128 {
+        self.validate().expect("invalid tree").key_sum
+    }
+
+    /// All pairs in ascending key order. Quiescent only.
+    pub fn collect(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let root = unsafe { &*self.entry }.ptr_plain(0) as *mut AbNode;
+        // SAFETY: quiescent per contract.
+        unsafe { collect_rec(root, &mut out) };
+        out
+    }
+
+    /// Structural validation: ordering against routing keys, arity bounds,
+    /// uniform *weighted* leaf depth (tagged nodes add no height — the
+    /// relaxed balance invariant), plus violation counts. Quiescent only.
+    pub fn validate(&self) -> Result<AbShape, String> {
+        let mut shape = AbShape {
+            keys: 0,
+            key_sum: 0,
+            leaves: 0,
+            internal_nodes: 0,
+            tagged: 0,
+            underfull: 0,
+            depth_max: 0,
+        };
+        let root = unsafe { &*self.entry }.ptr_plain(0) as *mut AbNode;
+        let mut leaf_wdepth: Option<usize> = None;
+        // SAFETY: quiescent per contract.
+        unsafe {
+            validate_rec(
+                root,
+                None,
+                None,
+                0,
+                1,
+                true,
+                self.a,
+                &mut shape,
+                &mut leaf_wdepth,
+            )?
+        };
+        Ok(shape)
+    }
+}
+
+impl Default for AbTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for AbTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AbTree")
+            .field("strategy", &self.strategy())
+            .field("a", &self.a)
+            .field("b", &B)
+            .finish()
+    }
+}
+
+impl Drop for AbTree {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; retired nodes live in limbo bags, not
+        // in the reachable graph.
+        unsafe {
+            let root = (*self.entry).ptr_plain(0) as *mut AbNode;
+            free_rec(root);
+            drop(Box::from_raw(self.entry));
+        }
+    }
+}
+
+fn finish_tx<T>(out: OpOutcome<T>) -> Result<T, Abort> {
+    match out {
+        OpOutcome::Done(t) => Ok(t),
+        OpOutcome::Retry => Err(Abort::explicit(codes::VALIDATION)),
+    }
+}
+
+/// Splits `n` items into chunks of roughly `target`, each at least `min`
+/// (assuming `n >= 1`; a single short chunk is allowed only when
+/// `n < min`, which for this tree means "root only" and is legal).
+fn chunk_sizes(n: usize, target: usize, min: usize) -> Vec<usize> {
+    debug_assert!(target >= min);
+    let mut sizes = Vec::new();
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = if remaining >= target + min || remaining <= target {
+            target.min(remaining)
+        } else {
+            // Splitting the tail evenly avoids a final undersized chunk.
+            remaining / 2
+        };
+        sizes.push(take);
+        remaining -= take;
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), n);
+    sizes
+}
+
+unsafe fn free_rec(n: *mut AbNode) {
+    let node = unsafe { &*n };
+    if !node.leaf {
+        for i in 0..node.size_plain() {
+            unsafe { free_rec(node.ptr_plain(i) as *mut AbNode) };
+        }
+    }
+    drop(unsafe { Box::from_raw(n) });
+}
+
+unsafe fn collect_rec(n: *mut AbNode, out: &mut Vec<(u64, u64)>) {
+    let node = unsafe { &*n };
+    if node.leaf {
+        for i in 0..node.size_plain() {
+            out.push((node.key_plain(i), node.ptr_plain(i)));
+        }
+    } else {
+        for i in 0..node.size_plain() {
+            unsafe { collect_rec(node.ptr_plain(i) as *mut AbNode, out) };
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+unsafe fn validate_rec(
+    n: *mut AbNode,
+    lo: Option<u64>,
+    hi: Option<u64>,
+    depth: usize,
+    wdepth: usize,
+    is_root: bool,
+    a: usize,
+    shape: &mut AbShape,
+    leaf_wdepth: &mut Option<usize>,
+) -> Result<(), String> {
+    if n.is_null() {
+        return Err("null child".into());
+    }
+    let node = unsafe { &*n };
+    if node.hdr.marked().load_plain() != 0 {
+        return Err("reachable node is marked".into());
+    }
+    let size = node.size_plain();
+    if size > B {
+        return Err(format!("node degree {size} exceeds b = {B}"));
+    }
+    if node.tagged {
+        shape.tagged += 1;
+        if node.leaf {
+            return Err("tagged leaf".into());
+        }
+    }
+    if !is_root && size < a {
+        shape.underfull += 1;
+    }
+    let in_range = |k: u64| lo.is_none_or(|l| k >= l) && hi.is_none_or(|h| k < h);
+    if node.leaf {
+        shape.leaves += 1;
+        shape.depth_max = shape.depth_max.max(depth);
+        match leaf_wdepth {
+            None => *leaf_wdepth = Some(wdepth),
+            Some(d) => {
+                if *d != wdepth {
+                    return Err(format!(
+                        "weighted leaf depth mismatch: {wdepth} vs {d}"
+                    ));
+                }
+            }
+        }
+        let mut prev: Option<u64> = None;
+        for i in 0..size {
+            let k = node.key_plain(i);
+            if !in_range(k) {
+                return Err(format!("leaf key {k} out of range"));
+            }
+            if let Some(p) = prev {
+                if k <= p {
+                    return Err("leaf keys not strictly ascending".into());
+                }
+            }
+            prev = Some(k);
+            shape.keys += 1;
+            shape.key_sum += k as u128;
+        }
+    } else {
+        shape.internal_nodes += 1;
+        if size == 0 {
+            return Err("internal node with zero children".into());
+        }
+        let mut prev: Option<u64> = None;
+        for i in 0..size - 1 {
+            let k = node.key_plain(i);
+            if !in_range(k) {
+                return Err(format!("routing key {k} out of range"));
+            }
+            if let Some(p) = prev {
+                if k <= p {
+                    return Err("routing keys not strictly ascending".into());
+                }
+            }
+            prev = Some(k);
+        }
+        for i in 0..size {
+            let child = node.ptr_plain(i) as *mut AbNode;
+            let clo = if i == 0 { lo } else { Some(node.key_plain(i - 1)) };
+            let chi = if i == size - 1 {
+                hi
+            } else {
+                Some(node.key_plain(i))
+            };
+            let ctagged = unsafe { &*child }.tagged;
+            unsafe {
+                validate_rec(
+                    child,
+                    clo,
+                    chi,
+                    depth + 1,
+                    wdepth + usize::from(!ctagged),
+                    false,
+                    a,
+                    shape,
+                    leaf_wdepth,
+                )?
+            };
+        }
+    }
+    Ok(())
+}
+
+/// A per-thread handle to an [`AbTree`].
+pub struct AbTreeHandle {
+    tree: Arc<AbTree>,
+    th: ScxThread,
+    stats: PathStats,
+}
+
+impl AbTreeHandle {
+    /// The underlying tree.
+    pub fn tree(&self) -> &Arc<AbTree> {
+        &self.tree
+    }
+
+    /// Path-usage statistics accumulated by this handle.
+    pub fn stats(&self) -> &PathStats {
+        &self.stats
+    }
+
+    /// Resets this handle's statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = PathStats::new();
+    }
+
+    /// Inserts or updates `key`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key > MAX_KEY`.
+    ///
+    /// [`MAX_KEY`]: crate::MAX_KEY
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        assert!(key <= MAX_KEY, "key exceeds MAX_KEY");
+        let tree = &self.tree;
+        let ((prev, fix), _path) = tree.exec.run_op(
+            &mut self.th,
+            &mut self.stats,
+            |th| tree.fast_update(th, key, Some(value)),
+            |th| tree.middle_update(th, key, Some(value)),
+            |th| tree.fallback_update(th, key, Some(value)),
+            |th| tree.locked_update(th, key, Some(value)),
+        );
+        if fix {
+            self.fix_to_key(key);
+        }
+        prev
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        if key > MAX_KEY {
+            return None;
+        }
+        let tree = &self.tree;
+        let ((prev, fix), _path) = tree.exec.run_op(
+            &mut self.th,
+            &mut self.stats,
+            |th| tree.fast_update(th, key, None),
+            |th| tree.middle_update(th, key, None),
+            |th| tree.fallback_update(th, key, None),
+            |th| tree.locked_update(th, key, None),
+        );
+        if fix {
+            self.fix_to_key(key);
+        }
+        prev
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        if key > MAX_KEY {
+            return None;
+        }
+        let tree = &self.tree;
+        let (r, _path) = tree.exec.run_op(
+            &mut self.th,
+            &mut self.stats,
+            |th| tree.fast_get(th, key),
+            |th| tree.middle_get(th, key),
+            |th| tree.fallback_get(th, key),
+            |th| tree.fallback_get(th, key),
+        );
+        r
+    }
+
+    /// Returns all pairs with keys in `[lo, hi)`, ascending.
+    pub fn range_query(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let tree = &self.tree;
+        let (r, _path) = tree.exec.run_op(
+            &mut self.th,
+            &mut self.stats,
+            |th| tree.fast_rq(th, lo, hi),
+            |th| tree.middle_rq(th, lo, hi),
+            |th| tree.fallback_rq(th, lo, hi),
+            |th| tree.locked_rq(th, lo, hi),
+        );
+        r
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&mut self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// The smallest key and its value, if any.
+    pub fn first(&mut self) -> Option<(u64, u64)> {
+        self.extreme(false)
+    }
+
+    /// The largest key and its value, if any.
+    pub fn last(&mut self) -> Option<(u64, u64)> {
+        self.extreme(true)
+    }
+
+    fn extreme(&mut self, last: bool) -> Option<(u64, u64)> {
+        let tree = &self.tree;
+        let (r, _path) = tree.exec.run_op(
+            &mut self.th,
+            &mut self.stats,
+            |th| tree.fast_extreme(th, last),
+            |th| tree.middle_extreme(th, last),
+            |th| tree.fallback_extreme(th, last),
+            |th| tree.locked_extreme(th, last),
+        );
+        r
+    }
+
+    /// Repairs every violation on `key`'s path (called automatically after
+    /// updates that create one; public for tests and tooling).
+    pub fn fix_to_key(&mut self, key: u64) {
+        loop {
+            let tree = &self.tree;
+            let (progress, _path) = tree.exec.run_op(
+                &mut self.th,
+                &mut self.stats,
+                |th| tree.fast_fix(th, key),
+                |th| tree.middle_fix(th, key),
+                |th| tree.fallback_fix(th, key),
+                |th| tree.locked_fix(th, key),
+            );
+            if !progress {
+                return;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for AbTreeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AbTreeHandle")
+            .field("tree", &self.tree)
+            .finish()
+    }
+}

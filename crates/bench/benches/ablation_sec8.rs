@@ -1,0 +1,49 @@
+//! Section 8 ablation: performing the search phase *outside* the
+//! transaction (validating marked bits inside) vs the whole operation in
+//! one transaction. The paper measured a 5–10% improvement, limited by the
+//! trees' small heights.
+
+use std::time::Duration;
+
+use threepath_bench::{describe, BenchEnv};
+use threepath_core::Strategy;
+use threepath_workload::{average, run_trials, Structure, TrialSpec};
+
+fn run(env: &BenchEnv, structure: Structure, heavy: bool, sec8: bool, threads: usize) -> f64 {
+    let mut spec = TrialSpec::paper(structure, Strategy::ThreePath, heavy, env.scale);
+    spec.threads = threads;
+    spec.duration = env.duration;
+    spec.search_outside_txn = sec8;
+    let avg = average(&run_trials(&spec, env.trials));
+    assert!(avg.keysum_ok);
+    avg.throughput
+}
+
+fn main() {
+    let mut env = BenchEnv::load();
+    if env.duration < Duration::from_millis(100) {
+        env.duration = Duration::from_millis(100);
+    }
+    let t = env.max_threads();
+    println!("Section 8 ablation: search outside transactions (3-path, {t} threads)");
+    println!("{}", describe(&env));
+    println!(
+        "\n{:<8} {:<6} {:>14} {:>14} {:>8}",
+        "struct", "load", "inside (op/s)", "outside (op/s)", "delta"
+    );
+    for structure in [Structure::Bst, Structure::AbTree] {
+        for heavy in [false, true] {
+            let inside = run(&env, structure, heavy, false, t);
+            let outside = run(&env, structure, heavy, true, t);
+            println!(
+                "{:<8} {:<6} {:>14.0} {:>14.0} {:>7.1}%",
+                structure.to_string(),
+                if heavy { "heavy" } else { "light" },
+                inside,
+                outside,
+                (outside / inside - 1.0) * 100.0
+            );
+        }
+    }
+    println!("\n(paper: ~5-10% improvement; larger for deeper structures)");
+}

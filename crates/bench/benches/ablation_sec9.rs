@@ -1,0 +1,47 @@
+//! Section 9 ablation: epoch-based reclamation (DEBRA) vs no per-operation
+//! reclamation work at all.
+//!
+//! The paper's §9 proposes `free()`-ing nodes immediately inside
+//! transactions (safe on real Intel HTM because touching freed memory just
+//! aborts). Rust and the simulated HTM cannot tolerate a true
+//! use-after-free, so this harness bounds the opportunity from above by
+//! comparing DEBRA against `ReclaimMode::Leak` (zero reclamation work
+//! during the run) — see DESIGN.md.
+
+use threepath_bench::{describe, BenchEnv};
+use threepath_core::Strategy;
+use threepath_reclaim::ReclaimMode;
+use threepath_workload::{average, run_trials, Structure, TrialSpec};
+
+fn run(env: &BenchEnv, structure: Structure, mode: ReclaimMode, threads: usize) -> f64 {
+    let mut spec = TrialSpec::paper(structure, Strategy::ThreePath, false, env.scale);
+    spec.threads = threads;
+    spec.duration = env.duration;
+    spec.reclaim = mode;
+    let avg = average(&run_trials(&spec, env.trials));
+    assert!(avg.keysum_ok);
+    avg.throughput
+}
+
+fn main() {
+    let env = BenchEnv::load();
+    let t = env.max_threads();
+    println!("Section 9 ablation: reclamation cost on the fast path (3-path, light, {t} threads)");
+    println!("{}", describe(&env));
+    println!(
+        "\n{:<8} {:>14} {:>16} {:>8}",
+        "struct", "debra (op/s)", "no-reclaim (op/s)", "delta"
+    );
+    for structure in [Structure::Bst, Structure::AbTree] {
+        let debra = run(&env, structure, ReclaimMode::Epoch, t);
+        let leak = run(&env, structure, ReclaimMode::Leak, t);
+        println!(
+            "{:<8} {:>14.0} {:>16.0} {:>7.1}%",
+            structure.to_string(),
+            debra,
+            leak,
+            (leak / debra - 1.0) * 100.0
+        );
+    }
+    println!("\n(upper bound on what §9's immediate free could recover)");
+}

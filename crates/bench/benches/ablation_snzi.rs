@@ -1,0 +1,50 @@
+//! Section 5 aside: the fetch-and-increment `F` vs a SNZI as the
+//! fallback-path indicator.
+//!
+//! With a plain counter, every fallback operation writes the cache line
+//! every fast-path transaction subscribes to, aborting them even when the
+//! fallback stays busy continuously. A SNZI writes that line only on
+//! empty ↔ non-empty transitions. The difference shows under *fallback
+//! churn*, so this harness injects spurious aborts to keep traffic flowing
+//! to the software path.
+
+use threepath_bench::{describe, BenchEnv};
+use threepath_core::Strategy;
+use threepath_htm::HtmConfig;
+use threepath_workload::{average, run_trials, Structure, TrialSpec};
+
+fn run(env: &BenchEnv, structure: Structure, snzi: bool, threads: usize) -> f64 {
+    let mut spec = TrialSpec::paper(structure, Strategy::ThreePath, false, env.scale);
+    spec.threads = threads;
+    spec.duration = env.duration;
+    spec.snzi = snzi;
+    // Force constant fallback traffic so the indicator actually matters.
+    spec.htm = HtmConfig::default().with_spurious(0.3);
+    let avg = average(&run_trials(&spec, env.trials));
+    assert!(avg.keysum_ok);
+    avg.throughput
+}
+
+fn main() {
+    let env = BenchEnv::load();
+    let t = env.max_threads();
+    println!("Section 5 aside: F as fetch-and-increment vs SNZI (3-path, churny fallback, {t} threads)");
+    println!("{}", describe(&env));
+    println!(
+        "\n{:<8} {:>16} {:>14} {:>8}",
+        "struct", "counter (op/s)", "snzi (op/s)", "delta"
+    );
+    for structure in [Structure::Bst, Structure::AbTree] {
+        let counter = run(&env, structure, false, t);
+        let snzi = run(&env, structure, true, t);
+        println!(
+            "{:<8} {:>16.0} {:>14.0} {:>7.1}%",
+            structure.to_string(),
+            counter,
+            snzi,
+            (snzi / counter - 1.0) * 100.0
+        );
+    }
+    println!("\n(SNZI pays off when fallback arrive/depart churn would otherwise");
+    println!(" keep invalidating the cache line fast-path transactions subscribe to)");
+}

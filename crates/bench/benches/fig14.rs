@@ -1,0 +1,33 @@
+//! Figure 14: throughput vs concurrent processes on the "48-thread" class
+//! machine — {BST, (a,b)-tree} × {light, heavy}, series {Non-HTM, TLE,
+//! 2-path con, 3-path}.
+//!
+//! Scale with `THREEPATH_THREADS`, `THREEPATH_TRIAL_MS`, `THREEPATH_TRIALS`
+//! and `THREEPATH_SCALE` (see `threepath-bench` docs). Shapes to compare
+//! with the paper: 3-path ≈ TLE in light workloads and well above both TLE
+//! and Non-HTM in heavy workloads; 2-path con pays instrumentation on the
+//! fast path.
+
+use threepath_bench::{describe, figure_14_15, speedup, BenchEnv};
+
+fn main() {
+    let env = BenchEnv::load();
+    println!("Figure 14 reproduction (48-thread machine analogue)");
+    println!("{}", describe(&env));
+    let cells = figure_14_15("fig14", &env);
+
+    let t = env.max_threads();
+    println!("\nSummary at {t} threads (averaged across panels):");
+    println!(
+        "  3-path vs non-htm : {:.2}x",
+        speedup(&cells, "3-path", "non-htm", t)
+    );
+    println!(
+        "  3-path vs tle     : {:.2}x",
+        speedup(&cells, "3-path", "tle", t)
+    );
+    println!(
+        "  3-path vs 2-path  : {:.2}x",
+        speedup(&cells, "3-path", "2-path-con", t)
+    );
+}

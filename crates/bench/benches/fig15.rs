@@ -1,0 +1,38 @@
+//! Figure 15: the Figure 14 sweep on the larger "72-thread" class machine,
+//! where the paper reports its headline result — the 3-path (a,b)-tree
+//! completes 4.0–4.2× as many operations as the Non-HTM implementation.
+//!
+//! On this simulator the absolute ratio depends on the HTM-vs-software cost
+//! gap; the *ordering* (3-path ≥ TLE ≥ 2-path-con ≥ Non-HTM in light, and
+//! 3-path > 2-path-con > TLE in heavy) is the shape to check.
+
+use threepath_bench::{describe, figure_14_15, speedup, BenchEnv};
+use threepath_workload::Structure;
+
+fn main() {
+    let mut env = BenchEnv::load();
+    if std::env::var_os("THREEPATH_THREADS").is_none() {
+        // The "bigger machine": a wider default sweep.
+        env.threads = vec![1, 2, 4, 6];
+    }
+    println!("Figure 15 reproduction (72-thread machine analogue)");
+    println!("{}", describe(&env));
+    let cells = figure_14_15("fig15", &env);
+
+    let t = env.max_threads();
+    // The paper's headline: (a,b)-tree, averaged over light+heavy.
+    let ab: Vec<_> = cells
+        .iter()
+        .filter(|c| c.structure == Structure::AbTree)
+        .cloned()
+        .collect();
+    println!("\nHeadline ((a,b)-tree) at {t} threads:");
+    println!(
+        "  3-path vs non-htm : {:.2}x   (paper: 4.0-4.2x on 72 HW threads)",
+        speedup(&ab, "3-path", "non-htm", t)
+    );
+    println!(
+        "  all-structures 3-path vs non-htm : {:.2}x",
+        speedup(&cells, "3-path", "non-htm", t)
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 16: how many transactions commit vs abort (by reason), for each
+//! data structure, template implementation and workload.
+
+use std::fmt::Write as _;
+
+use threepath_bench::{describe, measure, BenchEnv};
+use threepath_core::{PathKind, Strategy};
+use threepath_workload::Structure;
+
+fn main() {
+    let env = BenchEnv::load();
+    let t = env.max_threads();
+    println!("Figure 16 reproduction: commit/abort rates at {t} threads");
+    println!("{}", describe(&env));
+
+    let mut csv = String::from(
+        "structure,workload,series,path,commits,aborts_explicit,aborts_conflict,\
+         aborts_capacity,aborts_spurious\n",
+    );
+    println!(
+        "\n{:<8} {:<6} {:<14} {:<9} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "struct", "load", "series", "path", "commits", "ab.expl", "ab.confl", "ab.cap", "ab.spur"
+    );
+    for structure in [Structure::Bst, Structure::AbTree] {
+        for heavy in [false, true] {
+            for strategy in Strategy::FIGURE_SERIES {
+                let r = measure(&env, structure, strategy, heavy, t);
+                let load = if heavy { "heavy" } else { "light" };
+                for path in [PathKind::Fast, PathKind::Middle] {
+                    let a = r.stats.aborts(path);
+                    let commits = r.stats.commits(path);
+                    if commits == 0 && a.total() == 0 {
+                        continue;
+                    }
+                    println!(
+                        "{:<8} {:<6} {:<14} {:<9} {:>10} {:>9} {:>9} {:>9} {:>9}",
+                        structure.to_string(),
+                        load,
+                        strategy.to_string(),
+                        path.to_string(),
+                        commits,
+                        a.explicit,
+                        a.conflict,
+                        a.capacity,
+                        a.spurious
+                    );
+                    writeln!(
+                        csv,
+                        "{structure},{load},{strategy},{path},{commits},{},{},{},{}",
+                        a.explicit, a.conflict, a.capacity, a.spurious
+                    )
+                    .unwrap();
+                }
+            }
+        }
+    }
+
+    let dir = threepath_bench::figures_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fig16.csv");
+    std::fs::write(&path, csv).unwrap();
+    println!("\n[csv] {}", path.display());
+}

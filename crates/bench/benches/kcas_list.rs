@@ -1,0 +1,93 @@
+//! Section 10.2: the k-CAS linked list, 3-path accelerated vs the pure
+//! software k-CAS implementation.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use threepath_bench::{describe, BenchEnv};
+use threepath_htm::SplitMix64;
+use threepath_kcas::{KcasList, KcasListConfig};
+
+fn run(env: &BenchEnv, threads: usize, fast: u32, middle: u32, key_range: u64) -> f64 {
+    let mut tp = 0.0;
+    for trial in 0..env.trials {
+        let list = Arc::new(KcasList::with_config(KcasListConfig {
+            fast_limit: fast,
+            middle_limit: middle,
+            ..KcasListConfig::default()
+        }));
+        // Prefill to half.
+        {
+            let mut h = list.handle();
+            let mut rng = SplitMix64::new(7 ^ trial as u64);
+            let mut n = 0;
+            while n < key_range / 2 {
+                if h.insert(1 + rng.next_below(key_range), 0) {
+                    n += 1;
+                }
+            }
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let barrier = Arc::new(Barrier::new(threads + 1));
+        let delta = Arc::new(AtomicI64::new(0));
+        let sum_before = list.key_sum() as i128;
+        let ops = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let list = list.clone();
+                let stop = stop.clone();
+                let barrier = barrier.clone();
+                let ops = ops.clone();
+                let delta = delta.clone();
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    let mut rng = SplitMix64::new(0xC0 + t as u64 + trial as u64 * 31);
+                    let mut local_ops = 0u64;
+                    let mut local_delta = 0i64;
+                    barrier.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        let k = 1 + rng.next_below(key_range);
+                        if rng.next_below(2) == 0 {
+                            if h.insert(k, local_ops) {
+                                local_delta += k as i64;
+                            }
+                        } else if h.remove(k).is_some() {
+                            local_delta -= k as i64;
+                        }
+                        local_ops += 1;
+                    }
+                    ops.fetch_add(local_ops, Ordering::Relaxed);
+                    delta.fetch_add(local_delta, Ordering::Relaxed);
+                });
+            }
+            barrier.wait();
+            std::thread::sleep(env.duration);
+            stop.store(true, Ordering::Release);
+        });
+        assert_eq!(
+            list.key_sum() as i128,
+            sum_before + delta.load(Ordering::Relaxed) as i128,
+            "k-CAS list key-sum mismatch"
+        );
+        tp += ops.load(Ordering::Relaxed) as f64 / env.duration.as_secs_f64();
+    }
+    tp / env.trials as f64
+}
+
+fn main() {
+    let env = BenchEnv::load();
+    // Lists are short by necessity (O(n) operations).
+    let key_range = 256;
+    println!("Section 10.2: k-CAS list, 3-path vs software k-CAS (keys 1..{key_range})");
+    println!("{}", describe(&env));
+    println!(
+        "\n{:<10} {:>16} {:>18} {:>9}",
+        "threads", "3-path (op/s)", "software (op/s)", "speedup"
+    );
+    for &t in &env.threads {
+        let three = run(&env, t, 10, 10, key_range);
+        let sw = run(&env, t, 0, 0, key_range);
+        println!("{t:<10} {three:>16.0} {sw:>18.0} {:>8.2}x", three / sw);
+    }
+    println!("\n(paper: HTM paths avoid k-CAS descriptor creation and checking)");
+}

@@ -1,0 +1,139 @@
+//! Criterion microbenchmarks for the substrates: raw HTM transaction cost,
+//! LLX/SCX on each path, and single-threaded tree operations per strategy.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use threepath_bst::{Bst, BstConfig};
+use threepath_core::Strategy;
+use threepath_htm::{HtmConfig, HtmRuntime, TxCell};
+use threepath_llxscx::{LlxResult, ScxArgs, ScxEngine, ScxHeader};
+use threepath_reclaim::{Domain, ReclaimMode};
+
+fn bench_htm_primitives(c: &mut Criterion) {
+    let rt = Arc::new(HtmRuntime::new(HtmConfig::default()));
+    let mut th = rt.register_thread();
+    let cell = TxCell::new(0);
+
+    let mut g = c.benchmark_group("htm");
+    g.bench_function("direct_fetch_add", |b| {
+        b.iter(|| cell.fetch_add_direct(&rt, 1))
+    });
+    g.bench_function("tx_fetch_add", |b| {
+        b.iter(|| rt.tx_fetch_add(&mut th, &cell, 1).unwrap())
+    });
+    g.bench_function("tx_read_only_8_cells", |b| {
+        let cells: Vec<TxCell> = (0..8).map(TxCell::new).collect();
+        b.iter(|| {
+            rt.attempt(&mut th, |tx| {
+                let mut acc = 0;
+                for c in &cells {
+                    acc += tx.read(c)?;
+                }
+                Ok(acc)
+            })
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+struct RegNode {
+    hdr: ScxHeader,
+    cells: [TxCell; 1],
+}
+
+fn bench_llx_scx(c: &mut Criterion) {
+    let rt = Arc::new(HtmRuntime::new(HtmConfig::default()));
+    let domain = Arc::new(Domain::new(ReclaimMode::Epoch));
+    let eng = ScxEngine::new(rt, domain);
+    let mut th = eng.register_thread();
+    let node = RegNode {
+        hdr: ScxHeader::new(),
+        cells: [TxCell::new(0)],
+    };
+
+    let mut g = c.benchmark_group("llxscx");
+    g.bench_function("llx", |b| {
+        th.reclaim.enter();
+        b.iter(|| match eng.llx(&th, &node.hdr, &node.cells) {
+            LlxResult::Snapshot(h) => h.snapshot().get(0),
+            _ => panic!("unexpected"),
+        });
+        th.reclaim.exit();
+    });
+    g.bench_function("scx_htm_fast_path", |b| {
+        b.iter(|| {
+            th.pinned(|th| {
+                let h = eng.llx(th, &node.hdr, &node.cells).handle().unwrap();
+                let old = h.snapshot().get(0);
+                eng.scx(
+                    th,
+                    &ScxArgs {
+                        v: &[&h],
+                        r_mask: 0,
+                        fld: &node.cells[0],
+                        old,
+                        new: old + 2,
+                    },
+                )
+            })
+        })
+    });
+    g.bench_function("scx_orig_software", |b| {
+        b.iter(|| {
+            th.pinned(|th| {
+                let h = eng.llx(th, &node.hdr, &node.cells).handle().unwrap();
+                let old = h.snapshot().get(0);
+                eng.scx_orig(
+                    th,
+                    &ScxArgs {
+                        v: &[&h],
+                        r_mask: 0,
+                        fld: &node.cells[0],
+                        old,
+                        new: old + 2,
+                    },
+                )
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_bst_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bst_single_thread");
+    for strategy in [Strategy::ThreePath, Strategy::Tle, Strategy::NonHtm] {
+        let tree = Arc::new(Bst::with_config(BstConfig {
+            strategy,
+            ..BstConfig::default()
+        }));
+        let mut h = tree.handle();
+        for k in 0..1024 {
+            h.insert(k * 2, k);
+        }
+        let mut i = 0u64;
+        g.bench_function(format!("insert_remove/{strategy}"), |b| {
+            b.iter(|| {
+                i = (i + 1) % 1024;
+                h.insert(i * 2 + 1, i);
+                h.remove(i * 2 + 1)
+            })
+        });
+        g.bench_function(format!("get/{strategy}"), |b| {
+            b.iter(|| {
+                i = (i + 1) % 1024;
+                h.get(i * 2)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(400)).warm_up_time(std::time::Duration::from_millis(150));
+    targets = bench_htm_primitives, bench_llx_scx, bench_bst_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,258 @@
+//! Shared infrastructure for the per-figure benchmark harnesses.
+//!
+//! Each harness regenerates one table or figure from the paper's
+//! evaluation (Section 7): it sweeps thread counts and strategies, prints
+//! an aligned table, and writes a CSV under `target/figures/`.
+//!
+//! Sizing is controlled by environment variables so the same harnesses run
+//! as a quick smoke pass under `cargo bench` and as a full paper-scale
+//! sweep on a big machine:
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `THREEPATH_THREADS` | comma-separated thread counts | `1,2,3,4` |
+//! | `THREEPATH_TRIAL_MS` | duration of each timed trial | `150` |
+//! | `THREEPATH_TRIALS` | repetitions per configuration | `2` |
+//! | `THREEPATH_SCALE` | key-range scale vs the paper (1.0 = 10⁴ BST / 10⁶ (a,b)-tree) | `0.05` |
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use threepath_core::Strategy;
+use threepath_workload::{
+    average, env_u64, env_usize, run_trials, Structure, TrialResult, TrialSpec,
+};
+
+/// Benchmark sizing read from the environment (see crate docs).
+#[derive(Debug, Clone)]
+pub struct BenchEnv {
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Trial duration.
+    pub duration: Duration,
+    /// Repetitions per configuration.
+    pub trials: usize,
+    /// Key-range scale relative to the paper's parameters.
+    pub scale: f64,
+}
+
+impl BenchEnv {
+    /// Reads the environment.
+    pub fn load() -> Self {
+        let threads = std::env::var("THREEPATH_THREADS")
+            .ok()
+            .map(|v| {
+                v.split(',')
+                    .filter_map(|t| t.trim().parse().ok())
+                    .collect::<Vec<usize>>()
+            })
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| vec![1, 2, 3, 4]);
+        let duration = Duration::from_millis(env_u64("THREEPATH_TRIAL_MS", 150));
+        let trials = env_usize("THREEPATH_TRIALS", 2);
+        let scale = std::env::var("THREEPATH_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.05);
+        BenchEnv {
+            threads,
+            duration,
+            trials,
+            scale,
+        }
+    }
+
+    /// Largest thread count in the sweep.
+    pub fn max_threads(&self) -> usize {
+        *self.threads.iter().max().unwrap()
+    }
+}
+
+/// One measured cell of a figure.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Data structure.
+    pub structure: Structure,
+    /// Workload name (light/heavy).
+    pub workload: &'static str,
+    /// Strategy (or baseline label).
+    pub series: String,
+    /// Thread count.
+    pub threads: usize,
+    /// Averaged result.
+    pub result: TrialResult,
+}
+
+/// Runs one configuration (averaging `env.trials` repetitions).
+pub fn measure(
+    env: &BenchEnv,
+    structure: Structure,
+    strategy: Strategy,
+    heavy: bool,
+    threads: usize,
+) -> TrialResult {
+    let mut spec = TrialSpec::paper(structure, strategy, heavy, env.scale);
+    spec.threads = threads;
+    spec.duration = env.duration;
+    let results = run_trials(&spec, env.trials);
+    let avg = average(&results);
+    assert!(
+        avg.keysum_ok,
+        "key-sum verification failed: {structure}/{strategy}/{threads}t"
+    );
+    avg
+}
+
+/// Sweeps `threads × strategies` for one panel (structure × workload).
+pub fn sweep_panel(
+    env: &BenchEnv,
+    structure: Structure,
+    heavy: bool,
+    strategies: &[Strategy],
+) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &strategy in strategies {
+        for &threads in &env.threads {
+            let result = measure(env, structure, strategy, heavy, threads);
+            cells.push(Cell {
+                structure,
+                workload: if heavy { "heavy" } else { "light" },
+                series: strategy.to_string(),
+                threads,
+                result,
+            });
+        }
+    }
+    cells
+}
+
+/// Prints a throughput table (series × threads) for one panel.
+pub fn print_panel(title: &str, cells: &[Cell], threads: &[usize]) {
+    println!("\n== {title} ==");
+    print!("{:<16}", "series");
+    for t in threads {
+        print!("{:>14}", format!("{t} thr"));
+    }
+    println!();
+    let mut series: Vec<&str> = cells.iter().map(|c| c.series.as_str()).collect();
+    series.dedup();
+    for s in series {
+        print!("{s:<16}");
+        for t in threads {
+            let cell = cells
+                .iter()
+                .find(|c| c.series == s && c.threads == *t)
+                .expect("missing cell");
+            print!("{:>14.0}", cell.result.throughput);
+        }
+        println!();
+    }
+}
+
+/// Writes cells as CSV under `target/figures/<name>.csv`.
+pub fn write_csv(name: &str, cells: &[Cell]) -> PathBuf {
+    let mut out = String::from(
+        "structure,workload,series,threads,throughput,total_ops,update_ops,rq_ops,\
+         fast_frac,middle_frac,fallback_frac,keysum_ok\n",
+    );
+    for c in cells {
+        use threepath_core::PathKind;
+        writeln!(
+            out,
+            "{},{},{},{},{:.1},{},{},{},{:.4},{:.4},{:.4},{}",
+            c.structure,
+            c.workload,
+            c.series,
+            c.threads,
+            c.result.throughput,
+            c.result.total_ops,
+            c.result.update_ops,
+            c.result.rq_ops,
+            c.result.path_fraction(PathKind::Fast),
+            c.result.path_fraction(PathKind::Middle),
+            c.result.path_fraction(PathKind::Fallback),
+            c.result.keysum_ok,
+        )
+        .unwrap();
+    }
+    let dir = figures_dir();
+    fs::create_dir_all(&dir).expect("create figures dir");
+    let path = dir.join(format!("{name}.csv"));
+    fs::write(&path, out).expect("write csv");
+    println!("\n[csv] {}", path.display());
+    path
+}
+
+/// `target/figures`, resolved relative to the workspace.
+pub fn figures_dir() -> PathBuf {
+    // CARGO_TARGET_DIR may relocate the target directory.
+    std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("target")
+        })
+        .join("figures")
+}
+
+/// The figure-14/15 sweep shared by both machine-size harnesses.
+pub fn figure_14_15(name: &str, env: &BenchEnv) -> Vec<Cell> {
+    let mut all = Vec::new();
+    for structure in [Structure::Bst, Structure::AbTree] {
+        for heavy in [false, true] {
+            let cells = sweep_panel(env, structure, heavy, &Strategy::FIGURE_SERIES);
+            print_panel(
+                &format!(
+                    "{structure} / {} workload (throughput, ops/s)",
+                    if heavy { "heavy" } else { "light" }
+                ),
+                &cells,
+                &env.threads,
+            );
+            all.extend(cells);
+        }
+    }
+    write_csv(name, &all);
+    all
+}
+
+/// Speedup of `series_a` over `series_b` at the given thread count,
+/// averaged over all panels in `cells` (the paper's headline "x-times as
+/// many operations" summaries).
+pub fn speedup(cells: &[Cell], series_a: &str, series_b: &str, threads: usize) -> f64 {
+    let mut ratios = Vec::new();
+    for c in cells.iter().filter(|c| c.threads == threads) {
+        if c.series == series_a {
+            if let Some(b) = cells.iter().find(|d| {
+                d.series == series_b
+                    && d.threads == threads
+                    && d.structure == c.structure
+                    && d.workload == c.workload
+            }) {
+                ratios.push(c.result.throughput / b.result.throughput);
+            }
+        }
+    }
+    ratios.iter().sum::<f64>() / ratios.len().max(1) as f64
+}
+
+/// Convenience used by harness binaries: a paper workload description for
+/// headers.
+pub fn describe(env: &BenchEnv) -> String {
+    format!(
+        "threads={:?} trial={}ms x{} scale={} (BST keys {}, (a,b)-tree keys {})",
+        env.threads,
+        env.duration.as_millis(),
+        env.trials,
+        env.scale,
+        ((Structure::Bst.paper_key_range() as f64 * env.scale) as u64).max(64),
+        ((Structure::AbTree.paper_key_range() as f64 * env.scale) as u64).max(64),
+    )
+}
+

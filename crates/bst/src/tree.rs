@@ -1,0 +1,720 @@
+//! The public BST: configuration, handles, the per-operation path wiring,
+//! and quiescent validation utilities.
+
+use std::sync::Arc;
+
+use threepath_core::{
+    DirectMem, ExecCtx, Mem, OpOutcome, OrigMode, PathKind, PathLimits, PathStats, Strategy,
+    TemplateMode,
+};
+use threepath_htm::{codes, Abort, HtmConfig, HtmRuntime, TxCell};
+use threepath_llxscx::{ScxEngine, ScxThread};
+use threepath_reclaim::{Domain, ReclaimMode};
+
+use crate::node::{BstNode, MAX_KEY, SENT1, SENT2};
+use crate::ops::{self, Found};
+use crate::rq;
+
+/// Configuration for a [`Bst`].
+#[derive(Debug, Clone)]
+pub struct BstConfig {
+    /// Execution-path strategy.
+    pub strategy: Strategy,
+    /// Simulated-HTM parameters.
+    pub htm: HtmConfig,
+    /// Attempt budgets; defaults to the paper's per-strategy values.
+    pub limits: Option<PathLimits>,
+    /// Memory-reclamation mode.
+    pub reclaim: ReclaimMode,
+    /// Section 8: perform each operation's search phase *outside* the
+    /// transaction, validating links and marked bits inside it.
+    pub search_outside_txn: bool,
+    /// Use a SNZI instead of the fetch-and-increment counter `F`
+    /// (Section 5's scalability alternative).
+    pub snzi: bool,
+}
+
+impl Default for BstConfig {
+    fn default() -> Self {
+        BstConfig {
+            strategy: Strategy::ThreePath,
+            htm: HtmConfig::default(),
+            limits: None,
+            reclaim: ReclaimMode::Epoch,
+            search_outside_txn: false,
+            snzi: false,
+        }
+    }
+}
+
+/// Shape and content summary returned by [`Bst::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeShape {
+    /// Number of user keys.
+    pub keys: usize,
+    /// Sum of user keys (the paper's key-sum correctness check).
+    pub key_sum: u128,
+    /// Number of internal nodes (including sentinels).
+    pub internal_nodes: usize,
+    /// Number of leaves (including sentinels).
+    pub leaves: usize,
+    /// Maximum leaf depth.
+    pub depth_max: usize,
+}
+
+/// A concurrent ordered map from `u64` keys to `u64` values, implemented as
+/// a lock-free external BST accelerated per the configured [`Strategy`].
+///
+/// Create handles with [`Bst::handle`] (one per thread); all operations go
+/// through handles. Keys must be `<= MAX_KEY`.
+///
+/// [`MAX_KEY`]: crate::MAX_KEY
+pub struct Bst {
+    exec: ExecCtx,
+    eng: ScxEngine,
+    root: *mut BstNode,
+    sec8: bool,
+}
+
+// SAFETY: the raw root pointer references a heap structure whose shared
+// mutation is mediated entirely by the HTM runtime and LLX/SCX engine.
+unsafe impl Send for Bst {}
+unsafe impl Sync for Bst {}
+
+impl Bst {
+    /// A tree with the default configuration (3-path strategy).
+    pub fn new() -> Self {
+        Self::with_config(BstConfig::default())
+    }
+
+    /// A tree with the given configuration.
+    pub fn with_config(cfg: BstConfig) -> Self {
+        let rt = Arc::new(HtmRuntime::new(cfg.htm.clone()));
+        let domain = Arc::new(Domain::new(cfg.reclaim));
+        let eng = ScxEngine::new(rt.clone(), domain);
+        let mut exec = ExecCtx::new(rt, cfg.strategy);
+        if let Some(l) = cfg.limits {
+            exec = exec.with_limits(l);
+        }
+        if cfg.snzi {
+            exec = exec.with_snzi();
+        }
+        // Initial tree (Ellen et al.): entry(∞₂) over leaf(∞₁), leaf(∞₂).
+        let l1 = Box::into_raw(Box::new(BstNode::new_leaf(SENT1, 0)));
+        let l2 = Box::into_raw(Box::new(BstNode::new_leaf(SENT2, 0)));
+        let root = Box::into_raw(Box::new(BstNode::new_internal(SENT2, l1, l2)));
+        Bst {
+            exec,
+            eng,
+            root,
+            sec8: cfg.search_outside_txn,
+        }
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.exec.strategy()
+    }
+
+    /// The underlying HTM runtime (for diagnostics and benchmarks).
+    pub fn runtime(&self) -> &Arc<HtmRuntime> {
+        self.exec.runtime()
+    }
+
+    /// The reclamation domain (for diagnostics and benchmarks).
+    pub fn domain(&self) -> &Arc<Domain> {
+        self.eng.domain()
+    }
+
+    /// Registers the calling thread and returns an operation handle.
+    pub fn handle(self: &Arc<Self>) -> BstHandle {
+        BstHandle {
+            th: self.eng.register_thread(),
+            tree: Arc::clone(self),
+            stats: PathStats::new(),
+        }
+    }
+
+    fn search_direct(&self, key: u64) -> Found {
+        let rt = self.exec.runtime();
+        let mut read = |c: &TxCell| Ok(c.load_direct(rt));
+        ops::search_with(&mut read, self.root, key).expect("direct search cannot abort")
+    }
+
+    // ------------------------------------------------------------------
+    // Per-path operation bodies.
+    // ------------------------------------------------------------------
+
+    fn fast_insert(&self, th: &mut ScxThread, key: u64, value: u64) -> Result<Option<u64>, Abort> {
+        if self.sec8 {
+            th.pinned(|th| {
+                let f = self.search_direct(key);
+                self.exec
+                    .attempt_seq(&self.eng, th, |m| ops::insert_seq(m, &f, key, value, true))
+            })
+        } else {
+            self.exec.attempt_seq(&self.eng, th, |m| {
+                let f = {
+                    let mut rd = |c: &TxCell| m.read(c);
+                    ops::search_with(&mut rd, self.root, key)?
+                };
+                ops::insert_seq(m, &f, key, value, false)
+            })
+        }
+    }
+
+    fn middle_insert(
+        &self,
+        th: &mut ScxThread,
+        key: u64,
+        value: u64,
+    ) -> Result<Option<u64>, Abort> {
+        if self.sec8 {
+            th.pinned(|th| {
+                let f = self.search_direct(key);
+                self.exec.attempt_template(&self.eng, th, |m| {
+                    finish_tx(ops::insert_tmpl(m, &f, key, value)?)
+                })
+            })
+        } else {
+            self.exec.attempt_template(&self.eng, th, |m| {
+                let f = {
+                    let mut rd = |c: &TxCell| m.read(c);
+                    ops::search_with(&mut rd, self.root, key)?
+                };
+                finish_tx(ops::insert_tmpl(m, &f, key, value)?)
+            })
+        }
+    }
+
+    fn fallback_insert(&self, th: &mut ScxThread, key: u64, value: u64) -> Option<u64> {
+        loop {
+            let out = th.pinned(|th| {
+                let f = self.search_direct(key);
+                let mut m = OrigMode::new(&self.eng, th);
+                ops::insert_tmpl(&mut m, &f, key, value)
+            });
+            match out.expect("software path cannot abort") {
+                OpOutcome::Done(r) => return r,
+                OpOutcome::Retry => continue,
+            }
+        }
+    }
+
+    fn locked_insert(&self, th: &mut ScxThread, key: u64, value: u64) -> Option<u64> {
+        th.pinned(|th| {
+            let f = self.search_direct(key);
+            let mut m = DirectMem::new(self.exec.runtime(), &th.reclaim);
+            ops::insert_seq(&mut m, &f, key, value, false).expect("direct mode cannot abort")
+        })
+    }
+
+    fn fast_delete(&self, th: &mut ScxThread, key: u64) -> Result<Option<u64>, Abort> {
+        if self.sec8 {
+            th.pinned(|th| {
+                let f = self.search_direct(key);
+                self.exec
+                    .attempt_seq(&self.eng, th, |m| ops::delete_seq(m, &f, key, true, true))
+            })
+        } else {
+            self.exec.attempt_seq(&self.eng, th, |m| {
+                let f = {
+                    let mut rd = |c: &TxCell| m.read(c);
+                    ops::search_with(&mut rd, self.root, key)?
+                };
+                ops::delete_seq(m, &f, key, false, false)
+            })
+        }
+    }
+
+    fn middle_delete(&self, th: &mut ScxThread, key: u64) -> Result<Option<u64>, Abort> {
+        if self.sec8 {
+            th.pinned(|th| {
+                let f = self.search_direct(key);
+                self.exec
+                    .attempt_template(&self.eng, th, |m| finish_tx(ops::delete_tmpl(m, &f, key)?))
+            })
+        } else {
+            self.exec.attempt_template(&self.eng, th, |m| {
+                let f = {
+                    let mut rd = |c: &TxCell| m.read(c);
+                    ops::search_with(&mut rd, self.root, key)?
+                };
+                finish_tx(ops::delete_tmpl(m, &f, key)?)
+            })
+        }
+    }
+
+    fn fallback_delete(&self, th: &mut ScxThread, key: u64) -> Option<u64> {
+        loop {
+            let out = th.pinned(|th| {
+                let f = self.search_direct(key);
+                let mut m = OrigMode::new(&self.eng, th);
+                ops::delete_tmpl(&mut m, &f, key)
+            });
+            match out.expect("software path cannot abort") {
+                OpOutcome::Done(r) => return r,
+                OpOutcome::Retry => continue,
+            }
+        }
+    }
+
+    fn locked_delete(&self, th: &mut ScxThread, key: u64) -> Option<u64> {
+        th.pinned(|th| {
+            let f = self.search_direct(key);
+            let mut m = DirectMem::new(self.exec.runtime(), &th.reclaim);
+            ops::delete_seq(&mut m, &f, key, false, self.sec8).expect("direct mode cannot abort")
+        })
+    }
+
+    fn fast_get(&self, th: &mut ScxThread, key: u64) -> Result<Option<u64>, Abort> {
+        if self.sec8 {
+            th.pinned(|th| {
+                let f = self.search_direct(key);
+                self.exec.attempt_seq(&self.eng, th, |m| {
+                    let l = unsafe { &*f.l };
+                    if m.read(l.hdr.marked())? != 0 {
+                        return Err(Abort::explicit(codes::MARKED));
+                    }
+                    ops::get_seq(m, &f, key)
+                })
+            })
+        } else {
+            self.exec.attempt_seq(&self.eng, th, |m| {
+                let f = {
+                    let mut rd = |c: &TxCell| m.read(c);
+                    ops::search_with(&mut rd, self.root, key)?
+                };
+                ops::get_seq(m, &f, key)
+            })
+        }
+    }
+
+    fn middle_get(&self, th: &mut ScxThread, key: u64) -> Result<Option<u64>, Abort> {
+        self.exec.attempt_template(&self.eng, th, |m| {
+            let f = {
+                let mut rd = |c: &TxCell| m.read(c);
+                ops::search_with(&mut rd, self.root, key)?
+            };
+            let l = unsafe { &*f.l };
+            if l.key == key {
+                Ok(Some(m.read(&l.value)?))
+            } else {
+                Ok(None)
+            }
+        })
+    }
+
+    fn fallback_get(&self, th: &mut ScxThread, key: u64) -> Option<u64> {
+        th.pinned(|th| {
+            let _ = th;
+            let f = self.search_direct(key);
+            let l = unsafe { &*f.l };
+            if l.key == key {
+                Some(l.value.load_direct(self.exec.runtime()))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Locates the leaf covering `probe` and returns its pair when it
+    /// holds a user key (used for `first`/`last`).
+    fn fast_locate(&self, th: &mut ScxThread, probe: u64) -> Result<Option<(u64, u64)>, Abort> {
+        self.exec.attempt_seq(&self.eng, th, |m| {
+            let f = {
+                let mut rd = |c: &TxCell| m.read(c);
+                ops::search_with(&mut rd, self.root, probe)?
+            };
+            let l = unsafe { &*f.l };
+            if l.key <= MAX_KEY {
+                Ok(Some((l.key, m.read(&l.value)?)))
+            } else {
+                Ok(None)
+            }
+        })
+    }
+
+    fn middle_locate(&self, th: &mut ScxThread, probe: u64) -> Result<Option<(u64, u64)>, Abort> {
+        self.exec.attempt_template(&self.eng, th, |m| {
+            let f = {
+                let mut rd = |c: &TxCell| m.read(c);
+                ops::search_with(&mut rd, self.root, probe)?
+            };
+            let l = unsafe { &*f.l };
+            if l.key <= MAX_KEY {
+                Ok(Some((l.key, m.read(&l.value)?)))
+            } else {
+                Ok(None)
+            }
+        })
+    }
+
+    fn fallback_locate(&self, th: &mut ScxThread, probe: u64) -> Option<(u64, u64)> {
+        th.pinned(|th| {
+            let _ = th;
+            let f = self.search_direct(probe);
+            let l = unsafe { &*f.l };
+            if l.key <= MAX_KEY {
+                Some((l.key, l.value.load_direct(self.exec.runtime())))
+            } else {
+                None
+            }
+        })
+    }
+
+    fn fast_rq(&self, th: &mut ScxThread, lo: u64, hi: u64) -> Result<Vec<(u64, u64)>, Abort> {
+        self.exec.attempt_seq(&self.eng, th, |m| {
+            let mut out = Vec::new();
+            rq::rq_mem(m, self.root, lo, hi, &mut out)?;
+            Ok(out)
+        })
+    }
+
+    fn middle_rq(&self, th: &mut ScxThread, lo: u64, hi: u64) -> Result<Vec<(u64, u64)>, Abort> {
+        self.exec.attempt_template(&self.eng, th, |m| {
+            let mut out = Vec::new();
+            let mut mem = TemplateModeMem(m);
+            rq::rq_mem(&mut mem, self.root, lo, hi, &mut out)?;
+            Ok(out)
+        })
+    }
+
+    fn fallback_rq(&self, th: &mut ScxThread, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        loop {
+            let r = th.pinned(|th| rq::rq_validated(&self.eng, th, self.root, lo, hi));
+            if let Some(out) = r {
+                return out;
+            }
+        }
+    }
+
+    fn locked_rq(&self, th: &mut ScxThread, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        th.pinned(|th| {
+            let mut m = DirectMem::new(self.exec.runtime(), &th.reclaim);
+            let mut out = Vec::new();
+            rq::rq_mem(&mut m, self.root, lo, hi, &mut out).expect("direct mode cannot abort");
+            out
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Quiescent inspection (no concurrent operations allowed).
+    // ------------------------------------------------------------------
+
+    /// Number of user keys. Quiescent only.
+    pub fn len(&self) -> usize {
+        self.validate().expect("invalid tree").keys
+    }
+
+    /// Whether the tree holds no user keys. Quiescent only.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of all user keys (the paper's key-sum check). Quiescent only.
+    pub fn key_sum(&self) -> u128 {
+        self.validate().expect("invalid tree").key_sum
+    }
+
+    /// All user pairs in ascending key order. Quiescent only.
+    pub fn collect(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        // SAFETY: quiescent per contract.
+        unsafe { collect_rec(self.root, &mut out) };
+        out
+    }
+
+    /// Full structural validation: leaf-orientation, search-tree order,
+    /// reachability of unmarked nodes only. Quiescent only.
+    pub fn validate(&self) -> Result<TreeShape, String> {
+        let mut shape = TreeShape {
+            keys: 0,
+            key_sum: 0,
+            internal_nodes: 0,
+            leaves: 0,
+            depth_max: 0,
+        };
+        // SAFETY: quiescent per contract.
+        unsafe { validate_rec(self.root, 0, u64::MAX, 0, &mut shape)? };
+        Ok(shape)
+    }
+}
+
+impl Default for Bst {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Bst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bst")
+            .field("strategy", &self.strategy())
+            .field("search_outside_txn", &self.sec8)
+            .finish()
+    }
+}
+
+impl Drop for Bst {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; retired nodes are owned by the domain's
+        // limbo bags, never reachable from the root, so no double free.
+        unsafe { free_rec(self.root) };
+    }
+}
+
+/// Adapts a [`TemplateMode`] to the [`Mem`] interface for read-only reuse
+/// of `Mem`-generic traversals (range queries on the middle path).
+struct TemplateModeMem<'m, M: TemplateMode>(&'m mut M);
+
+impl<M: TemplateMode> Mem for TemplateModeMem<'_, M> {
+    fn read(&mut self, cell: &TxCell) -> Result<u64, Abort> {
+        self.0.read(cell)
+    }
+    fn write(&mut self, _cell: &TxCell, _v: u64) -> Result<(), Abort> {
+        unreachable!("read-only adapter")
+    }
+    unsafe fn retire<T: Send>(&mut self, _ptr: *mut T) {
+        unreachable!("read-only adapter")
+    }
+    fn alloc<T: Send>(&mut self, _val: T) -> *mut T {
+        unreachable!("read-only adapter")
+    }
+    unsafe fn free_unpublished<T: Send>(&mut self, _ptr: *mut T) {
+        unreachable!("read-only adapter")
+    }
+}
+
+/// Maps a template outcome into a transactional result: transactional
+/// attempts cannot re-run their search, so `Retry` (a failed link
+/// validation after an out-of-transaction search) aborts the attempt.
+fn finish_tx<T>(out: OpOutcome<T>) -> Result<T, Abort> {
+    match out {
+        OpOutcome::Done(t) => Ok(t),
+        OpOutcome::Retry => Err(Abort::explicit(codes::VALIDATION)),
+    }
+}
+
+unsafe fn free_rec(n: *mut BstNode) {
+    if n.is_null() {
+        return;
+    }
+    let node = unsafe { &*n };
+    if !node.is_leaf {
+        unsafe {
+            free_rec(node.child_plain(0));
+            free_rec(node.child_plain(1));
+        }
+    }
+    drop(unsafe { Box::from_raw(n) });
+}
+
+unsafe fn collect_rec(n: *mut BstNode, out: &mut Vec<(u64, u64)>) {
+    let node = unsafe { &*n };
+    if node.is_leaf {
+        if node.key < SENT1 {
+            out.push((node.key, node.value.load_plain()));
+        }
+    } else {
+        unsafe {
+            collect_rec(node.child_plain(0), out);
+            collect_rec(node.child_plain(1), out);
+        }
+    }
+}
+
+unsafe fn validate_rec(
+    n: *mut BstNode,
+    lo: u64,
+    hi: u64,
+    depth: usize,
+    shape: &mut TreeShape,
+) -> Result<(), String> {
+    if n.is_null() {
+        return Err("null child reached".into());
+    }
+    let node = unsafe { &*n };
+    if node.hdr.marked().load_plain() != 0 {
+        return Err(format!("reachable node (key {}) is marked", node.key));
+    }
+    if node.is_leaf {
+        shape.leaves += 1;
+        shape.depth_max = shape.depth_max.max(depth);
+        if !(lo <= node.key && node.key <= hi) {
+            return Err(format!(
+                "leaf key {} outside range [{lo}, {hi}]",
+                node.key
+            ));
+        }
+        if node.key < SENT1 {
+            shape.keys += 1;
+            shape.key_sum += node.key as u128;
+        }
+        if !node.child_plain(0).is_null() || !node.child_plain(1).is_null() {
+            return Err("leaf with children".into());
+        }
+    } else {
+        shape.internal_nodes += 1;
+        if !(lo <= node.key && node.key <= hi) {
+            return Err(format!(
+                "routing key {} outside range [{lo}, {hi}]",
+                node.key
+            ));
+        }
+        let (l, r) = (node.child_plain(0), node.child_plain(1));
+        if l.is_null() || r.is_null() {
+            return Err(format!("internal node (key {}) missing a child", node.key));
+        }
+        // Left subtree keys < node.key; right subtree keys >= node.key.
+        unsafe {
+            validate_rec(l, lo, node.key.saturating_sub(1), depth + 1, shape)?;
+            validate_rec(r, node.key, hi, depth + 1, shape)?;
+        }
+    }
+    Ok(())
+}
+
+/// A per-thread handle to a [`Bst`].
+///
+/// Create one per thread with [`Bst::handle`]; operations take `&mut self`
+/// (handles are not shared between threads).
+pub struct BstHandle {
+    tree: Arc<Bst>,
+    th: ScxThread,
+    stats: PathStats,
+}
+
+impl BstHandle {
+    /// The underlying tree.
+    pub fn tree(&self) -> &Arc<Bst> {
+        &self.tree
+    }
+
+    /// Path-usage statistics accumulated by this handle.
+    pub fn stats(&self) -> &PathStats {
+        &self.stats
+    }
+
+    /// Resets this handle's statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = PathStats::new();
+    }
+
+    /// Inserts or updates `key`, returning the previous value if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key > MAX_KEY`.
+    ///
+    /// [`MAX_KEY`]: crate::MAX_KEY
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        assert!(key <= MAX_KEY, "key exceeds MAX_KEY");
+        let tree = &self.tree;
+        let (r, _path) = tree.exec.run_op(
+            &mut self.th,
+            &mut self.stats,
+            |th| tree.fast_insert(th, key, value),
+            |th| tree.middle_insert(th, key, value),
+            |th| tree.fallback_insert(th, key, value),
+            |th| tree.locked_insert(th, key, value),
+        );
+        r
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        if key > MAX_KEY {
+            return None;
+        }
+        let tree = &self.tree;
+        let (r, _path) = tree.exec.run_op(
+            &mut self.th,
+            &mut self.stats,
+            |th| tree.fast_delete(th, key),
+            |th| tree.middle_delete(th, key),
+            |th| tree.fallback_delete(th, key),
+            |th| tree.locked_delete(th, key),
+        );
+        r
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        if key > MAX_KEY {
+            return None;
+        }
+        let tree = &self.tree;
+        let (r, _path) = tree.exec.run_op(
+            &mut self.th,
+            &mut self.stats,
+            |th| tree.fast_get(th, key),
+            |th| tree.middle_get(th, key),
+            |th| tree.fallback_get(th, key),
+            |th| tree.fallback_get(th, key),
+        );
+        r
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&mut self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// The smallest key and its value, if any.
+    ///
+    /// Locating the leaf that covers key `0` finds the minimum: user keys
+    /// all sit left of the sentinel spine, so the leftmost leaf is real
+    /// whenever the tree is non-empty.
+    pub fn first(&mut self) -> Option<(u64, u64)> {
+        self.extreme(0)
+    }
+
+    /// The largest key and its value, if any.
+    pub fn last(&mut self) -> Option<(u64, u64)> {
+        self.extreme(MAX_KEY)
+    }
+
+    fn extreme(&mut self, probe: u64) -> Option<(u64, u64)> {
+        let tree = &self.tree;
+        let (r, _path) = tree.exec.run_op(
+            &mut self.th,
+            &mut self.stats,
+            |th| tree.fast_locate(th, probe),
+            |th| tree.middle_locate(th, probe),
+            |th| tree.fallback_locate(th, probe),
+            |th| tree.fallback_locate(th, probe),
+        );
+        r
+    }
+
+    /// Returns all pairs with keys in `[lo, hi)`, ascending.
+    pub fn range_query(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let tree = &self.tree;
+        let (r, _path) = tree.exec.run_op(
+            &mut self.th,
+            &mut self.stats,
+            |th| tree.fast_rq(th, lo, hi),
+            |th| tree.middle_rq(th, lo, hi),
+            |th| tree.fallback_rq(th, lo, hi),
+            |th| tree.locked_rq(th, lo, hi),
+        );
+        r
+    }
+
+    /// The path the *last* completed operation ran on, according to this
+    /// handle's statistics (diagnostic helper for tests).
+    pub fn last_path_hint(&self) -> Option<PathKind> {
+        PathKind::ALL
+            .into_iter()
+            .max_by_key(|p| self.stats.completed(*p))
+    }
+}
+
+impl std::fmt::Debug for BstHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BstHandle")
+            .field("tree", &self.tree)
+            .finish()
+    }
+}

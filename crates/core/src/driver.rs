@@ -1,0 +1,460 @@
+//! The execution driver: runs one operation according to the configured
+//! strategy, handling attempt budgets, waiting policies, path transitions
+//! and statistics (paper Section 5).
+
+use std::sync::Arc;
+
+use threepath_htm::{codes, Abort, HtmRuntime, Txn};
+use threepath_llxscx::{ScxEngine, ScxThread};
+
+use crate::access::TxMem;
+use crate::effects::Effects;
+use crate::stats::{PathKind, PathStats};
+use crate::strategy::{PathLimits, Strategy};
+use crate::snzi::Snzi;
+use crate::sync::{FallbackCount, Indicator, TleLock};
+use crate::template::TxMode;
+
+/// Per-structure execution context: the strategy, attempt budgets, the
+/// fallback counter `F` and the TLE lock.
+pub struct ExecCtx {
+    rt: Arc<HtmRuntime>,
+    strategy: Strategy,
+    limits: PathLimits,
+    f: Indicator,
+    lock: TleLock,
+}
+
+impl ExecCtx {
+    /// Creates a context with the paper's attempt budgets for `strategy`.
+    pub fn new(rt: Arc<HtmRuntime>, strategy: Strategy) -> Self {
+        ExecCtx {
+            rt,
+            strategy,
+            limits: PathLimits::for_strategy(strategy),
+            f: Indicator::Counter(FallbackCount::new()),
+            lock: TleLock::new(),
+        }
+    }
+
+    /// Replaces the fallback counter `F` with a SNZI (the scalable
+    /// alternative the paper mentions in Section 5).
+    pub fn with_snzi(mut self) -> Self {
+        self.f = Indicator::Snzi(Snzi::new());
+        self
+    }
+
+    /// Overrides the attempt budgets.
+    pub fn with_limits(mut self, limits: PathLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The configured attempt budgets.
+    pub fn limits(&self) -> PathLimits {
+        self.limits
+    }
+
+    /// The HTM runtime.
+    pub fn runtime(&self) -> &Arc<HtmRuntime> {
+        &self.rt
+    }
+
+    /// The fallback-path presence indicator (`F` or a SNZI).
+    pub fn fallback_indicator(&self) -> &Indicator {
+        &self.f
+    }
+
+    /// The TLE global lock.
+    pub fn tle_lock(&self) -> &TleLock {
+        &self.lock
+    }
+
+    /// The fast path's subscription check, executed at the start of every
+    /// fast-path transaction: TLE subscribes to the global lock; 2-path
+    /// non-con and 3-path subscribe to `F`.
+    pub fn subscribe(&self, tx: &mut Txn<'_>) -> Result<(), Abort> {
+        match self.strategy {
+            Strategy::Tle => {
+                if tx.read(self.lock.cell())? != 0 {
+                    return Err(tx.abort(codes::LOCK_HELD));
+                }
+            }
+            Strategy::TwoPathNonCon | Strategy::ThreePath => {
+                let raw = tx.read(self.f.cell())?;
+                if self.f.raw_is_active(raw) {
+                    return Err(tx.abort(codes::F_NONZERO));
+                }
+            }
+            Strategy::NonHtm | Strategy::TwoPathCon => {}
+        }
+        Ok(())
+    }
+
+    /// One fast-path attempt: sequential code in a transaction, preceded by
+    /// the strategy's subscription check. Deferred retirements apply on
+    /// commit.
+    pub fn attempt_seq<T>(
+        &self,
+        eng: &ScxEngine,
+        th: &mut ScxThread,
+        body: impl FnOnce(&mut TxMem<'_, '_>) -> Result<T, Abort>,
+    ) -> Result<T, Abort> {
+        th.pinned(|th| {
+            let mut eff = Effects::new();
+            let res = self.rt.attempt(&mut th.htm, |tx| {
+                self.subscribe(tx)?;
+                let mut mem = TxMem::new(tx, &mut eff);
+                body(&mut mem)
+            });
+            if res.is_ok() {
+                eff.commit(eng, th);
+            } else {
+                eff.abort_cleanup();
+            }
+            res
+        })
+    }
+
+    /// One instrumented-template attempt (the 2-path-con fast path and the
+    /// 3-path middle path): the whole template operation inside one
+    /// transaction using the HTM LLX/SCX. No subscription — this path runs
+    /// concurrently with the fallback.
+    pub fn attempt_template<T>(
+        &self,
+        eng: &ScxEngine,
+        th: &mut ScxThread,
+        body: impl FnOnce(&mut TxMode<'_, '_>) -> Result<T, Abort>,
+    ) -> Result<T, Abort> {
+        th.pinned(|th| {
+            let tseq = th.next_tseq();
+            let mut eff = Effects::new();
+            let res = self.rt.attempt(&mut th.htm, |tx| {
+                let mut mode = TxMode::new(eng, tx, tseq, &mut eff);
+                body(&mut mode)
+            });
+            if res.is_ok() {
+                eff.commit(eng, th);
+            } else {
+                eff.abort_cleanup();
+            }
+            res
+        })
+    }
+
+    /// Runs one operation to completion under the configured strategy.
+    ///
+    /// * `fast` — one fast-path attempt (typically built with
+    ///   [`Self::attempt_seq`]);
+    /// * `middle` — one instrumented attempt (built with
+    ///   [`Self::attempt_template`]); also serves as the 2-path-con fast
+    ///   path;
+    /// * `fallback` — the lock-free template operation (loops internally
+    ///   until it succeeds);
+    /// * `seq_locked` — the sequential operation with direct memory access,
+    ///   used only by TLE under the global lock.
+    ///
+    /// Returns the result and the path the operation completed on.
+    pub fn run_op<T>(
+        &self,
+        th: &mut ScxThread,
+        stats: &mut PathStats,
+        mut fast: impl FnMut(&mut ScxThread) -> Result<T, Abort>,
+        mut middle: impl FnMut(&mut ScxThread) -> Result<T, Abort>,
+        mut fallback: impl FnMut(&mut ScxThread) -> T,
+        mut seq_locked: impl FnMut(&mut ScxThread) -> T,
+    ) -> (T, PathKind) {
+        let rt = &*self.rt;
+        match self.strategy {
+            Strategy::NonHtm => {
+                let v = fallback(th);
+                stats.record_completed(PathKind::Fallback);
+                (v, PathKind::Fallback)
+            }
+            Strategy::Tle => {
+                for _ in 0..self.limits.fast {
+                    // Wait for the lock to be free before each attempt
+                    // (otherwise the attempt is wasted work).
+                    self.wait_while(|| self.lock.is_held(rt));
+                    match fast(th) {
+                        Ok(v) => {
+                            stats.record_commit(PathKind::Fast);
+                            stats.record_completed(PathKind::Fast);
+                            return (v, PathKind::Fast);
+                        }
+                        Err(a) => stats.record_abort(PathKind::Fast, &a),
+                    }
+                }
+                self.lock.acquire(rt);
+                let v = seq_locked(th);
+                self.lock.release(rt);
+                stats.record_completed(PathKind::Fallback);
+                (v, PathKind::Fallback)
+            }
+            Strategy::TwoPathCon => {
+                // The 2-path-con fast path *is* the instrumented template
+                // transaction; it runs concurrently with the fallback.
+                for _ in 0..self.limits.fast {
+                    match middle(th) {
+                        Ok(v) => {
+                            stats.record_commit(PathKind::Fast);
+                            stats.record_completed(PathKind::Fast);
+                            return (v, PathKind::Fast);
+                        }
+                        Err(a) => stats.record_abort(PathKind::Fast, &a),
+                    }
+                }
+                let v = fallback(th);
+                stats.record_completed(PathKind::Fallback);
+                (v, PathKind::Fallback)
+            }
+            Strategy::TwoPathNonCon => {
+                for _ in 0..self.limits.fast {
+                    // Wait for the fallback path to drain before each
+                    // attempt — this is precisely the waiting the 3-path
+                    // algorithm eliminates.
+                    self.wait_while(|| self.f.is_active(rt));
+                    match fast(th) {
+                        Ok(v) => {
+                            stats.record_commit(PathKind::Fast);
+                            stats.record_completed(PathKind::Fast);
+                            return (v, PathKind::Fast);
+                        }
+                        Err(a) => stats.record_abort(PathKind::Fast, &a),
+                    }
+                }
+                self.f.arrive(rt, th.id().0);
+                let v = fallback(th);
+                self.f.depart(rt, th.id().0);
+                stats.record_completed(PathKind::Fallback);
+                (v, PathKind::Fallback)
+            }
+            Strategy::ThreePath => {
+                // Fast path: never waits; moves on early when it observes
+                // an operation on the fallback path.
+                let mut attempts = 0;
+                while attempts < self.limits.fast {
+                    attempts += 1;
+                    match fast(th) {
+                        Ok(v) => {
+                            stats.record_commit(PathKind::Fast);
+                            stats.record_completed(PathKind::Fast);
+                            return (v, PathKind::Fast);
+                        }
+                        Err(a) => {
+                            stats.record_abort(PathKind::Fast, &a);
+                            if a.user_code() == Some(codes::F_NONZERO) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Middle path: concurrent with both other paths.
+                for _ in 0..self.limits.middle {
+                    match middle(th) {
+                        Ok(v) => {
+                            stats.record_commit(PathKind::Middle);
+                            stats.record_completed(PathKind::Middle);
+                            return (v, PathKind::Middle);
+                        }
+                        Err(a) => stats.record_abort(PathKind::Middle, &a),
+                    }
+                }
+                self.f.arrive(rt, th.id().0);
+                let v = fallback(th);
+                self.f.depart(rt, th.id().0);
+                stats.record_completed(PathKind::Fallback);
+                (v, PathKind::Fallback)
+            }
+        }
+    }
+
+    fn wait_while(&self, cond: impl Fn() -> bool) {
+        let mut spins = 0u32;
+        while cond() {
+            spins += 1;
+            if spins % 16 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ExecCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecCtx")
+            .field("strategy", &self.strategy)
+            .field("limits", &self.limits)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use threepath_htm::{AbortCode, HtmConfig};
+    use threepath_reclaim::{Domain, ReclaimMode};
+
+    fn setup(strategy: Strategy) -> (ExecCtx, ScxEngine) {
+        let rt = Arc::new(HtmRuntime::new(HtmConfig::default()));
+        let domain = Arc::new(Domain::new(ReclaimMode::Epoch));
+        let eng = ScxEngine::new(rt.clone(), domain);
+        (ExecCtx::new(rt, strategy), eng)
+    }
+
+    #[test]
+    fn non_htm_goes_straight_to_fallback() {
+        let (exec, eng) = setup(Strategy::NonHtm);
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        let fast_calls = Cell::new(0);
+        let (v, path) = exec.run_op(
+            &mut th,
+            &mut stats,
+            |_| {
+                fast_calls.set(fast_calls.get() + 1);
+                Err(Abort::new(AbortCode::Conflict))
+            },
+            |_| Err(Abort::new(AbortCode::Conflict)),
+            |_| 42,
+            |_| 0,
+        );
+        assert_eq!((v, path), (42, PathKind::Fallback));
+        assert_eq!(fast_calls.get(), 0);
+        assert_eq!(stats.completed(PathKind::Fallback), 1);
+    }
+
+    #[test]
+    fn three_path_escalates_through_budgets() {
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        let fast_calls = Cell::new(0u32);
+        let middle_calls = Cell::new(0u32);
+        let (v, path) = exec.run_op(
+            &mut th,
+            &mut stats,
+            |_| {
+                fast_calls.set(fast_calls.get() + 1);
+                Err(Abort::new(AbortCode::Conflict))
+            },
+            |_| {
+                middle_calls.set(middle_calls.get() + 1);
+                Err(Abort::new(AbortCode::Capacity))
+            },
+            |_| 7,
+            |_| 0,
+        );
+        assert_eq!((v, path), (7, PathKind::Fallback));
+        assert_eq!(fast_calls.get(), exec.limits().fast);
+        assert_eq!(middle_calls.get(), exec.limits().middle);
+        assert_eq!(stats.aborts(PathKind::Fast).conflict, exec.limits().fast as u64);
+        assert_eq!(
+            stats.aborts(PathKind::Middle).capacity,
+            exec.limits().middle as u64
+        );
+    }
+
+    #[test]
+    fn three_path_moves_to_middle_immediately_on_f_nonzero() {
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        let fast_calls = Cell::new(0u32);
+        let (v, path) = exec.run_op(
+            &mut th,
+            &mut stats,
+            |_| {
+                fast_calls.set(fast_calls.get() + 1);
+                Err(Abort::explicit(codes::F_NONZERO))
+            },
+            |_| Ok(9),
+            |_| 0,
+            |_| 0,
+        );
+        assert_eq!((v, path), (9, PathKind::Middle));
+        assert_eq!(fast_calls.get(), 1, "no more fast attempts after F != 0");
+    }
+
+    #[test]
+    fn three_path_fallback_increments_f() {
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        let rt = exec.runtime().clone();
+        let observed_f = Cell::new(0u64);
+        exec.run_op(
+            &mut th,
+            &mut stats,
+            |_| Err(Abort::new(AbortCode::Conflict)),
+            |_| Err(Abort::new(AbortCode::Conflict)),
+            |_| {
+                observed_f.set(u64::from(exec.fallback_indicator().is_active(&rt)));
+                1
+            },
+            |_| 0,
+        );
+        assert_eq!(observed_f.get(), 1, "F active while on the fallback");
+        assert!(!exec.fallback_indicator().is_active(&rt), "F released after");
+    }
+
+    #[test]
+    fn two_path_con_uses_middle_closure_as_fast_path() {
+        let (exec, eng) = setup(Strategy::TwoPathCon);
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        let (v, path) = exec.run_op(
+            &mut th,
+            &mut stats,
+            |_| panic!("2-path-con has no sequential fast path"),
+            |_| Ok(5),
+            |_| 0,
+            |_| 0,
+        );
+        assert_eq!((v, path), (5, PathKind::Fast));
+    }
+
+    #[test]
+    fn tle_falls_back_under_lock() {
+        let (exec, eng) = setup(Strategy::Tle);
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        let rt = exec.runtime().clone();
+        let lock_held_inside = Cell::new(false);
+        let (v, path) = exec.run_op(
+            &mut th,
+            &mut stats,
+            |_| Err(Abort::new(AbortCode::Conflict)),
+            |_| unreachable!(),
+            |_| unreachable!(),
+            |_| {
+                lock_held_inside.set(exec.tle_lock().is_held(&rt));
+                11
+            },
+        );
+        assert_eq!((v, path), (11, PathKind::Fallback));
+        assert!(lock_held_inside.get(), "sequential fallback runs under lock");
+        assert!(!exec.tle_lock().is_held(&rt));
+    }
+
+    #[test]
+    fn subscription_aborts_fast_path_when_f_nonzero() {
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let mut th = eng.register_thread();
+        let rt = exec.runtime().clone();
+        exec.fallback_indicator().arrive(&rt, 0);
+        let r: Result<(), _> = exec.attempt_seq(&eng, &mut th, |_| Ok(()));
+        assert_eq!(r.unwrap_err().user_code(), Some(codes::F_NONZERO));
+        exec.fallback_indicator().depart(&rt, 0);
+        let r: Result<(), _> = exec.attempt_seq(&eng, &mut th, |_| Ok(()));
+        assert!(r.is_ok());
+    }
+}

@@ -1,0 +1,155 @@
+//! Deferred side effects of transactional attempts.
+//!
+//! Code running inside a transaction must not retire nodes or release
+//! SCX-record references — the attempt may abort, leaving the structure
+//! untouched. Instead it records the intents in an [`Effects`] buffer; the
+//! attempt wrapper applies them only after the transaction commits.
+//! Conversely, nodes *allocated* inside a transaction are tracked so an
+//! abort can free them (an aborted transaction published nothing, so they
+//! are provably unreachable).
+
+use threepath_llxscx::{ScxEngine, ScxThread};
+
+unsafe fn drop_box<T>(p: *mut u8) {
+    drop(unsafe { Box::from_raw(p as *mut T) });
+}
+
+/// Buffered post-commit (and post-abort) actions for one transactional
+/// attempt.
+#[derive(Default)]
+pub struct Effects {
+    retire: Vec<(*mut u8, unsafe fn(*mut u8))>,
+    release_infos: Vec<u64>,
+    allocs: Vec<(*mut u8, unsafe fn(*mut u8))>,
+}
+
+impl Effects {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defers retiring `ptr` (a `Box`-allocated node that the transaction
+    /// unlinks) until the transaction commits.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`threepath_reclaim::ReclaimCtx::retire`], holding
+    /// at the time [`Effects::commit`] runs.
+    pub unsafe fn defer_retire<T: Send>(&mut self, ptr: *mut T) {
+        self.retire.push((ptr as *mut u8, drop_box::<T>));
+    }
+
+    /// Defers releasing the install reference of a replaced `info` value
+    /// (see [`ScxEngine::release_replaced`]).
+    pub fn defer_release_info(&mut self, info: u64) {
+        self.release_infos.push(info);
+    }
+
+    /// Boxes `val` and tracks the allocation: if the attempt aborts, the
+    /// node is freed (nothing was published); if it commits, the node has
+    /// been linked into the structure and is kept.
+    pub fn alloc<T: Send>(&mut self, val: T) -> *mut T {
+        let p = Box::into_raw(Box::new(val));
+        self.allocs.push((p as *mut u8, drop_box::<T>));
+        p
+    }
+
+    /// Stops tracking an allocation made with [`Self::alloc`] and frees it
+    /// now. For paths that decide *within* the attempt not to publish a
+    /// node.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have come from [`Self::alloc`] on this buffer and must
+    /// not have been published.
+    pub unsafe fn free_unpublished<T: Send>(&mut self, ptr: *mut T) {
+        let raw = ptr as *mut u8;
+        if let Some(i) = self.allocs.iter().position(|(p, _)| *p == raw) {
+            let (p, dtor) = self.allocs.swap_remove(i);
+            // SAFETY: tracked allocation, unpublished per contract.
+            unsafe { dtor(p) };
+        }
+    }
+
+    /// Whether nothing was deferred or tracked.
+    pub fn is_empty(&self) -> bool {
+        self.retire.is_empty() && self.release_infos.is_empty() && self.allocs.is_empty()
+    }
+
+    /// Applies the deferred actions after a successful commit. Tracked
+    /// allocations are simply released from tracking (they are now owned by
+    /// the structure).
+    pub fn commit(self, eng: &ScxEngine, th: &ScxThread) {
+        for (ptr, dtor) in &self.retire {
+            // SAFETY: per defer_retire's contract; the transaction that
+            // unlinked these nodes has committed.
+            unsafe { th.reclaim.retire_raw(*ptr, *dtor) };
+        }
+        eng.release_replaced(th, &self.release_infos);
+        // self.allocs dropped without freeing: nodes are published.
+    }
+
+    /// Cleans up after an abort: frees tracked allocations (the transaction
+    /// had no effect, so they were never published) and discards deferred
+    /// retirements/releases (the nodes are still linked).
+    pub fn abort_cleanup(&mut self) {
+        self.retire.clear();
+        self.release_infos.clear();
+        for (ptr, dtor) in self.allocs.drain(..) {
+            // SAFETY: allocated by `alloc` and unpublished (attempt aborted).
+            unsafe { dtor(ptr) };
+        }
+    }
+}
+
+impl std::fmt::Debug for Effects {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Effects")
+            .field("retire", &self.retire.len())
+            .field("release_infos", &self.release_infos.len())
+            .field("allocs", &self.allocs.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct DropCounter(Arc<AtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn abort_cleanup_frees_allocs_and_discards_retires() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut e = Effects::new();
+        let _a = e.alloc(DropCounter(count.clone()));
+        let r = Box::into_raw(Box::new(7u64));
+        unsafe { e.defer_retire(r) };
+        e.defer_release_info(0);
+        e.abort_cleanup();
+        assert!(e.is_empty());
+        assert_eq!(count.load(Ordering::Relaxed), 1, "alloc freed on abort");
+        // The deferred retire must NOT have freed r.
+        drop(unsafe { Box::from_raw(r) });
+    }
+
+    #[test]
+    fn free_unpublished_releases_single_alloc() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut e = Effects::new();
+        let a = e.alloc(DropCounter(count.clone()));
+        let _b = e.alloc(DropCounter(count.clone()));
+        unsafe { e.free_unpublished(a) };
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+        e.abort_cleanup();
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! The accelerated tree-update template (the paper's primary contribution).
+//!
+//! An operation implemented with the tree-update template (Brown, Ellen,
+//! Ruppert, PPoPP 2014) searches for a location, performs LLXs on a
+//! connected subgraph, and issues one SCX that swings a child pointer and
+//! finalizes the removed nodes. This crate provides the machinery to run
+//! such operations on multiple *execution paths* and the policies that pick
+//! a path — the design space explored by the paper (Section 5):
+//!
+//! | strategy | fast path | middle path | fallback path |
+//! |---|---|---|---|
+//! | [`Strategy::NonHtm`] | — | — | lock-free template (LLX/SCX) |
+//! | [`Strategy::Tle`] | sequential code in a transaction, aborts if the global lock is held | — | sequential code under the global lock |
+//! | [`Strategy::TwoPathCon`] | instrumented template in a transaction (HTM LLX/SCX), concurrent with the fallback | — | lock-free template |
+//! | [`Strategy::TwoPathNonCon`] | sequential code in a transaction, aborts if `F != 0`, waits for `F = 0` | — | lock-free template, `F` incremented |
+//! | [`Strategy::ThreePath`] | sequential code in a transaction, aborts if `F != 0`, **never waits** | instrumented template in a transaction | lock-free template, `F` incremented |
+//!
+//! The three-path algorithm is the paper's contribution: the fast path pays
+//! no instrumentation (it cannot run concurrently with the fallback), and
+//! when operations are stuck on the fallback path the middle path keeps
+//! hardware transactions flowing instead of waiting (avoiding both TLE's
+//! serialization and the lemming effect).
+//!
+//! Data structures plug in four closures (fast, middle, fallback,
+//! sequential-under-lock) and this crate's [`ExecCtx::run_op`] drives
+//! attempts, budgets, waiting, and statistics.
+
+#![warn(missing_docs)]
+
+mod access;
+mod driver;
+mod effects;
+mod snzi;
+mod stats;
+mod strategy;
+mod sync;
+mod template;
+
+pub use access::{DirectMem, Mem, TxMem};
+pub use driver::ExecCtx;
+pub use effects::Effects;
+pub use stats::{AbortCounts, PathKind, PathStats};
+pub use snzi::Snzi;
+pub use strategy::{PathLimits, Strategy};
+pub use sync::{FallbackCount, Indicator, TleLock};
+pub use template::{OpOutcome, OrigMode, TemplateMode, TxMode};

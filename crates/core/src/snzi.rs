@@ -1,0 +1,315 @@
+//! SNZI: a Scalable Non-Zero Indicator (Ellen, Lev, Luchangco, Moir,
+//! PODC 2007).
+//!
+//! The paper's Section 5 notes that if the scalability of the
+//! fetch-and-increment object `F` becomes a concern, a SNZI can replace
+//! it: `arrive`/`depart` operations contend on distributed leaf counters
+//! and only touch the root on 0 ↔ non-zero transitions, while `query` reads
+//! a single indicator word — exactly what fast-path transactions subscribe
+//! to. Fewer writes to the subscribed cache line means fewer fast-path
+//! aborts when the fallback path is busy.
+//!
+//! Layout: one root (plain counter + epoch version, no ½-state needed) and
+//! a row of hierarchical leaf nodes implementing the paper's ½-state
+//! arrive protocol; threads hash to leaves by id. The root publishes
+//! transitions into a [`TxCell`] indicator encoded monotonically —
+//! `open(v) = 2v+1`, `close(v) = 2v+2` — so stale indicator writes are
+//! discarded by a monotone compare-and-swap and the indicator is *odd* iff
+//! some operation is on the fallback path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use threepath_htm::{CachePadded, HtmRuntime, TxCell};
+
+/// Number of leaf counters (threads hash onto them by id).
+const LEAVES: usize = 8;
+
+/// Leaf state encoding: `count2` holds twice the logical count so the
+/// SNZI ½-state is representable (`½ -> 1`, `1 -> 2`, ...), packed with a
+/// version that increments on each 0 -> ½ initialization.
+#[inline]
+fn pack(count2: u32, version: u32) -> u64 {
+    ((count2 as u64) << 32) | version as u64
+}
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// A scalable non-zero indicator.
+pub struct Snzi {
+    root: CachePadded<AtomicU64>, // (count, epoch-version)
+    indicator: CachePadded<TxCell>, // monotone: 2v+1 = open, 2v+2 = closed
+    leaves: Box<[CachePadded<AtomicU64>; LEAVES]>,
+}
+
+impl Snzi {
+    /// A zero (inactive) indicator.
+    pub fn new() -> Self {
+        Snzi {
+            root: CachePadded::new(AtomicU64::new(0)),
+            indicator: CachePadded::new(TxCell::new(0)),
+            leaves: Box::new(std::array::from_fn(|_| {
+                CachePadded::new(AtomicU64::new(0))
+            })),
+        }
+    }
+
+    /// The indicator cell fast-path transactions subscribe to. The value is
+    /// **odd** iff the SNZI is non-zero.
+    pub fn cell(&self) -> &TxCell {
+        &self.indicator
+    }
+
+    /// Whether a raw value read from [`Self::cell`] means "active".
+    #[inline]
+    pub fn raw_is_active(raw: u64) -> bool {
+        raw & 1 == 1
+    }
+
+    /// Non-transactional query.
+    pub fn is_active(&self, rt: &HtmRuntime) -> bool {
+        Self::raw_is_active(self.indicator.load_direct(rt))
+    }
+
+    /// Registers an operation entering the fallback path.
+    pub fn arrive(&self, rt: &HtmRuntime, tid: u16) {
+        self.leaf_arrive(rt, tid as usize % LEAVES);
+    }
+
+    /// Registers an operation leaving the fallback path.
+    pub fn depart(&self, rt: &HtmRuntime, tid: u16) {
+        self.leaf_depart(rt, tid as usize % LEAVES);
+    }
+
+    /// The hierarchical-node Arrive of the SNZI paper (with the ½ state).
+    fn leaf_arrive(&self, rt: &HtmRuntime, leaf: usize) {
+        let node = &self.leaves[leaf];
+        let mut succ = false;
+        let mut undo = 0u32;
+        while !succ {
+            let cur = node.load(Ordering::Acquire);
+            let (c2, v) = unpack(cur);
+            let mut x = (c2, v);
+            if c2 >= 2 {
+                // count >= 1: plain increment.
+                if node
+                    .compare_exchange(cur, pack(c2 + 2, v), Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    succ = true;
+                    continue;
+                } else {
+                    continue;
+                }
+            }
+            if c2 == 0 {
+                // 0 -> ½: claim the initialization.
+                if node
+                    .compare_exchange(cur, pack(1, v + 1), Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    succ = true;
+                    x = (1, v + 1);
+                } else {
+                    continue;
+                }
+            }
+            if x.0 == 1 {
+                // ½ observed (ours or someone else's): arrive at the root,
+                // then try to convert ½ -> 1. A failed conversion means
+                // another helper's root arrival stands; undo ours.
+                self.root_arrive(rt);
+                if node
+                    .compare_exchange(
+                        pack(1, x.1),
+                        pack(2, x.1),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_err()
+                {
+                    undo += 1;
+                }
+            }
+        }
+        for _ in 0..undo {
+            self.root_depart(rt);
+        }
+    }
+
+    fn leaf_depart(&self, rt: &HtmRuntime, leaf: usize) {
+        let node = &self.leaves[leaf];
+        loop {
+            let cur = node.load(Ordering::Acquire);
+            let (c2, v) = unpack(cur);
+            debug_assert!(c2 >= 2, "depart on a zero/initializing SNZI leaf");
+            if node
+                .compare_exchange(cur, pack(c2 - 2, v), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                if c2 == 2 {
+                    self.root_depart(rt);
+                }
+                return;
+            }
+        }
+    }
+
+    fn root_arrive(&self, rt: &HtmRuntime) {
+        loop {
+            let cur = self.root.load(Ordering::Acquire);
+            let (c, v) = unpack(cur);
+            let new = if c == 0 {
+                pack(1, v + 1)
+            } else {
+                pack(c + 1, v)
+            };
+            if self
+                .root
+                .compare_exchange(cur, new, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                if c == 0 {
+                    // Epoch v+1 opened.
+                    self.install_indicator(rt, 2 * (v as u64 + 1) + 1);
+                }
+                return;
+            }
+        }
+    }
+
+    fn root_depart(&self, rt: &HtmRuntime) {
+        loop {
+            let cur = self.root.load(Ordering::Acquire);
+            let (c, v) = unpack(cur);
+            debug_assert!(c >= 1, "depart on a zero SNZI root");
+            if self
+                .root
+                .compare_exchange(cur, pack(c - 1, v), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                if c == 1 {
+                    // Epoch v closed.
+                    self.install_indicator(rt, 2 * (v as u64) + 2);
+                }
+                return;
+            }
+        }
+    }
+
+    /// Monotone install: the encoding orders `open(v) < close(v) <
+    /// open(v+1)`, so stale writers lose and the indicator always reflects
+    /// the latest transition.
+    fn install_indicator(&self, rt: &HtmRuntime, val: u64) {
+        loop {
+            let cur = self.indicator.load_direct(rt);
+            if cur >= val {
+                return;
+            }
+            if self.indicator.cas_direct(rt, cur, val).is_ok() {
+                return;
+            }
+        }
+    }
+}
+
+impl Default for Snzi {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Snzi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snzi")
+            .field("indicator", &self.indicator.load_plain())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use threepath_htm::HtmConfig;
+
+    #[test]
+    fn single_thread_transitions() {
+        let rt = HtmRuntime::new(HtmConfig::default());
+        let s = Snzi::new();
+        assert!(!s.is_active(&rt));
+        s.arrive(&rt, 0);
+        assert!(s.is_active(&rt));
+        s.arrive(&rt, 0);
+        s.depart(&rt, 0);
+        assert!(s.is_active(&rt), "still one arrival outstanding");
+        s.depart(&rt, 0);
+        assert!(!s.is_active(&rt));
+    }
+
+    #[test]
+    fn different_leaves_aggregate() {
+        let rt = HtmRuntime::new(HtmConfig::default());
+        let s = Snzi::new();
+        // tids hashing to different leaves.
+        s.arrive(&rt, 0);
+        s.arrive(&rt, 1);
+        s.depart(&rt, 0);
+        assert!(s.is_active(&rt));
+        s.depart(&rt, 1);
+        assert!(!s.is_active(&rt));
+    }
+
+    #[test]
+    fn reuse_across_epochs() {
+        let rt = HtmRuntime::new(HtmConfig::default());
+        let s = Snzi::new();
+        for _ in 0..50 {
+            s.arrive(&rt, 3);
+            assert!(s.is_active(&rt));
+            s.depart(&rt, 3);
+            assert!(!s.is_active(&rt));
+        }
+    }
+
+    #[test]
+    fn concurrent_arrive_depart_balances() {
+        let rt = Arc::new(HtmRuntime::new(HtmConfig::default()));
+        let s = Arc::new(Snzi::new());
+        std::thread::scope(|sc| {
+            for t in 0..8u16 {
+                let rt = rt.clone();
+                let s = s.clone();
+                sc.spawn(move || {
+                    for _ in 0..500 {
+                        s.arrive(&rt, t);
+                        // While we're inside, the indicator must be active.
+                        assert!(s.is_active(&rt));
+                        s.depart(&rt, t);
+                    }
+                });
+            }
+        });
+        assert!(!s.is_active(&rt), "all departed: must read inactive");
+    }
+
+    #[test]
+    fn indicator_changes_only_on_transitions() {
+        // With a resident arrival, further arrive/depart churn must not
+        // touch the indicator word (that is SNZI's entire point).
+        let rt = HtmRuntime::new(HtmConfig::default());
+        let s = Snzi::new();
+        s.arrive(&rt, 0);
+        let before = s.cell().load_plain();
+        for _ in 0..100 {
+            s.arrive(&rt, 1);
+            s.depart(&rt, 1);
+        }
+        // Same leaf churn with a resident count: no root transitions.
+        s.arrive(&rt, 0);
+        s.depart(&rt, 0);
+        assert_eq!(s.cell().load_plain(), before);
+        s.depart(&rt, 0);
+    }
+}

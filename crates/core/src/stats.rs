@@ -1,0 +1,223 @@
+//! Per-path execution statistics (the data behind the paper's Figure 16 and
+//! the Section 7.2 path-usage analysis).
+
+use std::fmt;
+
+use threepath_htm::{Abort, AbortCode};
+
+/// Which execution path an attempt or completion happened on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathKind {
+    /// HTM fast path (uninstrumented sequential code, except in 2-path-con
+    /// where the fast path is the instrumented template).
+    Fast,
+    /// HTM middle path (instrumented template in a transaction).
+    Middle,
+    /// Software path: lock-free template, or sequential-under-lock for TLE.
+    Fallback,
+}
+
+impl PathKind {
+    /// All paths.
+    pub const ALL: [PathKind; 3] = [PathKind::Fast, PathKind::Middle, PathKind::Fallback];
+
+    fn index(self) -> usize {
+        match self {
+            PathKind::Fast => 0,
+            PathKind::Middle => 1,
+            PathKind::Fallback => 2,
+        }
+    }
+}
+
+impl fmt::Display for PathKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PathKind::Fast => "fast",
+            PathKind::Middle => "middle",
+            PathKind::Fallback => "fallback",
+        })
+    }
+}
+
+/// Abort counts broken down by reason (Figure 16's categories).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbortCounts {
+    /// Explicit aborts (lock held, `F != 0`, LLX failed, info changed, ...).
+    pub explicit: u64,
+    /// Data conflicts at cache-line granularity.
+    pub conflict: u64,
+    /// Footprint exceeded HTM capacity.
+    pub capacity: u64,
+    /// Interrupt/page-fault style aborts.
+    pub spurious: u64,
+}
+
+impl AbortCounts {
+    /// Total aborts.
+    pub fn total(&self) -> u64 {
+        self.explicit + self.conflict + self.capacity + self.spurious
+    }
+
+    fn record(&mut self, code: AbortCode) {
+        match code {
+            AbortCode::Explicit(_) => self.explicit += 1,
+            AbortCode::Conflict => self.conflict += 1,
+            AbortCode::Capacity => self.capacity += 1,
+            AbortCode::Spurious => self.spurious += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &AbortCounts) {
+        self.explicit += other.explicit;
+        self.conflict += other.conflict;
+        self.capacity += other.capacity;
+        self.spurious += other.spurious;
+    }
+}
+
+/// Per-thread statistics of path usage, commits and aborts.
+///
+/// Cheap to update (plain counters, no sharing); merge across threads at the
+/// end of a trial.
+#[derive(Debug, Clone, Default)]
+pub struct PathStats {
+    completed: [u64; 3],
+    commits: [u64; 3],
+    aborts: [AbortCounts; 3],
+}
+
+impl PathStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a committed transaction on `path`.
+    pub fn record_commit(&mut self, path: PathKind) {
+        self.commits[path.index()] += 1;
+    }
+
+    /// Records an aborted transaction attempt on `path`.
+    pub fn record_abort(&mut self, path: PathKind, abort: &Abort) {
+        self.aborts[path.index()].record(abort.code());
+    }
+
+    /// Records an operation that completed on `path`.
+    pub fn record_completed(&mut self, path: PathKind) {
+        self.completed[path.index()] += 1;
+    }
+
+    /// Operations completed on `path`.
+    pub fn completed(&self, path: PathKind) -> u64 {
+        self.completed[path.index()]
+    }
+
+    /// Total operations completed on any path.
+    pub fn total_completed(&self) -> u64 {
+        self.completed.iter().sum()
+    }
+
+    /// Transactions committed on `path`.
+    pub fn commits(&self, path: PathKind) -> u64 {
+        self.commits[path.index()]
+    }
+
+    /// Abort counts on `path`.
+    pub fn aborts(&self, path: PathKind) -> AbortCounts {
+        self.aborts[path.index()]
+    }
+
+    /// Fraction of completions that happened on `path` (0 when idle).
+    pub fn completed_fraction(&self, path: PathKind) -> f64 {
+        let total = self.total_completed();
+        if total == 0 {
+            0.0
+        } else {
+            self.completed(path) as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another thread's statistics into this one.
+    pub fn merge(&mut self, other: &PathStats) {
+        for i in 0..3 {
+            self.completed[i] += other.completed[i];
+            self.commits[i] += other.commits[i];
+            self.aborts[i].merge(&other.aborts[i]);
+        }
+    }
+}
+
+impl fmt::Display for PathStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<9} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            "path", "completed", "commits", "ab.expl", "ab.confl", "ab.cap", "ab.spur"
+        )?;
+        for p in PathKind::ALL {
+            let a = self.aborts(p);
+            writeln!(
+                f,
+                "{:<9} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                p.to_string(),
+                self.completed(p),
+                self.commits(p),
+                a.explicit,
+                a.conflict,
+                a.capacity,
+                a.spurious
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = PathStats::new();
+        s.record_completed(PathKind::Fast);
+        s.record_completed(PathKind::Fast);
+        s.record_completed(PathKind::Fallback);
+        s.record_commit(PathKind::Fast);
+        s.record_abort(PathKind::Fast, &Abort::new(AbortCode::Conflict));
+        s.record_abort(PathKind::Middle, &Abort::explicit(3));
+        assert_eq!(s.completed(PathKind::Fast), 2);
+        assert_eq!(s.total_completed(), 3);
+        assert_eq!(s.commits(PathKind::Fast), 1);
+        assert_eq!(s.aborts(PathKind::Fast).conflict, 1);
+        assert_eq!(s.aborts(PathKind::Middle).explicit, 1);
+        assert!((s.completed_fraction(PathKind::Fast) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PathStats::new();
+        let mut b = PathStats::new();
+        a.record_completed(PathKind::Fast);
+        b.record_completed(PathKind::Fast);
+        b.record_abort(PathKind::Fallback, &Abort::new(AbortCode::Capacity));
+        a.merge(&b);
+        assert_eq!(a.completed(PathKind::Fast), 2);
+        assert_eq!(a.aborts(PathKind::Fallback).capacity, 1);
+    }
+
+    #[test]
+    fn display_contains_paths() {
+        let s = PathStats::new();
+        let out = s.to_string();
+        assert!(out.contains("fast"));
+        assert!(out.contains("middle"));
+        assert!(out.contains("fallback"));
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        let s = PathStats::new();
+        assert_eq!(s.completed_fraction(PathKind::Fast), 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! The fallback-path counter `F` and the TLE global lock.
+
+use threepath_htm::{CachePadded, HtmRuntime, TxCell};
+
+/// The paper's global fetch-and-increment object `F`, counting how many
+/// operations are currently executing on the fallback path.
+///
+/// Fast-path transactions *subscribe* by reading it at transaction begin
+/// and aborting when non-zero; fallback operations increment on entry and
+/// decrement on exit. (The paper notes a SNZI object could replace this if
+/// fetch-and-increment scalability became a concern.)
+#[derive(Debug, Default)]
+pub struct FallbackCount {
+    cell: CachePadded<TxCell>,
+}
+
+impl FallbackCount {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying cell (for transactional subscription).
+    pub fn cell(&self) -> &TxCell {
+        &self.cell
+    }
+
+    /// Registers an operation entering the fallback path.
+    pub fn increment(&self, rt: &HtmRuntime) {
+        self.cell.fetch_add_direct(rt, 1);
+    }
+
+    /// Registers an operation leaving the fallback path.
+    pub fn decrement(&self, rt: &HtmRuntime) {
+        let prev = self.cell.fetch_sub_direct(rt, 1);
+        debug_assert!(prev > 0, "fallback count underflow");
+    }
+
+    /// Direct read (used when waiting for the fallback path to drain).
+    pub fn load(&self, rt: &HtmRuntime) -> u64 {
+        self.cell.load_direct(rt)
+    }
+}
+
+/// The TLE global lock. Fast-path transactions read the lock word inside
+/// the transaction (aborting if held, and conflicting with any later
+/// acquisition); the fallback acquires it for exclusive sequential access.
+#[derive(Debug, Default)]
+pub struct TleLock {
+    cell: CachePadded<TxCell>,
+}
+
+impl TleLock {
+    /// An unheld lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying cell (for transactional subscription).
+    pub fn cell(&self) -> &TxCell {
+        &self.cell
+    }
+
+    /// Whether the lock is currently held.
+    pub fn is_held(&self, rt: &HtmRuntime) -> bool {
+        self.cell.load_direct(rt) != 0
+    }
+
+    /// Acquires the lock, spinning until free.
+    pub fn acquire(&self, rt: &HtmRuntime) {
+        let mut spins = 0u32;
+        while self.cell.cas_direct(rt, 0, 1).is_err() {
+            spins += 1;
+            if spins % 64 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Releases the lock.
+    pub fn release(&self, rt: &HtmRuntime) {
+        let prev = self.cell.cas_direct(rt, 1, 0);
+        debug_assert!(prev.is_ok(), "releasing a lock that is not held");
+    }
+}
+
+/// The fallback-path presence indicator used by `F`-subscribing
+/// strategies: either the paper's default fetch-and-increment counter, or
+/// the SNZI alternative it mentions (Section 5).
+#[derive(Debug)]
+pub enum Indicator {
+    /// Plain fetch-and-increment counter (the paper's default).
+    Counter(FallbackCount),
+    /// Scalable non-zero indicator \[17\]: transitions-only writes to the
+    /// subscribed cell.
+    Snzi(crate::snzi::Snzi),
+}
+
+impl Indicator {
+    /// The cell fast-path transactions subscribe to.
+    pub fn cell(&self) -> &TxCell {
+        match self {
+            Indicator::Counter(c) => c.cell(),
+            Indicator::Snzi(s) => s.cell(),
+        }
+    }
+
+    /// Interprets a raw value read from [`Self::cell`].
+    pub fn raw_is_active(&self, raw: u64) -> bool {
+        match self {
+            Indicator::Counter(_) => raw != 0,
+            Indicator::Snzi(_) => crate::snzi::Snzi::raw_is_active(raw),
+        }
+    }
+
+    /// Registers an operation entering the fallback path.
+    pub fn arrive(&self, rt: &HtmRuntime, tid: u16) {
+        match self {
+            Indicator::Counter(c) => c.increment(rt),
+            Indicator::Snzi(s) => s.arrive(rt, tid),
+        }
+    }
+
+    /// Registers an operation leaving the fallback path.
+    pub fn depart(&self, rt: &HtmRuntime, tid: u16) {
+        match self {
+            Indicator::Counter(c) => c.decrement(rt),
+            Indicator::Snzi(s) => s.depart(rt, tid),
+        }
+    }
+
+    /// Whether any operation is currently on the fallback path.
+    pub fn is_active(&self, rt: &HtmRuntime) -> bool {
+        match self {
+            Indicator::Counter(c) => c.load(rt) != 0,
+            Indicator::Snzi(s) => s.is_active(rt),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use threepath_htm::HtmConfig;
+
+    #[test]
+    fn fallback_count_inc_dec() {
+        let rt = HtmRuntime::new(HtmConfig::default());
+        let f = FallbackCount::new();
+        assert_eq!(f.load(&rt), 0);
+        f.increment(&rt);
+        f.increment(&rt);
+        assert_eq!(f.load(&rt), 2);
+        f.decrement(&rt);
+        assert_eq!(f.load(&rt), 1);
+        f.decrement(&rt);
+        assert_eq!(f.load(&rt), 0);
+    }
+
+    #[test]
+    fn tle_lock_mutual_exclusion() {
+        let rt = Arc::new(HtmRuntime::new(HtmConfig::default()));
+        let lock = Arc::new(TleLock::new());
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rt = rt.clone();
+                let lock = lock.clone();
+                let counter = counter.clone();
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        lock.acquire(&rt);
+                        // Non-atomic read-modify-write protected by the lock.
+                        let v = counter.load(std::sync::atomic::Ordering::Relaxed);
+                        counter.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                        lock.release(&rt);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 800);
+        assert!(!lock.is_held(&rt));
+    }
+
+    #[test]
+    fn tle_subscription_aborts_transaction() {
+        let rt = HtmRuntime::new(HtmConfig::default());
+        let mut th = rt.register_thread();
+        let lock = TleLock::new();
+        lock.acquire(&rt);
+        let r: Result<(), _> = rt.attempt(&mut th, |tx| {
+            if tx.read(lock.cell())? != 0 {
+                return Err(tx.abort(threepath_htm::codes::LOCK_HELD));
+            }
+            Ok(())
+        });
+        assert_eq!(
+            r.unwrap_err().user_code(),
+            Some(threepath_htm::codes::LOCK_HELD)
+        );
+        lock.release(&rt);
+    }
+
+    #[test]
+    fn late_lock_acquisition_aborts_started_transaction() {
+        // A fast-path transaction that subscribed before the lock was taken
+        // must fail at commit: this is what makes TLE safe.
+        let rt = HtmRuntime::new(HtmConfig::default());
+        let mut th = rt.register_thread();
+        let lock = TleLock::new();
+        let data = CachePadded::new(TxCell::new(0));
+        let r: Result<(), _> = rt.attempt(&mut th, |tx| {
+            if tx.read(lock.cell())? != 0 {
+                return Err(tx.abort(threepath_htm::codes::LOCK_HELD));
+            }
+            lock.acquire(&rt); // lock taken mid-transaction
+            tx.write(&data, 1)?;
+            Ok(())
+        });
+        assert!(r.is_err(), "commit must fail after the lock was acquired");
+        assert_eq!(data.load_direct(&rt), 0);
+        lock.release(&rt);
+    }
+}

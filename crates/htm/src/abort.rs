@@ -1,0 +1,152 @@
+//! Abort reasons, mirroring the abort status word reported by Intel RTM.
+
+use std::fmt;
+
+/// Why a transaction aborted.
+///
+/// Matches the taxonomy in Section 2 of the paper: *conflict* aborts (two
+/// processes contending on the same cache line), *capacity* aborts (the
+/// transaction exhausted a shared resource inside the HTM system), explicit
+/// aborts requested by the program (`xabort`), and a catch-all for
+/// spurious events (interrupts, page faults, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortCode {
+    /// The program requested the abort, passing an 8-bit code
+    /// (like RTM's `xabort imm8`).
+    Explicit(u8),
+    /// Another process (transactional or not) touched a cache line in this
+    /// transaction's read or write set.
+    Conflict,
+    /// The transaction's footprint exceeded the runtime's configured
+    /// capacity in cache lines.
+    Capacity,
+    /// The runtime injected a spurious abort (modelling interrupts, page
+    /// faults, and other unpredictable hardware events).
+    Spurious,
+}
+
+impl AbortCode {
+    /// Whether retrying the transaction unchanged could plausibly succeed
+    /// (the analogue of RTM's `_XABORT_RETRY` hint). Capacity and explicit
+    /// aborts are considered non-transient.
+    pub fn is_transient(self) -> bool {
+        matches!(self, AbortCode::Conflict | AbortCode::Spurious)
+    }
+}
+
+impl fmt::Display for AbortCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortCode::Explicit(c) => write!(f, "explicit({c})"),
+            AbortCode::Conflict => f.write_str("conflict"),
+            AbortCode::Capacity => f.write_str("capacity"),
+            AbortCode::Spurious => f.write_str("spurious"),
+        }
+    }
+}
+
+/// A transaction abort.
+///
+/// Returned through `Result::Err` from transactional operations; the `?`
+/// operator plays the role of the hardware's rollback-and-jump to the
+/// fallback handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort {
+    code: AbortCode,
+}
+
+impl Abort {
+    /// An abort with the given reason.
+    pub fn new(code: AbortCode) -> Self {
+        Abort { code }
+    }
+
+    /// An explicit (program-requested) abort carrying an 8-bit user code.
+    pub fn explicit(user_code: u8) -> Self {
+        Abort {
+            code: AbortCode::Explicit(user_code),
+        }
+    }
+
+    /// The reason for the abort.
+    pub fn code(&self) -> AbortCode {
+        self.code
+    }
+
+    /// The user code if this was an explicit abort.
+    pub fn user_code(&self) -> Option<u8> {
+        match self.code {
+            AbortCode::Explicit(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Abort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction aborted: {}", self.code)
+    }
+}
+
+impl std::error::Error for Abort {}
+
+/// Well-known explicit abort codes used across the workspace.
+///
+/// These mirror the explicit aborts in the paper's pseudocode: a transaction
+/// aborts itself when it observes the TLE lock held, the fallback-path count
+/// `F` non-zero, an `info` field that changed since the linked LLX, and so
+/// on.
+pub mod codes {
+    /// The TLE global lock was held at transaction begin (Section 5, TLE).
+    pub const LOCK_HELD: u8 = 1;
+    /// The fallback-path counter `F` was non-zero (2-path non-con / 3-path).
+    pub const F_NONZERO: u8 = 2;
+    /// An LLX inside the transaction failed (node frozen for an SCX).
+    pub const LLX_FAIL: u8 = 3;
+    /// An `info` field changed between the linked LLX and the SCX
+    /// (the freezing step's validation, Figure 11 line 10).
+    pub const INFO_CHANGED: u8 = 4;
+    /// A marked (logically deleted) node was reached
+    /// (Section 8's search-outside-transaction validation).
+    pub const MARKED: u8 = 5;
+    /// Generic optimistic validation failure.
+    pub const VALIDATION: u8 = 6;
+    /// An LLX inside the transaction returned `Finalized`.
+    pub const LLX_FINALIZED: u8 = 7;
+    /// A NOrec software transaction is committing (hybrid TM subscription).
+    pub const STM_COMMITTING: u8 = 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_code_round_trip() {
+        let a = Abort::explicit(codes::F_NONZERO);
+        assert_eq!(a.user_code(), Some(codes::F_NONZERO));
+        assert_eq!(a.code(), AbortCode::Explicit(codes::F_NONZERO));
+    }
+
+    #[test]
+    fn transience() {
+        assert!(AbortCode::Conflict.is_transient());
+        assert!(AbortCode::Spurious.is_transient());
+        assert!(!AbortCode::Capacity.is_transient());
+        assert!(!AbortCode::Explicit(3).is_transient());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for c in [
+            AbortCode::Explicit(9),
+            AbortCode::Conflict,
+            AbortCode::Capacity,
+            AbortCode::Spurious,
+        ] {
+            assert!(!format!("{c}").is_empty());
+            assert!(!format!("{:?}", c).is_empty());
+        }
+        assert!(format!("{}", Abort::new(AbortCode::Conflict)).contains("conflict"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Runtime configuration.
+
+/// Configuration for an [`HtmRuntime`](crate::HtmRuntime).
+///
+/// The defaults approximate an Intel Haswell-class part scaled down so the
+/// phenomena the paper studies (capacity aborts on range queries, conflict
+/// aborts under contention) appear at simulation-friendly sizes.
+#[derive(Debug, Clone)]
+pub struct HtmConfig {
+    /// log2 of the number of entries in the hashed line-version table.
+    /// Distinct addresses can hash to the same entry, producing false
+    /// conflicts exactly as physical cache-line false sharing does.
+    pub line_table_bits: u32,
+    /// Maximum number of distinct cache lines a transaction may *read*
+    /// before it suffers a capacity abort.
+    pub read_capacity_lines: usize,
+    /// Maximum number of distinct cache lines a transaction may *write*
+    /// before it suffers a capacity abort.
+    pub write_capacity_lines: usize,
+    /// Probability that any given transaction attempt is doomed to abort
+    /// spuriously (modelling interrupts, page faults, ...).
+    pub spurious_abort_prob: f64,
+    /// How many times a reader spins on a locked line before declaring a
+    /// conflict abort, and how many times the commit protocol retries
+    /// acquiring a line lock before aborting.
+    pub lock_spin_limit: usize,
+    /// Seed mixed into each thread's spurious-abort PRNG.
+    pub seed: u64,
+}
+
+impl Default for HtmConfig {
+    fn default() -> Self {
+        HtmConfig {
+            line_table_bits: 16,
+            read_capacity_lines: 1024,
+            write_capacity_lines: 256,
+            spurious_abort_prob: 0.0,
+            lock_spin_limit: 128,
+            seed: 0x7474_7061_7468_0001, // arbitrary fixed default
+        }
+    }
+}
+
+impl HtmConfig {
+    /// A configuration whose transactions never abort spuriously and have a
+    /// very large capacity: useful in unit tests that want determinism.
+    pub fn reliable() -> Self {
+        HtmConfig {
+            spurious_abort_prob: 0.0,
+            read_capacity_lines: 1 << 20,
+            write_capacity_lines: 1 << 20,
+            ..HtmConfig::default()
+        }
+    }
+
+    /// A configuration with a tiny capacity, so that almost every
+    /// transaction fails: useful for forcing fallback paths in tests.
+    pub fn tiny_capacity() -> Self {
+        HtmConfig {
+            read_capacity_lines: 4,
+            write_capacity_lines: 2,
+            ..HtmConfig::default()
+        }
+    }
+
+    /// Sets the spurious abort probability (builder style).
+    pub fn with_spurious(mut self, p: f64) -> Self {
+        self.spurious_abort_prob = p;
+        self
+    }
+
+    /// Sets the read/write capacities (builder style).
+    pub fn with_capacity(mut self, read_lines: usize, write_lines: usize) -> Self {
+        self.read_capacity_lines = read_lines;
+        self.write_capacity_lines = write_lines;
+        self
+    }
+
+    /// Sets the PRNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = HtmConfig::default();
+        assert!(c.read_capacity_lines >= c.write_capacity_lines);
+        assert!(c.line_table_bits >= 8);
+        assert_eq!(c.spurious_abort_prob, 0.0);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = HtmConfig::default()
+            .with_spurious(0.5)
+            .with_capacity(10, 5)
+            .with_seed(99);
+        assert_eq!(c.spurious_abort_prob, 0.5);
+        assert_eq!(c.read_capacity_lines, 10);
+        assert_eq!(c.write_capacity_lines, 5);
+        assert_eq!(c.seed, 99);
+    }
+}

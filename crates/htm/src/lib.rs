@@ -1,0 +1,65 @@
+//! Simulated best-effort hardware transactional memory (HTM).
+//!
+//! This crate provides a software runtime with the *semantics* of Intel's
+//! restricted transactional memory (RTM), used by the rest of the `threepath`
+//! workspace in place of real TSX hardware (which this environment does not
+//! have). The runtime preserves every property the paper's algorithms rely
+//! on:
+//!
+//! * **Atomicity and opacity** — a transaction either commits and appears to
+//!   take effect instantaneously, or aborts with no effect on shared memory.
+//!   Transactional reads never observe state inconsistent with a single
+//!   atomic snapshot (TL2-style global version clock with read-set
+//!   extension), so transaction bodies can safely follow pointers.
+//! * **Best effort** — no transaction is ever guaranteed to commit. The
+//!   runtime produces *conflict* aborts at 64-byte cache-line granularity
+//!   (including false conflicts via a hashed line table, mimicking false
+//!   sharing), *capacity* aborts when a transaction's footprint exceeds a
+//!   configurable number of lines, and configurable *spurious* aborts
+//!   (modelling interrupts, page faults and other events that abort real
+//!   hardware transactions).
+//! * **Explicit aborts with an abort code** — like RTM's `xabort imm8`.
+//! * **Strong atomicity** — non-transactional accesses through [`TxCell`]
+//!   coordinate with the commit protocol, so a committing transaction is
+//!   never observed partially by non-transactional readers, and a
+//!   non-transactional write causes conflicting transactions to abort.
+//!
+//! # Example
+//!
+//! ```
+//! use threepath_htm::{HtmRuntime, HtmConfig, TxCell, Abort};
+//!
+//! let rt = HtmRuntime::new(HtmConfig::default());
+//! let mut thread = rt.register_thread();
+//! let cell = TxCell::new(1);
+//!
+//! let result = rt.attempt(&mut thread, |tx| {
+//!     let v = tx.read(&cell)?;
+//!     tx.write(&cell, v + 41)?;
+//!     Ok(v)
+//! });
+//! assert_eq!(result.unwrap(), 1);
+//! assert_eq!(cell.load_direct(&rt), 42);
+//! ```
+
+#![warn(missing_docs)]
+
+mod abort;
+mod cell;
+mod config;
+mod pad;
+mod rng;
+mod runtime;
+mod sets;
+mod txn;
+
+pub use abort::{codes, Abort, AbortCode};
+pub use cell::{TxCell, TxPtr};
+pub use config::HtmConfig;
+pub use pad::CachePadded;
+pub use rng::SplitMix64;
+pub use runtime::{HtmRuntime, ThreadId, TxThread, MAX_THREADS};
+pub use txn::Txn;
+
+/// Number of bytes per simulated cache line.
+pub const LINE_BYTES: usize = 64;

@@ -1,0 +1,64 @@
+//! Cache-line padding to avoid false sharing on hot shared words.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes (two cache lines, covering adjacent
+/// line prefetching) so that independent hot values never share a line.
+///
+/// Used for the global version clock, the fallback-path counter `F`, and
+/// per-thread slots in registries.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Consumes the padding, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_size() {
+        assert!(std::mem::align_of::<CachePadded<u64>>() >= 128);
+        assert!(std::mem::size_of::<CachePadded<u64>>() >= 128);
+    }
+
+    #[test]
+    fn deref_round_trip() {
+        let mut p = CachePadded::new(7u32);
+        assert_eq!(*p, 7);
+        *p = 9;
+        assert_eq!(p.into_inner(), 9);
+    }
+}

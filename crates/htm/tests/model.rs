@@ -1,0 +1,156 @@
+//! Property-based model checking of the HTM runtime: single-threaded
+//! sequences of transactional and direct operations must match a simple
+//! sequential model, and committed transactions must be all-or-nothing.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use threepath_htm::{HtmConfig, HtmRuntime, TxCell};
+
+const CELLS: usize = 12;
+
+#[derive(Debug, Clone)]
+enum Step {
+    DirectStore(usize, u64),
+    DirectCas(usize, u64, u64),
+    FetchAdd(usize, u64),
+    /// A transaction performing a batch of reads and writes, then
+    /// committing (or aborting explicitly at the end).
+    Txn(Vec<(usize, Option<u64>)>, bool),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let cell = 0..CELLS;
+    let val = 0..50u64;
+    prop_oneof![
+        (cell.clone(), val.clone()).prop_map(|(c, v)| Step::DirectStore(c, v)),
+        (cell.clone(), val.clone(), val.clone()).prop_map(|(c, e, n)| Step::DirectCas(c, e, n)),
+        (cell.clone(), 1..5u64).prop_map(|(c, d)| Step::FetchAdd(c, d)),
+        (
+            proptest::collection::vec((cell, proptest::option::of(val)), 1..6),
+            any::<bool>()
+        )
+            .prop_map(|(ops, commit)| Step::Txn(ops, commit)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn single_thread_matches_sequential_model(steps in proptest::collection::vec(step_strategy(), 1..60)) {
+        let rt = HtmRuntime::new(HtmConfig::reliable());
+        let mut th = rt.register_thread();
+        let cells: Vec<TxCell> = (0..CELLS as u64).map(TxCell::new).collect();
+        let mut model: HashMap<usize, u64> = (0..CELLS).map(|i| (i, i as u64)).collect();
+
+        for step in &steps {
+            match step {
+                Step::DirectStore(c, v) => {
+                    cells[*c].store_direct(&rt, *v);
+                    model.insert(*c, *v);
+                }
+                Step::DirectCas(c, e, n) => {
+                    let cur = model[c];
+                    let res = cells[*c].cas_direct(&rt, *e, *n);
+                    if cur == *e {
+                        prop_assert!(res.is_ok());
+                        model.insert(*c, *n);
+                    } else {
+                        prop_assert_eq!(res, Err(cur));
+                    }
+                }
+                Step::FetchAdd(c, d) => {
+                    let prev = cells[*c].fetch_add_direct(&rt, *d);
+                    prop_assert_eq!(prev, model[c]);
+                    model.insert(*c, prev.wrapping_add(*d));
+                }
+                Step::Txn(ops, commit) => {
+                    let mut shadow = model.clone();
+                    let r = rt.attempt(&mut th, |tx| {
+                        for (c, w) in ops {
+                            match w {
+                                Some(v) => {
+                                    tx.write(&cells[*c], *v)?;
+                                    shadow.insert(*c, *v);
+                                }
+                                None => {
+                                    // Reads observe the transaction's own
+                                    // prior writes layered over the
+                                    // pre-state — checked at read time.
+                                    let got = tx.read(&cells[*c])?;
+                                    if got != shadow[c] {
+                                        // prop_assert! can't cross the closure
+                                        panic!(
+                                            "read {} from cell {}, expected {}",
+                                            got, c, shadow[c]
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        if *commit {
+                            Ok(())
+                        } else {
+                            Err(tx.abort(7))
+                        }
+                    });
+                    if *commit {
+                        prop_assert!(r.is_ok());
+                        model = shadow;
+                    } else {
+                        prop_assert!(r.is_err());
+                        // Aborted: no effect on shared memory.
+                    }
+                }
+            }
+        }
+
+        for (i, cell) in cells.iter().enumerate() {
+            prop_assert_eq!(cell.load_direct(&rt), model[&i], "cell {}", i);
+        }
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_total(seed in any::<u64>()) {
+        // Bank-transfer atomicity: threads move amounts between accounts
+        // inside transactions; the total must be conserved at every
+        // direct-read snapshot and at the end.
+        use std::sync::Arc;
+        const ACCOUNTS: usize = 4;
+        const TOTAL: u64 = 1000 * ACCOUNTS as u64;
+        let rt = Arc::new(HtmRuntime::new(HtmConfig::default().with_seed(seed)));
+        let accounts: Arc<Vec<threepath_htm::CachePadded<TxCell>>> = Arc::new(
+            (0..ACCOUNTS)
+                .map(|_| threepath_htm::CachePadded::new(TxCell::new(1000)))
+                .collect(),
+        );
+        std::thread::scope(|s| {
+            for t in 0..3u64 {
+                let rt = rt.clone();
+                let accounts = accounts.clone();
+                s.spawn(move || {
+                    let mut th = rt.register_thread();
+                    let mut rng = threepath_htm::SplitMix64::new(seed ^ t);
+                    for _ in 0..300 {
+                        let from = (rng.next_below(ACCOUNTS as u64)) as usize;
+                        let to = (rng.next_below(ACCOUNTS as u64)) as usize;
+                        let amt = rng.next_below(50);
+                        let _ = rt.attempt(&mut th, |tx| {
+                            let f = tx.read(&accounts[from])?;
+                            let g = tx.read(&accounts[to])?;
+                            if from != to && f >= amt {
+                                tx.write(&accounts[from], f - amt)?;
+                                tx.write(&accounts[to], g + amt)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        let sum: u64 = accounts.iter().map(|a| a.load_direct(&rt)).sum();
+        prop_assert_eq!(sum, TOTAL);
+    }
+}

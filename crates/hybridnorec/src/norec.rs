@@ -1,0 +1,324 @@
+//! The Hybrid NOrec TM engine.
+
+use std::sync::Arc;
+
+use threepath_htm::{codes, Abort, CachePadded, HtmRuntime, TxCell, TxThread, Txn};
+
+/// Uniform transactional-memory access used by code that runs on either
+/// NOrec path.
+pub trait TmAccess {
+    /// Transactional read.
+    fn read(&mut self, cell: &TxCell) -> Result<u64, Abort>;
+    /// Transactional write.
+    fn write(&mut self, cell: &TxCell, v: u64) -> Result<(), Abort>;
+
+    /// Pointer read (non-generic so the trait stays dyn-compatible).
+    fn read_node(&mut self, cell: &TxCell) -> Result<usize, Abort> {
+        self.read(cell).map(|v| v as usize)
+    }
+}
+
+/// The shared TM state: the global sequence lock (even = free, odd = a
+/// software commit is writing back).
+pub struct NorecTm {
+    rt: Arc<HtmRuntime>,
+    gsl: CachePadded<TxCell>,
+    hw_attempts: u32,
+}
+
+impl NorecTm {
+    /// Creates a TM over the given HTM runtime.
+    pub fn new(rt: Arc<HtmRuntime>, hw_attempts: u32) -> Self {
+        NorecTm {
+            rt,
+            gsl: CachePadded::new(TxCell::new(0)),
+            hw_attempts,
+        }
+    }
+
+    /// The underlying runtime.
+    pub fn runtime(&self) -> &Arc<HtmRuntime> {
+        &self.rt
+    }
+
+    /// Runs `body` as an atomic transaction: up to `hw_attempts` hardware
+    /// tries, then the NOrec software path (which retries internally until
+    /// it commits). `body` must be repeatable.
+    pub fn execute<T>(
+        &self,
+        th: &mut TxThread,
+        mut body: impl FnMut(&mut dyn TmAccess) -> Result<T, Abort>,
+    ) -> T {
+        // Hardware path.
+        for _ in 0..self.hw_attempts {
+            let r = self.rt.attempt(th, |tx| {
+                let gsl_now = tx.read(&self.gsl)?;
+                if gsl_now & 1 == 1 {
+                    return Err(tx.abort(codes::STM_COMMITTING));
+                }
+                let mut acc = HwTm {
+                    tx,
+                    wrote: false,
+                };
+                let out = body(&mut acc)?;
+                if acc.wrote {
+                    // The hybrid's hotspot: every updating hardware
+                    // transaction publishes a new clock value.
+                    acc.tx.write(&self.gsl, gsl_now + 2)?;
+                }
+                Ok(out)
+            });
+            if let Ok(v) = r {
+                return v;
+            }
+        }
+        // Software path (NOrec).
+        'restart: loop {
+            let mut acc = SwTm::begin(&self.rt, &self.gsl);
+            match body(&mut acc) {
+                Ok(v) => {
+                    if acc.commit() {
+                        return v;
+                    }
+                    continue 'restart;
+                }
+                Err(_) => continue 'restart,
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for NorecTm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NorecTm")
+            .field("hw_attempts", &self.hw_attempts)
+            .finish()
+    }
+}
+
+/// Hardware-path access: plain transactional reads/writes plus a dirty
+/// flag.
+struct HwTm<'a, 'b> {
+    tx: &'a mut Txn<'b>,
+    wrote: bool,
+}
+
+impl TmAccess for HwTm<'_, '_> {
+    fn read(&mut self, cell: &TxCell) -> Result<u64, Abort> {
+        self.tx.read(cell)
+    }
+    fn write(&mut self, cell: &TxCell, v: u64) -> Result<(), Abort> {
+        self.wrote = true;
+        self.tx.write(cell, v)
+    }
+}
+
+/// Software-path access: NOrec value-based validation.
+struct SwTm<'a> {
+    rt: &'a HtmRuntime,
+    gsl: &'a TxCell,
+    rv: u64,
+    reads: Vec<(usize, u64)>,
+    writes: Vec<(usize, u64)>,
+}
+
+impl<'a> SwTm<'a> {
+    fn begin(rt: &'a HtmRuntime, gsl: &'a TxCell) -> Self {
+        let rv = Self::wait_even(rt, gsl);
+        SwTm {
+            rt,
+            gsl,
+            rv,
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    fn wait_even(rt: &HtmRuntime, gsl: &TxCell) -> u64 {
+        loop {
+            let v = gsl.load_direct(rt);
+            if v & 1 == 0 {
+                return v;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Value-based revalidation of the whole read log (NOrec's hallmark
+    /// cost). Returns the new snapshot time, or `None` if a logged value
+    /// changed (the transaction must restart).
+    fn revalidate(&mut self) -> Option<u64> {
+        loop {
+            let time = Self::wait_even(self.rt, self.gsl);
+            let mut ok = true;
+            for (addr, val) in &self.reads {
+                // SAFETY: addresses were captured from live `TxCell`s; the
+                // graveyard discipline keeps unlinked nodes allocated.
+                let cell = unsafe { &*(*addr as *const TxCell) };
+                if cell.load_direct(self.rt) != *val {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                return None;
+            }
+            if self.gsl.load_direct(self.rt) == time {
+                return Some(time);
+            }
+        }
+    }
+
+    fn commit(&mut self) -> bool {
+        if self.writes.is_empty() {
+            return true;
+        }
+        // Acquire the sequence lock at our snapshot time (or revalidate and
+        // retry at a newer one).
+        loop {
+            match self.gsl.cas_direct(self.rt, self.rv, self.rv + 1) {
+                Ok(_) => break,
+                Err(_) => match self.revalidate() {
+                    Some(t) => self.rv = t,
+                    None => return false,
+                },
+            }
+        }
+        for (addr, val) in &self.writes {
+            // SAFETY: as in `revalidate`.
+            let cell = unsafe { &*(*addr as *const TxCell) };
+            cell.store_direct(self.rt, *val);
+        }
+        self.gsl.store_direct(self.rt, self.rv + 2);
+        true
+    }
+}
+
+impl TmAccess for SwTm<'_> {
+    fn read(&mut self, cell: &TxCell) -> Result<u64, Abort> {
+        let addr = cell.addr_for_log();
+        for (a, v) in self.writes.iter().rev() {
+            if *a == addr {
+                return Ok(*v);
+            }
+        }
+        loop {
+            let v = cell.load_direct(self.rt);
+            if self.gsl.load_direct(self.rt) == self.rv {
+                self.reads.push((addr, v));
+                return Ok(v);
+            }
+            match self.revalidate() {
+                Some(t) => self.rv = t, // our log still holds; reread
+                None => return Err(Abort::explicit(codes::VALIDATION)),
+            }
+        }
+    }
+
+    fn write(&mut self, cell: &TxCell, v: u64) -> Result<(), Abort> {
+        let addr = cell.addr_for_log();
+        for e in self.writes.iter_mut().rev() {
+            if e.0 == addr {
+                e.1 = v;
+                return Ok(());
+            }
+        }
+        self.writes.push((addr, v));
+        Ok(())
+    }
+}
+
+/// Address helper (the TM logs cells by address).
+trait CellAddr {
+    fn addr_for_log(&self) -> usize;
+}
+
+impl CellAddr for TxCell {
+    fn addr_for_log(&self) -> usize {
+        self as *const TxCell as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threepath_htm::HtmConfig;
+
+    fn tm(hw_attempts: u32, spurious: f64) -> NorecTm {
+        let rt = Arc::new(HtmRuntime::new(
+            HtmConfig::default().with_spurious(spurious),
+        ));
+        NorecTm::new(rt, hw_attempts)
+    }
+
+    #[test]
+    fn execute_on_hardware_path() {
+        let tm = tm(5, 0.0);
+        let mut th = tm.runtime().register_thread();
+        let c = TxCell::new(1);
+        let got = tm.execute(&mut th, |acc| {
+            let v = acc.read(&c)?;
+            acc.write(&c, v + 1)?;
+            Ok(v)
+        });
+        assert_eq!(got, 1);
+        assert_eq!(c.load_direct(tm.runtime()), 2);
+    }
+
+    #[test]
+    fn execute_on_software_path() {
+        // All hardware attempts abort spuriously: NOrec must carry it.
+        let tm = tm(3, 1.0);
+        let mut th = tm.runtime().register_thread();
+        let c = TxCell::new(10);
+        for _ in 0..20 {
+            tm.execute(&mut th, |acc| {
+                let v = acc.read(&c)?;
+                acc.write(&c, v + 1)
+            });
+        }
+        assert_eq!(c.load_direct(tm.runtime()), 30);
+    }
+
+    #[test]
+    fn software_read_own_writes() {
+        let tm = tm(0, 0.0);
+        let mut th = tm.runtime().register_thread();
+        let c = TxCell::new(5);
+        let got = tm.execute(&mut th, |acc| {
+            acc.write(&c, 9)?;
+            acc.read(&c)
+        });
+        assert_eq!(got, 9);
+    }
+
+    #[test]
+    fn concurrent_counter_mixed_paths() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Half the transactions abort to software: increments must still
+        // all land.
+        let tm = Arc::new(tm(2, 0.5));
+        let c = Arc::new(CachePadded::new(TxCell::new(0)));
+        let done = Arc::new(AtomicU64::new(0));
+        let per = 400;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let tm = tm.clone();
+                let c = c.clone();
+                let done = done.clone();
+                s.spawn(move || {
+                    let mut th = tm.runtime().register_thread();
+                    for _ in 0..per {
+                        tm.execute(&mut th, |acc| {
+                            let v = acc.read(&c)?;
+                            acc.write(&c, v + 1)
+                        });
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 4 * per);
+        assert_eq!(c.load_direct(tm.runtime()), 4 * per);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests of k-CAS semantics against a sequential model.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use threepath_htm::{CachePadded, HtmConfig, HtmRuntime, TxCell};
+use threepath_kcas::{KcasEntry, KcasHeap};
+use threepath_reclaim::{Domain, ReclaimMode};
+
+const CELLS: usize = 6;
+
+#[derive(Debug, Clone)]
+struct KcasOp {
+    /// (cell index, expected-matches-model?, new value)
+    words: Vec<(usize, bool, u64)>,
+}
+
+fn op_strategy() -> impl Strategy<Value = KcasOp> {
+    proptest::collection::vec((0..CELLS, any::<bool>(), 1..64u64), 1..5).prop_map(|mut words| {
+        // k-CAS requires distinct cells.
+        words.sort_by_key(|w| w.0);
+        words.dedup_by_key(|w| w.0);
+        KcasOp { words }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn kcas_all_or_nothing_vs_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let rt = Arc::new(HtmRuntime::new(HtmConfig::reliable()));
+        let domain = Arc::new(Domain::new(ReclaimMode::Epoch));
+        let heap = KcasHeap::new(rt, domain);
+        let th = heap.register_thread();
+        let cells: Vec<CachePadded<TxCell>> =
+            (0..CELLS).map(|_| CachePadded::new(TxCell::new(0))).collect();
+        let mut model = [0u64; CELLS];
+
+        th.reclaim.enter();
+        for op in &ops {
+            // All values keep the low two (descriptor tag) bits clear:
+            // news are shifted left by 2, and a deliberately wrong
+            // expectation offsets the model value by 4.
+            let entries: Vec<KcasEntry> = op
+                .words
+                .iter()
+                .map(|&(c, matches, newv)| KcasEntry {
+                    cell: &*cells[c],
+                    exp: if matches {
+                        model[c]
+                    } else {
+                        model[c].wrapping_add(4)
+                    },
+                    new: newv << 2,
+                })
+                .collect();
+            let should_succeed = op.words.iter().all(|&(_, m, _)| m);
+            let ok = heap.kcas(&th, &entries);
+            prop_assert_eq!(ok, should_succeed, "op {:?}", op);
+            if ok {
+                for (&(c, _, _), e) in op.words.iter().zip(entries.iter()) {
+                    model[c] = e.new;
+                }
+            }
+            // All-or-nothing: every cell matches the model afterwards.
+            for (c, cell) in cells.iter().enumerate() {
+                prop_assert_eq!(heap.read(&th, cell), model[c], "cell {}", c);
+            }
+        }
+        th.reclaim.exit();
+    }
+}

@@ -1,0 +1,138 @@
+//! k-CAS list correctness across all three paths.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use threepath_core::PathKind;
+use threepath_htm::{HtmConfig, SplitMix64};
+use threepath_kcas::{KcasList, KcasListConfig};
+
+fn list_with(htm: HtmConfig, fast: u32, middle: u32) -> Arc<KcasList> {
+    Arc::new(KcasList::with_config(KcasListConfig {
+        htm,
+        fast_limit: fast,
+        middle_limit: middle,
+        ..KcasListConfig::default()
+    }))
+}
+
+fn oracle_run(list: &Arc<KcasList>, seed: u64, ops: usize) {
+    let mut h = list.handle();
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rng = SplitMix64::new(seed);
+    for i in 0..ops {
+        let k = 1 + rng.next_below(150);
+        match rng.next_below(3) {
+            0 => {
+                let inserted = h.insert(k, i as u64);
+                if inserted {
+                    assert!(oracle.insert(k, i as u64).is_none(), "insert({k})");
+                } else {
+                    assert!(oracle.contains_key(&k), "insert({k}) refused");
+                }
+            }
+            1 => assert_eq!(h.remove(k), oracle.remove(&k), "remove({k})"),
+            _ => assert_eq!(h.get(k), oracle.get(&k).copied(), "get({k})"),
+        }
+    }
+    let want: Vec<(u64, u64)> = oracle.into_iter().collect();
+    assert_eq!(list.collect(), want);
+}
+
+#[test]
+fn oracle_default_paths() {
+    let list = list_with(HtmConfig::default(), 10, 10);
+    oracle_run(&list, 42, 4000);
+}
+
+#[test]
+fn oracle_software_kcas_only() {
+    // No HTM attempts: everything through the descriptor-based k-CAS.
+    let list = list_with(HtmConfig::default(), 0, 0);
+    oracle_run(&list, 7, 2500);
+}
+
+#[test]
+fn oracle_middle_path_only() {
+    let list = list_with(HtmConfig::default().with_spurious(0.0), 0, 10);
+    oracle_run(&list, 9, 2500);
+}
+
+#[test]
+fn oracle_under_spurious_aborts() {
+    let list = list_with(HtmConfig::default().with_spurious(0.5), 4, 4);
+    oracle_run(&list, 11, 2000);
+}
+
+fn keysum_stress(list: Arc<KcasList>, threads: usize, ops: usize) {
+    let delta = Arc::new(AtomicI64::new(0));
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let list = list.clone();
+            let delta = delta.clone();
+            s.spawn(move || {
+                let mut h = list.handle();
+                let mut rng = SplitMix64::new(0xCAFE + t as u64);
+                let mut local = 0i64;
+                for i in 0..ops {
+                    let k = 1 + rng.next_below(64);
+                    if rng.next_below(2) == 0 {
+                        if h.insert(k, i as u64) {
+                            local += k as i64;
+                        }
+                    } else if h.remove(k).is_some() {
+                        local -= k as i64;
+                    }
+                }
+                delta.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(list.key_sum() as i128, delta.load(Ordering::Relaxed) as i128);
+    // Sorted, duplicate-free.
+    let items = list.collect();
+    for w in items.windows(2) {
+        assert!(w[0].0 < w[1].0);
+    }
+}
+
+#[test]
+fn concurrent_keysum_three_path() {
+    keysum_stress(list_with(HtmConfig::default(), 10, 10), 4, 1500);
+}
+
+#[test]
+fn concurrent_keysum_software_only() {
+    // Pure software k-CAS under contention: exercises RDCSS helping and
+    // descriptor reclamation.
+    keysum_stress(list_with(HtmConfig::default(), 0, 0), 4, 800);
+}
+
+#[test]
+fn concurrent_keysum_mixed_paths() {
+    keysum_stress(
+        list_with(HtmConfig::default().with_spurious(0.4), 3, 3),
+        4,
+        800,
+    );
+}
+
+#[test]
+fn all_paths_are_exercised_under_pressure() {
+    let list = list_with(HtmConfig::default().with_spurious(0.7), 3, 3);
+    let mut h = list.handle();
+    let mut rng = SplitMix64::new(5);
+    for i in 0..2500 {
+        let k = 1 + rng.next_below(64);
+        if rng.next_below(2) == 0 {
+            h.insert(k, i);
+        } else {
+            h.remove(k);
+        }
+    }
+    let st = h.stats();
+    assert!(st.completed(PathKind::Fast) > 0);
+    assert!(st.completed(PathKind::Middle) > 0);
+    assert!(st.completed(PathKind::Fallback) > 0);
+}

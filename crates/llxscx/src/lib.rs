@@ -1,0 +1,71 @@
+//! LLX and SCX: load-link extended / store-conditional extended.
+//!
+//! These primitives (Brown, Ellen, Ruppert, PODC 2013) are multi-word
+//! generalizations of LL/SC operating on *Data-records* — nodes with a fixed
+//! set of **mutable** fields (child pointers) and **immutable** fields
+//! (keys, values). `LLX(r)` returns a snapshot of `r`'s mutable fields;
+//! `SCX(V, R, fld, new)` atomically writes `new` into the field `fld` of one
+//! node in `V` and *finalizes* every node in `R`, provided no node in `V`
+//! changed since the caller's linked `LLX`s.
+//!
+//! This crate provides:
+//!
+//! * [`ScxEngine::llx`] / [`ScxEngine::scx_orig`] — the original lock-free,
+//!   CAS-based algorithm (paper Figure 2), including helping via
+//!   [`ScxRecord`]s, freezing, marking and finalization;
+//! * [`ScxEngine::scx_htm_attempt`] — the paper's fully transformed
+//!   HTM fast path (Figure 11): no SCX-record is created; nodes are
+//!   "frozen and immediately unfrozen" by writing a fresh **tagged sequence
+//!   number** into their `info` fields, preserving property **P1** (between
+//!   any two changes to a Data-record, its `info` field receives a value it
+//!   never previously contained);
+//! * [`ScxEngine::scx`] — the Figure 6 wrapper: up to `AttemptLimit`
+//!   hardware attempts, then the lock-free fallback (the *2-path concurrent*
+//!   building block);
+//! * [`ScxEngine::llx_tx`] / [`ScxEngine::scx_tx`] — the in-transaction
+//!   variants used when an entire template operation runs inside one
+//!   transaction (the 2-path-con fast path and the 3-path middle path,
+//!   Section 5), with the paper's optimizations applied: no nested
+//!   begin/commit, no re-validation (the enclosing transaction's read set
+//!   subsumes it), and no helping inside transactions.
+//!
+//! # Memory reclamation of SCX-records
+//!
+//! SCX-records are reference-counted by *installs*: creating a record holds
+//! one reference; each successful freezing CAS adds one; whatever replaces a
+//! record pointer in an `info` field releases one. When the count reaches
+//! zero the record is retired through the epoch [`Domain`]
+//! (no info field references it, and any thread still holding a raw pointer
+//! is pinned). This bounds memory without type-unstable reuse.
+//!
+//! [`Domain`]: threepath_reclaim::Domain
+
+#![warn(missing_docs)]
+
+mod engine;
+mod handle;
+mod info;
+mod record;
+
+pub use engine::{ScxEngine, ScxThread};
+pub use handle::{LlxHandle, LlxResult, ScxHeader, Snapshot, MAX_MUT};
+pub use info::{pack_tseq, unpack_tseq, InfoState, TSEQ_PID_BITS};
+pub use record::{ScxRecord, MAX_V};
+
+/// Arguments to an SCX: the frozen set `V`, the finalize subset `R` (as a
+/// bitmask over `V`), the field to modify and its old/new values.
+pub struct ScxArgs<'a> {
+    /// Handles from this thread's linked LLXs, in the data structure's
+    /// canonical freezing order.
+    pub v: &'a [&'a LlxHandle],
+    /// Bitmask over `v`: which nodes to finalize (the paper's `R ⊆ V`).
+    pub r_mask: u32,
+    /// The mutable field to change (must belong to a node in `v`).
+    pub fld: &'a threepath_htm::TxCell,
+    /// Value `fld` held at the linked LLX of its owner.
+    pub old: u64,
+    /// New value for `fld`. Per the template's ABA-freedom requirement this
+    /// must never have been stored in `fld` before (in practice: a pointer
+    /// to a freshly allocated node).
+    pub new: u64,
+}

@@ -1,0 +1,44 @@
+//! RCU primitives and a CITRUS-style internal BST with 3-path HTM
+//! acceleration (paper Section 10.1).
+//!
+//! Read-copy-update lets readers run without synchronization: writers make
+//! changes on copies and use [`RcuDomain::synchronize`] (`rcu_wait`) to
+//! wait until every read-side critical section that started earlier has
+//! ended. CITRUS (Arbel & Attiya, PODC 2014) combines RCU searches with
+//! fine-grained per-node locks so multiple updaters proceed concurrently;
+//! its deletion of a node with two children replaces the node with a copy
+//! holding the successor's key and must `rcu_wait` before unlinking the
+//! successor — the dominating cost of the algorithm.
+//!
+//! The 3-path acceleration (sketched in the paper):
+//!
+//! * **fast path** — plain sequential internal-BST code in a transaction
+//!   subscribing to `F`: no locks, no RCU, no waiting;
+//! * **middle path** — the CITRUS logic in one transaction: `rcu_wait`
+//!   disappears (the transaction is atomic) and locks are only *read*
+//!   (the transaction subscribes to each lock word and aborts if one is
+//!   held or taken before commit);
+//! * **fallback path** — real CITRUS: per-node spin locks, RCU read-side
+//!   critical sections, and `rcu_wait`, with `F` incremented around it.
+//!
+//! # Example
+//!
+//! ```
+//! use threepath_rcu::Citrus;
+//! use std::sync::Arc;
+//!
+//! let tree = Arc::new(Citrus::new());
+//! let mut h = tree.handle();
+//! assert_eq!(h.insert(2, 20), None);
+//! assert_eq!(h.insert(2, 22), Some(20));
+//! assert_eq!(h.get(2), Some(22));
+//! assert_eq!(h.remove(2), Some(22));
+//! ```
+
+#![warn(missing_docs)]
+
+mod citrus;
+mod rcu;
+
+pub use citrus::{Citrus, CitrusConfig, CitrusHandle};
+pub use rcu::{RcuDomain, RcuGuard, RcuThread};

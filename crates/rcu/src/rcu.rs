@@ -1,0 +1,256 @@
+//! Userspace RCU primitives: `rcu_begin` / `rcu_end` / `rcu_wait`
+//! (grace-period based, like URCU's per-thread counter scheme).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use threepath_htm::CachePadded;
+
+const ACTIVE: u64 = 1;
+
+/// An RCU domain: a global grace-period counter plus per-thread
+/// announcement slots.
+pub struct RcuDomain {
+    counter: CachePadded<AtomicU64>,
+    slots: Box<[CachePadded<AtomicU64>]>,
+    hwm: AtomicUsize,
+    free: Mutex<Vec<usize>>,
+}
+
+impl RcuDomain {
+    /// A domain supporting up to `slots` concurrently registered threads.
+    pub fn with_slots(slots: usize) -> Self {
+        let mut v = Vec::with_capacity(slots);
+        v.resize_with(slots, || CachePadded::new(AtomicU64::new(0)));
+        RcuDomain {
+            counter: CachePadded::new(AtomicU64::new(1)),
+            slots: v.into_boxed_slice(),
+            hwm: AtomicUsize::new(0),
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A domain with the default capacity.
+    pub fn new() -> Self {
+        Self::with_slots(512)
+    }
+
+    /// Registers the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot capacity is exhausted.
+    pub fn register(self: &Arc<Self>) -> RcuThread {
+        let slot = self.free.lock().unwrap().pop().unwrap_or_else(|| {
+            let s = self.hwm.fetch_add(1, Ordering::AcqRel);
+            assert!(s < self.slots.len(), "RCU slot capacity exhausted");
+            s
+        });
+        self.slots[slot].store(0, Ordering::SeqCst);
+        RcuThread {
+            domain: Arc::clone(self),
+            slot,
+            depth: Cell::new(0),
+        }
+    }
+
+    /// `rcu_wait` / `synchronize_rcu`: blocks until every read-side
+    /// critical section that began before this call has ended.
+    pub fn synchronize(&self) {
+        let target = self.counter.fetch_add(2, Ordering::AcqRel) + 2;
+        let hwm = self.hwm.load(Ordering::Acquire);
+        for i in 0..hwm {
+            let slot = &self.slots[i];
+            let mut spins = 0u32;
+            loop {
+                let v = slot.load(Ordering::SeqCst);
+                // Quiescent, or the reader began after `target` was set.
+                if v & ACTIVE == 0 || (v >> 1) >= (target >> 1) {
+                    break;
+                }
+                spins += 1;
+                if spins % 32 == 0 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Current grace-period counter (diagnostic).
+    pub fn grace_periods(&self) -> u64 {
+        self.counter.load(Ordering::Acquire) >> 1
+    }
+}
+
+impl Default for RcuDomain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for RcuDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RcuDomain")
+            .field("grace_periods", &self.grace_periods())
+            .finish()
+    }
+}
+
+/// Per-thread RCU context.
+pub struct RcuThread {
+    domain: Arc<RcuDomain>,
+    slot: usize,
+    depth: Cell<u32>,
+}
+
+impl RcuThread {
+    /// `rcu_begin`: enters a read-side critical section (reentrant).
+    pub fn read_lock(&self) -> RcuGuard<'_> {
+        let d = self.depth.get();
+        self.depth.set(d + 1);
+        if d == 0 {
+            let c = self.domain.counter.load(Ordering::SeqCst);
+            self.domain.slots[self.slot].store((c & !1) | ACTIVE, Ordering::SeqCst);
+        }
+        RcuGuard { th: self }
+    }
+
+    /// Whether the thread is inside a read-side critical section.
+    pub fn in_read_side(&self) -> bool {
+        self.depth.get() > 0
+    }
+
+    /// The owning domain.
+    pub fn domain(&self) -> &Arc<RcuDomain> {
+        &self.domain
+    }
+
+    fn read_unlock(&self) {
+        let d = self.depth.get();
+        debug_assert!(d > 0, "rcu_end without rcu_begin");
+        self.depth.set(d - 1);
+        if d == 1 {
+            self.domain.slots[self.slot].store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Drop for RcuThread {
+    fn drop(&mut self) {
+        debug_assert_eq!(self.depth.get(), 0, "thread dropped inside read side");
+        self.domain.slots[self.slot].store(0, Ordering::SeqCst);
+        self.domain.free.lock().unwrap().push(self.slot);
+    }
+}
+
+impl std::fmt::Debug for RcuThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RcuThread").field("slot", &self.slot).finish()
+    }
+}
+
+/// RAII read-side critical section.
+#[derive(Debug)]
+pub struct RcuGuard<'a> {
+    th: &'a RcuThread,
+}
+
+impl Drop for RcuGuard<'_> {
+    fn drop(&mut self) {
+        self.th.read_unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn synchronize_with_no_readers_returns() {
+        let d = Arc::new(RcuDomain::new());
+        let _th = d.register();
+        d.synchronize();
+        d.synchronize();
+        assert!(d.grace_periods() >= 2);
+    }
+
+    #[test]
+    fn nested_read_side() {
+        let d = Arc::new(RcuDomain::new());
+        let th = d.register();
+        let g1 = th.read_lock();
+        let g2 = th.read_lock();
+        assert!(th.in_read_side());
+        drop(g2);
+        assert!(th.in_read_side());
+        drop(g1);
+        assert!(!th.in_read_side());
+    }
+
+    #[test]
+    fn synchronize_waits_for_preexisting_reader() {
+        let d = Arc::new(RcuDomain::new());
+        let release = Arc::new(AtomicBool::new(false));
+        let waited = Arc::new(AtomicBool::new(false));
+
+        std::thread::scope(|s| {
+            let (d1, rel) = (d.clone(), release.clone());
+            let reader_started = Arc::new(AtomicBool::new(false));
+            let rs = reader_started.clone();
+            s.spawn(move || {
+                let th = d1.register();
+                let g = th.read_lock();
+                rs.store(true, Ordering::Release);
+                while !rel.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                drop(g);
+            });
+            let (d2, w) = (d.clone(), waited.clone());
+            let rs2 = reader_started.clone();
+            s.spawn(move || {
+                while !rs2.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                d2.synchronize();
+                w.store(true, Ordering::Release);
+            });
+            // Give the synchronizer a moment: it must NOT complete while
+            // the reader is inside its critical section.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert!(!waited.load(Ordering::Acquire), "synchronize returned early");
+            release.store(true, Ordering::Release);
+        });
+        assert!(waited.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn readers_starting_after_wait_do_not_block_it() {
+        // A reader that begins after synchronize() started must not block
+        // it (its slot counter is >= the target).
+        let d = Arc::new(RcuDomain::new());
+        let th = d.register();
+        // Simulate: announce with a fresh counter (as read_lock does), then
+        // synchronize from this thread would deadlock if it waited on
+        // itself with a recent-enough stamp... verify the stamp rule.
+        let g = th.read_lock();
+        let slot_v = d.slots[th.slot].load(Ordering::SeqCst);
+        assert_eq!(slot_v & 1, 1);
+        drop(g);
+        d.synchronize();
+    }
+
+    #[test]
+    fn slot_reuse() {
+        let d = Arc::new(RcuDomain::with_slots(2));
+        for _ in 0..10 {
+            let a = d.register();
+            let b = d.register();
+            drop((a, b));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! CITRUS correctness across paths and against an oracle.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use threepath_core::PathKind;
+use threepath_htm::{HtmConfig, SplitMix64};
+use threepath_rcu::{Citrus, CitrusConfig};
+
+fn tree_with(htm: HtmConfig, fast: u32, middle: u32) -> Arc<Citrus> {
+    Arc::new(Citrus::with_config(CitrusConfig {
+        htm,
+        fast_limit: fast,
+        middle_limit: middle,
+        ..CitrusConfig::default()
+    }))
+}
+
+fn oracle_run(tree: &Arc<Citrus>, seed: u64, ops: usize, key_range: u64) {
+    let mut h = tree.handle();
+    let mut oracle = BTreeMap::new();
+    let mut rng = SplitMix64::new(seed);
+    for i in 0..ops {
+        let k = rng.next_below(key_range);
+        match rng.next_below(3) {
+            0 => assert_eq!(h.insert(k, i as u64), oracle.insert(k, i as u64), "ins {k}"),
+            1 => assert_eq!(h.remove(k), oracle.remove(&k), "rem {k}"),
+            _ => assert_eq!(h.get(k), oracle.get(&k).copied(), "get {k}"),
+        }
+    }
+    drop(h);
+    tree.validate().expect("structural violation");
+    let want: Vec<(u64, u64)> = oracle.into_iter().collect();
+    assert_eq!(tree.collect(), want);
+}
+
+#[test]
+fn oracle_default_three_path() {
+    let tree = tree_with(HtmConfig::default(), 10, 10);
+    oracle_run(&tree, 1, 4000, 200);
+}
+
+#[test]
+fn oracle_fallback_only_citrus() {
+    // Pure CITRUS: locks + RCU, no HTM at all.
+    let tree = tree_with(HtmConfig::default(), 0, 0);
+    oracle_run(&tree, 2, 2500, 150);
+    assert!(
+        tree.rcu().grace_periods() > 0,
+        "two-children deletions must exercise rcu_wait"
+    );
+}
+
+#[test]
+fn oracle_middle_only() {
+    let tree = tree_with(HtmConfig::default(), 0, 10);
+    oracle_run(&tree, 3, 2500, 150);
+}
+
+#[test]
+fn oracle_under_spurious_aborts() {
+    let tree = tree_with(HtmConfig::default().with_spurious(0.5), 4, 4);
+    oracle_run(&tree, 4, 1800, 128);
+}
+
+fn keysum_stress(tree: Arc<Citrus>, threads: usize, ops: usize) {
+    let delta = Arc::new(AtomicI64::new(0));
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let tree = tree.clone();
+            let delta = delta.clone();
+            s.spawn(move || {
+                let mut h = tree.handle();
+                let mut rng = SplitMix64::new(0xD1CE + t as u64);
+                let mut local = 0i64;
+                for i in 0..ops {
+                    let k = rng.next_below(256);
+                    if rng.next_below(2) == 0 {
+                        if h.insert(k, i as u64).is_none() {
+                            local += k as i64;
+                        }
+                    } else if h.remove(k).is_some() {
+                        local -= k as i64;
+                    }
+                }
+                delta.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    tree.validate().expect("structural violation");
+    assert_eq!(tree.key_sum() as i128, delta.load(Ordering::Relaxed) as i128);
+}
+
+#[test]
+fn concurrent_keysum_three_path() {
+    keysum_stress(tree_with(HtmConfig::default(), 10, 10), 4, 1500);
+}
+
+#[test]
+fn concurrent_keysum_citrus_only() {
+    keysum_stress(tree_with(HtmConfig::default(), 0, 0), 4, 800);
+}
+
+#[test]
+fn concurrent_keysum_mixed() {
+    keysum_stress(tree_with(HtmConfig::default().with_spurious(0.4), 3, 3), 4, 800);
+}
+
+#[test]
+fn all_paths_used_under_pressure() {
+    let tree = tree_with(HtmConfig::default().with_spurious(0.7), 3, 3);
+    let mut h = tree.handle();
+    let mut rng = SplitMix64::new(6);
+    for i in 0..2500 {
+        let k = rng.next_below(128);
+        if rng.next_below(2) == 0 {
+            h.insert(k, i);
+        } else {
+            h.remove(k);
+        }
+    }
+    let st = h.stats();
+    assert!(st.completed(PathKind::Fast) > 0);
+    assert!(st.completed(PathKind::Middle) > 0);
+    assert!(st.completed(PathKind::Fallback) > 0);
+}
+
+#[test]
+fn two_children_deletions_are_exact() {
+    // Build a full tree and delete interior nodes (two children) in an
+    // order that exercises the successor-copy machinery on each path
+    // configuration.
+    for (fast, middle) in [(10, 10), (0, 10), (0, 0)] {
+        let tree = tree_with(HtmConfig::default(), fast, middle);
+        let mut h = tree.handle();
+        let keys = [50u64, 25, 75, 12, 37, 62, 87, 6, 18, 31, 43, 56, 68, 81, 93];
+        for &k in &keys {
+            h.insert(k, k * 2);
+        }
+        // 50, 25, 75 all have two children.
+        assert_eq!(h.remove(50), Some(100));
+        assert_eq!(h.remove(25), Some(50));
+        assert_eq!(h.remove(75), Some(150));
+        assert_eq!(h.get(50), None);
+        assert_eq!(h.get(56), Some(112));
+        drop(h);
+        tree.validate().expect("structural violation");
+        let remaining: Vec<u64> = tree.collect().iter().map(|(k, _)| *k).collect();
+        let mut want: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|k| ![50, 25, 75].contains(k))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(remaining, want);
+    }
+}

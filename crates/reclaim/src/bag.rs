@@ -1,0 +1,100 @@
+//! Limbo bags: type-erased retired objects awaiting a grace period.
+
+/// A retired heap object with its destructor.
+pub(crate) struct Retired {
+    ptr: *mut u8,
+    dtor: unsafe fn(*mut u8),
+}
+
+// SAFETY: retired objects are required to be `Send` at `retire` time; the
+// type-erased wrapper inherits that contract.
+unsafe impl Send for Retired {}
+
+impl Retired {
+    /// Type-erases `ptr` (a `Box<T>`-allocated object).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been produced by `Box::into_raw` and must not be
+    /// freed by anyone else.
+    pub(crate) unsafe fn new<T: Send>(ptr: *mut T) -> Self {
+        unsafe fn drop_box<T>(p: *mut u8) {
+            drop(unsafe { Box::from_raw(p as *mut T) });
+        }
+        Retired {
+            ptr: ptr as *mut u8,
+            dtor: drop_box::<T>,
+        }
+    }
+
+    /// Wraps an already type-erased pointer and destructor.
+    ///
+    /// # Safety callers' contract
+    ///
+    /// `dtor(ptr)` must be sound to call exactly once.
+    pub(crate) fn from_raw(ptr: *mut u8, dtor: unsafe fn(*mut u8)) -> Self {
+        Retired { ptr, dtor }
+    }
+
+    /// Frees the object.
+    pub(crate) fn free(self) {
+        // SAFETY: constructed from a valid Box allocation; freed once
+        // (Retired is consumed by value).
+        unsafe { (self.dtor)(self.ptr) }
+    }
+}
+
+/// A bag of objects retired during one epoch.
+#[derive(Default)]
+pub(crate) struct Bag {
+    /// The epoch during which the current contents were retired.
+    pub(crate) epoch: u64,
+    pub(crate) items: Vec<Retired>,
+}
+
+impl Bag {
+    pub(crate) fn free_all(&mut self) -> usize {
+        let n = self.items.len();
+        for item in self.items.drain(..) {
+            item.free();
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct DropCounter(Arc<AtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn retired_frees_exactly_once() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let p = Box::into_raw(Box::new(DropCounter(count.clone())));
+        let r = unsafe { Retired::new(p) };
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+        r.free();
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn bag_frees_all() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut bag = Bag::default();
+        for _ in 0..10 {
+            let p = Box::into_raw(Box::new(DropCounter(count.clone())));
+            bag.items.push(unsafe { Retired::new(p) });
+        }
+        assert_eq!(bag.free_all(), 10);
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+        assert_eq!(bag.free_all(), 0);
+    }
+}

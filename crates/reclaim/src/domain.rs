@@ -1,0 +1,492 @@
+//! The reclamation domain: global epoch, per-thread announcements, limbo
+//! bags and the advance/collect protocol.
+
+use std::cell::{Cell, UnsafeCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use threepath_htm::CachePadded;
+
+use crate::bag::{Bag, Retired};
+use crate::GRACE_EPOCHS;
+
+/// How a domain reclaims retired objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReclaimMode {
+    /// DEBRA-style epoch-based reclamation (the paper's default, \[5\]).
+    Epoch,
+    /// No per-operation reclamation work at all: retired objects are freed
+    /// when the domain is dropped. This is the safe stand-in for the
+    /// paper's §9 "immediate free inside transactions" optimization (see
+    /// crate docs) and the baseline for the §9 ablation benchmark.
+    Leak,
+}
+
+const DEFAULT_SLOTS: usize = 512;
+/// Try to advance the global epoch every this many pins.
+const PIN_ADVANCE_PERIOD: u64 = 64;
+/// Also try to advance whenever a limbo bag grows beyond this.
+const BAG_ADVANCE_THRESHOLD: usize = 256;
+
+/// A reclamation domain. One per data structure instance.
+pub struct Domain {
+    mode: ReclaimMode,
+    epoch: CachePadded<AtomicU64>,
+    /// Announcement per slot: `(epoch << 1) | active`.
+    slots: Box<[CachePadded<AtomicU64>]>,
+    /// High-water mark of allocated slots.
+    slot_hwm: AtomicUsize,
+    free_slots: Mutex<Vec<usize>>,
+    /// Bags abandoned by dropped contexts; freed when the domain drops.
+    orphans: Mutex<Vec<Retired>>,
+    retired_total: AtomicU64,
+    freed_total: AtomicU64,
+}
+
+impl Domain {
+    /// Creates a domain with the default slot capacity.
+    pub fn new(mode: ReclaimMode) -> Self {
+        Self::with_slots(mode, DEFAULT_SLOTS)
+    }
+
+    /// Creates a domain supporting up to `slots` concurrently live contexts.
+    pub fn with_slots(mode: ReclaimMode, slots: usize) -> Self {
+        let mut v = Vec::with_capacity(slots);
+        v.resize_with(slots, || CachePadded::new(AtomicU64::new(0)));
+        Domain {
+            mode,
+            epoch: CachePadded::new(AtomicU64::new(GRACE_EPOCHS + 1)),
+            slots: v.into_boxed_slice(),
+            slot_hwm: AtomicUsize::new(0),
+            free_slots: Mutex::new(Vec::new()),
+            orphans: Mutex::new(Vec::new()),
+            retired_total: AtomicU64::new(0),
+            freed_total: AtomicU64::new(0),
+        }
+    }
+
+    /// The domain's reclamation mode.
+    pub fn mode(&self) -> ReclaimMode {
+        self.mode
+    }
+
+    /// Registers the calling thread, returning its reclamation context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more contexts are simultaneously live than the domain has
+    /// slots.
+    pub fn register(domain: &Arc<Domain>) -> ReclaimCtx {
+        let slot = {
+            let mut free = domain.free_slots.lock().unwrap();
+            free.pop()
+        }
+        .unwrap_or_else(|| {
+            let s = domain.slot_hwm.fetch_add(1, Ordering::AcqRel);
+            assert!(
+                s < domain.slots.len(),
+                "reclamation domain slot capacity exhausted"
+            );
+            s
+        });
+        domain.slots[slot].store(0, Ordering::SeqCst);
+        ReclaimCtx {
+            domain: Arc::clone(domain),
+            slot,
+            depth: Cell::new(0),
+            pin_count: Cell::new(0),
+            local_epoch: Cell::new(0),
+            bags: UnsafeCell::new([Bag::default(), Bag::default(), Bag::default()]),
+        }
+    }
+
+    /// Total objects retired so far.
+    pub fn retired_total(&self) -> u64 {
+        self.retired_total.load(Ordering::Relaxed)
+    }
+
+    /// Total objects actually freed so far (excluding domain drop).
+    pub fn freed_total(&self) -> u64 {
+        self.freed_total.load(Ordering::Relaxed)
+    }
+
+    /// Current global epoch (diagnostic).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Attempts one epoch advance: succeeds iff every active context has
+    /// announced the current epoch.
+    fn try_advance(&self) -> bool {
+        let g = self.epoch.load(Ordering::SeqCst);
+        let hwm = self.slot_hwm.load(Ordering::Acquire);
+        for i in 0..hwm {
+            let a = self.slots[i].load(Ordering::SeqCst);
+            if a & 1 == 1 && (a >> 1) != g {
+                return false;
+            }
+        }
+        self.epoch
+            .compare_exchange(g, g + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+}
+
+impl Drop for Domain {
+    fn drop(&mut self) {
+        let mut orphans = self.orphans.lock().unwrap();
+        for r in orphans.drain(..) {
+            r.free();
+        }
+    }
+}
+
+impl std::fmt::Debug for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Domain")
+            .field("mode", &self.mode)
+            .field("epoch", &self.epoch())
+            .field("retired", &self.retired_total())
+            .field("freed", &self.freed_total())
+            .finish()
+    }
+}
+
+/// Per-thread reclamation context. Not `Sync`; create one per thread via
+/// [`Domain::register`].
+pub struct ReclaimCtx {
+    domain: Arc<Domain>,
+    slot: usize,
+    depth: Cell<u32>,
+    pin_count: Cell<u64>,
+    local_epoch: Cell<u64>,
+    bags: UnsafeCell<[Bag; 3]>,
+}
+
+impl ReclaimCtx {
+    /// The owning domain.
+    pub fn domain(&self) -> &Arc<Domain> {
+        &self.domain
+    }
+
+    /// Pins the current epoch; reads of shared objects are safe until the
+    /// guard drops. Pinning is reentrant (nested pins are cheap no-ops).
+    pub fn pin(&self) -> Guard<'_> {
+        let depth = self.depth.get();
+        self.depth.set(depth + 1);
+        if depth == 0 && self.domain.mode == ReclaimMode::Epoch {
+            let e = self.domain.epoch.load(Ordering::SeqCst);
+            self.domain.slots[self.slot].store((e << 1) | 1, Ordering::SeqCst);
+            let pins = self.pin_count.get() + 1;
+            self.pin_count.set(pins);
+            if self.local_epoch.get() != e {
+                self.local_epoch.set(e);
+                self.collect_eligible(e);
+            }
+            if pins % PIN_ADVANCE_PERIOD == 0 {
+                self.domain.try_advance();
+            }
+        }
+        Guard { ctx: self }
+    }
+
+    /// Whether the context currently holds at least one pin.
+    pub fn is_pinned(&self) -> bool {
+        self.depth.get() > 0
+    }
+
+    /// Begins a manually managed pin. Must be balanced by [`Self::exit`].
+    ///
+    /// Prefer [`Self::pin`]; this exists for callers that need to hold a pin
+    /// across calls taking `&mut` access to a structure containing this
+    /// context (where a borrowing guard would conflict).
+    pub fn enter(&self) {
+        // Equivalent to pin() without constructing a guard.
+        std::mem::forget(self.pin());
+    }
+
+    /// Ends a manually managed pin begun with [`Self::enter`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if no pin is held.
+    pub fn exit(&self) {
+        self.unpin();
+    }
+
+    /// Retires a type-erased object for deferred destruction.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Self::retire`]; additionally `dtor` must be sound
+    /// to call exactly once with `ptr`.
+    pub unsafe fn retire_raw(&self, ptr: *mut u8, dtor: unsafe fn(*mut u8)) {
+        self.domain.retired_total.fetch_add(1, Ordering::Relaxed);
+        let retired = Retired::from_raw(ptr, dtor);
+        self.stash(retired);
+    }
+
+    /// Retires an object for deferred destruction.
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` must have been produced by `Box::into_raw`.
+    /// * The object must already be unreachable for threads that pin after
+    ///   this call (i.e. unlinked from every shared structure).
+    /// * It must be retired at most once and never accessed by the caller
+    ///   afterwards.
+    pub unsafe fn retire<T: Send>(&self, ptr: *mut T) {
+        self.domain.retired_total.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: per caller contract.
+        let retired = unsafe { Retired::new(ptr) };
+        self.stash(retired);
+    }
+
+    fn stash(&self, retired: Retired) {
+        match self.domain.mode {
+            ReclaimMode::Leak => {
+                // SAFETY: !Sync context; bags only touched by this thread.
+                let bags = unsafe { &mut *self.bags.get() };
+                bags[0].items.push(retired);
+            }
+            ReclaimMode::Epoch => {
+                let e = self.domain.epoch.load(Ordering::Acquire);
+                // SAFETY: as above.
+                let bags = unsafe { &mut *self.bags.get() };
+                let bag = &mut bags[(e % 3) as usize];
+                if bag.epoch != e {
+                    // The bag's previous contents are >= 3 epochs old.
+                    let n = bag.free_all();
+                    self.domain
+                        .freed_total
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    bag.epoch = e;
+                }
+                bag.items.push(retired);
+                if bag.items.len() >= BAG_ADVANCE_THRESHOLD {
+                    self.domain.try_advance();
+                }
+            }
+        }
+    }
+
+    /// Frees bags whose epoch is at least [`GRACE_EPOCHS`] behind `e`.
+    fn collect_eligible(&self, e: u64) {
+        // SAFETY: !Sync context; bags only touched by this thread.
+        let bags = unsafe { &mut *self.bags.get() };
+        let mut freed = 0usize;
+        for bag in bags.iter_mut() {
+            if !bag.items.is_empty() && e >= bag.epoch + GRACE_EPOCHS {
+                freed += bag.free_all();
+            }
+        }
+        if freed > 0 {
+            self.domain
+                .freed_total
+                .fetch_add(freed as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn unpin(&self) {
+        let depth = self.depth.get();
+        debug_assert!(depth > 0, "unpin without matching pin");
+        self.depth.set(depth - 1);
+        if depth == 1 && self.domain.mode == ReclaimMode::Epoch {
+            let e = self.local_epoch.get();
+            self.domain.slots[self.slot].store(e << 1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Drop for ReclaimCtx {
+    fn drop(&mut self) {
+        debug_assert_eq!(self.depth.get(), 0, "context dropped while pinned");
+        // Abandon remaining bag contents to the domain; freed on its drop
+        // (by then no context can be pinned, since each holds an Arc).
+        let bags = self.bags.get_mut();
+        let mut orphans = self.domain.orphans.lock().unwrap();
+        for bag in bags.iter_mut() {
+            orphans.append(&mut bag.items);
+        }
+        drop(orphans);
+        self.domain.slots[self.slot].store(0, Ordering::SeqCst);
+        self.domain.free_slots.lock().unwrap().push(self.slot);
+    }
+}
+
+impl std::fmt::Debug for ReclaimCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReclaimCtx")
+            .field("slot", &self.slot)
+            .field("depth", &self.depth.get())
+            .finish()
+    }
+}
+
+/// RAII epoch pin; see [`ReclaimCtx::pin`].
+#[derive(Debug)]
+pub struct Guard<'a> {
+    ctx: &'a ReclaimCtx,
+}
+
+impl Drop for Guard<'_> {
+    fn drop(&mut self) {
+        self.ctx.unpin();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct DropCounter(Arc<AtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn retire_counter(ctx: &ReclaimCtx, count: &Arc<AtomicUsize>) {
+        let p = Box::into_raw(Box::new(DropCounter(count.clone())));
+        unsafe { ctx.retire(p) };
+    }
+
+    /// Churn pins so epochs advance and bags drain.
+    fn churn(ctx: &ReclaimCtx, n: u64) {
+        for _ in 0..n {
+            drop(ctx.pin());
+        }
+    }
+
+    #[test]
+    fn nested_pin_unpin() {
+        let d = Arc::new(Domain::new(ReclaimMode::Epoch));
+        let ctx = Domain::register(&d);
+        let g1 = ctx.pin();
+        let g2 = ctx.pin();
+        assert!(ctx.is_pinned());
+        drop(g2);
+        assert!(ctx.is_pinned());
+        drop(g1);
+        assert!(!ctx.is_pinned());
+    }
+
+    #[test]
+    fn retired_objects_eventually_freed() {
+        let d = Arc::new(Domain::new(ReclaimMode::Epoch));
+        let ctx = Domain::register(&d);
+        let count = Arc::new(AtomicUsize::new(0));
+        {
+            let _g = ctx.pin();
+            for _ in 0..10 {
+                retire_counter(&ctx, &count);
+            }
+        }
+        churn(&ctx, PIN_ADVANCE_PERIOD * 8);
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+        assert_eq!(d.freed_total(), 10);
+        assert_eq!(d.retired_total(), 10);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_reclamation() {
+        let d = Arc::new(Domain::new(ReclaimMode::Epoch));
+        let reader = Domain::register(&d);
+        let writer = Domain::register(&d);
+        let count = Arc::new(AtomicUsize::new(0));
+
+        let _reader_pin = reader.pin();
+        {
+            let _g = writer.pin();
+            retire_counter(&writer, &count);
+        }
+        // However hard the writer churns, the pinned reader caps epoch
+        // advance at +1, so nothing reaches the grace distance.
+        churn(&writer, PIN_ADVANCE_PERIOD * 8);
+        assert_eq!(count.load(Ordering::Relaxed), 0, "freed under a pin");
+        drop(_reader_pin);
+        churn(&writer, PIN_ADVANCE_PERIOD * 8);
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn leak_mode_frees_only_at_domain_drop() {
+        let count = Arc::new(AtomicUsize::new(0));
+        {
+            let d = Arc::new(Domain::new(ReclaimMode::Leak));
+            let ctx = Domain::register(&d);
+            for _ in 0..20 {
+                let _g = ctx.pin();
+                retire_counter(&ctx, &count);
+            }
+            churn(&ctx, 1000);
+            assert_eq!(count.load(Ordering::Relaxed), 0);
+            drop(ctx);
+            assert_eq!(count.load(Ordering::Relaxed), 0);
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn orphan_bags_freed_at_domain_drop() {
+        let count = Arc::new(AtomicUsize::new(0));
+        {
+            let d = Arc::new(Domain::new(ReclaimMode::Epoch));
+            let ctx = Domain::register(&d);
+            {
+                let _g = ctx.pin();
+                for _ in 0..5 {
+                    retire_counter(&ctx, &count);
+                }
+            }
+            drop(ctx); // bags orphaned without ever being collected
+            assert_eq!(count.load(Ordering::Relaxed), 0);
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let d = Arc::new(Domain::with_slots(ReclaimMode::Epoch, 2));
+        for _ in 0..10 {
+            let a = Domain::register(&d);
+            let b = Domain::register(&d);
+            drop((a, b));
+        }
+    }
+
+    #[test]
+    fn concurrent_stress_all_freed() {
+        let d = Arc::new(Domain::new(ReclaimMode::Epoch));
+        let count = Arc::new(AtomicUsize::new(0));
+        let n_threads = 4;
+        let per_thread = 2000;
+        std::thread::scope(|s| {
+            for _ in 0..n_threads {
+                let d = d.clone();
+                let count = count.clone();
+                s.spawn(move || {
+                    let ctx = Domain::register(&d);
+                    for _ in 0..per_thread {
+                        let _g = ctx.pin();
+                        retire_counter(&ctx, &count);
+                    }
+                });
+            }
+        });
+        let total = (n_threads * per_thread) as u64;
+        assert_eq!(d.retired_total(), total);
+        drop(d);
+        assert_eq!(count.load(Ordering::Relaxed) as u64, total);
+    }
+
+    #[test]
+    fn epoch_advances_under_activity() {
+        let d = Arc::new(Domain::new(ReclaimMode::Epoch));
+        let ctx = Domain::register(&d);
+        let e0 = d.epoch();
+        churn(&ctx, PIN_ADVANCE_PERIOD * 4);
+        assert!(d.epoch() > e0);
+    }
+}

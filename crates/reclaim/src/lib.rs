@@ -1,0 +1,43 @@
+//! Epoch-based memory reclamation in the style of DEBRA (Brown, PODC 2015).
+//!
+//! Lock-free data structures cannot `free()` a node as soon as it is
+//! unlinked: a concurrent reader may be poised to access it. This crate
+//! implements the scheme the paper uses for its experiments (reference \[5\]):
+//! threads *pin* an epoch around every operation, retire unlinked objects
+//! into per-thread limbo bags, and a bag is freed once the global epoch has
+//! advanced far enough that no pinned thread can still hold a reference.
+//!
+//! Section 9 of the paper observes that, when every access runs inside a
+//! hardware transaction, reclamation can be replaced by an immediate
+//! `free()` — the transaction that touches freed memory simply aborts. That
+//! relies on HTM surviving segmentation faults, which neither Rust nor the
+//! simulated HTM can tolerate; the workspace's §9 ablation therefore
+//! compares full epoch reclamation against [`ReclaimMode::Leak`] (zero
+//! per-operation reclamation work, the upper bound of what immediate
+//! freeing could save) — see `DESIGN.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use threepath_reclaim::{Domain, ReclaimMode};
+//! use std::sync::Arc;
+//!
+//! let domain = Arc::new(Domain::new(ReclaimMode::Epoch));
+//! let ctx = Domain::register(&domain);
+//! let guard = ctx.pin();
+//! let node = Box::into_raw(Box::new(42u64));
+//! // ... unlink `node` from a shared structure ...
+//! unsafe { ctx.retire(node) };
+//! drop(guard);
+//! // `node` is freed once no pinned thread can still reach it.
+//! ```
+
+#![warn(missing_docs)]
+
+mod bag;
+mod domain;
+
+pub use domain::{Domain, Guard, ReclaimCtx, ReclaimMode};
+
+/// Number of logical epochs objects must age before being freed.
+pub(crate) const GRACE_EPOCHS: u64 = 2;

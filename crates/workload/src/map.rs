@@ -1,0 +1,141 @@
+//! A thin enum wrapper so the trial runner can drive either data
+//! structure through one interface.
+
+use std::sync::Arc;
+
+use threepath_abtree::{AbTree, AbTreeConfig, AbTreeHandle};
+use threepath_bst::{Bst, BstConfig, BstHandle};
+use threepath_core::PathStats;
+
+use crate::spec::{Structure, TrialSpec};
+
+/// Either evaluation data structure.
+#[derive(Clone)]
+pub enum AnyTree {
+    /// External unbalanced BST.
+    Bst(Arc<Bst>),
+    /// Relaxed (a,b)-tree.
+    AbTree(Arc<AbTree>),
+}
+
+impl AnyTree {
+    /// Builds the tree described by `spec`.
+    pub fn build(spec: &TrialSpec) -> AnyTree {
+        match spec.structure {
+            Structure::Bst => AnyTree::Bst(Arc::new(Bst::with_config(BstConfig {
+                strategy: spec.strategy,
+                htm: spec.htm.clone(),
+                limits: None,
+                reclaim: spec.reclaim,
+                search_outside_txn: spec.search_outside_txn,
+                snzi: spec.snzi,
+            }))),
+            Structure::AbTree => AnyTree::AbTree(Arc::new(AbTree::with_config(AbTreeConfig {
+                strategy: spec.strategy,
+                htm: spec.htm.clone(),
+                limits: None,
+                reclaim: spec.reclaim,
+                search_outside_txn: spec.search_outside_txn,
+                snzi: spec.snzi,
+                ..AbTreeConfig::default()
+            }))),
+        }
+    }
+
+    /// Registers the calling thread.
+    pub fn handle(&self) -> AnyHandle {
+        match self {
+            AnyTree::Bst(t) => AnyHandle::Bst(t.handle()),
+            AnyTree::AbTree(t) => AnyHandle::AbTree(t.handle()),
+        }
+    }
+
+    /// Final key sum (quiescent).
+    pub fn key_sum(&self) -> u128 {
+        match self {
+            AnyTree::Bst(t) => t.key_sum(),
+            AnyTree::AbTree(t) => t.key_sum(),
+        }
+    }
+
+    /// Number of keys (quiescent).
+    pub fn len(&self) -> usize {
+        match self {
+            AnyTree::Bst(t) => t.len(),
+            AnyTree::AbTree(t) => t.len(),
+        }
+    }
+
+    /// Whether the structure is empty (quiescent).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Structural validation (quiescent). Returns an error description on
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            AnyTree::Bst(t) => t.validate().map(|_| ()),
+            AnyTree::AbTree(t) => t.validate().map(|_| ()),
+        }
+    }
+}
+
+impl std::fmt::Debug for AnyTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnyTree::Bst(t) => t.fmt(f),
+            AnyTree::AbTree(t) => t.fmt(f),
+        }
+    }
+}
+
+/// A per-thread handle to an [`AnyTree`].
+pub enum AnyHandle {
+    /// BST handle.
+    Bst(BstHandle),
+    /// (a,b)-tree handle.
+    AbTree(AbTreeHandle),
+}
+
+impl AnyHandle {
+    /// Inserts a pair, returning the previous value.
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        match self {
+            AnyHandle::Bst(h) => h.insert(key, value),
+            AnyHandle::AbTree(h) => h.insert(key, value),
+        }
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        match self {
+            AnyHandle::Bst(h) => h.remove(key),
+            AnyHandle::AbTree(h) => h.remove(key),
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        match self {
+            AnyHandle::Bst(h) => h.get(key),
+            AnyHandle::AbTree(h) => h.get(key),
+        }
+    }
+
+    /// Range query over `[lo, hi)`.
+    pub fn range_query(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        match self {
+            AnyHandle::Bst(h) => h.range_query(lo, hi),
+            AnyHandle::AbTree(h) => h.range_query(lo, hi),
+        }
+    }
+
+    /// Path statistics accumulated by this handle.
+    pub fn stats(&self) -> &PathStats {
+        match self {
+            AnyHandle::Bst(h) => h.stats(),
+            AnyHandle::AbTree(h) => h.stats(),
+        }
+    }
+}

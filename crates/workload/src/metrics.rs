@@ -1,0 +1,93 @@
+//! Trial results and aggregation.
+
+use std::time::Duration;
+
+use threepath_core::{PathKind, PathStats};
+
+/// Measurements from one trial.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// Completed operations per second (updates + range queries).
+    pub throughput: f64,
+    /// All completed operations.
+    pub total_ops: u64,
+    /// Completed update operations.
+    pub update_ops: u64,
+    /// Completed range queries.
+    pub rq_ops: u64,
+    /// Wall-clock duration actually measured.
+    pub elapsed: Duration,
+    /// Merged per-path statistics from all threads.
+    pub stats: PathStats,
+    /// Whether the key-sum verification passed.
+    pub keysum_ok: bool,
+    /// Keys in the tree after the trial.
+    pub final_size: usize,
+}
+
+impl TrialResult {
+    /// Fraction of operations completed on `path`.
+    pub fn path_fraction(&self, path: PathKind) -> f64 {
+        self.stats.completed_fraction(path)
+    }
+}
+
+/// Averages the throughput of several trials of the same spec; also
+/// returns a merged statistics view and verifies every trial's key sum.
+pub fn average(results: &[TrialResult]) -> TrialResult {
+    assert!(!results.is_empty());
+    let mut stats = PathStats::new();
+    let mut throughput = 0.0;
+    let mut total_ops = 0;
+    let mut update_ops = 0;
+    let mut rq_ops = 0;
+    let mut elapsed = Duration::ZERO;
+    let mut keysum_ok = true;
+    for r in results {
+        stats.merge(&r.stats);
+        throughput += r.throughput;
+        total_ops += r.total_ops;
+        update_ops += r.update_ops;
+        rq_ops += r.rq_ops;
+        elapsed += r.elapsed;
+        keysum_ok &= r.keysum_ok;
+    }
+    TrialResult {
+        throughput: throughput / results.len() as f64,
+        total_ops,
+        update_ops,
+        rq_ops,
+        elapsed,
+        stats,
+        keysum_ok,
+        final_size: results.last().unwrap().final_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(tp: f64, ok: bool) -> TrialResult {
+        TrialResult {
+            throughput: tp,
+            total_ops: 10,
+            update_ops: 8,
+            rq_ops: 2,
+            elapsed: Duration::from_millis(100),
+            stats: PathStats::new(),
+            keysum_ok: ok,
+            final_size: 5,
+        }
+    }
+
+    #[test]
+    fn average_means_throughput_and_ands_keysums() {
+        let avg = average(&[dummy(100.0, true), dummy(200.0, true)]);
+        assert!((avg.throughput - 150.0).abs() < 1e-9);
+        assert_eq!(avg.total_ops, 20);
+        assert!(avg.keysum_ok);
+        let avg = average(&[dummy(1.0, true), dummy(1.0, false)]);
+        assert!(!avg.keysum_ok);
+    }
+}

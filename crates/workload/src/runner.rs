@@ -1,0 +1,236 @@
+//! The trial runner: prefill, timed measurement, key-sum verification.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use threepath_core::PathStats;
+use threepath_htm::SplitMix64;
+
+use crate::map::{AnyHandle, AnyTree};
+use crate::metrics::TrialResult;
+use crate::spec::{TrialSpec, Workload};
+
+/// Prefills `tree` to half of `key_range` by inserting uniformly random
+/// keys until half the range is present (the paper prefills with a 50/50
+/// update mix until half full; direct filling reaches the same steady-state
+/// composition faster). Returns the key-sum delta contributed.
+pub fn prefill(tree: &AnyTree, key_range: u64, seed: u64) -> i128 {
+    let mut h = tree.handle();
+    let mut rng = SplitMix64::new(seed ^ 0xF1EE);
+    let target = (key_range / 2).max(1);
+    let mut inserted = 0u64;
+    let mut sum: i128 = 0;
+    while inserted < target {
+        let k = rng.next_below(key_range);
+        if h.insert(k, k.wrapping_mul(3)).is_none() {
+            inserted += 1;
+            sum += k as i128;
+        }
+    }
+    sum
+}
+
+struct WorkerOutcome {
+    updates: u64,
+    rqs: u64,
+    keysum_delta: i64,
+    stats: PathStats,
+}
+
+fn updater_loop(
+    h: &mut AnyHandle,
+    key_range: u64,
+    rng: &mut SplitMix64,
+    stop: &AtomicBool,
+) -> (u64, i64) {
+    let mut ops = 0u64;
+    let mut delta = 0i64;
+    while !stop.load(Ordering::Relaxed) {
+        let k = rng.next_below(key_range);
+        if rng.next_below(2) == 0 {
+            if h.insert(k, ops).is_none() {
+                delta += k as i64;
+            }
+        } else if h.remove(k).is_some() {
+            delta -= k as i64;
+        }
+        ops += 1;
+    }
+    (ops, delta)
+}
+
+fn rq_loop(h: &mut AnyHandle, key_range: u64, rq_extent: u64, rng: &mut SplitMix64, stop: &AtomicBool) -> u64 {
+    let mut ops = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let lo = rng.next_below(key_range);
+        // s = floor(x^2 * S) + 1: many small queries, a few very large.
+        let x = rng.next_f64();
+        let s = (x * x * rq_extent as f64) as u64 + 1;
+        let out = h.range_query(lo, lo.saturating_add(s));
+        std::hint::black_box(&out);
+        ops += 1;
+    }
+    ops
+}
+
+/// Runs one timed trial per `spec`: build, prefill, measure, verify.
+///
+/// # Panics
+///
+/// Panics if the final structural validation fails (key-sum mismatches are
+/// reported through [`TrialResult::keysum_ok`] instead, so benchmarks can
+/// record them).
+pub fn run_trial(spec: &TrialSpec) -> TrialResult {
+    assert!(spec.threads >= 1);
+    let tree = AnyTree::build(spec);
+    let prefill_sum = prefill(&tree, spec.key_range, spec.seed);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(spec.threads + 1));
+    let delta_total = Arc::new(AtomicI64::new(0));
+
+    let (outcomes, elapsed) = std::thread::scope(|s| {
+        let mut joins = Vec::with_capacity(spec.threads);
+        for t in 0..spec.threads {
+            let tree = tree.clone();
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let delta_total = Arc::clone(&delta_total);
+            let spec = spec.clone();
+            joins.push(s.spawn(move || {
+                let mut h = tree.handle();
+                let mut rng = SplitMix64::new(spec.seed ^ (0xA11CE + 31 * t as u64));
+                barrier.wait();
+                let is_rq_thread = matches!(spec.workload, Workload::Heavy { .. })
+                    && t == spec.threads - 1
+                    && spec.threads >= 1;
+                let (updates, rqs, delta) = if is_rq_thread {
+                    let Workload::Heavy { rq_extent } = spec.workload else {
+                        unreachable!()
+                    };
+                    let rqs = rq_loop(&mut h, spec.key_range, rq_extent, &mut rng, &stop);
+                    (0, rqs, 0)
+                } else {
+                    let (ops, delta) = updater_loop(&mut h, spec.key_range, &mut rng, &stop);
+                    (ops, 0, delta)
+                };
+                delta_total.fetch_add(delta, Ordering::Relaxed);
+                WorkerOutcome {
+                    updates,
+                    rqs,
+                    keysum_delta: delta,
+                    stats: h.stats().clone(),
+                }
+            }));
+        }
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(spec.duration);
+        stop.store(true, Ordering::Release);
+        let outcomes: Vec<WorkerOutcome> =
+            joins.into_iter().map(|j| j.join().unwrap()).collect();
+        (outcomes, start.elapsed())
+    });
+
+    let mut stats = PathStats::new();
+    let mut updates = 0u64;
+    let mut rqs = 0u64;
+    let mut delta: i128 = 0;
+    for o in &outcomes {
+        stats.merge(&o.stats);
+        updates += o.updates;
+        rqs += o.rqs;
+        delta += o.keysum_delta as i128;
+    }
+
+    tree.validate().expect("structural validation failed");
+    let final_sum = tree.key_sum() as i128;
+    let keysum_ok = final_sum == prefill_sum + delta;
+    let total_ops = updates + rqs;
+
+    TrialResult {
+        throughput: total_ops as f64 / elapsed.as_secs_f64(),
+        total_ops,
+        update_ops: updates,
+        rq_ops: rqs,
+        elapsed,
+        stats,
+        keysum_ok,
+        final_size: tree.len(),
+    }
+}
+
+/// Runs `trials` repetitions, returning all results.
+pub fn run_trials(spec: &TrialSpec, trials: usize) -> Vec<TrialResult> {
+    (0..trials)
+        .map(|i| {
+            let mut s = spec.clone();
+            s.seed = spec.seed.wrapping_add(i as u64 * 0x9E37_79B9);
+            run_trial(&s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Structure;
+    use std::time::Duration;
+    use threepath_core::Strategy;
+
+    fn quick_spec(structure: Structure, strategy: Strategy, heavy: bool) -> TrialSpec {
+        TrialSpec {
+            structure,
+            strategy,
+            threads: if heavy { 3 } else { 2 },
+            duration: Duration::from_millis(30),
+            key_range: 512,
+            workload: if heavy {
+                Workload::Heavy { rq_extent: 64 }
+            } else {
+                Workload::Light
+            },
+            ..TrialSpec::default()
+        }
+    }
+
+    #[test]
+    fn light_trials_verify_on_both_structures() {
+        for structure in [Structure::Bst, Structure::AbTree] {
+            for strategy in [Strategy::ThreePath, Strategy::NonHtm] {
+                let r = run_trial(&quick_spec(structure, strategy, false));
+                assert!(r.keysum_ok, "{structure}/{strategy} keysum failed");
+                assert!(r.total_ops > 0);
+                assert_eq!(r.rq_ops, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_trials_run_range_queries() {
+        for structure in [Structure::Bst, Structure::AbTree] {
+            let r = run_trial(&quick_spec(structure, Strategy::ThreePath, true));
+            assert!(r.keysum_ok);
+            assert!(r.rq_ops > 0, "the RQ thread must complete queries");
+            assert!(r.update_ops > 0);
+        }
+    }
+
+    #[test]
+    fn prefill_reaches_half() {
+        let spec = quick_spec(Structure::AbTree, Strategy::ThreePath, false);
+        let tree = AnyTree::build(&spec);
+        let sum = prefill(&tree, spec.key_range, 7);
+        assert_eq!(tree.len() as u64, spec.key_range / 2);
+        assert_eq!(tree.key_sum() as i128, sum);
+    }
+
+    #[test]
+    fn multiple_trials_distinct_seeds() {
+        let spec = quick_spec(Structure::Bst, Strategy::Tle, false);
+        let rs = run_trials(&spec, 2);
+        assert_eq!(rs.len(), 2);
+        assert!(rs.iter().all(|r| r.keysum_ok));
+    }
+}

@@ -1,0 +1,171 @@
+//! Trial specifications.
+
+use std::time::Duration;
+
+use threepath_core::Strategy;
+use threepath_htm::HtmConfig;
+use threepath_reclaim::ReclaimMode;
+
+/// Which data structure a trial exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Structure {
+    /// The external unbalanced BST (paper Section 6.1).
+    Bst,
+    /// The relaxed (a,b)-tree (paper Section 6.2).
+    AbTree,
+}
+
+impl std::fmt::Display for Structure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Structure::Bst => "bst",
+            Structure::AbTree => "abtree",
+        })
+    }
+}
+
+impl Structure {
+    /// The paper's key range for this structure (BST: 10⁴; (a,b)-tree:
+    /// 10⁶). Benchmarks scale these down via environment variables when
+    /// running on small machines.
+    pub fn paper_key_range(self) -> u64 {
+        match self {
+            Structure::Bst => 10_000,
+            Structure::AbTree => 1_000_000,
+        }
+    }
+
+    /// The paper's maximum range-query extent `S` for this structure
+    /// (BST: 10³; (a,b)-tree: 10⁴ — chosen so queries touch a comparable
+    /// number of nodes).
+    pub fn paper_rq_extent(self) -> u64 {
+        match self {
+            Structure::Bst => 1_000,
+            Structure::AbTree => 10_000,
+        }
+    }
+}
+
+/// Workload mix (paper Section 7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// All `n` threads perform 50% inserts / 50% deletes.
+    Light,
+    /// `n − 1` updaters; one thread performs 100% range queries with
+    /// extent `s = ⌊x²·S⌋ + 1`.
+    Heavy {
+        /// Maximum range-query extent `S`.
+        rq_extent: u64,
+    },
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Workload::Light => f.write_str("light"),
+            Workload::Heavy { .. } => f.write_str("heavy"),
+        }
+    }
+}
+
+/// Full description of one timed trial.
+#[derive(Debug, Clone)]
+pub struct TrialSpec {
+    /// Data structure under test.
+    pub structure: Structure,
+    /// Execution-path strategy.
+    pub strategy: Strategy,
+    /// Number of worker threads (`n`).
+    pub threads: usize,
+    /// Measured duration (the paper uses 1 s trials).
+    pub duration: Duration,
+    /// Keys are drawn uniformly from `[0, key_range)`.
+    pub key_range: u64,
+    /// Operation mix.
+    pub workload: Workload,
+    /// Simulated-HTM parameters.
+    pub htm: HtmConfig,
+    /// Memory-reclamation mode.
+    pub reclaim: ReclaimMode,
+    /// Section 8 variant (search outside transactions).
+    pub search_outside_txn: bool,
+    /// Use a SNZI in place of the fetch-and-increment counter `F`.
+    pub snzi: bool,
+    /// Base PRNG seed (trial `i` derives per-thread seeds from it).
+    pub seed: u64,
+}
+
+impl Default for TrialSpec {
+    fn default() -> Self {
+        TrialSpec {
+            structure: Structure::Bst,
+            strategy: Strategy::ThreePath,
+            threads: 2,
+            duration: Duration::from_millis(200),
+            key_range: 10_000,
+            workload: Workload::Light,
+            htm: HtmConfig::default(),
+            reclaim: ReclaimMode::Epoch,
+            search_outside_txn: false,
+            snzi: false,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl TrialSpec {
+    /// A spec following the paper's parameters for `structure` (key range
+    /// and, for heavy workloads, RQ extent), scaled by `scale ∈ (0, 1]` to
+    /// fit smaller machines.
+    ///
+    /// The key range scales; the range-query extent does **not** (it is
+    /// only clamped to the key range), because what makes the heavy
+    /// workload heavy is the RQ footprint relative to the *fixed* HTM
+    /// capacity, not relative to the key range.
+    pub fn paper(structure: Structure, strategy: Strategy, heavy: bool, scale: f64) -> Self {
+        let key_range = ((structure.paper_key_range() as f64 * scale) as u64).max(64);
+        let rq_extent = structure.paper_rq_extent().min(key_range);
+        TrialSpec {
+            structure,
+            strategy,
+            key_range,
+            workload: if heavy {
+                Workload::Heavy { rq_extent }
+            } else {
+                Workload::Light
+            },
+            ..TrialSpec::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters() {
+        assert_eq!(Structure::Bst.paper_key_range(), 10_000);
+        assert_eq!(Structure::AbTree.paper_key_range(), 1_000_000);
+        assert_eq!(Structure::AbTree.paper_rq_extent(), 10_000);
+    }
+
+    #[test]
+    fn paper_spec_scales_key_range_not_extent() {
+        let s = TrialSpec::paper(Structure::AbTree, Strategy::ThreePath, true, 0.01);
+        assert_eq!(s.key_range, 10_000);
+        // The RQ extent stays at the paper's absolute size (clamped to the
+        // key range) so capacity aborts still occur at reduced scales.
+        assert!(matches!(s.workload, Workload::Heavy { rq_extent: 10_000 }));
+        let s = TrialSpec::paper(Structure::Bst, Strategy::ThreePath, true, 0.01);
+        assert_eq!(s.key_range, 100);
+        assert!(matches!(s.workload, Workload::Heavy { rq_extent: 100 }));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Structure::Bst.to_string(), "bst");
+        assert_eq!(Workload::Light.to_string(), "light");
+        assert_eq!(Workload::Heavy { rq_extent: 5 }.to_string(), "heavy");
+    }
+}

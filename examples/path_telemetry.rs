@@ -1,0 +1,73 @@
+//! Watching the three execution paths do their job (the story of the
+//! paper's Figure 1): under a light workload everything runs on the
+//! uninstrumented fast path; when long-running operations start falling
+//! back, 3-path keeps hardware transactions flowing on the middle path
+//! while TLE-style designs would serialize.
+//!
+//! Run with: `cargo run --release --example path_telemetry`
+
+use std::time::Duration;
+
+use threepath::core::{PathKind, Strategy};
+use threepath::workload::{run_trial, Structure, TrialSpec, Workload};
+
+fn show(label: &str, spec: &TrialSpec) {
+    let r = run_trial(spec);
+    assert!(r.keysum_ok, "key-sum verification failed");
+    println!(
+        "{label:<28} {:>10.0} ops/s | paths: {:>5.1}% fast {:>5.1}% middle {:>6.2}% fallback",
+        r.throughput,
+        r.path_fraction(PathKind::Fast) * 100.0,
+        r.path_fraction(PathKind::Middle) * 100.0,
+        r.path_fraction(PathKind::Fallback) * 100.0,
+    );
+    let fast_aborts = r.stats.aborts(PathKind::Fast);
+    let mid_aborts = r.stats.aborts(PathKind::Middle);
+    println!(
+        "{:<28} aborts fast: {} conflict / {} capacity / {} explicit; middle: {} total",
+        "",
+        fast_aborts.conflict,
+        fast_aborts.capacity,
+        fast_aborts.explicit,
+        mid_aborts.total(),
+    );
+}
+
+fn main() {
+    let base = TrialSpec {
+        structure: Structure::AbTree,
+        threads: 4,
+        duration: Duration::from_millis(400),
+        key_range: 50_000,
+        ..TrialSpec::default()
+    };
+
+    println!("== light workload (all threads 50% insert / 50% delete) ==");
+    for strategy in [Strategy::ThreePath, Strategy::Tle, Strategy::TwoPathCon, Strategy::NonHtm] {
+        let spec = TrialSpec {
+            strategy,
+            workload: Workload::Light,
+            ..base.clone()
+        };
+        show(&strategy.to_string(), &spec);
+    }
+
+    println!();
+    println!("== heavy workload (one thread runs 100% large range queries) ==");
+    for strategy in [Strategy::ThreePath, Strategy::Tle, Strategy::TwoPathCon, Strategy::NonHtm] {
+        let spec = TrialSpec {
+            strategy,
+            workload: Workload::Heavy { rq_extent: 10_000 },
+            ..base.clone()
+        };
+        show(&strategy.to_string(), &spec);
+    }
+
+    println!();
+    println!(
+        "Reading the tea leaves: in the heavy workload the big range queries blow the\n\
+         HTM capacity and land on the software path. Under TLE that serializes every\n\
+         update behind a global lock; under 3-path updates keep committing on the\n\
+         middle path (look at the middle-path percentage), which is the paper's point."
+    );
+}

@@ -1,0 +1,16 @@
+//! # threepath
+//!
+//! Facade crate for the `threepath` workspace — a reproduction of
+//! Trevor Brown, *"A Template for Implementing Fast Lock-free Trees Using
+//! HTM"* (PODC 2017). See the repository README for an overview.
+
+pub use threepath_abtree as abtree;
+pub use threepath_bst as bst;
+pub use threepath_core as core;
+pub use threepath_htm as htm;
+pub use threepath_hybridnorec as hybridnorec;
+pub use threepath_kcas as kcas;
+pub use threepath_llxscx as llxscx;
+pub use threepath_rcu as rcu;
+pub use threepath_reclaim as reclaim;
+pub use threepath_workload as workload;

@@ -1,0 +1,123 @@
+//! Property-based oracle tests: arbitrary operation sequences against
+//! `BTreeMap`, across structures and strategies.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use threepath::abtree::{AbTree, AbTreeConfig};
+use threepath::bst::{Bst, BstConfig};
+use threepath::core::Strategy as ExecStrategy;
+use threepath::htm::HtmConfig;
+use threepath::kcas::KcasList;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    Range(u64, u64),
+}
+
+fn op_strategy(key_range: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..key_range, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0..key_range).prop_map(Op::Remove),
+        (0..key_range).prop_map(Op::Get),
+        (0..key_range, 0..64u64).prop_map(|(lo, len)| Op::Range(lo, lo + len)),
+    ]
+}
+
+fn exec_strategy() -> impl Strategy<Value = ExecStrategy> {
+    prop_oneof![
+        Just(ExecStrategy::NonHtm),
+        Just(ExecStrategy::Tle),
+        Just(ExecStrategy::TwoPathCon),
+        Just(ExecStrategy::TwoPathNonCon),
+        Just(ExecStrategy::ThreePath),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bst_matches_btreemap(ops in proptest::collection::vec(op_strategy(64), 1..400),
+                            strat in exec_strategy(),
+                            spurious in prop_oneof![Just(0.0), Just(0.5)]) {
+        let tree = Arc::new(Bst::with_config(BstConfig {
+            strategy: strat,
+            htm: HtmConfig::default().with_spurious(spurious),
+            ..BstConfig::default()
+        }));
+        let mut h = tree.handle();
+        let mut oracle = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => prop_assert_eq!(h.insert(k, v), oracle.insert(k, v)),
+                Op::Remove(k) => prop_assert_eq!(h.remove(k), oracle.remove(&k)),
+                Op::Get(k) => prop_assert_eq!(h.get(k), oracle.get(&k).copied()),
+                Op::Range(lo, hi) => {
+                    let want: Vec<(u64, u64)> =
+                        oracle.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(h.range_query(lo, hi), want);
+                }
+            }
+        }
+        drop(h);
+        let shape = tree.validate().map_err(|e| TestCaseError::fail(e))?;
+        prop_assert_eq!(shape.keys, oracle.len());
+    }
+
+    #[test]
+    fn abtree_matches_btreemap(ops in proptest::collection::vec(op_strategy(128), 1..400),
+                               strat in exec_strategy()) {
+        let tree = Arc::new(AbTree::with_config(AbTreeConfig {
+            strategy: strat,
+            ..AbTreeConfig::default()
+        }));
+        let mut h = tree.handle();
+        let mut oracle = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => prop_assert_eq!(h.insert(k, v), oracle.insert(k, v)),
+                Op::Remove(k) => prop_assert_eq!(h.remove(k), oracle.remove(&k)),
+                Op::Get(k) => prop_assert_eq!(h.get(k), oracle.get(&k).copied()),
+                Op::Range(lo, hi) => {
+                    let want: Vec<(u64, u64)> =
+                        oracle.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(h.range_query(lo, hi), want);
+                }
+            }
+        }
+        drop(h);
+        let shape = tree.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(shape.keys, oracle.len());
+        prop_assert_eq!(shape.tagged, 0);
+        prop_assert_eq!(shape.underfull, 0);
+    }
+
+    #[test]
+    fn kcas_list_matches_btreemap(ops in proptest::collection::vec(op_strategy(48), 1..250)) {
+        let list = Arc::new(KcasList::new());
+        let mut h = list.handle();
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let k = k + 1; // list keys start at 1 (head sentinel)
+                    let inserted = h.insert(k, v);
+                    prop_assert_eq!(inserted, !oracle.contains_key(&k));
+                    oracle.entry(k).or_insert(v);
+                }
+                Op::Remove(k) => prop_assert_eq!(h.remove(k + 1), oracle.remove(&(k + 1))),
+                Op::Get(k) => prop_assert_eq!(h.get(k + 1), oracle.get(&(k + 1)).copied()),
+                Op::Range(..) => {} // lists do not expose range queries
+            }
+        }
+        drop(h);
+        let want: Vec<(u64, u64)> = oracle.into_iter().collect();
+        prop_assert_eq!(list.collect(), want);
+    }
+}
