@@ -955,8 +955,8 @@ mod tests {
                     prop_assert!(r.keys.iter().all(|k| *k > pivot));
                     // Both halves keep at least ceil((B+1)/2) - ish degree:
                     // never underfull for a = 6 with b = 16.
-                    prop_assert!(l.ptrs.len() >= (B + 1) / 2);
-                    prop_assert!(r.ptrs.len() >= (B + 1) / 2 - 1);
+                    prop_assert!(l.ptrs.len() >= B.div_ceil(2));
+                    prop_assert!(r.ptrs.len() >= B.div_ceil(2) - 1);
                 }
             }
 
@@ -1004,8 +1004,8 @@ mod tests {
                     prop_assert!(l.ptrs.len() <= B && r.ptrs.len() <= B);
                     // Redistribution leaves both sides >= floor((B+1)/2):
                     // no fresh degree violations for the paper's a = 6.
-                    prop_assert!(l.ptrs.len() >= (B + 1) / 2);
-                    prop_assert!(r.ptrs.len() >= (B + 1) / 2 - 1);
+                    prop_assert!(l.ptrs.len() >= B.div_ceil(2));
+                    prop_assert!(r.ptrs.len() >= B.div_ceil(2) - 1);
                 }
             }
 

@@ -30,7 +30,7 @@ fn route(
     key: u64,
 ) -> Result<usize, Abort> {
     let size = read(n.size_cell())? as usize;
-    debug_assert!(size >= 1 && size <= B);
+    debug_assert!((1..=B).contains(&size));
     let mut i = 0;
     while i + 1 < size && key >= read(n.key_cell(i))? {
         i += 1;

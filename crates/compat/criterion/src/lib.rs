@@ -1,0 +1,197 @@
+//! Offline shim for [criterion](https://crates.io/crates/criterion).
+//!
+//! This workspace builds in an environment without crates.io access, so the
+//! real criterion cannot be fetched. This crate implements the small slice
+//! of criterion's API that the `threepath-bench` harnesses use — enough to
+//! compile every bench target and to produce simple wall-clock timings when
+//! actually run under `cargo bench`. It performs no statistical analysis,
+//! writes no HTML reports, and supports no CLI filtering.
+//!
+//! To use the real criterion, point the `criterion` entry in the root
+//! `[workspace.dependencies]` back at the registry.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(200),
+            warm_up_time: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Registers and immediately runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, &id, f);
+        self
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and immediately runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion, &full, f);
+        self
+    }
+
+    /// Finishes the group (a no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters_hint: u64,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times to fill the configured budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_hint {
+            black_box(f());
+        }
+        self.total += start.elapsed();
+        self.iters += self.iters_hint;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, mut f: F) {
+    // Calibrate: find an iteration count that takes roughly 1ms, capped so
+    // a single sample can never exceed the measurement budget.
+    let mut iters_hint = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters_hint,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        let start = Instant::now();
+        f(&mut b);
+        if start.elapsed() >= Duration::from_millis(1) || iters_hint >= 1 << 20 {
+            break;
+        }
+        iters_hint *= 4;
+    }
+
+    // Warm up.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < c.warm_up_time {
+        let mut b = Bencher {
+            iters_hint,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+    }
+
+    // Timed samples within the measurement budget.
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    let budget_start = Instant::now();
+    for _ in 0..c.sample_size {
+        let mut b = Bencher {
+            iters_hint,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        total += b.total;
+        iters += b.iters;
+        if budget_start.elapsed() >= c.measurement_time {
+            break;
+        }
+    }
+
+    if iters == 0 {
+        println!("{id:<48} (no iterations recorded)");
+    } else {
+        let ns = total.as_nanos() as f64 / iters as f64;
+        println!("{id:<48} {ns:>12.1} ns/iter  ({iters} iters)");
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a function running each
+/// target against a configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: generates `fn main` running groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

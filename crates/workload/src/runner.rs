@@ -15,10 +15,14 @@ use crate::spec::{TrialSpec, Workload};
 /// keys until half the range is present (the paper prefills with a 50/50
 /// update mix until half full; direct filling reaches the same steady-state
 /// composition faster). Returns the key-sum delta contributed.
+///
+/// The target is clamped to the number of distinct keys, so degenerate
+/// ranges (`key_range < 2`) terminate instead of waiting forever for a
+/// second distinct key that cannot exist.
 pub fn prefill(tree: &AnyTree, key_range: u64, seed: u64) -> i128 {
     let mut h = tree.handle();
     let mut rng = SplitMix64::new(seed ^ 0xF1EE);
-    let target = (key_range / 2).max(1);
+    let target = (key_range / 2).max(1).min(key_range);
     let mut inserted = 0u64;
     let mut sum: i128 = 0;
     while inserted < target {
@@ -83,6 +87,10 @@ fn rq_loop(h: &mut AnyHandle, key_range: u64, rq_extent: u64, rng: &mut SplitMix
 /// record them).
 pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     assert!(spec.threads >= 1);
+    assert!(
+        spec.key_range >= 1,
+        "TrialSpec::key_range must be at least 1 (updaters draw keys from [0, key_range))"
+    );
     let tree = AnyTree::build(spec);
     let prefill_sum = prefill(&tree, spec.key_range, spec.seed);
 
@@ -224,6 +232,20 @@ mod tests {
         let sum = prefill(&tree, spec.key_range, 7);
         assert_eq!(tree.len() as u64, spec.key_range / 2);
         assert_eq!(tree.key_sum() as i128, sum);
+    }
+
+    #[test]
+    fn prefill_terminates_on_degenerate_key_ranges() {
+        let spec = quick_spec(Structure::Bst, Strategy::NonHtm, false);
+        // key_range = 0: no insertable keys, target clamps to 0.
+        let tree = AnyTree::build(&spec);
+        assert_eq!(prefill(&tree, 0, 7), 0);
+        assert_eq!(tree.len(), 0);
+        // key_range = 1: exactly one distinct key exists; the unclamped
+        // target of max(1) is reachable, but never more than that.
+        let tree = AnyTree::build(&spec);
+        assert_eq!(prefill(&tree, 1, 7), 0); // the only key is 0
+        assert_eq!(tree.len(), 1);
     }
 
     #[test]

@@ -1,5 +1,12 @@
 //! Workspace-level concurrent scenarios: multiple structures under load at
 //! once, range-query consistency, and failure-injected path churn.
+//!
+//! Every assertion is an interleaving-independent invariant, but the
+//! execution itself is multi-threaded (and, for the chaos tests, driven by
+//! the HTM emulator's seeded failure injection). The whole file is gated
+//! behind the default-on `stress-tests` feature so a strictly
+//! deterministic CI lane can opt out with `--no-default-features`.
+#![cfg(feature = "stress-tests")]
 
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;

@@ -66,7 +66,7 @@ proptest! {
             }
         }
         drop(h);
-        let shape = tree.validate().map_err(|e| TestCaseError::fail(e))?;
+        let shape = tree.validate().map_err(TestCaseError::fail)?;
         prop_assert_eq!(shape.keys, oracle.len());
     }
 
