@@ -1,0 +1,81 @@
+//! Sharding sweep: throughput of the sharded map vs a single tree, under
+//! the paper's uniform distribution and under a zipfian-like popularity
+//! skew (hot keys scattered across the key space).
+//!
+//! The single tree serializes all HTM traffic through one runtime and one
+//! fallback indicator; the sharded map gives each key-range shard its own,
+//! so updates to different shards never conflict. Expect shards > 1 to pull
+//! ahead as threads grow, with the gap widening under skew (a hot key only
+//! disturbs its own shard).
+//!
+//! Scale with `THREEPATH_THREADS`, `THREEPATH_TRIAL_MS`, `THREEPATH_TRIALS`
+//! and `THREEPATH_SCALE` (see `threepath-bench` docs).
+
+use threepath_bench::{describe, measure_spec, print_panel, write_csv, BenchEnv, Cell};
+use threepath_core::Strategy;
+use threepath_workload::{KeyDist, Structure, TrialSpec};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let env = BenchEnv::load();
+    println!("Sharded-map sweep (3-path BST shards)");
+    println!("{}", describe(&env));
+
+    let key_range =
+        ((Structure::Bst.paper_key_range() as f64 * env.scale) as u64).max(256);
+    let mut all = Vec::new();
+    for (dist, dist_name) in [
+        (KeyDist::Uniform, "uniform"),
+        (KeyDist::Skewed { exponent: 3.0 }, "skewed"),
+    ] {
+        let mut cells = Vec::new();
+        for shards in SHARD_COUNTS {
+            let structure = if shards == 1 {
+                Structure::Bst
+            } else {
+                Structure::ShardedBst { shards }
+            };
+            for &threads in &env.threads {
+                let spec = TrialSpec {
+                    structure,
+                    strategy: Strategy::ThreePath,
+                    threads,
+                    key_range,
+                    key_dist: dist,
+                    ..TrialSpec::default()
+                };
+                let result = measure_spec(&env, &spec);
+                cells.push(Cell {
+                    structure,
+                    workload: dist_name,
+                    series: format!("{shards}-shard"),
+                    threads,
+                    result,
+                });
+            }
+        }
+        print_panel(
+            &format!("{dist_name} keys, light updates (throughput, ops/s)"),
+            &cells,
+            &env.threads,
+        );
+        all.extend(cells);
+    }
+    write_csv("sharded", &all);
+
+    let t = env.max_threads();
+    for dist_name in ["uniform", "skewed"] {
+        let one = throughput(&all, dist_name, "1-shard", t);
+        let eight = throughput(&all, dist_name, "8-shard", t);
+        println!("{dist_name:>8}: 8 shards vs 1 at {t} threads: {:.2}x", eight / one);
+    }
+}
+
+fn throughput(cells: &[Cell], workload: &str, series: &str, threads: usize) -> f64 {
+    cells
+        .iter()
+        .find(|c| c.workload == workload && c.series == series && c.threads == threads)
+        .map(|c| c.result.throughput)
+        .unwrap_or(f64::NAN)
+}

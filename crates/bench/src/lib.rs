@@ -77,7 +77,8 @@ impl BenchEnv {
 pub struct Cell {
     /// Data structure.
     pub structure: Structure,
-    /// Workload name (light/heavy).
+    /// Panel label: the workload name (light/heavy) or, for the sharded
+    /// sweep, the key-distribution name (uniform/skewed).
     pub workload: &'static str,
     /// Strategy (or baseline label).
     pub series: String,
@@ -85,6 +86,23 @@ pub struct Cell {
     pub threads: usize,
     /// Averaged result.
     pub result: TrialResult,
+}
+
+/// Runs an explicit spec (averaging `env.trials` repetitions with the
+/// env's trial duration). Used by harnesses that vary more than
+/// structure × strategy — e.g. the sharded sweep, which also varies the
+/// key distribution.
+pub fn measure_spec(env: &BenchEnv, spec: &TrialSpec) -> TrialResult {
+    let mut spec = spec.clone();
+    spec.duration = env.duration;
+    let results = run_trials(&spec, env.trials);
+    let avg = average(&results);
+    assert!(
+        avg.keysum_ok,
+        "key-sum verification failed: {}/{}/{}/{}t",
+        spec.structure, spec.strategy, spec.key_dist, spec.threads
+    );
+    avg
 }
 
 /// Runs one configuration (averaging `env.trials` repetitions).
@@ -97,14 +115,7 @@ pub fn measure(
 ) -> TrialResult {
     let mut spec = TrialSpec::paper(structure, strategy, heavy, env.scale);
     spec.threads = threads;
-    spec.duration = env.duration;
-    let results = run_trials(&spec, env.trials);
-    let avg = average(&results);
-    assert!(
-        avg.keysum_ok,
-        "key-sum verification failed: {structure}/{strategy}/{threads}t"
-    );
-    avg
+    measure_spec(env, &spec)
 }
 
 /// Sweeps `threads × strategies` for one panel (structure × workload).

@@ -132,6 +132,37 @@ mod tests {
     }
 
     #[test]
+    fn display_strings_are_the_paper_labels() {
+        let labels: Vec<String> = Strategy::ALL.iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            labels,
+            ["non-htm", "tle", "2-path-con", "2-path-noncon", "3-path"]
+        );
+    }
+
+    #[test]
+    fn parse_accepts_short_aliases() {
+        for (alias, want) in [
+            ("nonhtm", Strategy::NonHtm),
+            ("2pc", Strategy::TwoPathCon),
+            ("2pnc", Strategy::TwoPathNonCon),
+            ("3p", Strategy::ThreePath),
+        ] {
+            assert_eq!(alias.parse::<Strategy>().unwrap(), want, "{alias}");
+        }
+    }
+
+    #[test]
+    fn parse_error_names_the_offending_input() {
+        let err = "three-path".parse::<Strategy>().unwrap_err();
+        assert_eq!(err.to_string(), "unknown strategy `three-path`");
+        // Parsing is case-sensitive and exact: Display output with extra
+        // whitespace is rejected, not silently trimmed.
+        assert!(" tle".parse::<Strategy>().is_err());
+        assert!("TLE".parse::<Strategy>().is_err());
+    }
+
+    #[test]
     fn lock_freedom() {
         assert!(!Strategy::Tle.is_lock_free());
         assert!(Strategy::ThreePath.is_lock_free());

@@ -1,0 +1,45 @@
+//! Key-space-sharded map layer over the three-path template trees.
+//!
+//! A single template tree owns one HTM runtime and one reclamation domain,
+//! so under heavy traffic every hardware transaction in the process
+//! contends on the same conflict-detection state and every retired node
+//! funnels through the same limbo bags. [`ShardedMap`] partitions the key
+//! space into `N` contiguous ranges and gives each range its **own**
+//! tree — own simulated-HTM runtime, own epoch-reclamation domain, own
+//! fallback indicator — so operations on different shards never interact
+//! and the paper's per-tree correctness argument applies to each shard
+//! unchanged.
+//!
+//! Shards are *range* partitions (`shard = key / width`), so keys in shard
+//! `i` are all smaller than keys in shard `i + 1` and a cross-shard range
+//! query is just the concatenation of per-shard range queries in shard
+//! order. Each per-shard query is individually atomic (a consistent
+//! snapshot of that shard); the concatenation is **not** a single atomic
+//! snapshot of the whole map — see [`ShardedHandle::range_query`].
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use threepath_sharded::{ShardBackend, ShardedConfig, ShardedMap};
+//!
+//! let map = Arc::new(ShardedMap::with_config(ShardedConfig {
+//!     shards: 4,
+//!     key_space: 1000,
+//!     backend: ShardBackend::Bst,
+//!     ..ShardedConfig::default()
+//! }));
+//! let mut h = map.handle();
+//! h.insert(10, 1);   // shard 0
+//! h.insert(990, 2);  // shard 3
+//! assert_eq!(h.get(10), Some(1));
+//! assert_eq!(h.range_query(0, 1000), vec![(10, 1), (990, 2)]);
+//! assert_eq!(map.len(), 2);
+//! assert_eq!(map.key_sum(), 1000);
+//! ```
+
+#![warn(missing_docs)]
+
+mod map;
+
+pub use map::{ShardBackend, ShardHandle, ShardTree, ShardedConfig, ShardedHandle, ShardedMap};

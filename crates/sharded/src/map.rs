@@ -1,0 +1,585 @@
+//! The sharded map, its configuration and per-thread handles.
+
+use std::sync::Arc;
+
+use threepath_abtree::{AbTree, AbTreeConfig, AbTreeHandle};
+use threepath_bst::{Bst, BstConfig, BstHandle};
+use threepath_core::{PathStats, Strategy};
+use threepath_htm::HtmConfig;
+use threepath_reclaim::ReclaimMode;
+
+/// Which template tree backs each shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardBackend {
+    /// External unbalanced BST (paper Section 6.1).
+    Bst,
+    /// Relaxed (a,b)-tree (paper Section 6.2).
+    AbTree,
+}
+
+impl std::fmt::Display for ShardBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShardBackend::Bst => "bst",
+            ShardBackend::AbTree => "abtree",
+        })
+    }
+}
+
+/// Configuration for a [`ShardedMap`].
+///
+/// The per-tree knobs (`strategy`, `htm`, `reclaim`, `search_outside_txn`,
+/// `snzi`) apply to **every** shard; each shard still instantiates its own
+/// runtime and domain from them.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Number of shards (`>= 1`).
+    pub shards: usize,
+    /// Tree type backing each shard.
+    pub backend: ShardBackend,
+    /// Expected key-space upper bound: keys in `[0, key_space)` partition
+    /// evenly across shards. Keys `>= key_space` still route by the same
+    /// `key / width` rule, clamped to the last shard — so when
+    /// `shards <= key_space` (the normal case) every overflow key lands in
+    /// the last shard. Ordering across shards is preserved either way.
+    pub key_space: u64,
+    /// Execution-path strategy for every shard.
+    pub strategy: Strategy,
+    /// Simulated-HTM parameters (each shard builds its own runtime).
+    pub htm: HtmConfig,
+    /// Memory-reclamation mode (each shard builds its own domain).
+    pub reclaim: ReclaimMode,
+    /// Section 8 variant (search outside transactions).
+    pub search_outside_txn: bool,
+    /// Use a SNZI in place of the fetch-and-increment counter `F`.
+    pub snzi: bool,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            backend: ShardBackend::Bst,
+            key_space: 1 << 20,
+            strategy: Strategy::ThreePath,
+            htm: HtmConfig::default(),
+            reclaim: ReclaimMode::Epoch,
+            search_outside_txn: false,
+            snzi: false,
+        }
+    }
+}
+
+/// A single template tree of either backend — one shard of a
+/// [`ShardedMap`], also usable standalone as a uniform front over
+/// [`Bst`]/[`AbTree`] (the workload harness drives unsharded trials
+/// through it). Each instance owns its own HTM runtime and reclamation
+/// domain (created by the tree constructor).
+#[derive(Clone)]
+pub enum ShardTree {
+    /// External unbalanced BST.
+    Bst(Arc<Bst>),
+    /// Relaxed (a,b)-tree.
+    AbTree(Arc<AbTree>),
+}
+
+impl ShardTree {
+    /// Builds one tree from the per-tree fields of `cfg` (`backend`,
+    /// `strategy`, `htm`, `reclaim`, `search_outside_txn`, `snzi`);
+    /// `shards` and `key_space` are partitioning concerns and ignored.
+    pub fn build(cfg: &ShardedConfig) -> ShardTree {
+        match cfg.backend {
+            ShardBackend::Bst => ShardTree::Bst(Arc::new(Bst::with_config(BstConfig {
+                strategy: cfg.strategy,
+                htm: cfg.htm.clone(),
+                limits: None,
+                reclaim: cfg.reclaim,
+                search_outside_txn: cfg.search_outside_txn,
+                snzi: cfg.snzi,
+            }))),
+            ShardBackend::AbTree => ShardTree::AbTree(Arc::new(AbTree::with_config(AbTreeConfig {
+                strategy: cfg.strategy,
+                htm: cfg.htm.clone(),
+                limits: None,
+                reclaim: cfg.reclaim,
+                search_outside_txn: cfg.search_outside_txn,
+                snzi: cfg.snzi,
+                ..AbTreeConfig::default()
+            }))),
+        }
+    }
+
+    /// Registers the calling thread and returns an operation handle.
+    pub fn handle(&self) -> ShardHandle {
+        match self {
+            ShardTree::Bst(t) => ShardHandle::Bst(t.handle()),
+            ShardTree::AbTree(t) => ShardHandle::AbTree(t.handle()),
+        }
+    }
+
+    /// Sum of all keys (quiescent).
+    pub fn key_sum(&self) -> u128 {
+        match self {
+            ShardTree::Bst(t) => t.key_sum(),
+            ShardTree::AbTree(t) => t.key_sum(),
+        }
+    }
+
+    /// Number of keys (quiescent).
+    pub fn len(&self) -> usize {
+        match self {
+            ShardTree::Bst(t) => t.len(),
+            ShardTree::AbTree(t) => t.len(),
+        }
+    }
+
+    /// Whether the tree is empty (quiescent).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All pairs in ascending key order (quiescent).
+    pub fn collect(&self) -> Vec<(u64, u64)> {
+        match self {
+            ShardTree::Bst(t) => t.collect(),
+            ShardTree::AbTree(t) => t.collect(),
+        }
+    }
+
+    /// Structural validation (quiescent). Returns an error description on
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            ShardTree::Bst(t) => t.validate().map(|_| ()),
+            ShardTree::AbTree(t) => t.validate().map(|_| ()),
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardTree::Bst(t) => t.fmt(f),
+            ShardTree::AbTree(t) => t.fmt(f),
+        }
+    }
+}
+
+/// A per-thread handle to one [`ShardTree`].
+pub enum ShardHandle {
+    /// BST handle.
+    Bst(BstHandle),
+    /// (a,b)-tree handle.
+    AbTree(AbTreeHandle),
+}
+
+impl ShardHandle {
+    /// Inserts a pair, returning the previous value.
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        match self {
+            ShardHandle::Bst(h) => h.insert(key, value),
+            ShardHandle::AbTree(h) => h.insert(key, value),
+        }
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        match self {
+            ShardHandle::Bst(h) => h.remove(key),
+            ShardHandle::AbTree(h) => h.remove(key),
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        match self {
+            ShardHandle::Bst(h) => h.get(key),
+            ShardHandle::AbTree(h) => h.get(key),
+        }
+    }
+
+    /// Range query over `[lo, hi)` (an atomic snapshot, as on the
+    /// underlying tree).
+    pub fn range_query(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        match self {
+            ShardHandle::Bst(h) => h.range_query(lo, hi),
+            ShardHandle::AbTree(h) => h.range_query(lo, hi),
+        }
+    }
+
+    /// Path statistics accumulated by this handle.
+    pub fn stats(&self) -> &PathStats {
+        match self {
+            ShardHandle::Bst(h) => h.stats(),
+            ShardHandle::AbTree(h) => h.stats(),
+        }
+    }
+}
+
+/// A concurrent ordered map partitioned by key range across `N`
+/// independent template trees.
+///
+/// Shard `i` owns keys in `[i·width, (i+1)·width)` where
+/// `width = ceil(key_space / shards)`; the last shard additionally owns
+/// every key `>= key_space`. Since the partition is contiguous, the map
+/// stays globally ordered and quiescent accessors ([`ShardedMap::collect`],
+/// [`ShardedMap::key_sum`], [`ShardedMap::len`]) reduce over shards in
+/// order.
+///
+/// Create per-thread handles with [`ShardedMap::handle`]; all operations
+/// go through handles, which lazily create and cache one inner tree handle
+/// per shard the thread actually touches.
+pub struct ShardedMap {
+    shards: Vec<ShardTree>,
+    width: u64,
+    key_space: u64,
+    backend: ShardBackend,
+    strategy: Strategy,
+}
+
+impl ShardedMap {
+    /// A map with the default configuration (4 BST shards, 3-path).
+    pub fn new() -> Self {
+        Self::with_config(ShardedConfig::default())
+    }
+
+    /// A map with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.shards == 0`.
+    pub fn with_config(cfg: ShardedConfig) -> Self {
+        assert!(cfg.shards >= 1, "ShardedMap needs at least one shard");
+        let shards: Vec<ShardTree> = (0..cfg.shards).map(|_| ShardTree::build(&cfg)).collect();
+        let width = cfg.key_space.div_ceil(cfg.shards as u64).max(1);
+        ShardedMap {
+            shards,
+            width,
+            key_space: cfg.key_space,
+            backend: cfg.backend,
+            strategy: cfg.strategy,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The tree type backing each shard.
+    pub fn backend(&self) -> ShardBackend {
+        self.backend
+    }
+
+    /// The execution strategy every shard runs with.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The configured key-space upper bound.
+    pub fn key_space(&self) -> u64 {
+        self.key_space
+    }
+
+    /// Which shard owns `key`.
+    pub fn shard_of(&self, key: u64) -> usize {
+        ((key / self.width) as usize).min(self.shards.len() - 1)
+    }
+
+    /// Registers the calling thread and returns an operation handle.
+    pub fn handle(self: &Arc<Self>) -> ShardedHandle {
+        ShardedHandle {
+            cached: (0..self.shards.len()).map(|_| None).collect(),
+            map: Arc::clone(self),
+        }
+    }
+
+    /// Sum of all keys across shards (quiescent: callers must ensure no
+    /// concurrent updates, as with the per-tree `key_sum`).
+    pub fn key_sum(&self) -> u128 {
+        self.shards.iter().map(ShardTree::key_sum).sum()
+    }
+
+    /// Number of keys across shards (quiescent).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(ShardTree::len).sum()
+    }
+
+    /// Whether the map is empty (quiescent).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Keys per shard, in shard order (quiescent) — the load-balance view.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(ShardTree::len).collect()
+    }
+
+    /// All pairs in ascending key order (quiescent): per-shard collects
+    /// concatenated in shard order.
+    pub fn collect(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.collect());
+        }
+        out
+    }
+
+    /// Validates every shard's structure and that each shard only holds
+    /// keys from its own range (quiescent).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.shards.len();
+        for (i, s) in self.shards.iter().enumerate() {
+            s.validate().map_err(|e| format!("shard {i}: {e}"))?;
+            let lo = i as u64 * self.width;
+            for (k, _) in s.collect() {
+                let in_range = k >= lo && (i == n - 1 || k < lo + self.width);
+                if !in_range {
+                    return Err(format!("shard {i} holds out-of-range key {k}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ShardedMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ShardedMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMap")
+            .field("shards", &self.shards.len())
+            .field("backend", &self.backend)
+            .field("strategy", &self.strategy)
+            .field("key_space", &self.key_space)
+            .field("width", &self.width)
+            .finish()
+    }
+}
+
+/// A per-thread handle to a [`ShardedMap`].
+///
+/// Inner shard handles are created lazily on first touch and cached, so a
+/// thread that only ever works in one shard registers with exactly one
+/// runtime/domain.
+pub struct ShardedHandle {
+    map: Arc<ShardedMap>,
+    cached: Vec<Option<ShardHandle>>,
+}
+
+impl ShardedHandle {
+    /// The map this handle operates on.
+    pub fn map(&self) -> &Arc<ShardedMap> {
+        &self.map
+    }
+
+    fn shard_handle(&mut self, shard: usize) -> &mut ShardHandle {
+        let slot = &mut self.cached[shard];
+        if slot.is_none() {
+            *slot = Some(self.map.shards[shard].handle());
+        }
+        slot.as_mut().unwrap()
+    }
+
+    /// Inserts a pair, returning the previous value.
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        let s = self.map.shard_of(key);
+        self.shard_handle(s).insert(key, value)
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        let s = self.map.shard_of(key);
+        self.shard_handle(s).remove(key)
+    }
+
+    /// Looks up a key.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        let s = self.map.shard_of(key);
+        self.shard_handle(s).get(key)
+    }
+
+    /// Whether a key is present.
+    pub fn contains(&mut self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Range query over `[lo, hi)`: an ordered merge of per-shard range
+    /// queries.
+    ///
+    /// Each per-shard query is individually atomic (a consistent snapshot
+    /// of that shard, exactly as on the underlying tree), and results are
+    /// concatenated in shard order so the output is sorted. A query that
+    /// spans multiple shards is **not** a single atomic snapshot of the
+    /// whole map: updates may land in an already-visited shard while later
+    /// shards are still being read.
+    pub fn range_query(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        if lo >= hi {
+            return Vec::new();
+        }
+        let first = self.map.shard_of(lo);
+        let last = self.map.shard_of(hi - 1);
+        let width = self.map.width;
+        let shard_count = self.map.shard_count();
+        let mut out = Vec::new();
+        for s in first..=last {
+            // Clamp to the shard's own range; the last shard is unbounded
+            // above (it also owns keys >= key_space).
+            let slo = lo.max(s as u64 * width);
+            let shi = if s == shard_count - 1 {
+                hi
+            } else {
+                hi.min((s as u64 + 1) * width)
+            };
+            if slo < shi {
+                out.extend(self.shard_handle(s).range_query(slo, shi));
+            }
+        }
+        out
+    }
+
+    /// Merged path statistics across every shard this thread has touched.
+    pub fn stats(&self) -> PathStats {
+        let mut merged = PathStats::new();
+        for h in self.cached.iter().flatten() {
+            merged.merge(h.stats());
+        }
+        merged
+    }
+}
+
+impl std::fmt::Debug for ShardedHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedHandle")
+            .field("shards", &self.map.shard_count())
+            .field("touched", &self.cached.iter().filter(|c| c.is_some()).count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(shards: usize, backend: ShardBackend) -> Arc<ShardedMap> {
+        Arc::new(ShardedMap::with_config(ShardedConfig {
+            shards,
+            backend,
+            key_space: 100,
+            ..ShardedConfig::default()
+        }))
+    }
+
+    #[test]
+    fn routing_is_contiguous_and_total() {
+        let map = small(4, ShardBackend::Bst);
+        assert_eq!(map.shard_of(0), 0);
+        assert_eq!(map.shard_of(24), 0);
+        assert_eq!(map.shard_of(25), 1);
+        assert_eq!(map.shard_of(99), 3);
+        // Overflow keys route to the last shard.
+        assert_eq!(map.shard_of(100), 3);
+        assert_eq!(map.shard_of(u64::MAX), 3);
+        // Routing is monotone: shard indices never decrease with the key.
+        let mut prev = 0;
+        for k in 0..200 {
+            let s = map.shard_of(k);
+            assert!(s >= prev, "routing must be monotone");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn map_semantics_across_shards() {
+        for backend in [ShardBackend::Bst, ShardBackend::AbTree] {
+            let map = small(4, backend);
+            let mut h = map.handle();
+            for k in 0..100u64 {
+                assert_eq!(h.insert(k, k * 2), None, "{backend}");
+            }
+            assert_eq!(h.insert(7, 70), Some(14));
+            assert_eq!(h.remove(50), Some(100));
+            assert_eq!(h.get(50), None);
+            assert!(h.contains(99));
+            drop(h);
+            assert_eq!(map.len(), 99);
+            assert_eq!(map.key_sum(), (0..100u128).sum::<u128>() - 50);
+            map.validate().unwrap();
+            let all = map.collect();
+            assert_eq!(all.len(), 99);
+            assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "collect sorted");
+        }
+    }
+
+    #[test]
+    fn cross_shard_range_query_is_sorted_and_complete() {
+        let map = small(5, ShardBackend::AbTree);
+        let mut h = map.handle();
+        for k in (0..100u64).step_by(3) {
+            h.insert(k, k);
+        }
+        let got = h.range_query(10, 80);
+        let want: Vec<(u64, u64)> =
+            (0..100u64).step_by(3).filter(|k| (10..80).contains(k)).map(|k| (k, k)).collect();
+        assert_eq!(got, want);
+        assert_eq!(h.range_query(50, 50), vec![]);
+        assert_eq!(h.range_query(80, 10), vec![]);
+        // A full-space query spans every shard.
+        assert_eq!(h.range_query(0, u64::MAX).len(), map.len());
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_one_tree() {
+        let map = small(1, ShardBackend::Bst);
+        let mut h = map.handle();
+        h.insert(1, 1);
+        h.insert(99, 2);
+        h.insert(1000, 3); // beyond key_space, still shard 0
+        assert_eq!(map.shard_count(), 1);
+        assert_eq!(h.range_query(0, 2000), vec![(1, 1), (99, 2), (1000, 3)]);
+        drop(h);
+        map.validate().unwrap();
+    }
+
+    #[test]
+    fn handles_cache_lazily_and_stats_merge() {
+        let map = small(4, ShardBackend::Bst);
+        let mut h = map.handle();
+        h.insert(1, 1); // only shard 0 touched
+        assert_eq!(h.cached.iter().filter(|c| c.is_some()).count(), 1);
+        h.insert(99, 1);
+        assert_eq!(h.cached.iter().filter(|c| c.is_some()).count(), 2);
+        let stats = h.stats();
+        assert!(stats.total_completed() >= 2, "merged stats see both shards");
+    }
+
+    #[test]
+    fn tiny_key_space_still_partitions() {
+        // key_space smaller than the shard count: width clamps to 1.
+        let map = Arc::new(ShardedMap::with_config(ShardedConfig {
+            shards: 8,
+            key_space: 3,
+            ..ShardedConfig::default()
+        }));
+        let mut h = map.handle();
+        for k in 0..20u64 {
+            h.insert(k, k);
+        }
+        drop(h);
+        assert_eq!(map.len(), 20);
+        map.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ShardedMap::with_config(ShardedConfig {
+            shards: 0,
+            ..ShardedConfig::default()
+        });
+    }
+}

@@ -42,7 +42,7 @@ mod spec;
 pub use map::{AnyHandle, AnyTree};
 pub use metrics::{average, TrialResult};
 pub use runner::{prefill, run_trial, run_trials};
-pub use spec::{Structure, TrialSpec, Workload};
+pub use spec::{KeyDist, Structure, TrialSpec, Workload};
 
 /// Reads a `usize` configuration value from the environment, falling back
 /// to `default`. Benchmarks use `THREEPATH_*` variables to scale sweeps.

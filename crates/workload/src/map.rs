@@ -1,68 +1,80 @@
-//! A thin enum wrapper so the trial runner can drive either data
-//! structure through one interface.
+//! A thin enum wrapper so the trial runner can drive any data structure —
+//! single template tree or sharded map — through one interface.
+//!
+//! Per-tree dispatch (BST vs (a,b)-tree) lives in
+//! [`threepath_sharded::ShardTree`]; this layer only distinguishes
+//! single-tree from sharded execution, so the backend config mapping from a
+//! [`TrialSpec`] is written exactly once ([`tree_config`]).
 
 use std::sync::Arc;
 
-use threepath_abtree::{AbTree, AbTreeConfig, AbTreeHandle};
-use threepath_bst::{Bst, BstConfig, BstHandle};
 use threepath_core::PathStats;
+use threepath_sharded::{
+    ShardBackend, ShardHandle, ShardTree, ShardedConfig, ShardedHandle, ShardedMap,
+};
 
 use crate::spec::{Structure, TrialSpec};
 
-/// Either evaluation data structure.
+/// Maps a trial spec onto the sharded-layer config: the per-tree knobs
+/// verbatim, the trial's key range as the partitioned key space.
+fn tree_config(spec: &TrialSpec, shards: usize) -> ShardedConfig {
+    ShardedConfig {
+        shards,
+        backend: match spec.structure.base() {
+            Structure::Bst => ShardBackend::Bst,
+            _ => ShardBackend::AbTree,
+        },
+        key_space: spec.key_range,
+        strategy: spec.strategy,
+        htm: spec.htm.clone(),
+        reclaim: spec.reclaim,
+        search_outside_txn: spec.search_outside_txn,
+        snzi: spec.snzi,
+    }
+}
+
+/// Any evaluation data structure.
 #[derive(Clone)]
 pub enum AnyTree {
-    /// External unbalanced BST.
-    Bst(Arc<Bst>),
-    /// Relaxed (a,b)-tree.
-    AbTree(Arc<AbTree>),
+    /// A single template tree (BST or (a,b)-tree).
+    Single(ShardTree),
+    /// Sharded map over independent template trees.
+    Sharded(Arc<ShardedMap>),
 }
 
 impl AnyTree {
-    /// Builds the tree described by `spec`.
+    /// Builds the structure described by `spec`. Sharded structures
+    /// partition the spec's `key_range` across their shards.
     pub fn build(spec: &TrialSpec) -> AnyTree {
-        match spec.structure {
-            Structure::Bst => AnyTree::Bst(Arc::new(Bst::with_config(BstConfig {
-                strategy: spec.strategy,
-                htm: spec.htm.clone(),
-                limits: None,
-                reclaim: spec.reclaim,
-                search_outside_txn: spec.search_outside_txn,
-                snzi: spec.snzi,
-            }))),
-            Structure::AbTree => AnyTree::AbTree(Arc::new(AbTree::with_config(AbTreeConfig {
-                strategy: spec.strategy,
-                htm: spec.htm.clone(),
-                limits: None,
-                reclaim: spec.reclaim,
-                search_outside_txn: spec.search_outside_txn,
-                snzi: spec.snzi,
-                ..AbTreeConfig::default()
-            }))),
+        match spec.structure.shards() {
+            None => AnyTree::Single(ShardTree::build(&tree_config(spec, 1))),
+            Some(shards) => AnyTree::Sharded(Arc::new(ShardedMap::with_config(tree_config(
+                spec, shards,
+            )))),
         }
     }
 
     /// Registers the calling thread.
     pub fn handle(&self) -> AnyHandle {
         match self {
-            AnyTree::Bst(t) => AnyHandle::Bst(t.handle()),
-            AnyTree::AbTree(t) => AnyHandle::AbTree(t.handle()),
+            AnyTree::Single(t) => AnyHandle::Single(t.handle()),
+            AnyTree::Sharded(t) => AnyHandle::Sharded(t.handle()),
         }
     }
 
     /// Final key sum (quiescent).
     pub fn key_sum(&self) -> u128 {
         match self {
-            AnyTree::Bst(t) => t.key_sum(),
-            AnyTree::AbTree(t) => t.key_sum(),
+            AnyTree::Single(t) => t.key_sum(),
+            AnyTree::Sharded(t) => t.key_sum(),
         }
     }
 
     /// Number of keys (quiescent).
     pub fn len(&self) -> usize {
         match self {
-            AnyTree::Bst(t) => t.len(),
-            AnyTree::AbTree(t) => t.len(),
+            AnyTree::Single(t) => t.len(),
+            AnyTree::Sharded(t) => t.len(),
         }
     }
 
@@ -75,8 +87,8 @@ impl AnyTree {
     /// violation.
     pub fn validate(&self) -> Result<(), String> {
         match self {
-            AnyTree::Bst(t) => t.validate().map(|_| ()),
-            AnyTree::AbTree(t) => t.validate().map(|_| ()),
+            AnyTree::Single(t) => t.validate(),
+            AnyTree::Sharded(t) => t.validate(),
         }
     }
 }
@@ -84,58 +96,59 @@ impl AnyTree {
 impl std::fmt::Debug for AnyTree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AnyTree::Bst(t) => t.fmt(f),
-            AnyTree::AbTree(t) => t.fmt(f),
+            AnyTree::Single(t) => t.fmt(f),
+            AnyTree::Sharded(t) => t.fmt(f),
         }
     }
 }
 
 /// A per-thread handle to an [`AnyTree`].
 pub enum AnyHandle {
-    /// BST handle.
-    Bst(BstHandle),
-    /// (a,b)-tree handle.
-    AbTree(AbTreeHandle),
+    /// Single-tree handle.
+    Single(ShardHandle),
+    /// Sharded-map handle (caches one inner handle per touched shard).
+    Sharded(ShardedHandle),
 }
 
 impl AnyHandle {
     /// Inserts a pair, returning the previous value.
     pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
         match self {
-            AnyHandle::Bst(h) => h.insert(key, value),
-            AnyHandle::AbTree(h) => h.insert(key, value),
+            AnyHandle::Single(h) => h.insert(key, value),
+            AnyHandle::Sharded(h) => h.insert(key, value),
         }
     }
 
     /// Removes a key, returning its value.
     pub fn remove(&mut self, key: u64) -> Option<u64> {
         match self {
-            AnyHandle::Bst(h) => h.remove(key),
-            AnyHandle::AbTree(h) => h.remove(key),
+            AnyHandle::Single(h) => h.remove(key),
+            AnyHandle::Sharded(h) => h.remove(key),
         }
     }
 
     /// Looks up a key.
     pub fn get(&mut self, key: u64) -> Option<u64> {
         match self {
-            AnyHandle::Bst(h) => h.get(key),
-            AnyHandle::AbTree(h) => h.get(key),
+            AnyHandle::Single(h) => h.get(key),
+            AnyHandle::Sharded(h) => h.get(key),
         }
     }
 
     /// Range query over `[lo, hi)`.
     pub fn range_query(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
         match self {
-            AnyHandle::Bst(h) => h.range_query(lo, hi),
-            AnyHandle::AbTree(h) => h.range_query(lo, hi),
+            AnyHandle::Single(h) => h.range_query(lo, hi),
+            AnyHandle::Sharded(h) => h.range_query(lo, hi),
         }
     }
 
-    /// Path statistics accumulated by this handle.
-    pub fn stats(&self) -> &PathStats {
+    /// A snapshot of the path statistics accumulated by this handle (for
+    /// sharded structures, merged across every shard the thread touched).
+    pub fn stats(&self) -> PathStats {
         match self {
-            AnyHandle::Bst(h) => h.stats(),
-            AnyHandle::AbTree(h) => h.stats(),
+            AnyHandle::Single(h) => h.stats().clone(),
+            AnyHandle::Sharded(h) => h.stats(),
         }
     }
 }

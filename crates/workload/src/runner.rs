@@ -9,7 +9,7 @@ use threepath_htm::SplitMix64;
 
 use crate::map::{AnyHandle, AnyTree};
 use crate::metrics::TrialResult;
-use crate::spec::{TrialSpec, Workload};
+use crate::spec::{KeyDist, TrialSpec, Workload};
 
 /// Prefills `tree` to half of `key_range` by inserting uniformly random
 /// keys until half the range is present (the paper prefills with a 50/50
@@ -45,13 +45,14 @@ struct WorkerOutcome {
 fn updater_loop(
     h: &mut AnyHandle,
     key_range: u64,
+    key_dist: KeyDist,
     rng: &mut SplitMix64,
     stop: &AtomicBool,
 ) -> (u64, i64) {
     let mut ops = 0u64;
     let mut delta = 0i64;
     while !stop.load(Ordering::Relaxed) {
-        let k = rng.next_below(key_range);
+        let k = key_dist.sample(rng, key_range);
         if rng.next_below(2) == 0 {
             if h.insert(k, ops).is_none() {
                 delta += k as i64;
@@ -120,7 +121,8 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
                     let rqs = rq_loop(&mut h, spec.key_range, rq_extent, &mut rng, &stop);
                     (0, rqs, 0)
                 } else {
-                    let (ops, delta) = updater_loop(&mut h, spec.key_range, &mut rng, &stop);
+                    let (ops, delta) =
+                        updater_loop(&mut h, spec.key_range, spec.key_dist, &mut rng, &stop);
                     (ops, 0, delta)
                 };
                 delta_total.fetch_add(delta, Ordering::Relaxed);
@@ -128,7 +130,7 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
                     updates,
                     rqs,
                     keysum_delta: delta,
-                    stats: h.stats().clone(),
+                    stats: h.stats(),
                 }
             }));
         }
@@ -246,6 +248,63 @@ mod tests {
         let tree = AnyTree::build(&spec);
         assert_eq!(prefill(&tree, 1, 7), 0); // the only key is 0
         assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn light_trials_verify_on_sharded_structures() {
+        for structure in [
+            Structure::ShardedBst { shards: 4 },
+            Structure::ShardedAbTree { shards: 3 },
+        ] {
+            for strategy in [Strategy::ThreePath, Strategy::NonHtm] {
+                let r = run_trial(&quick_spec(structure, strategy, false));
+                assert!(r.keysum_ok, "{structure}/{strategy} keysum failed");
+                assert!(r.total_ops > 0);
+            }
+        }
+    }
+
+    /// The dedicated RQ thread of the heavy workload must actually record
+    /// range queries (and the keysum still verify) on sharded structures,
+    /// where each query is a cross-shard merge.
+    #[test]
+    fn heavy_trial_on_sharded_structure_records_rqs() {
+        let r = run_trial(&quick_spec(
+            Structure::ShardedBst { shards: 4 },
+            Strategy::ThreePath,
+            true,
+        ));
+        assert!(r.keysum_ok);
+        assert!(r.rq_ops > 0, "the RQ thread must complete cross-shard queries");
+        assert!(r.update_ops > 0);
+    }
+
+    /// Skewed key distributions must not perturb the keysum bookkeeping,
+    /// sharded or not.
+    #[test]
+    fn skewed_trials_verify() {
+        for structure in [Structure::Bst, Structure::ShardedBst { shards: 4 }] {
+            let mut spec = quick_spec(structure, Strategy::ThreePath, false);
+            spec.key_dist = KeyDist::Skewed { exponent: 3.0 };
+            let r = run_trial(&spec);
+            assert!(r.keysum_ok, "{structure} skewed keysum failed");
+            assert!(r.total_ops > 0);
+        }
+    }
+
+    /// Regression for the PR-1 prefill clamp: a trial over a single-key
+    /// range must terminate and verify (prefill cannot wait for a second
+    /// distinct key that does not exist).
+    #[test]
+    fn run_trial_at_key_range_one() {
+        for structure in [Structure::Bst, Structure::ShardedBst { shards: 2 }] {
+            let mut spec = quick_spec(structure, Strategy::ThreePath, false);
+            spec.key_range = 1;
+            let r = run_trial(&spec);
+            assert!(r.keysum_ok, "{structure} key_range=1 keysum failed");
+            assert!(r.total_ops > 0);
+            assert!(r.final_size <= 1);
+        }
     }
 
     #[test]

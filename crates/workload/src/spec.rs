@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use threepath_core::Strategy;
-use threepath_htm::HtmConfig;
+use threepath_htm::{HtmConfig, SplitMix64};
 use threepath_reclaim::ReclaimMode;
 
 /// Which data structure a trial exercises.
@@ -13,35 +13,113 @@ pub enum Structure {
     Bst,
     /// The relaxed (a,b)-tree (paper Section 6.2).
     AbTree,
+    /// A sharded map over `shards` independent BSTs (one HTM runtime and
+    /// reclamation domain per shard), partitioned over the trial's
+    /// `key_range`.
+    ShardedBst {
+        /// Number of shards.
+        shards: usize,
+    },
+    /// A sharded map over `shards` independent (a,b)-trees.
+    ShardedAbTree {
+        /// Number of shards.
+        shards: usize,
+    },
 }
 
 impl std::fmt::Display for Structure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            Structure::Bst => "bst",
-            Structure::AbTree => "abtree",
-        })
+        match self {
+            Structure::Bst => f.write_str("bst"),
+            Structure::AbTree => f.write_str("abtree"),
+            Structure::ShardedBst { shards } => write!(f, "sharded-bst-{shards}"),
+            Structure::ShardedAbTree { shards } => write!(f, "sharded-abtree-{shards}"),
+        }
     }
 }
 
 impl Structure {
+    /// The unsharded tree this structure is built from (identity for the
+    /// plain trees).
+    pub fn base(self) -> Structure {
+        match self {
+            Structure::Bst | Structure::ShardedBst { .. } => Structure::Bst,
+            Structure::AbTree | Structure::ShardedAbTree { .. } => Structure::AbTree,
+        }
+    }
+
+    /// Number of shards, if this is a sharded structure.
+    pub fn shards(self) -> Option<usize> {
+        match self {
+            Structure::ShardedBst { shards } | Structure::ShardedAbTree { shards } => Some(shards),
+            _ => None,
+        }
+    }
+
     /// The paper's key range for this structure (BST: 10⁴; (a,b)-tree:
     /// 10⁶). Benchmarks scale these down via environment variables when
-    /// running on small machines.
+    /// running on small machines. Sharded variants inherit their base
+    /// tree's range.
     pub fn paper_key_range(self) -> u64 {
-        match self {
+        match self.base() {
             Structure::Bst => 10_000,
-            Structure::AbTree => 1_000_000,
+            _ => 1_000_000,
         }
     }
 
     /// The paper's maximum range-query extent `S` for this structure
     /// (BST: 10³; (a,b)-tree: 10⁴ — chosen so queries touch a comparable
-    /// number of nodes).
+    /// number of nodes). Sharded variants inherit their base tree's extent.
     pub fn paper_rq_extent(self) -> u64 {
-        match self {
+        match self.base() {
             Structure::Bst => 1_000,
-            Structure::AbTree => 10_000,
+            _ => 10_000,
+        }
+    }
+}
+
+/// How updater threads draw keys from `[0, key_range)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform (the paper's distribution).
+    Uniform,
+    /// Zipfian-like popularity skew: a rank is drawn by the power law
+    /// `rank = ⌊key_range · u^exponent⌋` (`u ~ U[0,1)`; `exponent = 1` is
+    /// approximately uniform, larger is more skewed), then scattered
+    /// across the key space with a multiplicative hash so that
+    /// *popularity* skew does not collapse into *key-locality* skew. Hot
+    /// keys therefore spread over all shards of a sharded structure — the
+    /// contention pattern a single tree serializes on and sharding is
+    /// meant to absorb. The scatter maps the full 64-bit hash down to the
+    /// range by fixed-point scaling, so distinct ranks collide only with
+    /// birthday probability (~`range²/2⁶⁴`) rather than the ~37% image
+    /// loss a plain `hash % range` would cost on non-power-of-two ranges.
+    Skewed {
+        /// Power-law exponent (`>= 1`; larger means more skew).
+        exponent: f64,
+    },
+}
+
+impl KeyDist {
+    /// Draws one key in `[0, range)`. `range` must be non-zero.
+    pub fn sample(self, rng: &mut SplitMix64, range: u64) -> u64 {
+        match self {
+            KeyDist::Uniform => rng.next_below(range),
+            KeyDist::Skewed { exponent } => {
+                let u = rng.next_f64();
+                let rank = ((range as f64) * u.powf(exponent)) as u64;
+                let hash = rank.min(range - 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((hash as u128 * range as u128) >> 64) as u64
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for KeyDist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyDist::Uniform => f.write_str("uniform"),
+            KeyDist::Skewed { exponent } => write!(f, "skewed-{exponent}"),
         }
     }
 }
@@ -79,8 +157,11 @@ pub struct TrialSpec {
     pub threads: usize,
     /// Measured duration (the paper uses 1 s trials).
     pub duration: Duration,
-    /// Keys are drawn uniformly from `[0, key_range)`.
+    /// Keys are drawn from `[0, key_range)`.
     pub key_range: u64,
+    /// Distribution updater threads draw keys from (prefill is always
+    /// uniform, per the paper's methodology).
+    pub key_dist: KeyDist,
     /// Operation mix.
     pub workload: Workload,
     /// Simulated-HTM parameters.
@@ -103,6 +184,7 @@ impl Default for TrialSpec {
             threads: 2,
             duration: Duration::from_millis(200),
             key_range: 10_000,
+            key_dist: KeyDist::Uniform,
             workload: Workload::Light,
             htm: HtmConfig::default(),
             reclaim: ReclaimMode::Epoch,
@@ -165,7 +247,73 @@ mod tests {
     #[test]
     fn displays() {
         assert_eq!(Structure::Bst.to_string(), "bst");
+        assert_eq!(Structure::ShardedBst { shards: 4 }.to_string(), "sharded-bst-4");
+        assert_eq!(
+            Structure::ShardedAbTree { shards: 2 }.to_string(),
+            "sharded-abtree-2"
+        );
         assert_eq!(Workload::Light.to_string(), "light");
         assert_eq!(Workload::Heavy { rq_extent: 5 }.to_string(), "heavy");
+        assert_eq!(KeyDist::Uniform.to_string(), "uniform");
+        assert_eq!(KeyDist::Skewed { exponent: 3.0 }.to_string(), "skewed-3");
+    }
+
+    #[test]
+    fn sharded_structures_inherit_base_parameters() {
+        let s = Structure::ShardedBst { shards: 8 };
+        assert_eq!(s.base(), Structure::Bst);
+        assert_eq!(s.shards(), Some(8));
+        assert_eq!(s.paper_key_range(), Structure::Bst.paper_key_range());
+        assert_eq!(s.paper_rq_extent(), Structure::Bst.paper_rq_extent());
+        let s = Structure::ShardedAbTree { shards: 2 };
+        assert_eq!(s.base(), Structure::AbTree);
+        assert_eq!(s.paper_key_range(), Structure::AbTree.paper_key_range());
+        assert_eq!(Structure::Bst.shards(), None);
+    }
+
+    #[test]
+    fn skewed_sampling_stays_in_range_and_is_skewed() {
+        let mut rng = SplitMix64::new(42);
+        let dist = KeyDist::Skewed { exponent: 8.0 };
+        let range = 1024u64;
+        let mut counts = vec![0u32; range as usize];
+        let samples = 20_000;
+        for _ in 0..samples {
+            let k = dist.sample(&mut rng, range);
+            assert!(k < range);
+            counts[k as usize] += 1;
+        }
+        // With exponent 8, rank 0 alone captures ~42% of draws; the most
+        // common *key* (rank 0's scattered image) must dominate far beyond
+        // the uniform expectation of samples/range ≈ 20.
+        let max = *counts.iter().max().unwrap();
+        assert!(max as u64 > samples / 4, "skew too weak: max bucket {max}");
+        // The fixed-point scatter must not shrink the image: nearly every
+        // key is reachable (a plain `hash % range` loses ~37% of a
+        // non-power-of-two range; the scaled mapping collides only with
+        // birthday probability).
+        let mut rng2 = SplitMix64::new(7);
+        let odd_range = 10_000u64;
+        let image: std::collections::BTreeSet<u64> = (0..odd_range)
+            .map(|_| KeyDist::Skewed { exponent: 1.0 }.sample(&mut rng2, odd_range))
+            .collect();
+        // ~63% distinct is the ideal (10k uniform draws from 10k keys);
+        // the scatter's own collisions shave a few percent, while a plain
+        // `hash % range` would land near 44%.
+        assert!(
+            image.len() as u64 > odd_range * 55 / 100,
+            "scatter image collapsed: {} of {odd_range}",
+            image.len()
+        );
+        // Uniform sampling through the same API stays uniform-ish.
+        let mut rng = SplitMix64::new(42);
+        let mut max_u = 0u32;
+        let mut counts = vec![0u32; range as usize];
+        for _ in 0..samples {
+            let k = KeyDist::Uniform.sample(&mut rng, range);
+            counts[k as usize] += 1;
+            max_u = max_u.max(counts[k as usize]);
+        }
+        assert!(max_u < 100, "uniform sampling skewed: max bucket {max_u}");
     }
 }

@@ -1,0 +1,15 @@
+//! Helpers shared by the concurrent integration-test binaries.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Raises the stop flag when dropped — including on panic — so a failed
+/// assertion in a checker thread stops the updater loops and surfaces as a
+/// test failure instead of a scope that never joins.
+pub struct StopOnDrop(pub Arc<AtomicBool>);
+
+impl Drop for StopOnDrop {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}

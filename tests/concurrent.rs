@@ -8,8 +8,11 @@
 //! deterministic CI lane can opt out with `--no-default-features`.
 #![cfg(feature = "stress-tests")]
 
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
+
+mod common;
+use common::StopOnDrop;
 
 use threepath::abtree::{AbTree, AbTreeConfig};
 use threepath::bst::{Bst, BstConfig};
@@ -74,7 +77,7 @@ fn range_queries_see_no_torn_couples() {
         strategy: Strategy::ThreePath,
         ..BstConfig::default()
     }));
-    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
 
     std::thread::scope(|s| {
         for t in 0..2u64 {
@@ -100,6 +103,7 @@ fn range_queries_see_no_torn_couples() {
             let tree = tree.clone();
             let stop = stop.clone();
             s.spawn(move || {
+                let _stop_guard = StopOnDrop(stop.clone());
                 let mut h = tree.handle();
                 for _ in 0..400 {
                     let out = h.range_query(0, 128);
@@ -115,7 +119,6 @@ fn range_queries_see_no_torn_couples() {
                         }
                     }
                 }
-                stop.store(true, Ordering::Relaxed);
             });
         }
     });

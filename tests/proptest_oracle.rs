@@ -11,6 +11,7 @@ use threepath::bst::{Bst, BstConfig};
 use threepath::core::Strategy as ExecStrategy;
 use threepath::htm::HtmConfig;
 use threepath::kcas::KcasList;
+use threepath::sharded::{ShardBackend, ShardedConfig, ShardedMap};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -96,6 +97,45 @@ proptest! {
         prop_assert_eq!(shape.keys, oracle.len());
         prop_assert_eq!(shape.tagged, 0);
         prop_assert_eq!(shape.underfull, 0);
+    }
+
+    /// The same `Op` sequences as above, against the sharded map. The key
+    /// range (96) always spans several shards, and `Range` ops cross shard
+    /// boundaries, exercising the ordered per-shard merge against the
+    /// `BTreeMap` oracle's `range`.
+    #[test]
+    fn sharded_matches_btreemap(ops in proptest::collection::vec(op_strategy(96), 1..400),
+                                shards in prop_oneof![Just(2usize), Just(8usize)],
+                                strat in exec_strategy(),
+                                abtree in any::<bool>()) {
+        let map = Arc::new(ShardedMap::with_config(ShardedConfig {
+            shards,
+            backend: if abtree { ShardBackend::AbTree } else { ShardBackend::Bst },
+            key_space: 96,
+            strategy: strat,
+            ..ShardedConfig::default()
+        }));
+        let mut h = map.handle();
+        let mut oracle = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => prop_assert_eq!(h.insert(k, v), oracle.insert(k, v)),
+                Op::Remove(k) => prop_assert_eq!(h.remove(k), oracle.remove(&k)),
+                Op::Get(k) => prop_assert_eq!(h.get(k), oracle.get(&k).copied()),
+                Op::Range(lo, hi) => {
+                    let want: Vec<(u64, u64)> =
+                        oracle.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(h.range_query(lo, hi), want);
+                }
+            }
+        }
+        drop(h);
+        map.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(map.len(), oracle.len());
+        let want_sum: u128 = oracle.keys().map(|&k| k as u128).sum();
+        prop_assert_eq!(map.key_sum(), want_sum);
+        let want: Vec<(u64, u64)> = oracle.into_iter().collect();
+        prop_assert_eq!(map.collect(), want);
     }
 
     #[test]
