@@ -34,6 +34,11 @@ pub struct AbTreeConfig {
     /// Use a SNZI instead of the fetch-and-increment counter `F`
     /// (Section 5's scalability alternative).
     pub snzi: bool,
+    /// Allow [`AbTree::set_strategy`] to swap the strategy at runtime
+    /// between TLE and 3-path (see [`threepath_core::ExecCtx`] for the
+    /// blended subscription discipline this enables). Requires `strategy`
+    /// to start as one of those two.
+    pub adaptive: bool,
 }
 
 impl Default for AbTreeConfig {
@@ -46,6 +51,7 @@ impl Default for AbTreeConfig {
             a: 6,
             search_outside_txn: false,
             snzi: false,
+            adaptive: false,
         }
     }
 }
@@ -107,6 +113,9 @@ impl AbTree {
         if cfg.snzi {
             exec = exec.with_snzi();
         }
+        if cfg.adaptive {
+            exec = exec.with_adaptive();
+        }
         // Entry node (never deleted) with the initial empty root leaf.
         let root = Box::into_raw(Box::new(AbNode::new_leaf(&[])));
         let entry = Box::into_raw(Box::new(AbNode::new_internal(&[], &[root as u64], false)));
@@ -119,9 +128,17 @@ impl AbTree {
         }
     }
 
-    /// The configured strategy.
+    /// The current strategy (the configured one, or the latest runtime
+    /// swap on an adaptive tree).
     pub fn strategy(&self) -> Strategy {
         self.exec.strategy()
+    }
+
+    /// Swaps the execution strategy at runtime while operations are in
+    /// flight. Only valid on a tree built with
+    /// [`AbTreeConfig::adaptive`], and only between TLE and 3-path.
+    pub fn set_strategy(&self, strategy: Strategy) -> Result<(), threepath_core::StrategySwapError> {
+        self.exec.set_strategy(strategy)
     }
 
     /// The minimum degree `a`.

@@ -1,41 +1,50 @@
-//! Sharding sweep: throughput of the sharded map vs a single tree, under
-//! the paper's uniform distribution and under a zipfian-like popularity
-//! skew (hot keys scattered across the key space).
+//! Sharding policy sweep: router (range vs hash) × key distribution
+//! (uniform vs clustered Zipf), plus adaptive-vs-fixed strategy under the
+//! hot-shard workload.
 //!
-//! The single tree serializes all HTM traffic through one runtime and one
-//! fallback indicator; the sharded map gives each key-range shard its own,
-//! so updates to different shards never conflict. Expect shards > 1 to pull
-//! ahead as threads grow, with the gap widening under skew (a hot key only
-//! disturbs its own shard).
+//! The clustered Zipf distribution (`KeyDist::Zipf`, hot keys packed at
+//! the low end of the key space) is the adversarial case for range
+//! partitioning: nearly all traffic lands in shard 0, reproducing the
+//! single-tree contention sharding was meant to remove. Hash routing
+//! stripes the same hot keys across every shard. The adaptive panel keeps
+//! the PR 2 baseline configuration (range router, every shard starting on
+//! the fixed default 3-path strategy) and turns on the per-shard
+//! controller under spurious-abort pressure (interrupt-heavy HTM, the
+//! paper's Section 7 abort taxonomy): each shard observes that its abort
+//! storm is *not* conflict-dominated — optimistic retries and the
+//! instrumented lock-free fallback are wasted work — and independently
+//! demotes itself to TLE. Compare against both fixed choices.
 //!
-//! Scale with `THREEPATH_THREADS`, `THREEPATH_TRIAL_MS`, `THREEPATH_TRIALS`
-//! and `THREEPATH_SCALE` (see `threepath-bench` docs).
+//! Scale with `THREEPATH_THREADS`, `THREEPATH_TRIAL_MS`,
+//! `THREEPATH_TRIALS`, `THREEPATH_SCALE`, or set `THREEPATH_SMOKE=1` for
+//! the CI smoke lane (see `threepath-bench` docs).
 
 use threepath_bench::{describe, measure_spec, print_panel, write_csv, BenchEnv, Cell};
 use threepath_core::Strategy;
-use threepath_workload::{KeyDist, Structure, TrialSpec};
+use threepath_htm::HtmConfig;
+use threepath_workload::{AdaptiveConfig, KeyDist, RouterKind, Structure, TrialSpec};
 
-const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SHARDS: usize = 8;
+const ZIPF_THETA: f64 = 0.9;
 
 fn main() {
     let env = BenchEnv::load();
-    println!("Sharded-map sweep (3-path BST shards)");
+    println!("Sharded-map policy sweep ({SHARDS} BST shards)");
     println!("{}", describe(&env));
 
-    let key_range =
-        ((Structure::Bst.paper_key_range() as f64 * env.scale) as u64).max(256);
+    let key_range = ((Structure::Bst.paper_key_range() as f64 * env.scale) as u64).max(256);
+    let structure = Structure::ShardedBst { shards: SHARDS };
     let mut all = Vec::new();
+
+    // ------------------------------------------------------------------
+    // Panel 1/2: router × distribution at the fixed 3-path strategy.
+    // ------------------------------------------------------------------
     for (dist, dist_name) in [
         (KeyDist::Uniform, "uniform"),
-        (KeyDist::Skewed { exponent: 3.0 }, "skewed"),
+        (KeyDist::Zipf { theta: ZIPF_THETA }, "zipf"),
     ] {
         let mut cells = Vec::new();
-        for shards in SHARD_COUNTS {
-            let structure = if shards == 1 {
-                Structure::Bst
-            } else {
-                Structure::ShardedBst { shards }
-            };
+        for router in [RouterKind::Range, RouterKind::Hash] {
             for &threads in &env.threads {
                 let spec = TrialSpec {
                     structure,
@@ -43,33 +52,133 @@ fn main() {
                     threads,
                     key_range,
                     key_dist: dist,
+                    router,
                     ..TrialSpec::default()
                 };
                 let result = measure_spec(&env, &spec);
                 cells.push(Cell {
                     structure,
                     workload: dist_name,
-                    series: format!("{shards}-shard"),
+                    series: format!("{router}-router"),
                     threads,
                     result,
                 });
             }
         }
         print_panel(
-            &format!("{dist_name} keys, light updates (throughput, ops/s)"),
+            &format!("{dist_name} keys, light updates, 3-path (throughput, ops/s)"),
             &cells,
             &env.threads,
         );
         all.extend(cells);
     }
+
+    // ------------------------------------------------------------------
+    // Panel 3: adaptive vs fixed strategy. Same hot-shard workload
+    // (clustered Zipf, range router — the PR 2 baseline configuration)
+    // under spurious-abort pressure: transactions abort 85% of the time
+    // regardless of contention, so optimistic retries are mostly wasted
+    // work. The fixed 3-path baseline keeps paying for them plus the
+    // instrumented lock-free fallback; the adaptive map starts identical
+    // to that baseline and lets every shard classify its own abort storm
+    // (spurious-dominated -> demote to TLE's cheap sequential fallback).
+    // ------------------------------------------------------------------
+    let spurious_htm = HtmConfig::default().with_spurious(0.85);
+    let adaptive_cfg = AdaptiveConfig {
+        sample_every: 32,
+        epoch_ops: 512,
+        ..AdaptiveConfig::default()
+    };
+    let mut cells = Vec::new();
+    for (label, router, strategy, adaptive) in [
+        ("fixed-3path", RouterKind::Range, Strategy::ThreePath, None),
+        ("fixed-tle", RouterKind::Range, Strategy::Tle, None),
+        (
+            "adaptive",
+            RouterKind::Range,
+            Strategy::ThreePath,
+            Some(adaptive_cfg.clone()),
+        ),
+        (
+            "hash-adaptive",
+            RouterKind::Hash,
+            Strategy::ThreePath,
+            Some(adaptive_cfg),
+        ),
+    ] {
+        for &threads in &env.threads {
+            let spec = TrialSpec {
+                structure,
+                strategy,
+                threads,
+                key_range,
+                key_dist: KeyDist::Zipf { theta: ZIPF_THETA },
+                router,
+                adaptive: adaptive.clone(),
+                htm: spurious_htm.clone(),
+                ..TrialSpec::default()
+            };
+            let result = measure_spec(&env, &spec);
+            cells.push(Cell {
+                structure,
+                workload: "adaptive",
+                series: label.to_string(),
+                threads,
+                result,
+            });
+        }
+    }
+    print_panel(
+        "zipf keys, 85% spurious aborts: adaptive vs fixed (throughput, ops/s)",
+        &cells,
+        &env.threads,
+    );
+    all.extend(cells);
+
     write_csv("sharded", &all);
 
-    let t = env.max_threads();
-    for dist_name in ["uniform", "skewed"] {
-        let one = throughput(&all, dist_name, "1-shard", t);
-        let eight = throughput(&all, dist_name, "8-shard", t);
-        println!("{dist_name:>8}: 8 shards vs 1 at {t} threads: {:.2}x", eight / one);
+    // Traffic concentration: the share of update traffic the hottest
+    // shard absorbs under each router — the load-balance mechanism that
+    // makes hash routing the scale-out choice once shards stop sharing
+    // one core.
+    println!("\nhottest-shard share of zipf({ZIPF_THETA}) update traffic ({SHARDS} shards):");
+    for router in [RouterKind::Range, RouterKind::Hash] {
+        println!(
+            "  {router:>5} router: {:.0}%",
+            hottest_share(router, key_range) * 100.0
+        );
     }
+
+    let t = env.max_threads();
+    let hash = throughput(&all, "zipf", "hash-router", t);
+    let range = throughput(&all, "zipf", "range-router", t);
+    let adaptive = throughput(&all, "adaptive", "adaptive", t);
+    let hash_adaptive = throughput(&all, "adaptive", "hash-adaptive", t);
+    let fixed_3p = throughput(&all, "adaptive", "fixed-3path", t);
+    let fixed_tle = throughput(&all, "adaptive", "fixed-tle", t);
+    println!("\nhot-shard workload at {t} threads (baseline = PR 2 range router + fixed 3-path):");
+    println!("  hash vs range at fixed 3-path, no aborts:   {:.2}x", hash / range);
+    println!("  adaptive vs baseline under abort pressure:  {:.2}x", adaptive / fixed_3p);
+    println!("  hash+adaptive vs baseline (same pressure):  {:.2}x", hash_adaptive / fixed_3p);
+    println!("  adaptive vs fixed-tle (oracle best fixed):  {:.2}x", adaptive / fixed_tle);
+}
+
+/// Fraction of `KeyDist::Zipf(ZIPF_THETA)` draws landing on the most
+/// loaded shard under `router` (100k-sample estimate).
+fn hottest_share(router: RouterKind, key_range: u64) -> f64 {
+    use threepath_sharded::{HashRouter, RangeRouter, Router};
+    let router: Box<dyn Router> = match router {
+        RouterKind::Range => Box::new(RangeRouter::new(SHARDS, key_range).expect("valid")),
+        RouterKind::Hash => Box::new(HashRouter::new(SHARDS).expect("valid")),
+    };
+    let sampler = KeyDist::Zipf { theta: ZIPF_THETA }.sampler(key_range);
+    let mut rng = threepath_htm::SplitMix64::new(0xBA1A);
+    let mut counts = [0u64; SHARDS];
+    let draws = 100_000;
+    for _ in 0..draws {
+        counts[router.route(sampler.sample(&mut rng))] += 1;
+    }
+    *counts.iter().max().expect("non-empty") as f64 / draws as f64
 }
 
 fn throughput(cells: &[Cell], workload: &str, series: &str, threads: usize) -> f64 {

@@ -14,6 +14,7 @@
 //! | `THREEPATH_TRIAL_MS` | duration of each timed trial | `150` |
 //! | `THREEPATH_TRIALS` | repetitions per configuration | `2` |
 //! | `THREEPATH_SCALE` | key-range scale vs the paper (1.0 = 10⁴ BST / 10⁶ (a,b)-tree) | `0.05` |
+//! | `THREEPATH_SMOKE` | `1` shrinks every default (threads `1,2`, 25 ms trials, ×1, scale 0.02) for a CI smoke lane; explicit variables still override | unset |
 
 #![warn(missing_docs)]
 
@@ -38,11 +39,18 @@ pub struct BenchEnv {
     pub trials: usize,
     /// Key-range scale relative to the paper's parameters.
     pub scale: f64,
+    /// Whether `THREEPATH_SMOKE` shrunk the defaults (the CI lane that
+    /// keeps bench harnesses compiling *and running* without paying for a
+    /// real measurement).
+    pub smoke: bool,
 }
 
 impl BenchEnv {
     /// Reads the environment.
     pub fn load() -> Self {
+        let smoke = std::env::var("THREEPATH_SMOKE")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
         let threads = std::env::var("THREEPATH_THREADS")
             .ok()
             .map(|v| {
@@ -51,18 +59,20 @@ impl BenchEnv {
                     .collect::<Vec<usize>>()
             })
             .filter(|v| !v.is_empty())
-            .unwrap_or_else(|| vec![1, 2, 3, 4]);
-        let duration = Duration::from_millis(env_u64("THREEPATH_TRIAL_MS", 150));
-        let trials = env_usize("THREEPATH_TRIALS", 2);
+            .unwrap_or_else(|| if smoke { vec![1, 2] } else { vec![1, 2, 3, 4] });
+        let duration =
+            Duration::from_millis(env_u64("THREEPATH_TRIAL_MS", if smoke { 25 } else { 150 }));
+        let trials = env_usize("THREEPATH_TRIALS", if smoke { 1 } else { 2 });
         let scale = std::env::var("THREEPATH_SCALE")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or(0.05);
+            .unwrap_or(if smoke { 0.02 } else { 0.05 });
         BenchEnv {
             threads,
             duration,
             trials,
             scale,
+            smoke,
         }
     }
 

@@ -32,6 +32,11 @@ pub struct BstConfig {
     /// Use a SNZI instead of the fetch-and-increment counter `F`
     /// (Section 5's scalability alternative).
     pub snzi: bool,
+    /// Allow [`Bst::set_strategy`] to swap the strategy at runtime
+    /// between TLE and 3-path (see [`threepath_core::ExecCtx`] for the
+    /// blended subscription discipline this enables). Requires `strategy`
+    /// to start as one of those two.
+    pub adaptive: bool,
 }
 
 impl Default for BstConfig {
@@ -43,6 +48,7 @@ impl Default for BstConfig {
             reclaim: ReclaimMode::Epoch,
             search_outside_txn: false,
             snzi: false,
+            adaptive: false,
         }
     }
 }
@@ -99,6 +105,9 @@ impl Bst {
         if cfg.snzi {
             exec = exec.with_snzi();
         }
+        if cfg.adaptive {
+            exec = exec.with_adaptive();
+        }
         // Initial tree (Ellen et al.): entry(∞₂) over leaf(∞₁), leaf(∞₂).
         let l1 = Box::into_raw(Box::new(BstNode::new_leaf(SENT1, 0)));
         let l2 = Box::into_raw(Box::new(BstNode::new_leaf(SENT2, 0)));
@@ -111,9 +120,17 @@ impl Bst {
         }
     }
 
-    /// The configured strategy.
+    /// The current strategy (the configured one, or the latest runtime
+    /// swap on an adaptive tree).
     pub fn strategy(&self) -> Strategy {
         self.exec.strategy()
+    }
+
+    /// Swaps the execution strategy at runtime while operations are in
+    /// flight. Only valid on a tree built with
+    /// [`BstConfig::adaptive`], and only between TLE and 3-path.
+    pub fn set_strategy(&self, strategy: Strategy) -> Result<(), threepath_core::StrategySwapError> {
+        self.exec.set_strategy(strategy)
     }
 
     /// The underlying HTM runtime (for diagnostics and benchmarks).

@@ -2,7 +2,7 @@
 //!
 //! This workspace builds in an environment without crates.io access, so the
 //! real proptest cannot be fetched. This crate implements the slice of
-//! proptest's API used by the workspace's property tests: the [`Strategy`]
+//! proptest's API used by the workspace's property tests: the [`strategy::Strategy`]
 //! trait with `prop_map` / `prop_flat_map` / `boxed`, range, tuple, vector,
 //! option and union strategies, `any::<T>()` for primitive types, and the
 //! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`]
@@ -120,7 +120,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and combinators.
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
 pub mod strategy {
     use crate::test_runner::TestRng;
 
@@ -357,7 +357,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length bounds for [`vec`], convertible from ranges and `usize`.
+    /// Length bounds for [`vec()`], convertible from ranges and `usize`.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -2,6 +2,8 @@
 //! strategy, handling attempt budgets, waiting policies, path transitions
 //! and statistics (paper Section 5).
 
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use threepath_htm::{codes, Abort, HtmRuntime, Txn};
@@ -15,12 +17,68 @@ use crate::snzi::Snzi;
 use crate::sync::{FallbackCount, Indicator, TleLock};
 use crate::template::TxMode;
 
+/// The strategies an adaptive context may swap between at runtime (see
+/// [`ExecCtx::set_strategy`]).
+pub const ADAPTIVE_STRATEGIES: [Strategy; 2] = [Strategy::Tle, Strategy::ThreePath];
+
+/// Error from [`ExecCtx::set_strategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategySwapError {
+    /// The context was not built with [`ExecCtx::with_adaptive`]; its
+    /// strategy is fixed for its lifetime.
+    NotAdaptive,
+    /// The requested strategy is outside [`ADAPTIVE_STRATEGIES`] — the
+    /// blended subscription discipline only covers TLE and 3-path.
+    Unsupported(Strategy),
+}
+
+impl fmt::Display for StrategySwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategySwapError::NotAdaptive => {
+                f.write_str("strategy is fixed: context not built with_adaptive")
+            }
+            StrategySwapError::Unsupported(s) => {
+                write!(f, "strategy `{s}` cannot be swapped in at runtime")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrategySwapError {}
+
 /// Per-structure execution context: the strategy, attempt budgets, the
 /// fallback counter `F` and the TLE lock.
+///
+/// # Adaptive contexts
+///
+/// A context built [`with_adaptive`](Self::with_adaptive) may have its
+/// strategy swapped **at runtime** between [`Strategy::Tle`] and
+/// [`Strategy::ThreePath`] while operations are in flight on other
+/// threads. Safety does not rely on quiescing: a *blended* discipline
+/// keeps every interleaving of TLE-mode and 3-path-mode operations
+/// correct, whichever strategy each in-flight operation read:
+///
+/// * every HTM transaction — fast path **and** middle path — subscribes
+///   to both the TLE lock and the fallback indicator `F`, so no
+///   transaction can commit while the lock is held or the lock-free
+///   fallback is active;
+/// * the TLE fallback, after acquiring the lock, waits for `F` to drain
+///   before running sequential code (lock-free template operations never
+///   overlap exclusive sequential access);
+/// * the lock-free fallback arrives on `F` only while the lock is free,
+///   re-checking after arrival and backing off (departing) if the lock
+///   was concurrently acquired. The lock holder waits only for `F`, and
+///   `F` holders never wait once arrived, so the two waits cannot cycle.
+///
+/// The cost is one extra transactional read per fast/middle attempt and a
+/// lock check on fallback entry — paid only by adaptive contexts;
+/// fixed-strategy contexts run exactly the paper's per-strategy protocol.
 pub struct ExecCtx {
     rt: Arc<HtmRuntime>,
-    strategy: Strategy,
-    limits: PathLimits,
+    strategy: AtomicU8,
+    adaptive: bool,
+    limits_override: Option<PathLimits>,
     f: Indicator,
     lock: TleLock,
 }
@@ -30,8 +88,9 @@ impl ExecCtx {
     pub fn new(rt: Arc<HtmRuntime>, strategy: Strategy) -> Self {
         ExecCtx {
             rt,
-            strategy,
-            limits: PathLimits::for_strategy(strategy),
+            strategy: AtomicU8::new(strategy.code()),
+            adaptive: false,
+            limits_override: None,
             f: Indicator::Counter(FallbackCount::new()),
             lock: TleLock::new(),
         }
@@ -46,18 +105,58 @@ impl ExecCtx {
 
     /// Overrides the attempt budgets.
     pub fn with_limits(mut self, limits: PathLimits) -> Self {
-        self.limits = limits;
+        self.limits_override = Some(limits);
         self
     }
 
-    /// The configured strategy.
-    pub fn strategy(&self) -> Strategy {
-        self.strategy
+    /// Enables runtime strategy swapping (see the type-level docs for the
+    /// blended safety discipline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current strategy is outside [`ADAPTIVE_STRATEGIES`].
+    pub fn with_adaptive(mut self) -> Self {
+        assert!(
+            ADAPTIVE_STRATEGIES.contains(&self.strategy()),
+            "adaptive contexts must start on TLE or 3-path"
+        );
+        self.adaptive = true;
+        self
     }
 
-    /// The configured attempt budgets.
+    /// Whether this context supports runtime strategy swaps.
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// Swaps the execution strategy at runtime. Only valid on a context
+    /// built [`with_adaptive`](Self::with_adaptive), and only between the
+    /// strategies in [`ADAPTIVE_STRATEGIES`]; in-flight operations finish
+    /// under whichever strategy they read at entry, which the blended
+    /// subscription discipline makes safe.
+    pub fn set_strategy(&self, strategy: Strategy) -> Result<(), StrategySwapError> {
+        if !self.adaptive {
+            return Err(StrategySwapError::NotAdaptive);
+        }
+        if !ADAPTIVE_STRATEGIES.contains(&strategy) {
+            return Err(StrategySwapError::Unsupported(strategy));
+        }
+        self.strategy.store(strategy.code(), Ordering::Release);
+        Ok(())
+    }
+
+    /// The current strategy (the configured one, or the latest runtime
+    /// swap on an adaptive context).
+    pub fn strategy(&self) -> Strategy {
+        Strategy::from_code(self.strategy.load(Ordering::Acquire))
+            .expect("strategy atomic holds a valid code")
+    }
+
+    /// The attempt budgets in effect: the explicit override if one was
+    /// set, else the paper's budgets for the current strategy.
     pub fn limits(&self) -> PathLimits {
-        self.limits
+        self.limits_override
+            .unwrap_or_else(|| PathLimits::for_strategy(self.strategy()))
     }
 
     /// The HTM runtime.
@@ -77,9 +176,20 @@ impl ExecCtx {
 
     /// The fast path's subscription check, executed at the start of every
     /// fast-path transaction: TLE subscribes to the global lock; 2-path
-    /// non-con and 3-path subscribe to `F`.
+    /// non-con and 3-path subscribe to `F`. Adaptive contexts subscribe to
+    /// **both**, so the check is correct whichever strategy is current.
     pub fn subscribe(&self, tx: &mut Txn<'_>) -> Result<(), Abort> {
-        match self.strategy {
+        if self.adaptive {
+            if tx.read(self.lock.cell())? != 0 {
+                return Err(tx.abort(codes::LOCK_HELD));
+            }
+            let raw = tx.read(self.f.cell())?;
+            if self.f.raw_is_active(raw) {
+                return Err(tx.abort(codes::F_NONZERO));
+            }
+            return Ok(());
+        }
+        match self.strategy() {
             Strategy::Tle => {
                 if tx.read(self.lock.cell())? != 0 {
                     return Err(tx.abort(codes::LOCK_HELD));
@@ -124,7 +234,9 @@ impl ExecCtx {
     /// One instrumented-template attempt (the 2-path-con fast path and the
     /// 3-path middle path): the whole template operation inside one
     /// transaction using the HTM LLX/SCX. No subscription — this path runs
-    /// concurrently with the fallback.
+    /// concurrently with the fallback — except on adaptive contexts, where
+    /// the transaction subscribes to the TLE lock so it can never commit
+    /// over an exclusive sequential fallback running in TLE mode.
     pub fn attempt_template<T>(
         &self,
         eng: &ScxEngine,
@@ -135,6 +247,9 @@ impl ExecCtx {
             let tseq = th.next_tseq();
             let mut eff = Effects::new();
             let res = self.rt.attempt(&mut th.htm, |tx| {
+                if self.adaptive && tx.read(self.lock.cell())? != 0 {
+                    return Err(tx.abort(codes::LOCK_HELD));
+                }
                 let mut mode = TxMode::new(eng, tx, tseq, &mut eff);
                 body(&mut mode)
             });
@@ -170,14 +285,20 @@ impl ExecCtx {
         mut seq_locked: impl FnMut(&mut ScxThread) -> T,
     ) -> (T, PathKind) {
         let rt = &*self.rt;
-        match self.strategy {
+        // One strategy read per operation: an adaptive swap lands between
+        // operations, never in the middle of one.
+        let strategy = self.strategy();
+        let limits = self
+            .limits_override
+            .unwrap_or_else(|| PathLimits::for_strategy(strategy));
+        match strategy {
             Strategy::NonHtm => {
                 let v = fallback(th);
                 stats.record_completed(PathKind::Fallback);
                 (v, PathKind::Fallback)
             }
             Strategy::Tle => {
-                for _ in 0..self.limits.fast {
+                for _ in 0..limits.fast {
                     // Wait for the lock to be free before each attempt
                     // (otherwise the attempt is wasted work).
                     self.wait_while(|| self.lock.is_held(rt));
@@ -187,10 +308,31 @@ impl ExecCtx {
                             stats.record_completed(PathKind::Fast);
                             return (v, PathKind::Fast);
                         }
-                        Err(a) => stats.record_abort(PathKind::Fast, &a),
+                        Err(a) => {
+                            stats.record_abort(PathKind::Fast, &a);
+                            // Adaptive contexts also subscribe to F; while
+                            // the lock-free fallback is active, retrying is
+                            // wasted work — escalate to the lock (which
+                            // waits for F to drain) immediately.
+                            if self.adaptive && a.user_code() == Some(codes::F_NONZERO) {
+                                break;
+                            }
+                        }
                     }
                 }
                 self.lock.acquire(rt);
+                if self.adaptive {
+                    // Blended discipline: lock-free fallback operations
+                    // admitted under a 3-path read must drain before the
+                    // exclusive sequential section may touch the tree.
+                    // They never wait once arrived, so F drains; arrivals
+                    // racing the acquisition observe the lock and back off.
+                    // The SeqCst fence pairs with the one after F-arrival:
+                    // of the two store→fence→load sequences, at least one
+                    // side must observe the other's store.
+                    std::sync::atomic::fence(Ordering::SeqCst);
+                    self.wait_while(|| self.f.is_active(rt));
+                }
                 let v = seq_locked(th);
                 self.lock.release(rt);
                 stats.record_completed(PathKind::Fallback);
@@ -199,7 +341,7 @@ impl ExecCtx {
             Strategy::TwoPathCon => {
                 // The 2-path-con fast path *is* the instrumented template
                 // transaction; it runs concurrently with the fallback.
-                for _ in 0..self.limits.fast {
+                for _ in 0..limits.fast {
                     match middle(th) {
                         Ok(v) => {
                             stats.record_commit(PathKind::Fast);
@@ -214,7 +356,7 @@ impl ExecCtx {
                 (v, PathKind::Fallback)
             }
             Strategy::TwoPathNonCon => {
-                for _ in 0..self.limits.fast {
+                for _ in 0..limits.fast {
                     // Wait for the fallback path to drain before each
                     // attempt — this is precisely the waiting the 3-path
                     // algorithm eliminates.
@@ -238,7 +380,7 @@ impl ExecCtx {
                 // Fast path: never waits; moves on early when it observes
                 // an operation on the fallback path.
                 let mut attempts = 0;
-                while attempts < self.limits.fast {
+                while attempts < limits.fast {
                     attempts += 1;
                     match fast(th) {
                         Ok(v) => {
@@ -255,7 +397,7 @@ impl ExecCtx {
                     }
                 }
                 // Middle path: concurrent with both other paths.
-                for _ in 0..self.limits.middle {
+                for _ in 0..limits.middle {
                     match middle(th) {
                         Ok(v) => {
                             stats.record_commit(PathKind::Middle);
@@ -265,7 +407,25 @@ impl ExecCtx {
                         Err(a) => stats.record_abort(PathKind::Middle, &a),
                     }
                 }
-                self.f.arrive(rt, th.id().0);
+                if self.adaptive {
+                    // Blended discipline: arrive on F only while the TLE
+                    // lock is free. The re-check after arrival closes the
+                    // race with a concurrent acquisition — exactly one of
+                    // the two (this arrival, the lock holder's F check)
+                    // observes the other, because the arrival is a direct
+                    // RMW ordered before the lock load.
+                    loop {
+                        self.wait_while(|| self.lock.is_held(rt));
+                        self.f.arrive(rt, th.id().0);
+                        std::sync::atomic::fence(Ordering::SeqCst);
+                        if !self.lock.is_held(rt) {
+                            break;
+                        }
+                        self.f.depart(rt, th.id().0);
+                    }
+                } else {
+                    self.f.arrive(rt, th.id().0);
+                }
                 let v = fallback(th);
                 self.f.depart(rt, th.id().0);
                 stats.record_completed(PathKind::Fallback);
@@ -290,8 +450,8 @@ impl ExecCtx {
 impl std::fmt::Debug for ExecCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ExecCtx")
-            .field("strategy", &self.strategy)
-            .field("limits", &self.limits)
+            .field("strategy", &self.strategy())
+            .field("limits", &self.limits())
             .finish()
     }
 }
@@ -443,6 +603,137 @@ mod tests {
         assert_eq!((v, path), (11, PathKind::Fallback));
         assert!(lock_held_inside.get(), "sequential fallback runs under lock");
         assert!(!exec.tle_lock().is_held(&rt));
+    }
+
+    #[test]
+    fn fixed_contexts_reject_runtime_swaps() {
+        let (exec, _eng) = setup(Strategy::ThreePath);
+        assert!(!exec.is_adaptive());
+        assert_eq!(
+            exec.set_strategy(Strategy::Tle),
+            Err(StrategySwapError::NotAdaptive)
+        );
+        assert_eq!(exec.strategy(), Strategy::ThreePath);
+    }
+
+    #[test]
+    fn adaptive_swap_changes_strategy_and_limits() {
+        let (exec, _eng) = setup(Strategy::Tle);
+        let exec = exec.with_adaptive();
+        assert!(exec.is_adaptive());
+        assert_eq!(exec.limits(), PathLimits::for_strategy(Strategy::Tle));
+        exec.set_strategy(Strategy::ThreePath).unwrap();
+        assert_eq!(exec.strategy(), Strategy::ThreePath);
+        assert_eq!(exec.limits(), PathLimits::for_strategy(Strategy::ThreePath));
+        // Only the TLE <-> 3-path pair is covered by the blended
+        // subscription discipline.
+        assert_eq!(
+            exec.set_strategy(Strategy::NonHtm),
+            Err(StrategySwapError::Unsupported(Strategy::NonHtm))
+        );
+        exec.set_strategy(Strategy::Tle).unwrap();
+        assert_eq!(exec.strategy(), Strategy::Tle);
+    }
+
+    #[test]
+    fn adaptive_subscription_covers_lock_and_f() {
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let exec = exec.with_adaptive();
+        let mut th = eng.register_thread();
+        let rt = exec.runtime().clone();
+        // F active: fast attempts abort even in TLE mode.
+        exec.set_strategy(Strategy::Tle).unwrap();
+        exec.fallback_indicator().arrive(&rt, 0);
+        let r: Result<(), _> = exec.attempt_seq(&eng, &mut th, |_| Ok(()));
+        assert_eq!(r.unwrap_err().user_code(), Some(codes::F_NONZERO));
+        exec.fallback_indicator().depart(&rt, 0);
+        // Lock held: fast attempts abort even in 3-path mode, and so do
+        // middle-path template transactions.
+        exec.set_strategy(Strategy::ThreePath).unwrap();
+        exec.tle_lock().acquire(&rt);
+        let r: Result<(), _> = exec.attempt_seq(&eng, &mut th, |_| Ok(()));
+        assert_eq!(r.unwrap_err().user_code(), Some(codes::LOCK_HELD));
+        let r: Result<(), _> = exec.attempt_template(&eng, &mut th, |_| Ok(()));
+        assert_eq!(r.unwrap_err().user_code(), Some(codes::LOCK_HELD));
+        exec.tle_lock().release(&rt);
+        let r: Result<(), _> = exec.attempt_seq(&eng, &mut th, |_| Ok(()));
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn adaptive_tle_fallback_drains_f_before_running() {
+        // A TLE-mode operation on an adaptive context must not run its
+        // exclusive sequential section while a lock-free fallback
+        // operation is still active: the lock holder waits for F.
+        let (exec, eng) = setup(Strategy::Tle);
+        let exec = Arc::new(exec.with_adaptive());
+        let rt = exec.runtime().clone();
+        exec.fallback_indicator().arrive(&rt, 1);
+        let f_seen_inside = Cell::new(true);
+        std::thread::scope(|s| {
+            let exec2 = Arc::clone(&exec);
+            let rt2 = rt.clone();
+            s.spawn(move || {
+                // Simulated lock-free fallback op: departs after a delay.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                exec2.fallback_indicator().depart(&rt2, 1);
+            });
+            let mut th = eng.register_thread();
+            let mut stats = PathStats::new();
+            let (v, path) = exec.run_op(
+                &mut th,
+                &mut stats,
+                |_| Err(Abort::explicit(codes::F_NONZERO)),
+                |_| unreachable!("TLE has no middle path"),
+                |_| unreachable!("TLE mode falls back under the lock"),
+                |_| {
+                    f_seen_inside.set(exec.fallback_indicator().is_active(&rt));
+                    13
+                },
+            );
+            assert_eq!((v, path), (13, PathKind::Fallback));
+        });
+        assert!(!f_seen_inside.get(), "seq section ran while F was active");
+        assert!(!exec.tle_lock().is_held(&rt));
+    }
+
+    #[test]
+    fn adaptive_threepath_fallback_backs_off_while_lock_held() {
+        // A 3-path-mode fallback on an adaptive context must not run
+        // concurrently with a TLE lock holder: it arrives on F only once
+        // the lock is free.
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let exec = Arc::new(exec.with_adaptive());
+        let rt = exec.runtime().clone();
+        exec.tle_lock().acquire(&rt);
+        let lock_seen_inside = Cell::new(true);
+        std::thread::scope(|s| {
+            let exec2 = Arc::clone(&exec);
+            let rt2 = rt.clone();
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                exec2.tle_lock().release(&rt2);
+            });
+            let mut th = eng.register_thread();
+            let mut stats = PathStats::new();
+            let (v, path) = exec.run_op(
+                &mut th,
+                &mut stats,
+                |_| Err(Abort::explicit(codes::LOCK_HELD)),
+                |_| Err(Abort::new(AbortCode::Conflict)),
+                |_| {
+                    lock_seen_inside.set(exec.tle_lock().is_held(&rt));
+                    29
+                },
+                |_| unreachable!("3-path mode never takes the lock"),
+            );
+            assert_eq!((v, path), (29, PathKind::Fallback));
+        });
+        assert!(
+            !lock_seen_inside.get(),
+            "lock-free fallback overlapped the TLE lock holder"
+        );
+        assert!(!exec.fallback_indicator().is_active(&rt));
     }
 
     #[test]

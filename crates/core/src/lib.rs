@@ -37,7 +37,7 @@ mod sync;
 mod template;
 
 pub use access::{DirectMem, Mem, TxMem};
-pub use driver::ExecCtx;
+pub use driver::{ExecCtx, StrategySwapError, ADAPTIVE_STRATEGIES};
 pub use effects::Effects;
 pub use stats::{AbortCounts, PathKind, PathStats};
 pub use snzi::Snzi;

@@ -138,6 +138,39 @@ impl PathStats {
         }
     }
 
+    /// Total aborted transaction attempts across every path.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.iter().map(AbortCounts::total).sum()
+    }
+
+    /// Total *conflict* aborts across every path — the contention
+    /// component of the abort mix (an adaptive controller reads a
+    /// conflict-dominated abort storm as "this shard needs the lock-free
+    /// fallback", and a spurious/capacity-dominated one as "this shard's
+    /// HTM is wasted work").
+    pub fn total_conflict_aborts(&self) -> u64 {
+        self.aborts.iter().map(|a| a.conflict).sum()
+    }
+
+    /// Aborted attempts per completed operation (0 when idle) — the load
+    /// signal adaptive strategy controllers act on: a rate near 0 means the
+    /// HTM fast path commits eagerly, a rate in the tens means most
+    /// transactional work is wasted retries.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.total_completed();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / total as f64
+        }
+    }
+
+    /// Fraction of operations completing on the software fallback path
+    /// (shorthand for `completed_fraction(PathKind::Fallback)`).
+    pub fn fallback_fraction(&self) -> f64 {
+        self.completed_fraction(PathKind::Fallback)
+    }
+
     /// Accumulates another thread's statistics into this one.
     pub fn merge(&mut self, other: &PathStats) {
         for i in 0..3 {
@@ -219,5 +252,20 @@ mod tests {
     fn empty_fraction_is_zero() {
         let s = PathStats::new();
         assert_eq!(s.completed_fraction(PathKind::Fast), 0.0);
+    }
+
+    #[test]
+    fn rate_helpers() {
+        let mut s = PathStats::new();
+        assert_eq!(s.abort_rate(), 0.0, "idle stats have no rate");
+        assert_eq!(s.fallback_fraction(), 0.0);
+        s.record_completed(PathKind::Fast);
+        s.record_completed(PathKind::Fallback);
+        s.record_abort(PathKind::Fast, &Abort::new(AbortCode::Conflict));
+        s.record_abort(PathKind::Fast, &Abort::new(AbortCode::Spurious));
+        s.record_abort(PathKind::Middle, &Abort::explicit(1));
+        assert_eq!(s.total_aborts(), 3);
+        assert!((s.abort_rate() - 1.5).abs() < 1e-12);
+        assert!((s.fallback_fraction() - 0.5).abs() < 1e-12);
     }
 }

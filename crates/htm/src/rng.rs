@@ -79,3 +79,36 @@ mod tests {
         }
     }
 }
+
+/// Fibonacci-hash fixed-point scatter: maps `value` to `[0, range)` by
+/// multiplying with 2⁶⁴/φ and scaling the full 64-bit hash down with a
+/// 128-bit multiply (no modulo bias: distinct inputs collide only with
+/// birthday probability, where a plain `hash % range` would lose ~37% of
+/// a non-power-of-two range's image). Shared by the sharded layer's
+/// `HashRouter` and the workload layer's rank-to-key scatter so the two
+/// can never drift apart.
+pub fn fib_scatter(value: u64, range: u64) -> u64 {
+    let hash = value.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((hash as u128 * range as u128) >> 64) as u64
+}
+
+#[cfg(test)]
+mod scatter_tests {
+    use super::fib_scatter;
+
+    #[test]
+    fn scatter_stays_in_range_and_spreads() {
+        let range = 1000u64;
+        let mut counts = [0u32; 10];
+        for v in 0..10_000u64 {
+            let s = fib_scatter(v, range);
+            assert!(s < range);
+            counts[(s / 100) as usize] += 1;
+        }
+        // Consecutive inputs spread near-uniformly over the deciles.
+        for (d, &c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&c), "decile {d} holds {c} of 10000");
+        }
+        assert_eq!(fib_scatter(7, 1), 0, "range 1 collapses to 0");
+    }
+}

@@ -1,0 +1,369 @@
+//! Per-shard adaptive strategy: each shard observes its own abort profile
+//! and switches between TLE and 3-path independently.
+//!
+//! The paper's central claim is that fallback-path design dominates HTM
+//! performance once transactions start aborting — and *which* fallback is
+//! right depends on **why** they abort:
+//!
+//! * **Conflict-dominated** abort storms mean real contention. TLE's
+//!   fallback is a per-shard global lock, so every storming operation
+//!   convoys behind it; the 3-path algorithm's lock-free fallback keeps
+//!   the shard concurrent. A conflict storm therefore switches the shard
+//!   to [`Strategy::ThreePath`].
+//! * **Spurious/capacity-dominated** storms mean the shard's HTM is
+//!   structurally failing regardless of contention (interrupt pressure,
+//!   footprints beyond capacity). Optimistic retries are pure waste, and
+//!   the cheapest way out is TLE: give up quickly and run plain
+//!   sequential code under the shard's lock, with none of the lock-free
+//!   template's instrumentation. Such a storm switches the shard to
+//!   [`Strategy::Tle`].
+//! * A **calm** shard (abort rate at or below the promote threshold)
+//!   reverts to the configured preferred strategy.
+//!
+//! The [`AdaptiveController`] decides per shard. Handles push windowed
+//! `(completed, conflict-abort, other-abort)` deltas from their own
+//! [`PathStats`] — already tracked per shard — every
+//! [`AdaptiveConfig::sample_every`] operations; once a shard's window
+//! accumulates [`AdaptiveConfig::epoch_ops`] completions, whoever crosses
+//! the threshold claims the window, classifies it, and swaps that shard's
+//! strategy through [`ShardTree::set_strategy`]. Because every shard owns
+//! its own HTM runtime and reclamation domain, the swap needs no
+//! cross-shard coordination — and within the shard the blended
+//! subscription discipline ([`threepath_core::ExecCtx`]) makes the swap
+//! safe with operations in flight.
+//!
+//! [`PathStats`]: threepath_core::PathStats
+//! [`Strategy::ThreePath`]: threepath_core::Strategy::ThreePath
+//! [`Strategy::Tle`]: threepath_core::Strategy::Tle
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+use threepath_core::Strategy;
+
+use crate::router::ConfigError;
+use crate::tree::ShardTree;
+
+/// Tuning for the per-shard adaptive strategy controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Handle-local operations on a shard between pushes of that
+    /// handle's windowed stats into the controller. Smaller values react
+    /// faster but touch the shared counters more often.
+    pub sample_every: u64,
+    /// Completed operations a shard's shared window must accumulate
+    /// before a strategy decision is taken.
+    pub epoch_ops: u64,
+    /// Window abort rate (aborted attempts per completed operation) at or
+    /// above which a shard is in an abort storm and switches to the
+    /// storm-appropriate strategy: 3-path when the window's aborts are
+    /// conflict-dominated (contention wants the lock-free fallback), TLE
+    /// otherwise (spurious/capacity waste wants cheap sequential code
+    /// under the shard lock).
+    pub demote_abort_rate: f64,
+    /// Window abort rate at or below which a shard is calm and reverts
+    /// to the configured preferred strategy. Keep this well under
+    /// [`demote_abort_rate`](Self::demote_abort_rate) — the gap is the
+    /// hysteresis band that prevents flapping.
+    pub promote_abort_rate: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            sample_every: 64,
+            epoch_ops: 2048,
+            demote_abort_rate: 2.0,
+            promote_abort_rate: 0.5,
+        }
+    }
+}
+
+struct ShardCtl {
+    window_ops: AtomicU64,
+    window_conflicts: AtomicU64,
+    window_other: AtomicU64,
+    lifetime_ops: AtomicU64,
+    lifetime_aborts: AtomicU64,
+    mode: AtomicU8,
+    /// Decision latch: `mode` and the tree's actual strategy only ever
+    /// change together while this is held, so they cannot desynchronize
+    /// under racing epoch decisions.
+    deciding: AtomicBool,
+    flips: AtomicU64,
+}
+
+/// The per-shard strategy controller of an adaptive
+/// [`ShardedMap`](crate::ShardedMap). See the module docs.
+pub struct AdaptiveController {
+    cfg: AdaptiveConfig,
+    preferred: Strategy,
+    shards: Vec<ShardCtl>,
+}
+
+impl AdaptiveController {
+    /// A controller for `shards` shards all starting on (and reverting
+    /// to) `preferred`.
+    pub fn new(
+        cfg: AdaptiveConfig,
+        shards: usize,
+        preferred: Strategy,
+    ) -> Result<Self, ConfigError> {
+        if shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if cfg.sample_every == 0 || cfg.epoch_ops == 0 {
+            return Err(ConfigError::ZeroAdaptiveInterval);
+        }
+        if !threepath_core::ADAPTIVE_STRATEGIES.contains(&preferred) {
+            return Err(ConfigError::AdaptiveStrategy(preferred));
+        }
+        Ok(AdaptiveController {
+            cfg,
+            preferred,
+            shards: (0..shards)
+                .map(|_| ShardCtl {
+                    window_ops: AtomicU64::new(0),
+                    window_conflicts: AtomicU64::new(0),
+                    window_other: AtomicU64::new(0),
+                    lifetime_ops: AtomicU64::new(0),
+                    lifetime_aborts: AtomicU64::new(0),
+                    mode: AtomicU8::new(preferred.code()),
+                    deciding: AtomicBool::new(false),
+                    flips: AtomicU64::new(0),
+                })
+                .collect(),
+        })
+    }
+
+    /// The controller's tuning.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+
+    /// The preferred (initial, calm-state) strategy.
+    pub fn preferred(&self) -> Strategy {
+        self.preferred
+    }
+
+    /// The strategy shard `shard` currently runs.
+    pub fn strategy_of(&self, shard: usize) -> Strategy {
+        Strategy::from_code(self.shards[shard].mode.load(Ordering::Acquire))
+            .expect("mode atomic holds a valid code")
+    }
+
+    /// Every shard's current strategy, in shard order.
+    pub fn strategies(&self) -> Vec<Strategy> {
+        (0..self.shards.len()).map(|s| self.strategy_of(s)).collect()
+    }
+
+    /// How many times shard `shard` has switched strategy.
+    pub fn flips(&self, shard: usize) -> u64 {
+        self.shards[shard].flips.load(Ordering::Relaxed)
+    }
+
+    /// Total strategy switches across all shards.
+    pub fn total_flips(&self) -> u64 {
+        (0..self.shards.len()).map(|s| self.flips(s)).sum()
+    }
+
+    /// Lifetime `(completed, aborted)` attempt counts observed for shard
+    /// `shard` — the per-shard load picture the controller decides from
+    /// (completions across all paths, aborts of every kind and path).
+    pub fn observed(&self, shard: usize) -> (u64, u64) {
+        let c = &self.shards[shard];
+        (
+            c.lifetime_ops.load(Ordering::Relaxed),
+            c.lifetime_aborts.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The strategy the window calls for, or `None` inside the
+    /// hysteresis band.
+    fn classify(&self, ops: u64, conflicts: u64, other: u64) -> Option<Strategy> {
+        let rate = (conflicts + other) as f64 / ops as f64;
+        if rate >= self.cfg.demote_abort_rate {
+            // Storm: pick the fallback suited to the dominant cause.
+            Some(if conflicts >= other {
+                Strategy::ThreePath
+            } else {
+                Strategy::Tle
+            })
+        } else if rate <= self.cfg.promote_abort_rate {
+            Some(self.preferred)
+        } else {
+            None
+        }
+    }
+
+    /// Accumulates a handle's windowed `(completed, conflict-abort,
+    /// other-abort)` delta for `shard` and, when the shard's window
+    /// crosses the epoch, decides whether to swap `tree`'s strategy.
+    /// Called by [`ShardedHandle`](crate::ShardedHandle); `tree` must be
+    /// the shard's own tree.
+    pub(crate) fn record(
+        &self,
+        shard: usize,
+        ops: u64,
+        conflicts: u64,
+        other: u64,
+        tree: &ShardTree,
+    ) {
+        let ctl = &self.shards[shard];
+        ctl.lifetime_ops.fetch_add(ops, Ordering::Relaxed);
+        ctl.lifetime_aborts.fetch_add(conflicts + other, Ordering::Relaxed);
+        ctl.window_conflicts.fetch_add(conflicts, Ordering::Relaxed);
+        ctl.window_other.fetch_add(other, Ordering::Relaxed);
+        let window = ctl.window_ops.fetch_add(ops, Ordering::Relaxed) + ops;
+        if window < self.cfg.epoch_ops {
+            return;
+        }
+        // Claim the window. A racing handle that also crossed the epoch
+        // swaps out zero (or a few freshly-pushed ops) and bails on the
+        // size guard below, so at most one decision is taken per epoch.
+        let ops_w = ctl.window_ops.swap(0, Ordering::Relaxed);
+        let conflicts_w = ctl.window_conflicts.swap(0, Ordering::Relaxed);
+        let other_w = ctl.window_other.swap(0, Ordering::Relaxed);
+        if ops_w < self.cfg.epoch_ops / 2 {
+            return;
+        }
+        let Some(next) = self.classify(ops_w, conflicts_w, other_w) else {
+            return;
+        };
+        // Apply under the decision latch so `mode` and the tree's actual
+        // strategy move together — without it, a preempted loser of a
+        // mode CAS could apply a stale `set_strategy` over a newer
+        // decision and leave the two permanently disagreeing. Decisions
+        // are rare (once per epoch); a contended latch just drops this
+        // window's decision.
+        if ctl
+            .deciding
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        if next != self.strategy_of(shard) {
+            tree.set_strategy(next)
+                .expect("adaptive shards are built with runtime swapping enabled");
+            ctl.mode.store(next.code(), Ordering::Release);
+            ctl.flips.fetch_add(1, Ordering::Relaxed);
+        }
+        ctl.deciding.store(false, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for AdaptiveController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveController")
+            .field("cfg", &self.cfg)
+            .field("preferred", &self.preferred)
+            .field("strategies", &self.strategies())
+            .field("flips", &self.total_flips())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::ShardedConfig;
+
+    fn adaptive_tree(strategy: Strategy) -> ShardTree {
+        ShardTree::build(&ShardedConfig {
+            strategy,
+            adaptive: Some(AdaptiveConfig::default()),
+            ..ShardedConfig::default()
+        })
+    }
+
+    fn ctl(preferred: Strategy, epoch_ops: u64) -> AdaptiveController {
+        AdaptiveController::new(
+            AdaptiveConfig {
+                epoch_ops,
+                ..AdaptiveConfig::default()
+            },
+            2,
+            preferred,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn invalid_tuning_is_a_typed_error() {
+        let bad = AdaptiveConfig {
+            epoch_ops: 0,
+            ..AdaptiveConfig::default()
+        };
+        assert_eq!(
+            AdaptiveController::new(bad, 2, Strategy::Tle).unwrap_err(),
+            ConfigError::ZeroAdaptiveInterval
+        );
+        assert_eq!(
+            AdaptiveController::new(AdaptiveConfig::default(), 0, Strategy::Tle).unwrap_err(),
+            ConfigError::ZeroShards
+        );
+        assert_eq!(
+            AdaptiveController::new(AdaptiveConfig::default(), 2, Strategy::NonHtm).unwrap_err(),
+            ConfigError::AdaptiveStrategy(Strategy::NonHtm)
+        );
+    }
+
+    #[test]
+    fn spurious_storm_demotes_to_tle() {
+        let ctl = ctl(Strategy::ThreePath, 100);
+        let tree = adaptive_tree(Strategy::ThreePath);
+        // Shard 0: 100 ops, 500 spurious/capacity aborts, no conflicts:
+        // HTM is wasted work, drop to lock-based sequential execution.
+        ctl.record(0, 100, 0, 500, &tree);
+        assert_eq!(ctl.strategy_of(0), Strategy::Tle);
+        assert_eq!(tree.strategy(), Strategy::Tle);
+        assert_eq!(ctl.flips(0), 1);
+        // Shard 1 untouched.
+        assert_eq!(ctl.strategy_of(1), Strategy::ThreePath);
+        assert_eq!(ctl.flips(1), 0);
+        assert_eq!(ctl.observed(0), (100, 500));
+    }
+
+    #[test]
+    fn conflict_storm_demotes_to_three_path() {
+        let ctl = ctl(Strategy::Tle, 100);
+        let tree = adaptive_tree(Strategy::Tle);
+        // Conflict-dominated storm: contention wants the lock-free
+        // fallback, not a convoy on the shard lock.
+        ctl.record(0, 100, 400, 100, &tree);
+        assert_eq!(ctl.strategy_of(0), Strategy::ThreePath);
+        assert_eq!(tree.strategy(), Strategy::ThreePath);
+    }
+
+    #[test]
+    fn calm_windows_revert_to_preferred_with_hysteresis() {
+        let ctl = ctl(Strategy::ThreePath, 100);
+        let tree = adaptive_tree(Strategy::ThreePath);
+        ctl.record(0, 100, 0, 400, &tree);
+        assert_eq!(ctl.strategy_of(0), Strategy::Tle);
+        // Mid-band rate: stays put (hysteresis).
+        ctl.record(0, 100, 0, 100, &tree);
+        assert_eq!(ctl.strategy_of(0), Strategy::Tle);
+        // Calm window: reverts to the preferred strategy.
+        ctl.record(0, 100, 0, 10, &tree);
+        assert_eq!(ctl.strategy_of(0), Strategy::ThreePath);
+        assert_eq!(tree.strategy(), Strategy::ThreePath);
+        assert_eq!(ctl.flips(0), 2);
+    }
+
+    #[test]
+    fn sub_epoch_windows_do_not_decide() {
+        let ctl = ctl(Strategy::ThreePath, 1000);
+        let tree = adaptive_tree(Strategy::ThreePath);
+        for _ in 0..9 {
+            ctl.record(0, 100, 0, 1000, &tree);
+            assert_eq!(
+                ctl.strategy_of(0),
+                Strategy::ThreePath,
+                "no decision before epoch"
+            );
+        }
+        ctl.record(0, 100, 0, 1000, &tree);
+        assert_eq!(ctl.strategy_of(0), Strategy::Tle);
+    }
+}

@@ -1,34 +1,46 @@
-//! Key-space-sharded map layer over the three-path template trees.
+//! Key-space-sharded map layer over the three-path template trees, with
+//! pluggable routing and per-shard adaptive strategy.
 //!
 //! A single template tree owns one HTM runtime and one reclamation domain,
 //! so under heavy traffic every hardware transaction in the process
 //! contends on the same conflict-detection state and every retired node
 //! funnels through the same limbo bags. [`ShardedMap`] partitions the key
-//! space into `N` contiguous ranges and gives each range its **own**
-//! tree — own simulated-HTM runtime, own epoch-reclamation domain, own
-//! fallback indicator — so operations on different shards never interact
-//! and the paper's per-tree correctness argument applies to each shard
-//! unchanged.
+//! space into `N` shards and gives each shard its **own** tree — own
+//! simulated-HTM runtime, own epoch-reclamation domain, own fallback
+//! indicator — so operations on different shards never interact and the
+//! paper's per-tree correctness argument applies to each shard unchanged.
 //!
-//! Shards are *range* partitions (`shard = key / width`), so keys in shard
-//! `i` are all smaller than keys in shard `i + 1` and a cross-shard range
-//! query is just the concatenation of per-shard range queries in shard
-//! order. Each per-shard query is individually atomic (a consistent
-//! snapshot of that shard); the concatenation is **not** a single atomic
+//! Two policy axes sit on top of the partition:
+//!
+//! * **Routing** ([`Router`]): [`RangeRouter`] keeps contiguous ranges —
+//!   global order is preserved and cross-shard range queries concatenate
+//!   per-shard queries in order; [`HashRouter`] stripes keys by
+//!   multiplicative hash — key-local skew load-balances across shards,
+//!   and range queries degrade to a sort-merge over every shard (the
+//!   trait makes the trade explicit via [`Router::preserves_order`]).
+//! * **Strategy** ([`AdaptiveController`]): fixed per-map by default, or
+//!   — with [`ShardedConfig::adaptive`] — observed per shard: a shard
+//!   whose abort rate crosses the demote threshold switches from TLE to
+//!   the 3-path algorithm on its own, and back once it quiets down,
+//!   without any cross-shard coordination.
+//!
+//! Each per-shard query is individually atomic (a consistent snapshot of
+//! that shard); a cross-shard range query is **not** a single atomic
 //! snapshot of the whole map — see [`ShardedHandle::range_query`].
 //!
 //! # Example
 //!
 //! ```
 //! use std::sync::Arc;
-//! use threepath_sharded::{ShardBackend, ShardedConfig, ShardedMap};
+//! use threepath_sharded::{RouterKind, ShardBackend, ShardedConfig, ShardedMap};
 //!
 //! let map = Arc::new(ShardedMap::with_config(ShardedConfig {
 //!     shards: 4,
 //!     key_space: 1000,
 //!     backend: ShardBackend::Bst,
+//!     router: RouterKind::Range,
 //!     ..ShardedConfig::default()
-//! }));
+//! }).expect("valid config"));
 //! let mut h = map.handle();
 //! h.insert(10, 1);   // shard 0
 //! h.insert(990, 2);  // shard 3
@@ -40,6 +52,12 @@
 
 #![warn(missing_docs)]
 
+mod adaptive;
 mod map;
+mod router;
+mod tree;
 
-pub use map::{ShardBackend, ShardHandle, ShardTree, ShardedConfig, ShardedHandle, ShardedMap};
+pub use adaptive::{AdaptiveConfig, AdaptiveController};
+pub use map::{ShardedConfig, ShardedHandle, ShardedMap};
+pub use router::{ConfigError, HashRouter, RangeRouter, Router, RouterKind};
+pub use tree::{ShardBackend, ShardHandle, ShardTree};

@@ -2,51 +2,46 @@
 
 use std::sync::Arc;
 
-use threepath_abtree::{AbTree, AbTreeConfig, AbTreeHandle};
-use threepath_bst::{Bst, BstConfig, BstHandle};
 use threepath_core::{PathStats, Strategy};
 use threepath_htm::HtmConfig;
 use threepath_reclaim::ReclaimMode;
 
-/// Which template tree backs each shard.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ShardBackend {
-    /// External unbalanced BST (paper Section 6.1).
-    Bst,
-    /// Relaxed (a,b)-tree (paper Section 6.2).
-    AbTree,
-}
-
-impl std::fmt::Display for ShardBackend {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            ShardBackend::Bst => "bst",
-            ShardBackend::AbTree => "abtree",
-        })
-    }
-}
+use crate::adaptive::{AdaptiveConfig, AdaptiveController};
+use crate::router::{ConfigError, HashRouter, RangeRouter, Router, RouterKind};
+use crate::tree::{ShardBackend, ShardHandle, ShardTree};
 
 /// Configuration for a [`ShardedMap`].
 ///
 /// The per-tree knobs (`strategy`, `htm`, `reclaim`, `search_outside_txn`,
 /// `snzi`) apply to **every** shard; each shard still instantiates its own
-/// runtime and domain from them.
+/// runtime and domain from them. `router` and `adaptive` are the two
+/// policy axes: how keys map to shards, and whether each shard may switch
+/// strategy at runtime based on its own abort rate.
 #[derive(Debug, Clone)]
 pub struct ShardedConfig {
     /// Number of shards (`>= 1`).
     pub shards: usize,
     /// Tree type backing each shard.
     pub backend: ShardBackend,
-    /// Expected key-space upper bound: keys in `[0, key_space)` partition
-    /// evenly across shards. Keys `>= key_space` still route by the same
-    /// `key / width` rule, clamped to the last shard — so when
-    /// `shards <= key_space` (the normal case) every overflow key lands in
-    /// the last shard. Ordering across shards is preserved either way.
+    /// Expected key-space upper bound. The range router partitions
+    /// `[0, key_space)` evenly (keys `>= key_space` land in the last
+    /// shard); the hash router ignores it.
     pub key_space: u64,
-    /// Execution-path strategy for every shard.
+    /// Shard-routing policy (see [`RouterKind`]).
+    pub router: RouterKind,
+    /// Execution-path strategy for every shard (the *initial* strategy
+    /// when `adaptive` is set).
     pub strategy: Strategy,
+    /// Per-shard adaptive strategy switching. `Some` builds every shard
+    /// with runtime swapping enabled and attaches an
+    /// [`AdaptiveController`]; requires `strategy` to be TLE or 3-path.
+    pub adaptive: Option<AdaptiveConfig>,
     /// Simulated-HTM parameters (each shard builds its own runtime).
     pub htm: HtmConfig,
+    /// Per-shard HTM overrides as `(shard, config)` pairs, replacing
+    /// `htm` for those shards — heterogeneous abort environments for
+    /// experiments and tests.
+    pub htm_overrides: Vec<(usize, HtmConfig)>,
     /// Memory-reclamation mode (each shard builds its own domain).
     pub reclaim: ReclaimMode,
     /// Section 8 variant (search outside transactions).
@@ -55,14 +50,55 @@ pub struct ShardedConfig {
     pub snzi: bool,
 }
 
+impl ShardedConfig {
+    /// The HTM configuration shard `shard` builds its runtime from (the
+    /// last matching override, or the shared `htm`).
+    pub fn htm_for(&self, shard: usize) -> HtmConfig {
+        self.htm_overrides
+            .iter()
+            .rev()
+            .find(|(s, _)| *s == shard)
+            .map(|(_, c)| c.clone())
+            .unwrap_or_else(|| self.htm.clone())
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if let Some(a) = &self.adaptive {
+            if a.sample_every == 0 || a.epoch_ops == 0 {
+                return Err(ConfigError::ZeroAdaptiveInterval);
+            }
+            if !threepath_core::ADAPTIVE_STRATEGIES.contains(&self.strategy) {
+                return Err(ConfigError::AdaptiveStrategy(self.strategy));
+            }
+        }
+        if let Some(&(shard, _)) = self
+            .htm_overrides
+            .iter()
+            .find(|(s, _)| *s >= self.shards)
+        {
+            return Err(ConfigError::OverrideOutOfRange {
+                shard,
+                shards: self.shards,
+            });
+        }
+        Ok(())
+    }
+}
+
 impl Default for ShardedConfig {
     fn default() -> Self {
         ShardedConfig {
             shards: 4,
             backend: ShardBackend::Bst,
             key_space: 1 << 20,
+            router: RouterKind::Range,
             strategy: Strategy::ThreePath,
+            adaptive: None,
             htm: HtmConfig::default(),
+            htm_overrides: Vec::new(),
             reclaim: ReclaimMode::Epoch,
             search_outside_txn: false,
             snzi: false,
@@ -70,195 +106,79 @@ impl Default for ShardedConfig {
     }
 }
 
-/// A single template tree of either backend — one shard of a
-/// [`ShardedMap`], also usable standalone as a uniform front over
-/// [`Bst`]/[`AbTree`] (the workload harness drives unsharded trials
-/// through it). Each instance owns its own HTM runtime and reclamation
-/// domain (created by the tree constructor).
-#[derive(Clone)]
-pub enum ShardTree {
-    /// External unbalanced BST.
-    Bst(Arc<Bst>),
-    /// Relaxed (a,b)-tree.
-    AbTree(Arc<AbTree>),
-}
-
-impl ShardTree {
-    /// Builds one tree from the per-tree fields of `cfg` (`backend`,
-    /// `strategy`, `htm`, `reclaim`, `search_outside_txn`, `snzi`);
-    /// `shards` and `key_space` are partitioning concerns and ignored.
-    pub fn build(cfg: &ShardedConfig) -> ShardTree {
-        match cfg.backend {
-            ShardBackend::Bst => ShardTree::Bst(Arc::new(Bst::with_config(BstConfig {
-                strategy: cfg.strategy,
-                htm: cfg.htm.clone(),
-                limits: None,
-                reclaim: cfg.reclaim,
-                search_outside_txn: cfg.search_outside_txn,
-                snzi: cfg.snzi,
-            }))),
-            ShardBackend::AbTree => ShardTree::AbTree(Arc::new(AbTree::with_config(AbTreeConfig {
-                strategy: cfg.strategy,
-                htm: cfg.htm.clone(),
-                limits: None,
-                reclaim: cfg.reclaim,
-                search_outside_txn: cfg.search_outside_txn,
-                snzi: cfg.snzi,
-                ..AbTreeConfig::default()
-            }))),
-        }
-    }
-
-    /// Registers the calling thread and returns an operation handle.
-    pub fn handle(&self) -> ShardHandle {
-        match self {
-            ShardTree::Bst(t) => ShardHandle::Bst(t.handle()),
-            ShardTree::AbTree(t) => ShardHandle::AbTree(t.handle()),
-        }
-    }
-
-    /// Sum of all keys (quiescent).
-    pub fn key_sum(&self) -> u128 {
-        match self {
-            ShardTree::Bst(t) => t.key_sum(),
-            ShardTree::AbTree(t) => t.key_sum(),
-        }
-    }
-
-    /// Number of keys (quiescent).
-    pub fn len(&self) -> usize {
-        match self {
-            ShardTree::Bst(t) => t.len(),
-            ShardTree::AbTree(t) => t.len(),
-        }
-    }
-
-    /// Whether the tree is empty (quiescent).
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// All pairs in ascending key order (quiescent).
-    pub fn collect(&self) -> Vec<(u64, u64)> {
-        match self {
-            ShardTree::Bst(t) => t.collect(),
-            ShardTree::AbTree(t) => t.collect(),
-        }
-    }
-
-    /// Structural validation (quiescent). Returns an error description on
-    /// violation.
-    pub fn validate(&self) -> Result<(), String> {
-        match self {
-            ShardTree::Bst(t) => t.validate().map(|_| ()),
-            ShardTree::AbTree(t) => t.validate().map(|_| ()),
-        }
-    }
-}
-
-impl std::fmt::Debug for ShardTree {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ShardTree::Bst(t) => t.fmt(f),
-            ShardTree::AbTree(t) => t.fmt(f),
-        }
-    }
-}
-
-/// A per-thread handle to one [`ShardTree`].
-pub enum ShardHandle {
-    /// BST handle.
-    Bst(BstHandle),
-    /// (a,b)-tree handle.
-    AbTree(AbTreeHandle),
-}
-
-impl ShardHandle {
-    /// Inserts a pair, returning the previous value.
-    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
-        match self {
-            ShardHandle::Bst(h) => h.insert(key, value),
-            ShardHandle::AbTree(h) => h.insert(key, value),
-        }
-    }
-
-    /// Removes a key, returning its value.
-    pub fn remove(&mut self, key: u64) -> Option<u64> {
-        match self {
-            ShardHandle::Bst(h) => h.remove(key),
-            ShardHandle::AbTree(h) => h.remove(key),
-        }
-    }
-
-    /// Looks up a key.
-    pub fn get(&mut self, key: u64) -> Option<u64> {
-        match self {
-            ShardHandle::Bst(h) => h.get(key),
-            ShardHandle::AbTree(h) => h.get(key),
-        }
-    }
-
-    /// Range query over `[lo, hi)` (an atomic snapshot, as on the
-    /// underlying tree).
-    pub fn range_query(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
-        match self {
-            ShardHandle::Bst(h) => h.range_query(lo, hi),
-            ShardHandle::AbTree(h) => h.range_query(lo, hi),
-        }
-    }
-
-    /// Path statistics accumulated by this handle.
-    pub fn stats(&self) -> &PathStats {
-        match self {
-            ShardHandle::Bst(h) => h.stats(),
-            ShardHandle::AbTree(h) => h.stats(),
-        }
-    }
-}
-
-/// A concurrent ordered map partitioned by key range across `N`
-/// independent template trees.
+/// A concurrent ordered map partitioned across `N` independent template
+/// trees by a pluggable [`Router`] policy.
 ///
-/// Shard `i` owns keys in `[i·width, (i+1)·width)` where
-/// `width = ceil(key_space / shards)`; the last shard additionally owns
-/// every key `>= key_space`. Since the partition is contiguous, the map
-/// stays globally ordered and quiescent accessors ([`ShardedMap::collect`],
-/// [`ShardedMap::key_sum`], [`ShardedMap::len`]) reduce over shards in
-/// order.
+/// With the default [`RangeRouter`] the partition is contiguous: the map
+/// stays globally ordered and cross-shard range queries are in-order
+/// concatenations of per-shard queries. With a [`HashRouter`] keys stripe
+/// across shards for load balance, and range queries sort-merge the
+/// per-shard results instead (see [`ShardedHandle::range_query`]).
+///
+/// With [`ShardedConfig::adaptive`] set, each shard additionally observes
+/// its own abort rate and switches between TLE and 3-path independently
+/// (see [`AdaptiveController`]).
 ///
 /// Create per-thread handles with [`ShardedMap::handle`]; all operations
-/// go through handles, which lazily create and cache one inner tree handle
-/// per shard the thread actually touches.
+/// go through handles, which lazily create and cache one inner tree
+/// handle per shard the thread actually touches.
 pub struct ShardedMap {
     shards: Vec<ShardTree>,
-    width: u64,
-    key_space: u64,
+    router: Arc<dyn Router>,
+    adaptive: Option<AdaptiveController>,
     backend: ShardBackend,
     strategy: Strategy,
+    key_space: u64,
 }
 
 impl ShardedMap {
-    /// A map with the default configuration (4 BST shards, 3-path).
+    /// A map with the default configuration (4 range-routed BST shards,
+    /// fixed 3-path).
     pub fn new() -> Self {
-        Self::with_config(ShardedConfig::default())
+        Self::with_config(ShardedConfig::default()).expect("default config is valid")
     }
 
-    /// A map with the given configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cfg.shards == 0`.
-    pub fn with_config(cfg: ShardedConfig) -> Self {
-        assert!(cfg.shards >= 1, "ShardedMap needs at least one shard");
-        let shards: Vec<ShardTree> = (0..cfg.shards).map(|_| ShardTree::build(&cfg)).collect();
-        let width = cfg.key_space.div_ceil(cfg.shards as u64).max(1);
-        ShardedMap {
+    /// A map with the given configuration, routing through the built-in
+    /// policy `cfg.router` selects.
+    pub fn with_config(cfg: ShardedConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let router: Arc<dyn Router> = match cfg.router {
+            RouterKind::Range => Arc::new(RangeRouter::new(cfg.shards, cfg.key_space)?),
+            RouterKind::Hash => Arc::new(HashRouter::new(cfg.shards)?),
+        };
+        Self::build(cfg, router)
+    }
+
+    /// A map routed by a custom [`Router`] policy. The router must
+    /// partition exactly `cfg.shards` shards; `cfg.router` is ignored.
+    pub fn with_router(cfg: ShardedConfig, router: Arc<dyn Router>) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        if router.shard_count() != cfg.shards {
+            return Err(ConfigError::RouterShardMismatch {
+                router: router.shard_count(),
+                shards: cfg.shards,
+            });
+        }
+        Self::build(cfg, router)
+    }
+
+    fn build(cfg: ShardedConfig, router: Arc<dyn Router>) -> Result<Self, ConfigError> {
+        let shards: Vec<ShardTree> = (0..cfg.shards)
+            .map(|s| ShardTree::build_shard(&cfg, s))
+            .collect();
+        let adaptive = cfg
+            .adaptive
+            .as_ref()
+            .map(|a| AdaptiveController::new(a.clone(), cfg.shards, cfg.strategy))
+            .transpose()?;
+        Ok(ShardedMap {
             shards,
-            width,
-            key_space: cfg.key_space,
+            router,
+            adaptive,
             backend: cfg.backend,
             strategy: cfg.strategy,
-        }
+            key_space: cfg.key_space,
+        })
     }
 
     /// Number of shards.
@@ -271,9 +191,26 @@ impl ShardedMap {
         self.backend
     }
 
-    /// The execution strategy every shard runs with.
+    /// The configured (initial) execution strategy. Individual shards of
+    /// an adaptive map may since have switched — see
+    /// [`ShardedMap::shard_strategies`].
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// Every shard's *current* strategy, in shard order.
+    pub fn shard_strategies(&self) -> Vec<Strategy> {
+        self.shards.iter().map(ShardTree::strategy).collect()
+    }
+
+    /// The adaptive controller, when the map was configured with one.
+    pub fn adaptive(&self) -> Option<&AdaptiveController> {
+        self.adaptive.as_ref()
+    }
+
+    /// The routing policy.
+    pub fn router(&self) -> &Arc<dyn Router> {
+        &self.router
     }
 
     /// The configured key-space upper bound.
@@ -281,15 +218,16 @@ impl ShardedMap {
         self.key_space
     }
 
-    /// Which shard owns `key`.
+    /// Which shard owns `key` (delegates to the router).
     pub fn shard_of(&self, key: u64) -> usize {
-        ((key / self.width) as usize).min(self.shards.len() - 1)
+        self.router.route(key)
     }
 
     /// Registers the calling thread and returns an operation handle.
     pub fn handle(self: &Arc<Self>) -> ShardedHandle {
         ShardedHandle {
             cached: (0..self.shards.len()).map(|_| None).collect(),
+            adapt: vec![AdaptSample::default(); self.shards.len()],
             map: Arc::clone(self),
         }
     }
@@ -316,30 +254,38 @@ impl ShardedMap {
     }
 
     /// All pairs in ascending key order (quiescent): per-shard collects
-    /// concatenated in shard order.
+    /// concatenated in shard order, sorted once when the router does not
+    /// preserve global order.
     pub fn collect(&self) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
         for s in &self.shards {
             out.extend(s.collect());
         }
+        if !self.router.preserves_order() {
+            out.sort_unstable_by_key(|&(k, _)| k);
+        }
         out
     }
 
     /// Validates every shard's structure and that each shard only holds
-    /// keys from its own range (quiescent).
+    /// keys the router assigns to it (quiescent).
     pub fn validate(&self) -> Result<(), String> {
-        let n = self.shards.len();
         for (i, s) in self.shards.iter().enumerate() {
             s.validate().map_err(|e| format!("shard {i}: {e}"))?;
-            let lo = i as u64 * self.width;
             for (k, _) in s.collect() {
-                let in_range = k >= lo && (i == n - 1 || k < lo + self.width);
-                if !in_range {
-                    return Err(format!("shard {i} holds out-of-range key {k}"));
+                let owner = self.router.route(k);
+                if owner != i {
+                    return Err(format!(
+                        "shard {i} holds key {k}, which the router assigns to shard {owner}"
+                    ));
                 }
             }
         }
         Ok(())
+    }
+
+    pub(crate) fn shard_tree(&self, shard: usize) -> &ShardTree {
+        &self.shards[shard]
     }
 }
 
@@ -354,11 +300,23 @@ impl std::fmt::Debug for ShardedMap {
         f.debug_struct("ShardedMap")
             .field("shards", &self.shards.len())
             .field("backend", &self.backend)
+            .field("router", &self.router)
             .field("strategy", &self.strategy)
+            .field("adaptive", &self.adaptive.is_some())
             .field("key_space", &self.key_space)
-            .field("width", &self.width)
             .finish()
     }
+}
+
+/// Per-shard adaptive sampling state of one handle: operations since the
+/// last push, and the stats totals at that push (deltas are what the
+/// controller accumulates).
+#[derive(Debug, Clone, Copy, Default)]
+struct AdaptSample {
+    ops: u64,
+    last_completed: u64,
+    last_conflicts: u64,
+    last_aborts: u64,
 }
 
 /// A per-thread handle to a [`ShardedMap`].
@@ -369,6 +327,7 @@ impl std::fmt::Debug for ShardedMap {
 pub struct ShardedHandle {
     map: Arc<ShardedMap>,
     cached: Vec<Option<ShardHandle>>,
+    adapt: Vec<AdaptSample>,
 }
 
 impl ShardedHandle {
@@ -385,22 +344,56 @@ impl ShardedHandle {
         slot.as_mut().unwrap()
     }
 
+    /// Adaptive bookkeeping after an operation on `shard`: every
+    /// `sample_every` local operations, push this handle's windowed
+    /// stats delta into the shard's controller.
+    fn note_op(&mut self, shard: usize) {
+        let Some(ctl) = self.map.adaptive.as_ref() else {
+            return;
+        };
+        let sample = &mut self.adapt[shard];
+        sample.ops += 1;
+        if sample.ops % ctl.config().sample_every != 0 {
+            return;
+        }
+        let Some(h) = self.cached[shard].as_ref() else {
+            return;
+        };
+        let stats = h.stats();
+        let completed = stats.total_completed();
+        let conflicts = stats.total_conflict_aborts();
+        let aborts = stats.total_aborts();
+        let d_ops = completed - sample.last_completed;
+        let d_conflicts = conflicts - sample.last_conflicts;
+        let d_other = (aborts - sample.last_aborts) - d_conflicts;
+        sample.last_completed = completed;
+        sample.last_conflicts = conflicts;
+        sample.last_aborts = aborts;
+        ctl.record(shard, d_ops, d_conflicts, d_other, self.map.shard_tree(shard));
+    }
+
     /// Inserts a pair, returning the previous value.
     pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
         let s = self.map.shard_of(key);
-        self.shard_handle(s).insert(key, value)
+        let r = self.shard_handle(s).insert(key, value);
+        self.note_op(s);
+        r
     }
 
     /// Removes a key, returning its value.
     pub fn remove(&mut self, key: u64) -> Option<u64> {
         let s = self.map.shard_of(key);
-        self.shard_handle(s).remove(key)
+        let r = self.shard_handle(s).remove(key);
+        self.note_op(s);
+        r
     }
 
     /// Looks up a key.
     pub fn get(&mut self, key: u64) -> Option<u64> {
         let s = self.map.shard_of(key);
-        self.shard_handle(s).get(key)
+        let r = self.shard_handle(s).get(key);
+        self.note_op(s);
+        r
     }
 
     /// Whether a key is present.
@@ -408,38 +401,37 @@ impl ShardedHandle {
         self.get(key).is_some()
     }
 
-    /// Range query over `[lo, hi)`: an ordered merge of per-shard range
-    /// queries.
+    /// Range query over `[lo, hi)` across shards.
     ///
-    /// Each per-shard query is individually atomic (a consistent snapshot
-    /// of that shard, exactly as on the underlying tree), and results are
-    /// concatenated in shard order so the output is sorted. A query that
-    /// spans multiple shards is **not** a single atomic snapshot of the
-    /// whole map: updates may land in an already-visited shard while later
-    /// shards are still being read.
+    /// The router plans which shards to visit. Each per-shard query is
+    /// individually atomic (a consistent snapshot of that shard, exactly
+    /// as on the underlying tree). Under an order-preserving router the
+    /// per-shard results concatenate in shard order; otherwise (hash
+    /// routing) every visited shard returns its scattered members of
+    /// `[lo, hi)` and the sorted runs are **sort-merged** into one
+    /// ascending sequence. Either way a query that spans multiple shards
+    /// is *not* a single atomic snapshot of the whole map: updates may
+    /// land in an already-visited shard while later shards are still
+    /// being read.
     pub fn range_query(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
-        if lo >= hi {
-            return Vec::new();
-        }
-        let first = self.map.shard_of(lo);
-        let last = self.map.shard_of(hi - 1);
-        let width = self.map.width;
-        let shard_count = self.map.shard_count();
-        let mut out = Vec::new();
-        for s in first..=last {
-            // Clamp to the shard's own range; the last shard is unbounded
-            // above (it also owns keys >= key_space).
-            let slo = lo.max(s as u64 * width);
-            let shi = if s == shard_count - 1 {
-                hi
-            } else {
-                hi.min((s as u64 + 1) * width)
-            };
-            if slo < shi {
+        let plan = self.map.router.shards_for_range(lo, hi);
+        if self.map.router.preserves_order() {
+            let mut out = Vec::new();
+            for (s, slo, shi) in plan {
                 out.extend(self.shard_handle(s).range_query(slo, shi));
+                self.note_op(s);
+            }
+            return out;
+        }
+        let mut runs = Vec::with_capacity(plan.len());
+        for (s, slo, shi) in plan {
+            let run = self.shard_handle(s).range_query(slo, shi);
+            self.note_op(s);
+            if !run.is_empty() {
+                runs.push(run);
             }
         }
-        out
+        merge_sorted_runs(runs)
     }
 
     /// Merged path statistics across every shard this thread has touched.
@@ -461,17 +453,60 @@ impl std::fmt::Debug for ShardedHandle {
     }
 }
 
+/// K-way merge of individually sorted, mutually disjoint runs (each key
+/// lives in exactly one shard, so ties cannot occur).
+fn merge_sorted_runs(runs: Vec<Vec<(u64, u64)>>) -> Vec<(u64, u64)> {
+    match runs.len() {
+        0 => return Vec::new(),
+        1 => return runs.into_iter().next().unwrap(),
+        _ => {}
+    }
+    let total = runs.iter().map(Vec::len).sum();
+    let mut heads = vec![0usize; runs.len()];
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let mut best: Option<usize> = None;
+        for r in 0..runs.len() {
+            if heads[r] < runs[r].len()
+                && best.is_none_or(|b| runs[r][heads[r]].0 < runs[b][heads[b]].0)
+            {
+                best = Some(r);
+            }
+        }
+        let b = best.expect("a non-exhausted run exists while out.len() < total");
+        out.push(runs[b][heads[b]]);
+        heads[b] += 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn small(shards: usize, backend: ShardBackend) -> Arc<ShardedMap> {
-        Arc::new(ShardedMap::with_config(ShardedConfig {
-            shards,
-            backend,
-            key_space: 100,
-            ..ShardedConfig::default()
-        }))
+        Arc::new(
+            ShardedMap::with_config(ShardedConfig {
+                shards,
+                backend,
+                key_space: 100,
+                ..ShardedConfig::default()
+            })
+            .unwrap(),
+        )
+    }
+
+    fn small_hash(shards: usize, backend: ShardBackend) -> Arc<ShardedMap> {
+        Arc::new(
+            ShardedMap::with_config(ShardedConfig {
+                shards,
+                backend,
+                key_space: 100,
+                router: RouterKind::Hash,
+                ..ShardedConfig::default()
+            })
+            .unwrap(),
+        )
     }
 
     #[test]
@@ -496,40 +531,60 @@ mod tests {
     #[test]
     fn map_semantics_across_shards() {
         for backend in [ShardBackend::Bst, ShardBackend::AbTree] {
-            let map = small(4, backend);
-            let mut h = map.handle();
-            for k in 0..100u64 {
-                assert_eq!(h.insert(k, k * 2), None, "{backend}");
+            for map in [small(4, backend), small_hash(4, backend)] {
+                let mut h = map.handle();
+                for k in 0..100u64 {
+                    assert_eq!(h.insert(k, k * 2), None, "{backend}");
+                }
+                assert_eq!(h.insert(7, 70), Some(14));
+                assert_eq!(h.remove(50), Some(100));
+                assert_eq!(h.get(50), None);
+                assert!(h.contains(99));
+                drop(h);
+                assert_eq!(map.len(), 99);
+                assert_eq!(map.key_sum(), (0..100u128).sum::<u128>() - 50);
+                map.validate().unwrap();
+                let all = map.collect();
+                assert_eq!(all.len(), 99);
+                assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "collect sorted");
             }
-            assert_eq!(h.insert(7, 70), Some(14));
-            assert_eq!(h.remove(50), Some(100));
-            assert_eq!(h.get(50), None);
-            assert!(h.contains(99));
-            drop(h);
-            assert_eq!(map.len(), 99);
-            assert_eq!(map.key_sum(), (0..100u128).sum::<u128>() - 50);
-            map.validate().unwrap();
-            let all = map.collect();
-            assert_eq!(all.len(), 99);
-            assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "collect sorted");
         }
     }
 
     #[test]
     fn cross_shard_range_query_is_sorted_and_complete() {
-        let map = small(5, ShardBackend::AbTree);
+        for map in [small(5, ShardBackend::AbTree), small_hash(5, ShardBackend::AbTree)] {
+            let mut h = map.handle();
+            for k in (0..100u64).step_by(3) {
+                h.insert(k, k);
+            }
+            let got = h.range_query(10, 80);
+            let want: Vec<(u64, u64)> =
+                (0..100u64).step_by(3).filter(|k| (10..80).contains(k)).map(|k| (k, k)).collect();
+            assert_eq!(got, want);
+            assert_eq!(h.range_query(50, 50), vec![]);
+            assert_eq!(h.range_query(80, 10), vec![]);
+            // A full-space query spans every shard.
+            assert_eq!(h.range_query(0, u64::MAX).len(), map.len());
+        }
+    }
+
+    #[test]
+    fn hash_routing_balances_clustered_keys() {
+        // 100 consecutive keys: range routing piles them into few shards'
+        // worth of clusters by construction; hash routing spreads them.
+        let map = small_hash(4, ShardBackend::Bst);
         let mut h = map.handle();
-        for k in (0..100u64).step_by(3) {
+        for k in 0..100u64 {
             h.insert(k, k);
         }
-        let got = h.range_query(10, 80);
-        let want: Vec<(u64, u64)> =
-            (0..100u64).step_by(3).filter(|k| (10..80).contains(k)).map(|k| (k, k)).collect();
-        assert_eq!(got, want);
-        assert_eq!(h.range_query(50, 50), vec![]);
-        assert_eq!(h.range_query(80, 10), vec![]);
-        // A full-space query spans every shard.
-        assert_eq!(h.range_query(0, u64::MAX).len(), map.len());
+        drop(h);
+        let sizes = map.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        for (s, &n) in sizes.iter().enumerate() {
+            assert!((10..45).contains(&n), "shard {s} holds {n} of 100");
+        }
+        map.validate().unwrap();
     }
 
     #[test]
@@ -560,11 +615,14 @@ mod tests {
     #[test]
     fn tiny_key_space_still_partitions() {
         // key_space smaller than the shard count: width clamps to 1.
-        let map = Arc::new(ShardedMap::with_config(ShardedConfig {
-            shards: 8,
-            key_space: 3,
-            ..ShardedConfig::default()
-        }));
+        let map = Arc::new(
+            ShardedMap::with_config(ShardedConfig {
+                shards: 8,
+                key_space: 3,
+                ..ShardedConfig::default()
+            })
+            .unwrap(),
+        );
         let mut h = map.handle();
         for k in 0..20u64 {
             h.insert(k, k);
@@ -575,11 +633,136 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one shard")]
-    fn zero_shards_rejected() {
-        ShardedMap::with_config(ShardedConfig {
-            shards: 0,
+    fn zero_shards_is_a_typed_error_not_a_panic() {
+        for router in [RouterKind::Range, RouterKind::Hash] {
+            let err = ShardedMap::with_config(ShardedConfig {
+                shards: 0,
+                router,
+                ..ShardedConfig::default()
+            })
+            .unwrap_err();
+            assert_eq!(err, ConfigError::ZeroShards, "{router}");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        // Adaptive with a non-swappable starting strategy.
+        let err = ShardedMap::with_config(ShardedConfig {
+            strategy: Strategy::NonHtm,
+            adaptive: Some(AdaptiveConfig::default()),
             ..ShardedConfig::default()
-        });
+        })
+        .unwrap_err();
+        assert_eq!(err, ConfigError::AdaptiveStrategy(Strategy::NonHtm));
+        // HTM override for a shard that does not exist.
+        let err = ShardedMap::with_config(ShardedConfig {
+            shards: 2,
+            htm_overrides: vec![(5, HtmConfig::default())],
+            ..ShardedConfig::default()
+        })
+        .unwrap_err();
+        assert_eq!(err, ConfigError::OverrideOutOfRange { shard: 5, shards: 2 });
+        // Custom router disagreeing with the shard count.
+        let err = ShardedMap::with_router(
+            ShardedConfig {
+                shards: 4,
+                ..ShardedConfig::default()
+            },
+            Arc::new(HashRouter::new(2).unwrap()),
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::RouterShardMismatch { router: 2, shards: 4 });
+    }
+
+    #[test]
+    fn custom_router_drives_the_map() {
+        let map = Arc::new(
+            ShardedMap::with_router(
+                ShardedConfig {
+                    shards: 3,
+                    key_space: 100,
+                    ..ShardedConfig::default()
+                },
+                Arc::new(HashRouter::new(3).unwrap()),
+            )
+            .unwrap(),
+        );
+        let mut h = map.handle();
+        for k in 0..50u64 {
+            h.insert(k, k);
+        }
+        assert_eq!(h.range_query(0, 50).len(), 50);
+        drop(h);
+        assert!(!map.router().preserves_order());
+        map.validate().unwrap();
+    }
+
+    #[test]
+    fn adaptive_map_demotes_hot_shard_only() {
+        // Shard 1 aborts nearly every transaction (spurious injection);
+        // the other shards are clean. Drive uniform traffic through all
+        // shards: only shard 1 may flip, and — the storm being
+        // spurious-dominated, i.e. HTM wasted work — it must drop from
+        // the preferred 3-path to TLE.
+        let hot = HtmConfig::default().with_spurious(0.97);
+        let map = Arc::new(
+            ShardedMap::with_config(ShardedConfig {
+                shards: 4,
+                key_space: 400,
+                strategy: Strategy::ThreePath,
+                adaptive: Some(AdaptiveConfig {
+                    sample_every: 32,
+                    epoch_ops: 256,
+                    ..AdaptiveConfig::default()
+                }),
+                htm_overrides: vec![(1, hot)],
+                ..ShardedConfig::default()
+            })
+            .unwrap(),
+        );
+        assert_eq!(map.shard_strategies(), vec![Strategy::ThreePath; 4]);
+        let mut h = map.handle();
+        for i in 0..4000u64 {
+            let k = (i * 7) % 400;
+            if i % 2 == 0 {
+                h.insert(k, i);
+            } else {
+                h.remove(k);
+            }
+        }
+        drop(h);
+        let ctl = map.adaptive().unwrap();
+        assert_eq!(ctl.strategy_of(1), Strategy::Tle, "hot shard demoted to TLE");
+        for s in [0, 2, 3] {
+            assert_eq!(
+                ctl.strategy_of(s),
+                Strategy::ThreePath,
+                "clean shard {s} keeps the preferred strategy"
+            );
+            assert_eq!(ctl.flips(s), 0);
+        }
+        assert!(ctl.flips(1) >= 1);
+        // The observed per-shard load picture backs the decision.
+        let (_, hot_aborts) = ctl.observed(1);
+        let (cold_ops, cold_aborts) = ctl.observed(0);
+        assert!(hot_aborts > cold_aborts * 5, "aborts concentrate on shard 1");
+        assert!(cold_ops > 0);
+        map.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_sorted_runs_interleaves() {
+        assert_eq!(merge_sorted_runs(vec![]), vec![]);
+        assert_eq!(merge_sorted_runs(vec![vec![(1, 1)]]), vec![(1, 1)]);
+        let merged = merge_sorted_runs(vec![
+            vec![(1, 0), (5, 0), (9, 0)],
+            vec![(2, 0), (3, 0)],
+            vec![(4, 0), (8, 0)],
+        ]);
+        assert_eq!(
+            merged.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5, 8, 9]
+        );
     }
 }

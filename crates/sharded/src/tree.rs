@@ -1,0 +1,206 @@
+//! One shard: a single template tree of either backend, and its
+//! per-thread handle.
+
+use std::sync::Arc;
+
+use threepath_abtree::{AbTree, AbTreeConfig, AbTreeHandle};
+use threepath_bst::{Bst, BstConfig, BstHandle};
+use threepath_core::{PathStats, Strategy, StrategySwapError};
+
+use crate::map::ShardedConfig;
+
+/// Which template tree backs each shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardBackend {
+    /// External unbalanced BST (paper Section 6.1).
+    Bst,
+    /// Relaxed (a,b)-tree (paper Section 6.2).
+    AbTree,
+}
+
+impl std::fmt::Display for ShardBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShardBackend::Bst => "bst",
+            ShardBackend::AbTree => "abtree",
+        })
+    }
+}
+
+/// A single template tree of either backend — one shard of a
+/// [`ShardedMap`](crate::ShardedMap), also usable standalone as a uniform
+/// front over [`Bst`]/[`AbTree`] (the workload harness drives unsharded
+/// trials through it). Each instance owns its own HTM runtime and
+/// reclamation domain (created by the tree constructor).
+#[derive(Clone)]
+pub enum ShardTree {
+    /// External unbalanced BST.
+    Bst(Arc<Bst>),
+    /// Relaxed (a,b)-tree.
+    AbTree(Arc<AbTree>),
+}
+
+impl ShardTree {
+    /// Builds one tree from the per-tree fields of `cfg` (`backend`,
+    /// `strategy`, `htm`, `reclaim`, `search_outside_txn`, `snzi`, and
+    /// whether `adaptive` is configured); `shards`, `key_space`, `router`
+    /// and per-shard overrides are partitioning concerns and ignored —
+    /// use [`ShardTree::build_shard`] to honour them.
+    pub fn build(cfg: &ShardedConfig) -> ShardTree {
+        Self::build_with(cfg, cfg.htm.clone())
+    }
+
+    /// Builds the tree for shard `shard` of `cfg`, applying any per-shard
+    /// HTM override (`cfg.htm_overrides`).
+    pub fn build_shard(cfg: &ShardedConfig, shard: usize) -> ShardTree {
+        Self::build_with(cfg, cfg.htm_for(shard))
+    }
+
+    fn build_with(cfg: &ShardedConfig, htm: threepath_htm::HtmConfig) -> ShardTree {
+        let adaptive = cfg.adaptive.is_some();
+        match cfg.backend {
+            ShardBackend::Bst => ShardTree::Bst(Arc::new(Bst::with_config(BstConfig {
+                strategy: cfg.strategy,
+                htm,
+                limits: None,
+                reclaim: cfg.reclaim,
+                search_outside_txn: cfg.search_outside_txn,
+                snzi: cfg.snzi,
+                adaptive,
+            }))),
+            ShardBackend::AbTree => ShardTree::AbTree(Arc::new(AbTree::with_config(AbTreeConfig {
+                strategy: cfg.strategy,
+                htm,
+                limits: None,
+                reclaim: cfg.reclaim,
+                search_outside_txn: cfg.search_outside_txn,
+                snzi: cfg.snzi,
+                adaptive,
+                ..AbTreeConfig::default()
+            }))),
+        }
+    }
+
+    /// Registers the calling thread and returns an operation handle.
+    pub fn handle(&self) -> ShardHandle {
+        match self {
+            ShardTree::Bst(t) => ShardHandle::Bst(t.handle()),
+            ShardTree::AbTree(t) => ShardHandle::AbTree(t.handle()),
+        }
+    }
+
+    /// The tree's current execution strategy.
+    pub fn strategy(&self) -> Strategy {
+        match self {
+            ShardTree::Bst(t) => t.strategy(),
+            ShardTree::AbTree(t) => t.strategy(),
+        }
+    }
+
+    /// Swaps the execution strategy at runtime (adaptive trees only; see
+    /// [`threepath_core::ExecCtx::set_strategy`]).
+    pub fn set_strategy(&self, strategy: Strategy) -> Result<(), StrategySwapError> {
+        match self {
+            ShardTree::Bst(t) => t.set_strategy(strategy),
+            ShardTree::AbTree(t) => t.set_strategy(strategy),
+        }
+    }
+
+    /// Sum of all keys (quiescent).
+    pub fn key_sum(&self) -> u128 {
+        match self {
+            ShardTree::Bst(t) => t.key_sum(),
+            ShardTree::AbTree(t) => t.key_sum(),
+        }
+    }
+
+    /// Number of keys (quiescent).
+    pub fn len(&self) -> usize {
+        match self {
+            ShardTree::Bst(t) => t.len(),
+            ShardTree::AbTree(t) => t.len(),
+        }
+    }
+
+    /// Whether the tree is empty (quiescent).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All pairs in ascending key order (quiescent).
+    pub fn collect(&self) -> Vec<(u64, u64)> {
+        match self {
+            ShardTree::Bst(t) => t.collect(),
+            ShardTree::AbTree(t) => t.collect(),
+        }
+    }
+
+    /// Structural validation (quiescent). Returns an error description on
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            ShardTree::Bst(t) => t.validate().map(|_| ()),
+            ShardTree::AbTree(t) => t.validate().map(|_| ()),
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardTree::Bst(t) => t.fmt(f),
+            ShardTree::AbTree(t) => t.fmt(f),
+        }
+    }
+}
+
+/// A per-thread handle to one [`ShardTree`].
+pub enum ShardHandle {
+    /// BST handle.
+    Bst(BstHandle),
+    /// (a,b)-tree handle.
+    AbTree(AbTreeHandle),
+}
+
+impl ShardHandle {
+    /// Inserts a pair, returning the previous value.
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        match self {
+            ShardHandle::Bst(h) => h.insert(key, value),
+            ShardHandle::AbTree(h) => h.insert(key, value),
+        }
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        match self {
+            ShardHandle::Bst(h) => h.remove(key),
+            ShardHandle::AbTree(h) => h.remove(key),
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        match self {
+            ShardHandle::Bst(h) => h.get(key),
+            ShardHandle::AbTree(h) => h.get(key),
+        }
+    }
+
+    /// Range query over `[lo, hi)` (an atomic snapshot, as on the
+    /// underlying tree).
+    pub fn range_query(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        match self {
+            ShardHandle::Bst(h) => h.range_query(lo, hi),
+            ShardHandle::AbTree(h) => h.range_query(lo, hi),
+        }
+    }
+
+    /// Path statistics accumulated by this handle.
+    pub fn stats(&self) -> &PathStats {
+        match self {
+            ShardHandle::Bst(h) => h.stats(),
+            ShardHandle::AbTree(h) => h.stats(),
+        }
+    }
+}

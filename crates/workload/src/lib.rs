@@ -38,11 +38,16 @@ mod map;
 mod metrics;
 mod runner;
 mod spec;
+pub mod zipf;
 
 pub use map::{AnyHandle, AnyTree};
 pub use metrics::{average, TrialResult};
 pub use runner::{prefill, run_trial, run_trials};
-pub use spec::{KeyDist, Structure, TrialSpec, Workload};
+pub use spec::{KeyDist, ParseKeyDistError, Structure, TrialSpec, Workload};
+pub use zipf::KeySampler;
+// Policy knobs of sharded trials, re-exported so harnesses can configure
+// specs without depending on `threepath-sharded` directly.
+pub use threepath_sharded::{AdaptiveConfig, RouterKind};
 
 /// Reads a `usize` configuration value from the environment, falling back
 /// to `default`. Benchmarks use `THREEPATH_*` variables to scale sweeps.

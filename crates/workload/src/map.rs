@@ -16,8 +16,11 @@ use threepath_sharded::{
 use crate::spec::{Structure, TrialSpec};
 
 /// Maps a trial spec onto the sharded-layer config: the per-tree knobs
-/// verbatim, the trial's key range as the partitioned key space.
-fn tree_config(spec: &TrialSpec, shards: usize) -> ShardedConfig {
+/// verbatim, the trial's key range as the partitioned key space, plus the
+/// routing and adaptive policies. `sharded` is false when building the
+/// single-tree config, where routing and per-shard adaptivity do not
+/// apply (a lone tree has no controller driving strategy swaps).
+fn tree_config(spec: &TrialSpec, shards: usize, sharded: bool) -> ShardedConfig {
     ShardedConfig {
         shards,
         backend: match spec.structure.base() {
@@ -25,8 +28,11 @@ fn tree_config(spec: &TrialSpec, shards: usize) -> ShardedConfig {
             _ => ShardBackend::AbTree,
         },
         key_space: spec.key_range,
+        router: spec.router,
         strategy: spec.strategy,
+        adaptive: if sharded { spec.adaptive.clone() } else { None },
         htm: spec.htm.clone(),
+        htm_overrides: Vec::new(),
         reclaim: spec.reclaim,
         search_outside_txn: spec.search_outside_txn,
         snzi: spec.snzi,
@@ -44,13 +50,22 @@ pub enum AnyTree {
 
 impl AnyTree {
     /// Builds the structure described by `spec`. Sharded structures
-    /// partition the spec's `key_range` across their shards.
+    /// partition the spec's `key_range` across their shards, routed and
+    /// (optionally) adapted per the spec's policy knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's sharded configuration is invalid (e.g. zero
+    /// shards) — the runner treats a malformed spec as programmer error,
+    /// like its other spec assertions. Construct [`ShardedMap`] directly
+    /// to handle [`threepath_sharded::ConfigError`] as data.
     pub fn build(spec: &TrialSpec) -> AnyTree {
         match spec.structure.shards() {
-            None => AnyTree::Single(ShardTree::build(&tree_config(spec, 1))),
-            Some(shards) => AnyTree::Sharded(Arc::new(ShardedMap::with_config(tree_config(
-                spec, shards,
-            )))),
+            None => AnyTree::Single(ShardTree::build(&tree_config(spec, 1, false))),
+            Some(shards) => AnyTree::Sharded(Arc::new(
+                ShardedMap::with_config(tree_config(spec, shards, true))
+                    .expect("invalid sharded trial spec"),
+            )),
         }
     }
 

@@ -9,7 +9,8 @@ use threepath_htm::SplitMix64;
 
 use crate::map::{AnyHandle, AnyTree};
 use crate::metrics::TrialResult;
-use crate::spec::{KeyDist, TrialSpec, Workload};
+use crate::spec::{TrialSpec, Workload};
+use crate::zipf::KeySampler;
 
 /// Prefills `tree` to half of `key_range` by inserting uniformly random
 /// keys until half the range is present (the paper prefills with a 50/50
@@ -44,15 +45,14 @@ struct WorkerOutcome {
 
 fn updater_loop(
     h: &mut AnyHandle,
-    key_range: u64,
-    key_dist: KeyDist,
+    sampler: &KeySampler,
     rng: &mut SplitMix64,
     stop: &AtomicBool,
 ) -> (u64, i64) {
     let mut ops = 0u64;
     let mut delta = 0i64;
     while !stop.load(Ordering::Relaxed) {
-        let k = key_dist.sample(rng, key_range);
+        let k = sampler.sample(rng);
         if rng.next_below(2) == 0 {
             if h.insert(k, ops).is_none() {
                 delta += k as i64;
@@ -94,6 +94,9 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     );
     let tree = AnyTree::build(spec);
     let prefill_sum = prefill(&tree, spec.key_range, spec.seed);
+    // Built once per trial (Zipf tables cost O(key_range)) and shared by
+    // every updater thread; sampling takes &self.
+    let sampler = spec.key_dist.sampler(spec.key_range);
 
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(spec.threads + 1));
@@ -106,6 +109,7 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
             let stop = Arc::clone(&stop);
             let barrier = Arc::clone(&barrier);
             let delta_total = Arc::clone(&delta_total);
+            let sampler = &sampler;
             let spec = spec.clone();
             joins.push(s.spawn(move || {
                 let mut h = tree.handle();
@@ -121,8 +125,7 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
                     let rqs = rq_loop(&mut h, spec.key_range, rq_extent, &mut rng, &stop);
                     (0, rqs, 0)
                 } else {
-                    let (ops, delta) =
-                        updater_loop(&mut h, spec.key_range, spec.key_dist, &mut rng, &stop);
+                    let (ops, delta) = updater_loop(&mut h, sampler, &mut rng, &stop);
                     (ops, 0, delta)
                 };
                 delta_total.fetch_add(delta, Ordering::Relaxed);
@@ -280,16 +283,60 @@ mod tests {
     }
 
     /// Skewed key distributions must not perturb the keysum bookkeeping,
-    /// sharded or not.
+    /// sharded or not, clustered or scattered.
     #[test]
     fn skewed_trials_verify() {
+        use crate::spec::KeyDist;
         for structure in [Structure::Bst, Structure::ShardedBst { shards: 4 }] {
-            let mut spec = quick_spec(structure, Strategy::ThreePath, false);
-            spec.key_dist = KeyDist::Skewed { exponent: 3.0 };
-            let r = run_trial(&spec);
-            assert!(r.keysum_ok, "{structure} skewed keysum failed");
-            assert!(r.total_ops > 0);
+            for dist in [
+                KeyDist::Zipf { theta: 0.99 },
+                KeyDist::ZipfScattered { theta: 0.99 },
+            ] {
+                let mut spec = quick_spec(structure, Strategy::ThreePath, false);
+                spec.key_dist = dist;
+                let r = run_trial(&spec);
+                assert!(r.keysum_ok, "{structure}/{dist} keysum failed");
+                assert!(r.total_ops > 0);
+            }
         }
+    }
+
+    /// Hash-routed sharded trials run end to end: updates, cross-shard
+    /// sort-merged range queries, and the keysum verification.
+    #[test]
+    fn hash_routed_trials_verify() {
+        use crate::spec::KeyDist;
+        use threepath_sharded::RouterKind;
+        for heavy in [false, true] {
+            let mut spec = quick_spec(
+                Structure::ShardedBst { shards: 4 },
+                Strategy::ThreePath,
+                heavy,
+            );
+            spec.router = RouterKind::Hash;
+            spec.key_dist = KeyDist::Zipf { theta: 0.99 };
+            let r = run_trial(&spec);
+            assert!(r.keysum_ok, "hash-routed keysum failed (heavy={heavy})");
+            assert!(r.total_ops > 0);
+            if heavy {
+                assert!(r.rq_ops > 0, "RQ thread must complete sort-merged queries");
+            }
+        }
+    }
+
+    /// Adaptive sharded trials run end to end and verify.
+    #[test]
+    fn adaptive_trials_verify() {
+        use threepath_sharded::AdaptiveConfig;
+        let mut spec = quick_spec(Structure::ShardedBst { shards: 4 }, Strategy::Tle, false);
+        spec.adaptive = Some(AdaptiveConfig {
+            sample_every: 16,
+            epoch_ops: 128,
+            ..AdaptiveConfig::default()
+        });
+        let r = run_trial(&spec);
+        assert!(r.keysum_ok, "adaptive keysum failed");
+        assert!(r.total_ops > 0);
     }
 
     /// Regression for the PR-1 prefill clamp: a trial over a single-key

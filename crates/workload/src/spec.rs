@@ -1,10 +1,14 @@
 //! Trial specifications.
 
+use std::str::FromStr;
 use std::time::Duration;
 
 use threepath_core::Strategy;
-use threepath_htm::{HtmConfig, SplitMix64};
+use threepath_htm::HtmConfig;
 use threepath_reclaim::ReclaimMode;
+use threepath_sharded::{AdaptiveConfig, RouterKind};
+
+use crate::zipf::{KeySampler, RankMap};
 
 /// Which data structure a trial exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,48 +83,113 @@ impl Structure {
 }
 
 /// How updater threads draw keys from `[0, key_range)`.
+///
+/// The skewed variants draw a *rank* from the true bounded-Zipf(θ)
+/// distribution (`P(rank r) ∝ (r+1)^-θ`, precomputed harmonic/CDF table —
+/// see [`crate::zipf`]) and differ only in how ranks map onto keys:
+///
+/// * [`KeyDist::Zipf`] clusters — `key = rank`, so hot keys sit together
+///   at the low end of the key space. This is *key-locality* skew: on a
+///   range-partitioned sharded map the whole hot set lands in one shard
+///   (the workload hash routing exists to absorb).
+/// * [`KeyDist::ZipfScattered`] scatters ranks across the key space with
+///   a multiplicative hash — *popularity* skew without locality: hot
+///   keys spread over all shards, the contention pattern a single tree
+///   serializes on and sharding alone already absorbs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KeyDist {
     /// Uniform (the paper's distribution).
     Uniform,
-    /// Zipfian-like popularity skew: a rank is drawn by the power law
-    /// `rank = ⌊key_range · u^exponent⌋` (`u ~ U[0,1)`; `exponent = 1` is
-    /// approximately uniform, larger is more skewed), then scattered
-    /// across the key space with a multiplicative hash so that
-    /// *popularity* skew does not collapse into *key-locality* skew. Hot
-    /// keys therefore spread over all shards of a sharded structure — the
-    /// contention pattern a single tree serializes on and sharding is
-    /// meant to absorb. The scatter maps the full 64-bit hash down to the
-    /// range by fixed-point scaling, so distinct ranks collide only with
-    /// birthday probability (~`range²/2⁶⁴`) rather than the ~37% image
-    /// loss a plain `hash % range` would cost on non-power-of-two ranges.
+    /// Bounded Zipf(θ) over ranks, hot keys clustered at the low end
+    /// (`key = rank`). θ = 0 is uniform; θ = 0.99 is the YCSB-style
+    /// default hot-spot; larger is more skewed.
+    Zipf {
+        /// Zipf exponent θ (`>= 0`).
+        theta: f64,
+    },
+    /// Bounded Zipf(θ) over ranks, hot keys scattered across the key
+    /// space by multiplicative hash (fixed-point scaled, so distinct
+    /// ranks collide only with birthday probability rather than the ~37%
+    /// image loss a plain `hash % range` would cost).
+    ZipfScattered {
+        /// Zipf exponent θ (`>= 0`).
+        theta: f64,
+    },
+    /// Deprecated alias for [`KeyDist::ZipfScattered`] with
+    /// `theta = exponent`, kept so old specs keep parsing. The PR 2
+    /// power-law approximation (`rank = ⌊range · u^exponent⌋`) has been
+    /// replaced by the true Zipf sampler; note the parameter scale
+    /// changed with it (the old `exponent = 1` was near-uniform, whereas
+    /// Zipf θ = 1 is strongly skewed).
+    #[deprecated(note = "use KeyDist::ZipfScattered { theta } instead")]
     Skewed {
-        /// Power-law exponent (`>= 1`; larger means more skew).
+        /// Zipf exponent θ (formerly the power-law exponent).
         exponent: f64,
     },
 }
 
 impl KeyDist {
-    /// Draws one key in `[0, range)`. `range` must be non-zero.
-    pub fn sample(self, rng: &mut SplitMix64, range: u64) -> u64 {
+    /// Builds the reusable sampler for this distribution over
+    /// `[0, range)`. Zipf tables cost `O(range)` to build — construct
+    /// once per trial, not per draw. `range` must be non-zero.
+    #[allow(deprecated)]
+    pub fn sampler(self, range: u64) -> KeySampler {
         match self {
-            KeyDist::Uniform => rng.next_below(range),
-            KeyDist::Skewed { exponent } => {
-                let u = rng.next_f64();
-                let rank = ((range as f64) * u.powf(exponent)) as u64;
-                let hash = rank.min(range - 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                ((hash as u128 * range as u128) >> 64) as u64
+            KeyDist::Uniform => KeySampler::uniform(range),
+            KeyDist::Zipf { theta } => KeySampler::zipf(range, theta, RankMap::Clustered),
+            KeyDist::ZipfScattered { theta } | KeyDist::Skewed { exponent: theta } => {
+                KeySampler::zipf(range, theta, RankMap::Scattered)
             }
         }
     }
 }
 
+#[allow(deprecated)]
 impl std::fmt::Display for KeyDist {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             KeyDist::Uniform => f.write_str("uniform"),
+            KeyDist::Zipf { theta } => write!(f, "zipf-{theta}"),
+            KeyDist::ZipfScattered { theta } => write!(f, "zipf-scatter-{theta}"),
             KeyDist::Skewed { exponent } => write!(f, "skewed-{exponent}"),
         }
+    }
+}
+
+/// Error parsing a [`KeyDist`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKeyDistError(String);
+
+impl std::fmt::Display for ParseKeyDistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown key distribution `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseKeyDistError {}
+
+#[allow(deprecated)]
+impl FromStr for KeyDist {
+    type Err = ParseKeyDistError;
+
+    /// Parses the [`Display`](std::fmt::Display) forms back: `uniform`,
+    /// `zipf-<theta>`, `zipf-scatter-<theta>`, `skewed-<exponent>`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseKeyDistError(s.to_string());
+        let num = |v: &str| v.parse::<f64>().ok().filter(|t| t.is_finite() && *t >= 0.0);
+        if s == "uniform" {
+            return Ok(KeyDist::Uniform);
+        }
+        if let Some(v) = s.strip_prefix("zipf-scatter-") {
+            return num(v).map(|theta| KeyDist::ZipfScattered { theta }).ok_or_else(err);
+        }
+        if let Some(v) = s.strip_prefix("zipf-") {
+            return num(v).map(|theta| KeyDist::Zipf { theta }).ok_or_else(err);
+        }
+        if let Some(v) = s.strip_prefix("skewed-") {
+            return num(v).map(|exponent| KeyDist::Skewed { exponent }).ok_or_else(err);
+        }
+        Err(err())
     }
 }
 
@@ -162,6 +231,16 @@ pub struct TrialSpec {
     /// Distribution updater threads draw keys from (prefill is always
     /// uniform, per the paper's methodology).
     pub key_dist: KeyDist,
+    /// Shard-routing policy for sharded structures (ignored by the plain
+    /// trees): range partitioning preserves global order, hash striping
+    /// load-balances key-local skew. See [`RouterKind`].
+    pub router: RouterKind,
+    /// Per-shard adaptive strategy switching for sharded structures
+    /// (ignored by the plain trees). `Some` starts every shard on
+    /// `strategy` (must be TLE or 3-path) and lets each shard demote or
+    /// promote itself on its own abort rate. See
+    /// [`AdaptiveConfig`].
+    pub adaptive: Option<AdaptiveConfig>,
     /// Operation mix.
     pub workload: Workload,
     /// Simulated-HTM parameters.
@@ -185,6 +264,8 @@ impl Default for TrialSpec {
             duration: Duration::from_millis(200),
             key_range: 10_000,
             key_dist: KeyDist::Uniform,
+            router: RouterKind::Range,
+            adaptive: None,
             workload: Workload::Light,
             htm: HtmConfig::default(),
             reclaim: ReclaimMode::Epoch,
@@ -245,6 +326,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn displays() {
         assert_eq!(Structure::Bst.to_string(), "bst");
         assert_eq!(Structure::ShardedBst { shards: 4 }.to_string(), "sharded-bst-4");
@@ -255,7 +337,46 @@ mod tests {
         assert_eq!(Workload::Light.to_string(), "light");
         assert_eq!(Workload::Heavy { rq_extent: 5 }.to_string(), "heavy");
         assert_eq!(KeyDist::Uniform.to_string(), "uniform");
+        assert_eq!(KeyDist::Zipf { theta: 0.99 }.to_string(), "zipf-0.99");
+        assert_eq!(
+            KeyDist::ZipfScattered { theta: 1.5 }.to_string(),
+            "zipf-scatter-1.5"
+        );
         assert_eq!(KeyDist::Skewed { exponent: 3.0 }.to_string(), "skewed-3");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn key_dist_parse_round_trip() {
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::Zipf { theta: 0.99 },
+            KeyDist::Zipf { theta: 0.0 },
+            KeyDist::ZipfScattered { theta: 1.25 },
+            KeyDist::Skewed { exponent: 2.0 },
+        ] {
+            assert_eq!(dist.to_string().parse::<KeyDist>().unwrap(), dist);
+        }
+        assert!("zipf".parse::<KeyDist>().is_err());
+        assert!("zipf--1".parse::<KeyDist>().is_err());
+        assert!("zipf-NaN".parse::<KeyDist>().is_err());
+        assert!("pareto-1".parse::<KeyDist>().is_err());
+        let err = "bogus".parse::<KeyDist>().unwrap_err();
+        assert_eq!(err.to_string(), "unknown key distribution `bogus`");
+    }
+
+    #[test]
+    fn spec_carries_router_and_adaptive_knobs() {
+        let spec = TrialSpec::default();
+        assert_eq!(spec.router, RouterKind::Range);
+        assert!(spec.adaptive.is_none());
+        let spec = TrialSpec {
+            router: RouterKind::Hash,
+            adaptive: Some(AdaptiveConfig::default()),
+            ..TrialSpec::default()
+        };
+        assert_eq!(spec.router.to_string().parse::<RouterKind>().unwrap(), spec.router);
+        assert_eq!(spec.adaptive.unwrap().sample_every, AdaptiveConfig::default().sample_every);
     }
 
     #[test]
@@ -272,45 +393,57 @@ mod tests {
     }
 
     #[test]
-    fn skewed_sampling_stays_in_range_and_is_skewed() {
-        let mut rng = SplitMix64::new(42);
-        let dist = KeyDist::Skewed { exponent: 8.0 };
+    #[allow(deprecated)]
+    fn sampling_stays_in_range_and_is_skewed() {
+        use threepath_htm::SplitMix64;
         let range = 1024u64;
-        let mut counts = vec![0u32; range as usize];
-        let samples = 20_000;
-        for _ in 0..samples {
-            let k = dist.sample(&mut rng, range);
-            assert!(k < range);
-            counts[k as usize] += 1;
+        let samples = 20_000u64;
+        // True Zipf with θ = 2: rank 0 carries 1/ζ(2) ≈ 61% of the mass.
+        for dist in [
+            KeyDist::Zipf { theta: 2.0 },
+            KeyDist::ZipfScattered { theta: 2.0 },
+            KeyDist::Skewed { exponent: 2.0 }, // deprecated alias, same sampler
+        ] {
+            let sampler = dist.sampler(range);
+            let mut rng = SplitMix64::new(42);
+            let mut counts = vec![0u32; range as usize];
+            for _ in 0..samples {
+                let k = sampler.sample(&mut rng);
+                assert!(k < range, "{dist}");
+                counts[k as usize] += 1;
+            }
+            let max = *counts.iter().max().unwrap();
+            assert!(
+                max as u64 > samples / 2,
+                "{dist}: skew too weak, max bucket {max}"
+            );
         }
-        // With exponent 8, rank 0 alone captures ~42% of draws; the most
-        // common *key* (rank 0's scattered image) must dominate far beyond
-        // the uniform expectation of samples/range ≈ 20.
-        let max = *counts.iter().max().unwrap();
-        assert!(max as u64 > samples / 4, "skew too weak: max bucket {max}");
-        // The fixed-point scatter must not shrink the image: nearly every
-        // key is reachable (a plain `hash % range` loses ~37% of a
-        // non-power-of-two range; the scaled mapping collides only with
-        // birthday probability).
-        let mut rng2 = SplitMix64::new(7);
-        let odd_range = 10_000u64;
-        let image: std::collections::BTreeSet<u64> = (0..odd_range)
-            .map(|_| KeyDist::Skewed { exponent: 1.0 }.sample(&mut rng2, odd_range))
-            .collect();
-        // ~63% distinct is the ideal (10k uniform draws from 10k keys);
-        // the scatter's own collisions shave a few percent, while a plain
-        // `hash % range` would land near 44%.
-        assert!(
-            image.len() as u64 > odd_range * 55 / 100,
-            "scatter image collapsed: {} of {odd_range}",
-            image.len()
+        // The deprecated alias draws exactly like ZipfScattered.
+        let (a, b) = (
+            KeyDist::Skewed { exponent: 1.5 }.sampler(range),
+            KeyDist::ZipfScattered { theta: 1.5 }.sampler(range),
         );
-        // Uniform sampling through the same API stays uniform-ish.
-        let mut rng = SplitMix64::new(42);
-        let mut max_u = 0u32;
+        let (mut ra, mut rb) = (SplitMix64::new(9), SplitMix64::new(9));
+        for _ in 0..500 {
+            assert_eq!(a.sample(&mut ra), b.sample(&mut rb));
+        }
+        // Clustered vs scattered: same ranks, different key placement —
+        // the clustered hot key is key 0, the scattered one is not.
+        let clustered = KeyDist::Zipf { theta: 2.0 }.sampler(range);
+        let mut rng = SplitMix64::new(11);
         let mut counts = vec![0u32; range as usize];
         for _ in 0..samples {
-            let k = KeyDist::Uniform.sample(&mut rng, range);
+            counts[clustered.sample(&mut rng) as usize] += 1;
+        }
+        let hottest = counts.iter().enumerate().max_by_key(|&(_, c)| c).unwrap().0;
+        assert_eq!(hottest, 0, "clustered Zipf's hottest key is rank 0");
+        // Uniform sampling through the same API stays uniform-ish.
+        let sampler = KeyDist::Uniform.sampler(range);
+        let mut rng = SplitMix64::new(42);
+        let mut counts = vec![0u32; range as usize];
+        let mut max_u = 0u32;
+        for _ in 0..samples {
+            let k = sampler.sample(&mut rng);
             counts[k as usize] += 1;
             max_u = max_u.max(counts[k as usize]);
         }

@@ -1,9 +1,16 @@
-//! A sharded key-value map: N independent three-path trees, each with its
-//! own HTM runtime and reclamation domain, partitioned by key range.
+//! A sharded key-value map with pluggable routing and per-shard adaptive
+//! strategy: N independent three-path trees, each with its own HTM
+//! runtime and reclamation domain.
 //!
-//! Demonstrates cross-shard range queries (ordered per-shard merges),
-//! aggregated path statistics, and the throughput effect of sharding under
-//! a zipfian-like popularity skew.
+//! Demonstrates:
+//! * range vs hash routing under *clustered* Zipf skew (hot keys packed
+//!   into one shard's range) — the load-balance view (`shard_sizes`) and
+//!   throughput show why the router is a policy worth choosing;
+//! * cross-shard range queries — an ordered concatenation under the
+//!   range router, a sort-merge under the hash router;
+//! * the adaptive controller demoting exactly the abort-heavy shard
+//!   (spurious-dominated storm → HTM is wasted work there → TLE) while
+//!   the clean shards keep the preferred 3-path strategy.
 //!
 //! Run with: `cargo run --release --example sharded_kv`
 
@@ -11,34 +18,44 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use threepath::core::PathKind;
-use threepath::htm::SplitMix64;
-use threepath::sharded::{ShardBackend, ShardedConfig, ShardedMap};
+use threepath::core::{PathKind, Strategy};
+use threepath::htm::{HtmConfig, SplitMix64};
+use threepath::sharded::{
+    AdaptiveConfig, RouterKind, ShardBackend, ShardedConfig, ShardedMap,
+};
 use threepath::workload::KeyDist;
 
 const KEY_SPACE: u64 = 1 << 16;
 const WRITERS: u64 = 4;
 const OPS_PER_WRITER: u64 = 40_000;
+const SHARDS: usize = 8;
 
-fn run(shards: usize) -> (f64, Arc<ShardedMap>) {
-    let map = Arc::new(ShardedMap::with_config(ShardedConfig {
-        shards,
-        backend: ShardBackend::AbTree,
-        key_space: KEY_SPACE,
-        ..ShardedConfig::default()
-    }));
-    let skew = KeyDist::Skewed { exponent: 3.0 };
+fn run(router: RouterKind) -> (f64, Arc<ShardedMap>) {
+    let map = Arc::new(
+        ShardedMap::with_config(ShardedConfig {
+            shards: SHARDS,
+            backend: ShardBackend::AbTree,
+            key_space: KEY_SPACE,
+            router,
+            ..ShardedConfig::default()
+        })
+        .expect("valid config"),
+    );
+    // Clustered Zipf: the hot ranks ARE the low keys, so under range
+    // partitioning nearly all traffic lands in shard 0.
+    let skew = KeyDist::Zipf { theta: 0.9 }.sampler(KEY_SPACE);
     let fast_ops = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
     std::thread::scope(|s| {
         for t in 0..WRITERS {
             let map = map.clone();
             let fast_ops = fast_ops.clone();
+            let skew = &skew;
             s.spawn(move || {
                 let mut h = map.handle();
                 let mut rng = SplitMix64::new(0xC0FFEE + t);
                 for i in 0..OPS_PER_WRITER {
-                    let k = skew.sample(&mut rng, KEY_SPACE);
+                    let k = skew.sample(&mut rng);
                     if rng.next_below(2) == 0 {
                         h.insert(k, i);
                     } else {
@@ -52,35 +69,86 @@ fn run(shards: usize) -> (f64, Arc<ShardedMap>) {
     });
     let elapsed = start.elapsed();
     let throughput = (WRITERS * OPS_PER_WRITER) as f64 / elapsed.as_secs_f64();
+    let sizes = map.shard_sizes();
     println!(
-        "{shards:>2} shard(s): {throughput:>12.0} ops/s  (fast-path ops: {}, sizes: {:?})",
+        "{router:>5} router: {throughput:>12.0} ops/s  (fast-path ops: {}, max/min shard: {}/{})",
         fast_ops.load(Ordering::Relaxed),
-        map.shard_sizes()
+        sizes.iter().max().unwrap(),
+        sizes.iter().min().unwrap(),
     );
     (throughput, map)
 }
 
-fn main() {
-    println!("skewed 50/50 insert/remove, {WRITERS} writers, key space {KEY_SPACE}");
-    let (one, _) = run(1);
-    run(2);
-    run(4);
-    let (eight, map) = run(8);
-    println!("8 shards vs 1: {:.2}x", eight / one);
+fn adaptive_demo() {
+    println!("\nadaptive: shard 2 aborts ~95% of transactions; the rest are clean");
+    let map = Arc::new(
+        ShardedMap::with_config(ShardedConfig {
+            shards: 4,
+            backend: ShardBackend::Bst,
+            key_space: 4096,
+            strategy: Strategy::ThreePath,
+            adaptive: Some(AdaptiveConfig {
+                sample_every: 32,
+                epoch_ops: 512,
+                ..AdaptiveConfig::default()
+            }),
+            htm_overrides: vec![(2, HtmConfig::default().with_spurious(0.95))],
+            ..ShardedConfig::default()
+        })
+        .expect("valid config"),
+    );
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let map = map.clone();
+            s.spawn(move || {
+                let mut h = map.handle();
+                let mut rng = SplitMix64::new(t * 71 + 3);
+                for i in 0..20_000u64 {
+                    let k = rng.next_below(4096);
+                    if rng.next_below(2) == 0 {
+                        h.insert(k, i);
+                    } else {
+                        h.remove(k);
+                    }
+                }
+            });
+        }
+    });
+    let ctl = map.adaptive().expect("adaptive map");
+    for (s, strat) in ctl.strategies().iter().enumerate() {
+        let (ops, aborts) = ctl.observed(s);
+        println!(
+            "  shard {s}: {strat:<7} (flips {}, observed {ops} ops / {aborts} aborts)",
+            ctl.flips(s)
+        );
+    }
+    assert_eq!(ctl.strategy_of(2), Strategy::Tle, "hot shard demoted to TLE");
+    map.validate().expect("every shard structurally valid");
+}
 
-    // Cross-shard range query: an ordered merge of per-shard snapshots.
+fn main() {
+    println!(
+        "clustered-zipf 50/50 insert/remove, {WRITERS} writers, {SHARDS} shards, key space {KEY_SPACE}"
+    );
+    let (range, _) = run(RouterKind::Range);
+    let (hash, map) = run(RouterKind::Hash);
+    println!("hash vs range under clustered skew: {:.2}x", hash / range);
+
+    // Cross-shard range query: a sort-merge of per-shard snapshots under
+    // the hash router (the range router would concatenate in order).
     let mut h = map.handle();
     let mid = KEY_SPACE / 2;
     let window = h.range_query(mid - 512, mid + 512);
     assert!(window.windows(2).all(|w| w[0].0 < w[1].0), "merge is ordered");
     println!(
-        "range [{}, {}): {} keys spanning shards {}..={}",
+        "range [{}, {}): {} keys sort-merged from {} shards",
         mid - 512,
         mid + 512,
         window.len(),
-        map.shard_of(mid - 512),
-        map.shard_of(mid + 511),
+        map.shard_count(),
     );
     map.validate().expect("every shard structurally valid");
     println!("final: {} keys, key_sum {}", map.len(), map.key_sum());
+
+    adaptive_demo();
 }

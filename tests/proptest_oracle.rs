@@ -11,7 +11,7 @@ use threepath::bst::{Bst, BstConfig};
 use threepath::core::Strategy as ExecStrategy;
 use threepath::htm::HtmConfig;
 use threepath::kcas::KcasList;
-use threepath::sharded::{ShardBackend, ShardedConfig, ShardedMap};
+use threepath::sharded::{RouterKind, ShardBackend, ShardedConfig, ShardedMap};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -99,22 +99,26 @@ proptest! {
         prop_assert_eq!(shape.underfull, 0);
     }
 
-    /// The same `Op` sequences as above, against the sharded map. The key
-    /// range (96) always spans several shards, and `Range` ops cross shard
-    /// boundaries, exercising the ordered per-shard merge against the
-    /// `BTreeMap` oracle's `range`.
+    /// The same `Op` sequences as above, against the sharded map under
+    /// **both routing policies**. The key range (96) always spans several
+    /// shards, and `Range` ops cross shard boundaries: under the range
+    /// router they exercise the ordered per-shard merge, and under the
+    /// hash router the sort-merge over every shard's scattered members —
+    /// both against the `BTreeMap` oracle's `range`.
     #[test]
     fn sharded_matches_btreemap(ops in proptest::collection::vec(op_strategy(96), 1..400),
                                 shards in prop_oneof![Just(2usize), Just(8usize)],
                                 strat in exec_strategy(),
+                                router in prop_oneof![Just(RouterKind::Range), Just(RouterKind::Hash)],
                                 abtree in any::<bool>()) {
         let map = Arc::new(ShardedMap::with_config(ShardedConfig {
             shards,
             backend: if abtree { ShardBackend::AbTree } else { ShardBackend::Bst },
             key_space: 96,
+            router,
             strategy: strat,
             ..ShardedConfig::default()
-        }));
+        }).expect("valid config"));
         let mut h = map.handle();
         let mut oracle = BTreeMap::new();
         for op in &ops {

@@ -13,7 +13,9 @@ use std::sync::Arc;
 
 use threepath::core::Strategy;
 use threepath::htm::{HtmConfig, SplitMix64};
-use threepath::sharded::{ShardBackend, ShardedConfig, ShardedMap};
+use threepath::sharded::{
+    AdaptiveConfig, RouterKind, ShardBackend, ShardedConfig, ShardedMap,
+};
 use threepath::workload::{run_trial, KeyDist, Structure, TrialSpec, Workload};
 
 mod common;
@@ -33,7 +35,7 @@ fn sharded_keysum_all_strategies() {
                 strategy,
                 htm: HtmConfig::default().with_spurious(0.3).with_seed(11),
                 ..ShardedConfig::default()
-            }));
+            }).expect("valid config"));
             let delta = Arc::new(AtomicI64::new(0));
             std::thread::scope(|s| {
                 for t in 0..4u64 {
@@ -87,7 +89,7 @@ fn cross_shard_rq_snapshots_are_consistent() {
         key_space: 400,
         strategy: Strategy::ThreePath,
         ..ShardedConfig::default()
-    }));
+    }).expect("valid config"));
 
     // Quiescent prefix: every third key in shard 0's range [0, 100).
     let mut oracle = BTreeSet::new();
@@ -207,11 +209,158 @@ fn heavy_skewed_trial_on_sharded_map() {
         threads: 3,
         duration: std::time::Duration::from_millis(60),
         key_range: 1024,
-        key_dist: KeyDist::Skewed { exponent: 2.0 },
+        key_dist: KeyDist::ZipfScattered { theta: 0.99 },
         workload: Workload::Heavy { rq_extent: 512 },
         ..TrialSpec::default()
     });
     assert!(r.keysum_ok, "sharded heavy keysum failed");
     assert!(r.rq_ops > 0, "the dedicated RQ thread must record queries");
     assert!(r.update_ops > 0);
+}
+
+/// Per-shard adaptive strategy under concurrency: shard 1's HTM runtime
+/// aborts ~97% of transactions spuriously while the other shards are
+/// clean, and 4 threads hammer all shards at once. The storm being
+/// spurious-dominated (HTM wasted work, not contention), the controller
+/// must demote exactly the abort-heavy shard from the preferred 3-path to
+/// TLE — observable through the strategy snapshot and the per-shard
+/// observed (ops, aborts) picture — while the keysum invariant holds
+/// across the swap (operations in flight during the flip run under
+/// whichever strategy they read).
+#[test]
+fn adaptive_controller_demotes_only_the_spurious_shard() {
+    let map = Arc::new(
+        ShardedMap::with_config(ShardedConfig {
+            shards: 4,
+            backend: ShardBackend::Bst,
+            key_space: 1024,
+            strategy: Strategy::ThreePath,
+            adaptive: Some(AdaptiveConfig {
+                sample_every: 16,
+                epoch_ops: 256,
+                ..AdaptiveConfig::default()
+            }),
+            htm_overrides: vec![(1, HtmConfig::default().with_spurious(0.97).with_seed(5))],
+            ..ShardedConfig::default()
+        })
+        .expect("valid config"),
+    );
+    assert_eq!(map.shard_strategies(), vec![Strategy::ThreePath; 4]);
+
+    let delta = Arc::new(AtomicI64::new(0));
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let map = map.clone();
+            let delta = delta.clone();
+            s.spawn(move || {
+                let mut h = map.handle();
+                let mut rng = SplitMix64::new(t * 977 + 13);
+                let mut local = 0i64;
+                for i in 0..6000u64 {
+                    let k = rng.next_below(1024);
+                    if rng.next_below(2) == 0 {
+                        if h.insert(k, i).is_none() {
+                            local += k as i64;
+                        }
+                    } else if h.remove(k).is_some() {
+                        local -= k as i64;
+                    }
+                }
+                delta.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+
+    let ctl = map.adaptive().expect("adaptive map has a controller");
+    assert_eq!(
+        ctl.strategy_of(1),
+        Strategy::Tle,
+        "the spurious shard must demote to TLE (HTM there is wasted work)"
+    );
+    for cold in [0, 2, 3] {
+        assert_eq!(
+            ctl.strategy_of(cold),
+            Strategy::ThreePath,
+            "clean shard {cold} must keep the preferred 3-path"
+        );
+        assert_eq!(ctl.flips(cold), 0, "clean shard {cold} must never flip");
+    }
+    assert!(ctl.flips(1) >= 1);
+    // The per-shard stats snapshot backs the decision: aborts concentrate
+    // on shard 1 while completions spread across all shards.
+    let (hot_ops, hot_aborts) = ctl.observed(1);
+    assert!(hot_ops > 0 && hot_aborts as f64 / hot_ops as f64 >= 2.0);
+    for cold in [0, 2, 3] {
+        let (ops, aborts) = ctl.observed(cold);
+        assert!(ops > 0, "shard {cold} saw traffic");
+        assert!(
+            (aborts as f64 / ops as f64) < 2.0,
+            "clean shard {cold} abort rate must stay low ({aborts}/{ops})"
+        );
+    }
+    // Correctness across the strategy swap.
+    map.validate().unwrap();
+    assert_eq!(map.key_sum() as i128, delta.load(Ordering::Relaxed) as i128);
+}
+
+/// Hash-routed concurrency: the keysum invariant and sorted, duplicate-free
+/// cross-shard sort-merged range queries hold while updates are in flight.
+#[test]
+fn hash_routed_concurrent_keysum_and_rqs() {
+    let map = Arc::new(
+        ShardedMap::with_config(ShardedConfig {
+            shards: 4,
+            backend: ShardBackend::AbTree,
+            key_space: 512,
+            router: RouterKind::Hash,
+            strategy: Strategy::ThreePath,
+            htm: HtmConfig::default().with_spurious(0.2).with_seed(23),
+            ..ShardedConfig::default()
+        })
+        .expect("valid config"),
+    );
+    let delta = Arc::new(AtomicI64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let map = map.clone();
+            let delta = delta.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let mut h = map.handle();
+                let mut rng = SplitMix64::new(t * 389 + 7);
+                let mut local = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let k = rng.next_below(512);
+                    if rng.next_below(2) == 0 {
+                        if h.insert(k, k).is_none() {
+                            local += k as i64;
+                        }
+                    } else if h.remove(k).is_some() {
+                        local -= k as i64;
+                    }
+                }
+                delta.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        {
+            let map = map.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let _stop_guard = StopOnDrop(stop.clone());
+                let mut h = map.handle();
+                for _ in 0..200 {
+                    let out = h.range_query(100, 400);
+                    assert!(
+                        out.windows(2).all(|w| w[0].0 < w[1].0),
+                        "sort-merge must produce a strictly ascending sequence"
+                    );
+                    assert!(out.iter().all(|&(k, _)| (100..400).contains(&k)));
+                }
+            });
+        }
+    });
+    map.validate().unwrap();
+    assert_eq!(map.key_sum() as i128, delta.load(Ordering::Relaxed) as i128);
+    assert_eq!(map.collect().len(), map.len());
 }
