@@ -4,11 +4,12 @@
 use std::sync::Arc;
 
 use threepath_core::{
-    DirectMem, ExecCtx, Mem, OpOutcome, OrigMode, PathLimits, PathStats, Strategy, TemplateMode,
+    AdaptiveBudgets, BudgetConfig, DirectMem, ExecCtx, Mem, OpOutcome, OrigMode, PathLimits,
+    PathStats, Strategy, TemplateMode,
 };
 use threepath_htm::{codes, Abort, HtmConfig, HtmRuntime, TxCell};
 use threepath_llxscx::{ScxEngine, ScxThread};
-use threepath_reclaim::{Domain, ReclaimMode};
+use threepath_reclaim::{Domain, PoolConfig, PoolStats, ReclaimMode};
 
 use crate::fix;
 use crate::node::{AbNode, B, MAX_KEY};
@@ -39,6 +40,13 @@ pub struct AbTreeConfig {
     /// blended subscription discipline this enables). Requires `strategy`
     /// to start as one of those two.
     pub adaptive: bool,
+    /// Allocate nodes from per-thread pools and recycle them on expiry
+    /// instead of going through the global allocator (see
+    /// [`threepath_reclaim::NodePool`]). On by default.
+    pub pool: bool,
+    /// Adaptive attempt budgets anchored at the paper's 10/10/20 (see
+    /// [`BudgetConfig`]). A fixed `limits` override wins.
+    pub budget: Option<BudgetConfig>,
 }
 
 impl Default for AbTreeConfig {
@@ -52,6 +60,8 @@ impl Default for AbTreeConfig {
             search_outside_txn: false,
             snzi: false,
             adaptive: false,
+            pool: true,
+            budget: None,
         }
     }
 }
@@ -83,6 +93,10 @@ pub struct AbTree {
     entry: *mut AbNode,
     a: usize,
     sec8: bool,
+    /// Whether nodes live in pool chunks (owned by the domain) rather
+    /// than individual `Box` allocations — decides how `Drop` frees the
+    /// node graph.
+    pooled: bool,
 }
 
 // SAFETY: shared mutation of the raw node graph is mediated by the HTM
@@ -104,8 +118,14 @@ impl AbTree {
     pub fn with_config(cfg: AbTreeConfig) -> Self {
         assert!(cfg.a >= 2 && B >= 2 * cfg.a - 1, "invalid (a, b) pair");
         let rt = Arc::new(HtmRuntime::new(cfg.htm.clone()));
-        let domain = Arc::new(Domain::new(cfg.reclaim));
-        let eng = ScxEngine::new(rt.clone(), domain);
+        let pool_cfg = if cfg.pool {
+            PoolConfig::default()
+        } else {
+            PoolConfig::disabled()
+        };
+        let domain = Arc::new(Domain::with_pool(cfg.reclaim, pool_cfg));
+        let pooled = domain.class_of::<AbNode>().is_some();
+        let eng = ScxEngine::new(rt.clone(), domain.clone());
         let mut exec = ExecCtx::new(rt, cfg.strategy);
         if let Some(l) = cfg.limits {
             exec = exec.with_limits(l);
@@ -116,15 +136,24 @@ impl AbTree {
         if cfg.adaptive {
             exec = exec.with_adaptive();
         }
-        // Entry node (never deleted) with the initial empty root leaf.
-        let root = Box::into_raw(Box::new(AbNode::new_leaf(&[])));
-        let entry = Box::into_raw(Box::new(AbNode::new_internal(&[], &[root as u64], false)));
+        if let Some(b) = cfg.budget {
+            exec = exec.with_adaptive_budgets(b);
+        }
+        // Entry node (never deleted) with the initial empty root leaf,
+        // allocated through a short-lived context so they come from the
+        // pool too (uniform ownership for `Drop`).
+        let entry = {
+            let ctx = Domain::register(&domain);
+            let root = ctx.alloc(AbNode::new_leaf(&[]));
+            ctx.alloc(AbNode::new_internal(&[], &[root as u64], false))
+        };
         AbTree {
             exec,
             eng,
             entry,
             a: cfg.a,
             sec8: cfg.search_outside_txn,
+            pooled,
         }
     }
 
@@ -154,6 +183,24 @@ impl AbTree {
     /// The reclamation domain.
     pub fn domain(&self) -> &Arc<Domain> {
         self.eng.domain()
+    }
+
+    /// The attempt budgets currently in effect (a fixed override, the
+    /// adaptive budgets' latest value, or the paper defaults).
+    pub fn limits(&self) -> PathLimits {
+        self.exec.limits()
+    }
+
+    /// The adaptive budget state, when [`AbTreeConfig::budget`] enabled
+    /// it.
+    pub fn budgets(&self) -> Option<&AdaptiveBudgets> {
+        self.exec.budgets()
+    }
+
+    /// Node-pool counters folded into the domain so far (contexts fold on
+    /// drop; read after handles are gone for a complete picture).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.domain().pool_stats()
     }
 
     /// Registers the calling thread and returns an operation handle.
@@ -433,6 +480,9 @@ impl AbTree {
         }
         // Aim for comfortably-full nodes with slack for later updates.
         let target = (a + B) / 2;
+        // Bulk nodes go through the tree's allocation seam too (pooled
+        // when the domain pools).
+        let ctx = Domain::register(tree.domain());
 
         // Leaf level: (subtree min key, node pointer).
         let mut level: Vec<(u64, u64)> = chunk_sizes(items.len(), target, a)
@@ -440,7 +490,7 @@ impl AbTree {
             .scan(0usize, |off, sz| {
                 let chunk = &items[*off..*off + sz];
                 *off += sz;
-                let node = Box::into_raw(Box::new(AbNode::new_leaf(chunk)));
+                let node = ctx.alloc(AbNode::new_leaf(chunk));
                 Some((chunk[0].0, node as u64))
             })
             .collect();
@@ -454,19 +504,20 @@ impl AbTree {
                 off += sz;
                 let keys: Vec<u64> = group[1..].iter().map(|(k, _)| *k).collect();
                 let children: Vec<u64> = group.iter().map(|(_, p)| *p).collect();
-                let node = Box::into_raw(Box::new(AbNode::new_internal(&keys, &children, false)));
+                let node = ctx.alloc(AbNode::new_internal(&keys, &children, false));
                 next.push((group[0].0, node as u64));
             }
             level = next;
         }
 
         // Swap the new root in for the placeholder empty leaf.
-        // SAFETY: the tree is private (not yet shared).
+        // SAFETY: the tree is private (not yet shared), so the
+        // placeholder is provably unpublished once unlinked here.
         unsafe {
             let entry = &*tree.entry;
             let placeholder = entry.ptr_plain(0) as *mut AbNode;
             entry.ptr_cell(0).store_plain(level[0].1);
-            drop(Box::from_raw(placeholder));
+            ctx.dealloc_unpublished(placeholder);
         }
         tree
     }
@@ -550,12 +601,19 @@ impl std::fmt::Debug for AbTree {
 
 impl Drop for AbTree {
     fn drop(&mut self) {
-        // SAFETY: exclusive access; retired nodes live in limbo bags, not
-        // in the reachable graph.
-        unsafe {
-            let root = (*self.entry).ptr_plain(0) as *mut AbNode;
-            free_rec(root);
-            drop(Box::from_raw(self.entry));
+        // Nodes are plain data (no drop glue — asserted below), so a
+        // pooled tree needs no per-node walk: the blocks' memory belongs
+        // to arena chunks the domain releases when it drops, after the
+        // limbo bags.
+        const { assert!(!std::mem::needs_drop::<AbNode>()) };
+        if !self.pooled {
+            // SAFETY: exclusive access; retired nodes live in limbo bags,
+            // not in the reachable graph.
+            unsafe {
+                let root = (*self.entry).ptr_plain(0) as *mut AbNode;
+                free_rec(root);
+                drop(Box::from_raw(self.entry));
+            }
         }
     }
 }

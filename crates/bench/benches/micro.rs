@@ -1,15 +1,30 @@
-//! Criterion microbenchmarks for the substrates: raw HTM transaction cost,
-//! LLX/SCX on each path, and single-threaded tree operations per strategy.
+//! Criterion microbenchmarks for the substrates — raw HTM transaction
+//! cost, LLX/SCX on each path, single-threaded tree operations — plus two
+//! keysum-verified A/B panels measured through the trial runner:
+//!
+//! * **pool A/B** — the update-heavy workload (50/50 insert/delete) with
+//!   the per-thread node pool on vs the `Box`/global-allocator baseline,
+//!   on both backends. The headline allocator claim of the pool PR.
+//! * **budget A/B** — adaptive attempt budgets vs fixed budgets (the
+//!   paper's 10/10, the storm-optimal 1/1, and a deep 20/20) under a calm
+//!   mix and an injected 85%-spurious abort storm. Adaptive should track
+//!   the best fixed budget in each regime without knowing it in advance.
+//!
+//! Writes `BENCH_micro.json` (series → ops/s, abort mix, pool hit rate)
+//! at the workspace root alongside the printed tables. Scale with
+//! `THREEPATH_*` variables or `THREEPATH_SMOKE=1` (see crate docs).
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{Criterion};
 
+use threepath_bench::{bench_record, measure_spec, write_bench_json, BenchEnv, BenchRecord};
 use threepath_bst::{Bst, BstConfig};
-use threepath_core::Strategy;
+use threepath_core::{BudgetConfig, PathLimits, Strategy};
 use threepath_htm::{HtmConfig, HtmRuntime, TxCell};
 use threepath_llxscx::{LlxResult, ScxArgs, ScxEngine, ScxHeader};
 use threepath_reclaim::{Domain, ReclaimMode};
+use threepath_workload::{average, run_trial, Structure, TrialSpec};
 
 fn bench_htm_primitives(c: &mut Criterion) {
     let rt = Arc::new(HtmRuntime::new(HtmConfig::default()));
@@ -131,9 +146,137 @@ fn bench_bst_ops(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(400)).warm_up_time(std::time::Duration::from_millis(150));
-    targets = bench_htm_primitives, bench_llx_scx, bench_bst_ops
-);
-criterion_main!(benches);
+/// Pool on/off A/B on the update-heavy (light, 50/50 insert/delete)
+/// workload, both backends, single- and max-thread.
+fn pool_ab(env: &BenchEnv, records: &mut Vec<BenchRecord>) {
+    println!("\n== pool A/B: update-heavy workload, pooled vs Box allocator ==");
+    println!(
+        "{:<28} {:>7} {:>14} {:>14} {:>9} {:>9}",
+        "series", "threads", "box ops/s", "pooled ops/s", "speedup", "hit rate"
+    );
+    let threads = [1, env.max_threads()];
+    for structure in [Structure::Bst, Structure::AbTree] {
+        let key_range = ((structure.paper_key_range() as f64 * env.scale) as u64).max(256);
+        for &t in threads.iter().take(if env.max_threads() > 1 { 2 } else { 1 }) {
+            let base = TrialSpec {
+                structure,
+                strategy: Strategy::ThreePath,
+                threads: t,
+                duration: env.duration,
+                key_range,
+                ..TrialSpec::default()
+            };
+            // Interleave box/pooled repetitions so slow drift in the
+            // host's available CPU hits both sides of the pair equally.
+            let mut box_runs = Vec::new();
+            let mut pool_runs = Vec::new();
+            for i in 0..env.trials {
+                let seed = base.seed.wrapping_add(i as u64 * 0x9E37_79B9);
+                box_runs.push(run_trial(&TrialSpec {
+                    pool: false,
+                    seed,
+                    ..base.clone()
+                }));
+                pool_runs.push(run_trial(&TrialSpec {
+                    seed,
+                    ..base.clone()
+                }));
+            }
+            let boxed = average(&box_runs);
+            let pooled = average(&pool_runs);
+            assert!(boxed.keysum_ok && pooled.keysum_ok, "keysum failed");
+            println!(
+                "{:<28} {:>7} {:>14.0} {:>14.0} {:>8.2}x {:>8.1}%",
+                format!("{structure}/update-heavy"),
+                t,
+                boxed.throughput,
+                pooled.throughput,
+                pooled.throughput / boxed.throughput,
+                pooled.pool_hit_rate() * 100.0
+            );
+            records.push(bench_record(format!("pool-ab/{structure}/box/{t}t"), &boxed));
+            records.push(bench_record(
+                format!("pool-ab/{structure}/pooled/{t}t"),
+                &pooled,
+            ));
+        }
+    }
+}
+
+/// Adaptive budgets vs fixed budgets under a calm and a storm abort mix.
+fn budget_ab(env: &BenchEnv, records: &mut Vec<BenchRecord>) {
+    println!("\n== budget A/B: adaptive vs fixed attempt budgets (BST, 3-path) ==");
+    println!(
+        "{:<10} {:<14} {:>14} {:>10}",
+        "mix", "budget", "ops/s", "abort rate"
+    );
+    let key_range = ((Structure::Bst.paper_key_range() as f64 * env.scale) as u64).max(256);
+    let threads = env.max_threads();
+    let fixed = [
+        ("fixed-10/10", PathLimits { fast: 10, middle: 10 }),
+        ("fixed-1/1", PathLimits { fast: 1, middle: 1 }),
+        ("fixed-20/20", PathLimits { fast: 20, middle: 20 }),
+    ];
+    for (mix, htm) in [
+        ("calm", HtmConfig::default()),
+        ("storm", HtmConfig::default().with_spurious(0.85)),
+    ] {
+        let base = TrialSpec {
+            structure: Structure::Bst,
+            strategy: Strategy::ThreePath,
+            threads,
+            key_range,
+            htm,
+            ..TrialSpec::default()
+        };
+        for (label, limits) in fixed {
+            let r = measure_spec(
+                env,
+                &TrialSpec {
+                    limits: Some(limits),
+                    ..base.clone()
+                },
+            );
+            println!(
+                "{:<10} {:<14} {:>14.0} {:>10.2}",
+                mix, label, r.throughput, r.stats.abort_rate()
+            );
+            records.push(bench_record(format!("budget-ab/{mix}/{label}"), &r));
+        }
+        let r = measure_spec(
+            env,
+            &TrialSpec {
+                budget: Some(BudgetConfig {
+                    epoch_ops: 512,
+                    ..BudgetConfig::default()
+                }),
+                ..base.clone()
+            },
+        );
+        println!(
+            "{:<10} {:<14} {:>14.0} {:>10.2}",
+            mix,
+            "adaptive",
+            r.throughput,
+            r.stats.abort_rate()
+        );
+        records.push(bench_record(format!("budget-ab/{mix}/adaptive"), &r));
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(400))
+        .warm_up_time(std::time::Duration::from_millis(150));
+    bench_htm_primitives(&mut c);
+    bench_llx_scx(&mut c);
+    bench_bst_ops(&mut c);
+
+    let env = BenchEnv::load();
+    println!("\nA/B panels: {}", threepath_bench::describe(&env));
+    let mut records = Vec::new();
+    pool_ab(&env, &mut records);
+    budget_ab(&env, &mut records);
+    write_bench_json("micro", &records);
+}

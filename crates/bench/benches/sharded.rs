@@ -19,7 +19,9 @@
 //! `THREEPATH_TRIALS`, `THREEPATH_SCALE`, or set `THREEPATH_SMOKE=1` for
 //! the CI smoke lane (see `threepath-bench` docs).
 
-use threepath_bench::{describe, measure_spec, print_panel, write_csv, BenchEnv, Cell};
+use threepath_bench::{
+    bench_record, describe, measure_spec, print_panel, write_bench_json, write_csv, BenchEnv, Cell,
+};
 use threepath_core::Strategy;
 use threepath_htm::HtmConfig;
 use threepath_workload::{AdaptiveConfig, KeyDist, RouterKind, Structure, TrialSpec};
@@ -136,6 +138,18 @@ fn main() {
     all.extend(cells);
 
     write_csv("sharded", &all);
+    // Machine-readable mirror of every cell (series → ops/s, abort mix,
+    // pool hit rate), committed-format for cross-PR perf tracking.
+    let records: Vec<_> = all
+        .iter()
+        .map(|c| {
+            bench_record(
+                format!("{}/{}/{}t", c.workload, c.series, c.threads),
+                &c.result,
+            )
+        })
+        .collect();
+    write_bench_json("sharded", &records);
 
     // Traffic concentration: the share of update traffic the hottest
     // shard absorbs under each router — the load-balance mechanism that

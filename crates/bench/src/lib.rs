@@ -208,6 +208,91 @@ pub fn write_csv(name: &str, cells: &[Cell]) -> PathBuf {
     path
 }
 
+// ---------------------------------------------------------------------
+// Machine-readable results (`BENCH_<name>.json` at the workspace root).
+// ---------------------------------------------------------------------
+
+/// One series of a machine-readable benchmark report: name → throughput,
+/// abort mix, pool hit rate. Build from a [`TrialResult`] with
+/// [`bench_record`].
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Series name (unique within the report).
+    pub name: String,
+    /// Completed operations per second.
+    pub ops_per_sec: f64,
+    /// Merged per-path statistics (abort mix source).
+    pub stats: threepath_core::PathStats,
+    /// Node-pool counters (all zeros when the series ran pool-off).
+    pub pool: threepath_reclaim::PoolStats,
+}
+
+/// Builds a [`BenchRecord`] from a measured trial.
+pub fn bench_record(name: impl Into<String>, result: &TrialResult) -> BenchRecord {
+    BenchRecord {
+        name: name.into(),
+        ops_per_sec: result.throughput,
+        stats: result.stats.clone(),
+        pool: result.pool,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders records as the `BENCH_<name>.json` document (stable key order,
+/// no external dependencies).
+pub fn bench_json(bench: &str, records: &[BenchRecord]) -> String {
+    use threepath_core::PathKind;
+    let mut out = String::new();
+    let _ = write!(out, "{{\n  \"bench\": \"{}\",\n  \"series\": {{", json_escape(bench));
+    for (i, r) in records.iter().enumerate() {
+        let mut mix = threepath_core::AbortCounts::default();
+        for p in PathKind::ALL {
+            let a = r.stats.aborts(p);
+            mix.explicit += a.explicit;
+            mix.conflict += a.conflict;
+            mix.capacity += a.capacity;
+            mix.spurious += a.spurious;
+        }
+        let _ = write!(
+            out,
+            "{}\n    \"{}\": {{\"ops_per_sec\": {:.1}, \
+             \"abort_mix\": {{\"explicit\": {}, \"conflict\": {}, \"capacity\": {}, \"spurious\": {}}}, \
+             \"abort_rate\": {:.4}, \"fallback_frac\": {:.4}, \
+             \"pool_hit_rate\": {:.4}, \"pool_allocs\": {}, \"pool_recycled\": {}}}",
+            if i == 0 { "" } else { "," },
+            json_escape(&r.name),
+            r.ops_per_sec,
+            mix.explicit,
+            mix.conflict,
+            mix.capacity,
+            mix.spurious,
+            r.stats.abort_rate(),
+            r.stats.fallback_fraction(),
+            r.pool.hit_rate(),
+            r.pool.alloc_total,
+            r.pool.recycled,
+        );
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Writes `BENCH_<name>.json` at the workspace root (so the perf
+/// trajectory is trackable across PRs) and returns the path.
+pub fn write_bench_json(bench: &str, records: &[BenchRecord]) -> PathBuf {
+    let path = workspace_root().join(format!("BENCH_{bench}.json"));
+    fs::write(&path, bench_json(bench, records)).expect("write bench json");
+    println!("[json] {}", path.display());
+    path
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
 /// `target/figures`, resolved relative to the workspace.
 pub fn figures_dir() -> PathBuf {
     // CARGO_TARGET_DIR may relocate the target directory.

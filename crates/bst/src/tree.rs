@@ -4,12 +4,12 @@
 use std::sync::Arc;
 
 use threepath_core::{
-    DirectMem, ExecCtx, Mem, OpOutcome, OrigMode, PathKind, PathLimits, PathStats, Strategy,
-    TemplateMode,
+    AdaptiveBudgets, BudgetConfig, DirectMem, ExecCtx, Mem, OpOutcome, OrigMode, PathKind,
+    PathLimits, PathStats, Strategy, TemplateMode,
 };
 use threepath_htm::{codes, Abort, HtmConfig, HtmRuntime, TxCell};
 use threepath_llxscx::{ScxEngine, ScxThread};
-use threepath_reclaim::{Domain, ReclaimMode};
+use threepath_reclaim::{Domain, PoolConfig, PoolStats, ReclaimMode};
 
 use crate::node::{BstNode, MAX_KEY, SENT1, SENT2};
 use crate::ops::{self, Found};
@@ -37,6 +37,16 @@ pub struct BstConfig {
     /// blended subscription discipline this enables). Requires `strategy`
     /// to start as one of those two.
     pub adaptive: bool,
+    /// Allocate nodes from per-thread pools and recycle them on expiry
+    /// instead of going through the global allocator (see
+    /// [`threepath_reclaim::NodePool`]). On by default — the steady-state
+    /// hot path then never touches `malloc`/`free`. Turn off for the
+    /// `Box`-based baseline in allocator A/B measurements.
+    pub pool: bool,
+    /// Adaptive attempt budgets: scale the fast/middle attempt counts per
+    /// epoch from the observed abort mix, anchored at the paper's
+    /// 10/10/20 (see [`BudgetConfig`]). A fixed `limits` override wins.
+    pub budget: Option<BudgetConfig>,
 }
 
 impl Default for BstConfig {
@@ -49,6 +59,8 @@ impl Default for BstConfig {
             search_outside_txn: false,
             snzi: false,
             adaptive: false,
+            pool: true,
+            budget: None,
         }
     }
 }
@@ -80,6 +92,10 @@ pub struct Bst {
     eng: ScxEngine,
     root: *mut BstNode,
     sec8: bool,
+    /// Whether nodes live in pool chunks (owned by the domain) rather
+    /// than individual `Box` allocations — decides how `Drop` frees the
+    /// node graph.
+    pooled: bool,
 }
 
 // SAFETY: the raw root pointer references a heap structure whose shared
@@ -96,8 +112,14 @@ impl Bst {
     /// A tree with the given configuration.
     pub fn with_config(cfg: BstConfig) -> Self {
         let rt = Arc::new(HtmRuntime::new(cfg.htm.clone()));
-        let domain = Arc::new(Domain::new(cfg.reclaim));
-        let eng = ScxEngine::new(rt.clone(), domain);
+        let pool_cfg = if cfg.pool {
+            PoolConfig::default()
+        } else {
+            PoolConfig::disabled()
+        };
+        let domain = Arc::new(Domain::with_pool(cfg.reclaim, pool_cfg));
+        let pooled = domain.class_of::<BstNode>().is_some();
+        let eng = ScxEngine::new(rt.clone(), domain.clone());
         let mut exec = ExecCtx::new(rt, cfg.strategy);
         if let Some(l) = cfg.limits {
             exec = exec.with_limits(l);
@@ -108,15 +130,24 @@ impl Bst {
         if cfg.adaptive {
             exec = exec.with_adaptive();
         }
+        if let Some(b) = cfg.budget {
+            exec = exec.with_adaptive_budgets(b);
+        }
         // Initial tree (Ellen et al.): entry(∞₂) over leaf(∞₁), leaf(∞₂).
-        let l1 = Box::into_raw(Box::new(BstNode::new_leaf(SENT1, 0)));
-        let l2 = Box::into_raw(Box::new(BstNode::new_leaf(SENT2, 0)));
-        let root = Box::into_raw(Box::new(BstNode::new_internal(SENT2, l1, l2)));
+        // Allocated through a short-lived context so sentinels come from
+        // the pool too (uniform ownership for `Drop`).
+        let root = {
+            let ctx = Domain::register(&domain);
+            let l1 = ctx.alloc(BstNode::new_leaf(SENT1, 0));
+            let l2 = ctx.alloc(BstNode::new_leaf(SENT2, 0));
+            ctx.alloc(BstNode::new_internal(SENT2, l1, l2))
+        };
         Bst {
             exec,
             eng,
             root,
             sec8: cfg.search_outside_txn,
+            pooled,
         }
     }
 
@@ -141,6 +172,23 @@ impl Bst {
     /// The reclamation domain (for diagnostics and benchmarks).
     pub fn domain(&self) -> &Arc<Domain> {
         self.eng.domain()
+    }
+
+    /// The attempt budgets currently in effect (a fixed override, the
+    /// adaptive budgets' latest value, or the paper defaults).
+    pub fn limits(&self) -> PathLimits {
+        self.exec.limits()
+    }
+
+    /// The adaptive budget state, when [`BstConfig::budget`] enabled it.
+    pub fn budgets(&self) -> Option<&AdaptiveBudgets> {
+        self.exec.budgets()
+    }
+
+    /// Node-pool counters folded into the domain so far (contexts fold on
+    /// drop; read after handles are gone for a complete picture).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.domain().pool_stats()
     }
 
     /// Registers the calling thread and returns an operation handle.
@@ -475,9 +523,17 @@ impl std::fmt::Debug for Bst {
 
 impl Drop for Bst {
     fn drop(&mut self) {
-        // SAFETY: exclusive access; retired nodes are owned by the domain's
-        // limbo bags, never reachable from the root, so no double free.
-        unsafe { free_rec(self.root) };
+        // Nodes are plain data (no drop glue — asserted below), so a
+        // pooled tree needs no per-node walk: the blocks' memory belongs
+        // to arena chunks the domain releases when it drops, after the
+        // limbo bags.
+        const { assert!(!std::mem::needs_drop::<BstNode>()) };
+        if !self.pooled {
+            // SAFETY: exclusive access; retired nodes are owned by the
+            // domain's limbo bags, never reachable from the root, so no
+            // double free.
+            unsafe { free_rec(self.root) };
+        }
     }
 }
 

@@ -213,7 +213,11 @@ fn heavy_stress(strategy: Strategy) {
                 let mut h = tree.handle();
                 let mut rng = SplitMix64::new(0xAB);
                 let mut rqs = 0usize;
-                while !stop.load(Ordering::Relaxed) {
+                // `|| rqs == 0`: the updaters may finish (and raise `stop`)
+                // before this thread completes its first query on a busy
+                // host; always finish at least one so the invariant checks
+                // below actually run.
+                while !stop.load(Ordering::Relaxed) || rqs == 0 {
                     let lo = rng.next_below(key_range);
                     let len = 1 + rng.next_below(key_range);
                     let out = h.range_query(lo, lo + len);

@@ -57,16 +57,24 @@ pub trait Mem {
 }
 
 /// Transactional access: reads and writes go through the enclosing
-/// transaction; retirements are buffered until commit.
+/// transaction; retirements are buffered until commit. Allocations come
+/// from the thread's node pool (when the domain pools) and return there
+/// automatically if the attempt aborts.
 pub struct TxMem<'a, 'b> {
     tx: &'a mut Txn<'b>,
     effects: &'a mut Effects,
+    reclaim: &'a ReclaimCtx,
 }
 
 impl<'a, 'b> TxMem<'a, 'b> {
-    /// Wraps a transaction and an effects buffer.
-    pub fn new(tx: &'a mut Txn<'b>, effects: &'a mut Effects) -> Self {
-        TxMem { tx, effects }
+    /// Wraps a transaction, an effects buffer and the calling thread's
+    /// reclamation context (the allocation seam).
+    pub fn new(tx: &'a mut Txn<'b>, effects: &'a mut Effects, reclaim: &'a ReclaimCtx) -> Self {
+        TxMem {
+            tx,
+            effects,
+            reclaim,
+        }
     }
 
     /// The wrapped transaction.
@@ -87,11 +95,11 @@ impl Mem for TxMem<'_, '_> {
         unsafe { self.effects.defer_retire(ptr) };
     }
     fn alloc<T: Send>(&mut self, val: T) -> *mut T {
-        self.effects.alloc(val)
+        self.effects.alloc(self.reclaim, val)
     }
     unsafe fn free_unpublished<T: Send>(&mut self, ptr: *mut T) {
         // SAFETY: forwarded contract.
-        unsafe { self.effects.free_unpublished(ptr) };
+        unsafe { self.effects.free_unpublished(self.reclaim, ptr) };
     }
 }
 
@@ -121,16 +129,17 @@ impl Mem for DirectMem<'_> {
         Ok(())
     }
     unsafe fn retire<T: Send>(&mut self, ptr: *mut T) {
-        // SAFETY: forwarded contract.
-        unsafe { self.reclaim.retire(ptr) };
+        // SAFETY: forwarded contract; pooled nodes recycle on expiry.
+        unsafe { self.reclaim.retire_node(ptr) };
     }
     fn alloc<T: Send>(&mut self, val: T) -> *mut T {
-        Box::into_raw(Box::new(val))
+        self.reclaim.alloc(val)
     }
     unsafe fn free_unpublished<T: Send>(&mut self, ptr: *mut T) {
         // SAFETY: unpublished per contract; direct mode applies writes
-        // immediately, so the caller is the sole owner.
-        drop(unsafe { Box::from_raw(ptr) });
+        // immediately, so the caller is the sole owner — the block goes
+        // straight back to the pool.
+        unsafe { self.reclaim.dealloc_unpublished(ptr) };
     }
 }
 
@@ -162,7 +171,7 @@ mod tests {
         let mut th = rt.register_thread();
         let mut eff = Effects::new();
         let r = rt.attempt(&mut th, |tx| {
-            let mut m = TxMem::new(tx, &mut eff);
+            let mut m = TxMem::new(tx, &mut eff, &ctx);
             double(&mut m, &c)
         });
         assert_eq!(r.unwrap(), 84);
@@ -192,13 +201,13 @@ mod tests {
         let mut eff = Effects::new();
         let p = Box::into_raw(Box::new(1u64));
         let _: Result<(), _> = rt.attempt(&mut th, |tx| {
-            let mut m = TxMem::new(tx, &mut eff);
+            let mut m = TxMem::new(tx, &mut eff, &ctx);
             // SAFETY: test owns p.
             unsafe { m.retire(p) };
             Err(tx.abort(0))
         });
         // Aborted: the retirement must be discarded, not applied.
-        eff.abort_cleanup();
+        eff.abort_cleanup(&ctx);
         assert_eq!(domain.retired_total(), 0);
         drop(unsafe { Box::from_raw(p) });
         drop(ctx);

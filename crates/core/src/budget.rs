@@ -1,0 +1,518 @@
+//! Adaptive attempt budgets: scale [`PathLimits`] per epoch from the
+//! observed abort mix.
+//!
+//! The paper fixes the attempt budgets — 10 fast / 10 middle for the
+//! three-path algorithm, 20 fast for TLE and the two-path variants — and
+//! those numbers are the right *calm-state anchor*: when transactions
+//! mostly commit, a deep budget costs nothing (operations succeed on the
+//! first attempt) and absorbs bursts. But under a conflict storm almost
+//! every fast-path attempt aborts, and each doomed operation burns the
+//! whole budget before escalating to a path that can actually finish the
+//! work: the fixed budget becomes a per-operation tax of wasted
+//! transactions.
+//!
+//! [`AdaptiveBudgets`] closes the loop using the same per-operation abort
+//! information [`PathStats`](crate::PathStats) records. Handles tally each
+//! operation's attempts into a shared window; once the window accumulates
+//! [`BudgetConfig::epoch_ops`] effective fast-path attempts (≈ operations
+//! when calm; faster under a storm), whoever crosses the threshold claims
+//! it and re-scales each path's budget from that path's
+//! *per-attempt hardware-failure rate* (conflict + capacity + spurious
+//! aborts per effective attempt — explicit aborts such as `F != 0` are
+//! excluded: they are the escalation protocol working, not wasted work):
+//!
+//! * rate ≥ [`shrink_fail_rate`](BudgetConfig::shrink_fail_rate) — the
+//!   path is storming; halve its budget (floor
+//!   [`min_attempts`](BudgetConfig::min_attempts)), so operations stop
+//!   paying for attempts that almost surely abort.
+//! * rate ≤ [`grow_fail_rate`](BudgetConfig::grow_fail_rate) — commits are
+//!   cheap again; double the budget back toward the anchor (cap
+//!   `anchor × `[`max_scale`](BudgetConfig::max_scale)).
+//! * in between — keep the current budget. The gap between the two
+//!   thresholds is the hysteresis band that prevents flapping, exactly
+//!   like the sharded layer's strategy controller.
+//!
+//! A runtime strategy swap ([`ExecCtx::set_strategy`](crate::ExecCtx::set_strategy))
+//! re-anchors the budgets at the new strategy's paper values and restarts
+//! the window.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use threepath_htm::{AbortCode, CachePadded};
+
+use crate::strategy::{PathLimits, Strategy};
+
+/// Minimum effective attempts a path must show in a window before its
+/// budget moves (less is noise, not signal).
+const MIN_SAMPLE: u64 = 16;
+
+/// Tuning for [`AdaptiveBudgets`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetConfig {
+    /// Effective fast-path attempts per decision window. In the calm
+    /// state one operation makes one attempt, so this is roughly
+    /// "operations per window"; under a storm each operation burns its
+    /// whole budget and windows turn correspondingly faster — which is
+    /// exactly when faster reaction is wanted.
+    pub epoch_ops: u64,
+    /// Per-attempt hardware-failure rate at or above which a path's
+    /// budget halves.
+    pub shrink_fail_rate: f64,
+    /// Rate at or below which a path's budget doubles back toward the
+    /// anchor. Keep well under
+    /// [`shrink_fail_rate`](Self::shrink_fail_rate); the gap is the
+    /// hysteresis band.
+    pub grow_fail_rate: f64,
+    /// Floor for a shrunken budget (≥ 1: a path must keep probing, or it
+    /// could never observe the storm ending).
+    pub min_attempts: u32,
+    /// Budget ceiling as a multiple of the paper anchor (1 = the paper's
+    /// 10/10/20 are also the maximum).
+    pub max_scale: u32,
+}
+
+impl Default for BudgetConfig {
+    fn default() -> Self {
+        BudgetConfig {
+            epoch_ops: 1024,
+            shrink_fail_rate: 0.75,
+            grow_fail_rate: 0.25,
+            min_attempts: 1,
+            max_scale: 1,
+        }
+    }
+}
+
+impl BudgetConfig {
+    /// Checks the tuning for degeneracy. The single source of truth for
+    /// what [`AdaptiveBudgets::new`] accepts — config layers (e.g. the
+    /// sharded map) call this to surface the same conditions as typed
+    /// errors instead of panics.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.epoch_ops == 0 {
+            return Err("epoch_ops must be positive");
+        }
+        // The window counters pack `attempts << 32 | fails`; bounding the
+        // window keeps both halves far from carrying into each other.
+        if self.epoch_ops > (1 << 30) {
+            return Err("epoch_ops must be at most 2^30 (window-counter packing)");
+        }
+        if self.min_attempts == 0 {
+            return Err("min_attempts must be positive");
+        }
+        if self.max_scale == 0 {
+            return Err("max_scale must be positive");
+        }
+        // partial_cmp rejects NaN thresholds along with inverted ones.
+        if self
+            .grow_fail_rate
+            .partial_cmp(&self.shrink_fail_rate)
+            .is_none_or(|o| o != std::cmp::Ordering::Less)
+        {
+            return Err("grow threshold must sit below shrink threshold (hysteresis)");
+        }
+        Ok(())
+    }
+}
+
+/// One operation's attempt tally, recorded by the driver after the
+/// operation completes. "Effective" attempts are commits plus hardware
+/// aborts; explicitly aborted attempts (lock held, `F != 0`, LLX
+/// failures) are protocol signals and do not count against a budget.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpTally {
+    /// Effective fast-path attempts.
+    pub fast_attempts: u32,
+    /// Fast-path hardware aborts (conflict + capacity + spurious).
+    pub fast_fails: u32,
+    /// Effective middle-path attempts.
+    pub middle_attempts: u32,
+    /// Middle-path hardware aborts.
+    pub middle_fails: u32,
+}
+
+impl OpTally {
+    /// Whether the operation made any budget-relevant attempt.
+    pub fn is_empty(&self) -> bool {
+        self.fast_attempts == 0 && self.middle_attempts == 0
+    }
+
+    /// Records a committed fast-path attempt.
+    pub fn fast_commit(&mut self) {
+        self.fast_attempts += 1;
+    }
+
+    /// Records an aborted fast-path attempt. Explicit aborts are protocol
+    /// signals, not wasted work, and do not count.
+    pub fn fast_abort(&mut self, code: AbortCode) {
+        if !matches!(code, AbortCode::Explicit(_)) {
+            self.fast_attempts += 1;
+            self.fast_fails += 1;
+        }
+    }
+
+    /// Records a committed middle-path attempt.
+    pub fn middle_commit(&mut self) {
+        self.middle_attempts += 1;
+    }
+
+    /// Records an aborted middle-path attempt (explicit aborts excluded,
+    /// as on the fast path).
+    pub fn middle_abort(&mut self, code: AbortCode) {
+        if !matches!(code, AbortCode::Explicit(_)) {
+            self.middle_attempts += 1;
+            self.middle_fails += 1;
+        }
+    }
+}
+
+fn pack(l: PathLimits) -> u64 {
+    (u64::from(l.fast) << 32) | u64::from(l.middle)
+}
+
+fn unpack(v: u64) -> PathLimits {
+    PathLimits {
+        fast: (v >> 32) as u32,
+        middle: v as u32,
+    }
+}
+
+/// Shared per-structure adaptive budget state. Owned by an
+/// [`ExecCtx`](crate::ExecCtx); one instance serves every handle of the
+/// structure.
+#[derive(Debug)]
+pub struct AdaptiveBudgets {
+    cfg: BudgetConfig,
+    /// Read by every operation; padded away from the write-hot windows.
+    limits: CachePadded<AtomicU64>,
+    /// `attempts << 32 | fails`, one fetch-add per op that used the path
+    /// (a window holds at most `epoch_ops × budget` attempts, far below
+    /// 2³², so the halves cannot carry into each other). The fast
+    /// window's attempt half doubles as the epoch trigger, so the calm
+    /// hot path pays exactly one shared RMW per operation.
+    win_fast: CachePadded<AtomicU64>,
+    win_middle: CachePadded<AtomicU64>,
+    epochs: AtomicU64,
+    shrinks: AtomicU64,
+    grows: AtomicU64,
+    /// Decision latch (see the sharded controller): one decision per
+    /// window, and `limits` moves atomically with the counters.
+    deciding: AtomicBool,
+}
+
+impl AdaptiveBudgets {
+    /// Fresh budgets anchored at the paper limits for `strategy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate tuning — exactly the conditions
+    /// [`BudgetConfig::validate`] reports.
+    pub fn new(cfg: BudgetConfig, strategy: Strategy) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid budget tuning: {e}");
+        }
+        let anchor = PathLimits::for_strategy(strategy);
+        AdaptiveBudgets {
+            limits: CachePadded::new(AtomicU64::new(pack(anchor))),
+            win_fast: CachePadded::new(AtomicU64::new(0)),
+            win_middle: CachePadded::new(AtomicU64::new(0)),
+            epochs: AtomicU64::new(0),
+            shrinks: AtomicU64::new(0),
+            grows: AtomicU64::new(0),
+            deciding: AtomicBool::new(false),
+            cfg,
+        }
+    }
+
+    /// The tuning.
+    pub fn config(&self) -> &BudgetConfig {
+        &self.cfg
+    }
+
+    /// The budgets currently in effect.
+    pub fn current(&self) -> PathLimits {
+        unpack(self.limits.load(Ordering::Acquire))
+    }
+
+    /// Decision windows completed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+
+    /// Decisions that shrank at least one path's budget.
+    pub fn shrinks(&self) -> u64 {
+        self.shrinks.load(Ordering::Relaxed)
+    }
+
+    /// Decisions that grew at least one path's budget.
+    pub fn grows(&self) -> u64 {
+        self.grows.load(Ordering::Relaxed)
+    }
+
+    /// Re-anchors at `strategy`'s paper limits and restarts the window
+    /// (called on a runtime strategy swap — the old strategy's abort mix
+    /// says nothing about the new one's budgets).
+    pub fn reset(&self, strategy: Strategy) {
+        // Take the decision latch: a decision already in flight for the
+        // old strategy must not overwrite the re-anchored limits after
+        // this store. (An operation that read the old strategy and
+        // decides *after* this reset can still move one window toward
+        // the old anchor; the next window self-corrects.)
+        while self
+            .deciding
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        self.limits
+            .store(pack(PathLimits::for_strategy(strategy)), Ordering::Release);
+        self.win_fast.store(0, Ordering::Relaxed);
+        self.win_middle.store(0, Ordering::Relaxed);
+        self.deciding.store(false, Ordering::Release);
+    }
+
+    /// Accumulates one completed operation's tally and, when either
+    /// window's attempts cross the epoch, re-scales the budgets. (The
+    /// middle window must be able to trigger on its own: while the
+    /// fallback indicator `F` is active, fast-path attempts abort
+    /// explicitly and tally nothing, yet the middle path may be storming
+    /// — exactly when its budget needs shrinking.)
+    ///
+    /// Operations with an empty tally (explicit aborts only, or a
+    /// strategy arm that made no transactional attempt) cost nothing and
+    /// do not advance the windows — with no hardware-abort signal there
+    /// is nothing to adapt to.
+    pub fn record(&self, strategy: Strategy, tally: &OpTally) {
+        let mut crossed = false;
+        if tally.middle_attempts > 0 {
+            let add = (u64::from(tally.middle_attempts) << 32) | u64::from(tally.middle_fails);
+            let attempts = (self.win_middle.fetch_add(add, Ordering::Relaxed) + add) >> 32;
+            crossed |= attempts >= self.cfg.epoch_ops;
+        }
+        if tally.fast_attempts > 0 {
+            let add = (u64::from(tally.fast_attempts) << 32) | u64::from(tally.fast_fails);
+            let attempts = (self.win_fast.fetch_add(add, Ordering::Relaxed) + add) >> 32;
+            crossed |= attempts >= self.cfg.epoch_ops;
+        }
+        if !crossed {
+            return;
+        }
+        // Claim the window; racing claimants swap out a near-empty window
+        // and bail on the size guard.
+        let fast_w = self.win_fast.swap(0, Ordering::Relaxed);
+        let middle_w = self.win_middle.swap(0, Ordering::Relaxed);
+        let (fa, ff) = (fast_w >> 32, fast_w & u64::from(u32::MAX));
+        let (ma, mf) = (middle_w >> 32, middle_w & u64::from(u32::MAX));
+        if fa < self.cfg.epoch_ops / 2 && ma < self.cfg.epoch_ops / 2 {
+            return;
+        }
+        if self
+            .deciding
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let anchor = PathLimits::for_strategy(strategy);
+        let cur = self.current();
+        let next = PathLimits {
+            fast: self.scale_path(cur.fast, anchor.fast, fa, ff),
+            middle: self.scale_path(cur.middle, anchor.middle, ma, mf),
+        };
+        if next != cur {
+            self.limits.store(pack(next), Ordering::Release);
+            if next.fast < cur.fast || next.middle < cur.middle {
+                self.shrinks.fetch_add(1, Ordering::Relaxed);
+            }
+            if next.fast > cur.fast || next.middle > cur.middle {
+                self.grows.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+        self.deciding.store(false, Ordering::Release);
+    }
+
+    /// One path's next budget from its window failure rate. `anchor == 0`
+    /// means the strategy has no such path.
+    fn scale_path(&self, cur: u32, anchor: u32, attempts: u64, fails: u64) -> u32 {
+        if anchor == 0 {
+            return 0;
+        }
+        if attempts < MIN_SAMPLE {
+            // No signal — the path went unused this window (e.g. the
+            // middle path while the fast path commits everything). An
+            // unused budget costs nothing, so drift it back up to the
+            // calm-state anchor; it re-opens at full depth when needed.
+            return if cur < anchor {
+                cur.saturating_mul(2).min(anchor)
+            } else {
+                cur
+            };
+        }
+        let rate = fails as f64 / attempts as f64;
+        if rate >= self.cfg.shrink_fail_rate {
+            (cur / 2).max(self.cfg.min_attempts)
+        } else if rate <= self.cfg.grow_fail_rate {
+            let cap = anchor
+                .saturating_mul(self.cfg.max_scale)
+                .max(self.cfg.min_attempts);
+            cur.saturating_mul(2).min(cap)
+        } else {
+            cur
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budgets(epoch_ops: u64) -> AdaptiveBudgets {
+        AdaptiveBudgets::new(
+            BudgetConfig {
+                epoch_ops,
+                ..BudgetConfig::default()
+            },
+            Strategy::ThreePath,
+        )
+    }
+
+    /// Pushes one window of `n` identical tallies.
+    fn push(b: &AdaptiveBudgets, strategy: Strategy, n: u64, tally: OpTally) {
+        for _ in 0..n {
+            b.record(strategy, &tally);
+        }
+    }
+
+    fn storm_tally(attempts: u32) -> OpTally {
+        OpTally {
+            fast_attempts: attempts,
+            fast_fails: attempts,
+            middle_attempts: attempts,
+            middle_fails: attempts,
+        }
+    }
+
+    fn calm_tally() -> OpTally {
+        OpTally {
+            fast_attempts: 1,
+            fast_fails: 0,
+            middle_attempts: 1,
+            middle_fails: 0,
+        }
+    }
+
+    #[test]
+    fn starts_at_the_paper_anchor() {
+        let b = budgets(64);
+        assert_eq!(b.current(), PathLimits::for_strategy(Strategy::ThreePath));
+        let tle = AdaptiveBudgets::new(BudgetConfig::default(), Strategy::Tle);
+        assert_eq!(tle.current().fast, 20);
+        assert_eq!(tle.current().middle, 0);
+    }
+
+    #[test]
+    fn storms_shrink_to_the_floor_and_calm_grows_back() {
+        let b = budgets(64);
+        // Under a storm each op burns many attempts, so windows turn fast
+        // and a single 64-push block is enough to halve down to the floor.
+        push(&b, Strategy::ThreePath, 64, storm_tally(10));
+        assert_eq!(b.current(), PathLimits { fast: 1, middle: 1 });
+        assert!(b.shrinks() >= 3, "10 -> 5 -> 2 -> 1");
+        // Calm windows (one attempt per op) double back up one window per
+        // 64-push block, capped at the anchor.
+        for expect_fast in [2u32, 4, 8, 10, 10] {
+            push(&b, Strategy::ThreePath, 64, calm_tally());
+            assert_eq!(b.current().fast, expect_fast);
+        }
+        assert_eq!(b.current(), PathLimits::for_strategy(Strategy::ThreePath));
+        assert!(b.grows() >= 4);
+    }
+
+    #[test]
+    fn middle_only_storm_still_triggers_adaptation() {
+        // While F is active the fast path aborts explicitly (no effective
+        // attempts), but a storming middle path must still shrink: the
+        // middle window triggers decisions on its own.
+        let b = budgets(64);
+        let middle_storm = OpTally {
+            fast_attempts: 0,
+            fast_fails: 0,
+            middle_attempts: 10,
+            middle_fails: 10,
+        };
+        push(&b, Strategy::ThreePath, 64, middle_storm);
+        assert_eq!(b.current().middle, 1, "middle budget must hit the floor");
+        assert_eq!(
+            b.current().fast,
+            10,
+            "no fast-path signal: the fast budget stays anchored"
+        );
+    }
+
+    #[test]
+    fn hysteresis_band_keeps_the_current_budget() {
+        let b = budgets(64);
+        push(&b, Strategy::ThreePath, 64, storm_tally(10));
+        let shrunk = b.current();
+        assert!(shrunk.fast < 10);
+        // 50% failure rate sits between grow (25%) and shrink (75%).
+        let mid = OpTally {
+            fast_attempts: 2,
+            fast_fails: 1,
+            middle_attempts: 2,
+            middle_fails: 1,
+        };
+        push(&b, Strategy::ThreePath, 64, mid);
+        assert_eq!(b.current(), shrunk, "mid-band windows must not move budgets");
+    }
+
+    #[test]
+    fn explicit_aborts_do_not_shrink() {
+        // Operations that only saw explicit aborts record no effective
+        // attempts: no signal, no window turnover, budgets stay put.
+        let b = budgets(64);
+        push(&b, Strategy::ThreePath, 200, OpTally::default());
+        assert_eq!(b.current(), PathLimits::for_strategy(Strategy::ThreePath));
+        assert_eq!(b.epochs(), 0, "empty tallies advance nothing");
+    }
+
+    #[test]
+    fn reset_reanchors_on_strategy_swap() {
+        let b = budgets(64);
+        push(&b, Strategy::ThreePath, 64, storm_tally(10));
+        assert!(b.current().fast < 10);
+        b.reset(Strategy::Tle);
+        assert_eq!(b.current(), PathLimits::for_strategy(Strategy::Tle));
+    }
+
+    #[test]
+    fn max_scale_allows_growth_past_the_anchor() {
+        let b = AdaptiveBudgets::new(
+            BudgetConfig {
+                epoch_ops: 64,
+                max_scale: 2,
+                ..BudgetConfig::default()
+            },
+            Strategy::ThreePath,
+        );
+        for _ in 0..4 {
+            push(&b, Strategy::ThreePath, 64, calm_tally());
+        }
+        assert_eq!(b.current().fast, 20, "2x anchor cap");
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn inverted_thresholds_rejected() {
+        AdaptiveBudgets::new(
+            BudgetConfig {
+                shrink_fail_rate: 0.2,
+                grow_fail_rate: 0.8,
+                ..BudgetConfig::default()
+            },
+            Strategy::ThreePath,
+        );
+    }
+}

@@ -6,10 +6,11 @@ use std::fmt;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
-use threepath_htm::{codes, Abort, HtmRuntime, Txn};
+use threepath_htm::{codes, Abort, Backoff, HtmRuntime, Txn};
 use threepath_llxscx::{ScxEngine, ScxThread};
 
 use crate::access::TxMem;
+use crate::budget::{AdaptiveBudgets, BudgetConfig, OpTally};
 use crate::effects::Effects;
 use crate::stats::{PathKind, PathStats};
 use crate::strategy::{PathLimits, Strategy};
@@ -79,6 +80,7 @@ pub struct ExecCtx {
     strategy: AtomicU8,
     adaptive: bool,
     limits_override: Option<PathLimits>,
+    budgets: Option<AdaptiveBudgets>,
     f: Indicator,
     lock: TleLock,
 }
@@ -91,6 +93,7 @@ impl ExecCtx {
             strategy: AtomicU8::new(strategy.code()),
             adaptive: false,
             limits_override: None,
+            budgets: None,
             f: Indicator::Counter(FallbackCount::new()),
             lock: TleLock::new(),
         }
@@ -103,10 +106,29 @@ impl ExecCtx {
         self
     }
 
-    /// Overrides the attempt budgets.
+    /// Overrides the attempt budgets with a fixed value. Takes precedence
+    /// over [`Self::with_adaptive_budgets`].
     pub fn with_limits(mut self, limits: PathLimits) -> Self {
         self.limits_override = Some(limits);
         self
+    }
+
+    /// Enables adaptive attempt budgets: the fast/middle budgets re-scale
+    /// per epoch from the observed abort mix, anchored at the paper's
+    /// per-strategy values (see [`AdaptiveBudgets`]). A fixed
+    /// [`Self::with_limits`] override wins over adaptation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate tuning (see [`AdaptiveBudgets::new`]).
+    pub fn with_adaptive_budgets(mut self, cfg: BudgetConfig) -> Self {
+        self.budgets = Some(AdaptiveBudgets::new(cfg, self.strategy()));
+        self
+    }
+
+    /// The adaptive budget state, when enabled.
+    pub fn budgets(&self) -> Option<&AdaptiveBudgets> {
+        self.budgets.as_ref()
     }
 
     /// Enables runtime strategy swapping (see the type-level docs for the
@@ -142,6 +164,11 @@ impl ExecCtx {
             return Err(StrategySwapError::Unsupported(strategy));
         }
         self.strategy.store(strategy.code(), Ordering::Release);
+        // The old strategy's abort mix says nothing about the new one's
+        // budgets: re-anchor at the paper values.
+        if let Some(b) = &self.budgets {
+            b.reset(strategy);
+        }
         Ok(())
     }
 
@@ -153,10 +180,20 @@ impl ExecCtx {
     }
 
     /// The attempt budgets in effect: the explicit override if one was
-    /// set, else the paper's budgets for the current strategy.
+    /// set, else the adaptive budgets' current value, else the paper's
+    /// budgets for the current strategy.
     pub fn limits(&self) -> PathLimits {
-        self.limits_override
-            .unwrap_or_else(|| PathLimits::for_strategy(self.strategy()))
+        self.effective_limits(self.strategy())
+    }
+
+    fn effective_limits(&self, strategy: Strategy) -> PathLimits {
+        if let Some(l) = self.limits_override {
+            return l;
+        }
+        if let Some(b) = &self.budgets {
+            return b.current();
+        }
+        PathLimits::for_strategy(strategy)
     }
 
     /// The HTM runtime.
@@ -217,15 +254,18 @@ impl ExecCtx {
     ) -> Result<T, Abort> {
         th.pinned(|th| {
             let mut eff = Effects::new();
+            let reclaim = &th.reclaim;
             let res = self.rt.attempt(&mut th.htm, |tx| {
                 self.subscribe(tx)?;
-                let mut mem = TxMem::new(tx, &mut eff);
+                let mut mem = TxMem::new(tx, &mut eff, reclaim);
                 body(&mut mem)
             });
             if res.is_ok() {
                 eff.commit(eng, th);
             } else {
-                eff.abort_cleanup();
+                // Undo: tracked allocations return to the thread's pool
+                // (the aborted transaction published nothing).
+                eff.abort_cleanup(&th.reclaim);
             }
             res
         })
@@ -246,17 +286,20 @@ impl ExecCtx {
         th.pinned(|th| {
             let tseq = th.next_tseq();
             let mut eff = Effects::new();
+            let reclaim = &th.reclaim;
             let res = self.rt.attempt(&mut th.htm, |tx| {
                 if self.adaptive && tx.read(self.lock.cell())? != 0 {
                     return Err(tx.abort(codes::LOCK_HELD));
                 }
-                let mut mode = TxMode::new(eng, tx, tseq, &mut eff);
+                let mut mode = TxMode::new(eng, tx, tseq, &mut eff, reclaim);
                 body(&mut mode)
             });
             if res.is_ok() {
                 eff.commit(eng, th);
             } else {
-                eff.abort_cleanup();
+                // Undo: tracked allocations return to the thread's pool
+                // (the aborted transaction published nothing).
+                eff.abort_cleanup(&th.reclaim);
             }
             res
         })
@@ -279,18 +322,47 @@ impl ExecCtx {
         &self,
         th: &mut ScxThread,
         stats: &mut PathStats,
+        fast: impl FnMut(&mut ScxThread) -> Result<T, Abort>,
+        middle: impl FnMut(&mut ScxThread) -> Result<T, Abort>,
+        fallback: impl FnMut(&mut ScxThread) -> T,
+        seq_locked: impl FnMut(&mut ScxThread) -> T,
+    ) -> (T, PathKind) {
+        // One strategy read per operation: an adaptive swap lands between
+        // operations, never in the middle of one. Budgets likewise.
+        let strategy = self.strategy();
+        let limits = self.effective_limits(strategy);
+        let mut tally = OpTally::default();
+        let out = self.run_paths(
+            th, stats, &mut tally, strategy, limits, fast, middle, fallback, seq_locked,
+        );
+        // A fixed override wins over the adaptive budgets, so feeding
+        // them would be shared-RMW work (and phantom decisions) that
+        // nothing ever reads.
+        if self.limits_override.is_none() {
+            if let Some(b) = &self.budgets {
+                b.record(strategy, &tally);
+            }
+        }
+        out
+    }
+
+    /// The per-strategy path protocol for one operation (see
+    /// [`Self::run_op`]), tallying effective attempts for the adaptive
+    /// budgets.
+    #[allow(clippy::too_many_arguments)]
+    fn run_paths<T>(
+        &self,
+        th: &mut ScxThread,
+        stats: &mut PathStats,
+        tally: &mut OpTally,
+        strategy: Strategy,
+        limits: PathLimits,
         mut fast: impl FnMut(&mut ScxThread) -> Result<T, Abort>,
         mut middle: impl FnMut(&mut ScxThread) -> Result<T, Abort>,
         mut fallback: impl FnMut(&mut ScxThread) -> T,
         mut seq_locked: impl FnMut(&mut ScxThread) -> T,
     ) -> (T, PathKind) {
         let rt = &*self.rt;
-        // One strategy read per operation: an adaptive swap lands between
-        // operations, never in the middle of one.
-        let strategy = self.strategy();
-        let limits = self
-            .limits_override
-            .unwrap_or_else(|| PathLimits::for_strategy(strategy));
         match strategy {
             Strategy::NonHtm => {
                 let v = fallback(th);
@@ -304,11 +376,13 @@ impl ExecCtx {
                     self.wait_while(|| self.lock.is_held(rt));
                     match fast(th) {
                         Ok(v) => {
+                            tally.fast_commit();
                             stats.record_commit(PathKind::Fast);
                             stats.record_completed(PathKind::Fast);
                             return (v, PathKind::Fast);
                         }
                         Err(a) => {
+                            tally.fast_abort(a.code());
                             stats.record_abort(PathKind::Fast, &a);
                             // Adaptive contexts also subscribe to F; while
                             // the lock-free fallback is active, retrying is
@@ -344,11 +418,15 @@ impl ExecCtx {
                 for _ in 0..limits.fast {
                     match middle(th) {
                         Ok(v) => {
+                            tally.fast_commit();
                             stats.record_commit(PathKind::Fast);
                             stats.record_completed(PathKind::Fast);
                             return (v, PathKind::Fast);
                         }
-                        Err(a) => stats.record_abort(PathKind::Fast, &a),
+                        Err(a) => {
+                            tally.fast_abort(a.code());
+                            stats.record_abort(PathKind::Fast, &a);
+                        }
                     }
                 }
                 let v = fallback(th);
@@ -363,11 +441,15 @@ impl ExecCtx {
                     self.wait_while(|| self.f.is_active(rt));
                     match fast(th) {
                         Ok(v) => {
+                            tally.fast_commit();
                             stats.record_commit(PathKind::Fast);
                             stats.record_completed(PathKind::Fast);
                             return (v, PathKind::Fast);
                         }
-                        Err(a) => stats.record_abort(PathKind::Fast, &a),
+                        Err(a) => {
+                            tally.fast_abort(a.code());
+                            stats.record_abort(PathKind::Fast, &a);
+                        }
                     }
                 }
                 self.f.arrive(rt, th.id().0);
@@ -384,11 +466,13 @@ impl ExecCtx {
                     attempts += 1;
                     match fast(th) {
                         Ok(v) => {
+                            tally.fast_commit();
                             stats.record_commit(PathKind::Fast);
                             stats.record_completed(PathKind::Fast);
                             return (v, PathKind::Fast);
                         }
                         Err(a) => {
+                            tally.fast_abort(a.code());
                             stats.record_abort(PathKind::Fast, &a);
                             if a.user_code() == Some(codes::F_NONZERO) {
                                 break;
@@ -400,11 +484,15 @@ impl ExecCtx {
                 for _ in 0..limits.middle {
                     match middle(th) {
                         Ok(v) => {
+                            tally.middle_commit();
                             stats.record_commit(PathKind::Middle);
                             stats.record_completed(PathKind::Middle);
                             return (v, PathKind::Middle);
                         }
-                        Err(a) => stats.record_abort(PathKind::Middle, &a),
+                        Err(a) => {
+                            tally.middle_abort(a.code());
+                            stats.record_abort(PathKind::Middle, &a);
+                        }
                     }
                 }
                 if self.adaptive {
@@ -435,14 +523,18 @@ impl ExecCtx {
     }
 
     fn wait_while(&self, cond: impl Fn() -> bool) {
-        let mut spins = 0u32;
+        if !cond() {
+            return;
+        }
+        // Capped exponential backoff with jitter: lockstep re-probing by
+        // every waiter turns one blocked operation into a probe storm on
+        // the lock/F cache line; jittered windows spread the probes out.
+        // The seed mixes a stack-local address so concurrent waiters on
+        // the same context draw *different* jitter sequences.
+        let local = 0u8;
+        let mut backoff = Backoff::new(self as *const _ as u64 ^ (&local as *const u8 as u64));
         while cond() {
-            spins += 1;
-            if spins % 16 == 0 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
+            backoff.wait();
         }
     }
 }
@@ -734,6 +826,119 @@ mod tests {
             "lock-free fallback overlapped the TLE lock holder"
         );
         assert!(!exec.fallback_indicator().is_active(&rt));
+    }
+
+    #[test]
+    fn adaptive_budgets_shrink_under_storm_and_recover() {
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let exec = exec.with_adaptive_budgets(BudgetConfig {
+            epoch_ops: 64,
+            ..BudgetConfig::default()
+        });
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        let anchor = PathLimits::for_strategy(Strategy::ThreePath);
+        assert_eq!(exec.limits(), anchor);
+        // Conflict storm: every transactional attempt aborts, every op
+        // drains the full budget and completes on the fallback.
+        for _ in 0..64 * 6 {
+            exec.run_op(
+                &mut th,
+                &mut stats,
+                |_| Err(Abort::new(AbortCode::Conflict)),
+                |_| Err(Abort::new(AbortCode::Conflict)),
+                |_| 1,
+                |_| 0,
+            );
+        }
+        let b = exec.budgets().expect("budgets enabled");
+        assert_eq!(
+            exec.limits(),
+            PathLimits { fast: 1, middle: 1 },
+            "storm shrinks both budgets to the floor"
+        );
+        assert!(b.shrinks() >= 3, "10 -> 5 -> 2 -> 1 on both paths");
+        // Calm again: fast path commits first try; budgets double back to
+        // the paper anchor and stop there.
+        for _ in 0..64 * 8 {
+            exec.run_op(
+                &mut th,
+                &mut stats,
+                |_| Ok(1),
+                |_| unreachable!(),
+                |_| 0,
+                |_| 0,
+            );
+        }
+        assert_eq!(exec.limits(), anchor, "calm state re-anchors at 10/10");
+        assert!(b.grows() >= 4);
+    }
+
+    #[test]
+    fn explicit_aborts_do_not_shrink_budgets() {
+        // F != 0 aborts are the escalation protocol working: an op that
+        // breaks to the middle path must not look like a storm.
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let exec = exec.with_adaptive_budgets(BudgetConfig {
+            epoch_ops: 32,
+            ..BudgetConfig::default()
+        });
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        for _ in 0..32 * 4 {
+            exec.run_op(
+                &mut th,
+                &mut stats,
+                |_| Err(Abort::explicit(codes::F_NONZERO)),
+                |_| Ok(3),
+                |_| 0,
+                |_| 0,
+            );
+        }
+        assert_eq!(
+            exec.limits(),
+            PathLimits::for_strategy(Strategy::ThreePath),
+            "explicit-only windows keep the anchor"
+        );
+    }
+
+    #[test]
+    fn strategy_swap_reanchors_budgets() {
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let exec = exec
+            .with_adaptive()
+            .with_adaptive_budgets(BudgetConfig {
+                epoch_ops: 64,
+                ..BudgetConfig::default()
+            });
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        for _ in 0..64 * 4 {
+            exec.run_op(
+                &mut th,
+                &mut stats,
+                |_| Err(Abort::new(AbortCode::Conflict)),
+                |_| Err(Abort::new(AbortCode::Conflict)),
+                |_| 1,
+                |_| 0,
+            );
+        }
+        assert!(exec.limits().fast < 10, "shrunk before the swap");
+        exec.set_strategy(Strategy::Tle).unwrap();
+        assert_eq!(
+            exec.limits(),
+            PathLimits::for_strategy(Strategy::Tle),
+            "swap re-anchors at the new strategy's paper budgets"
+        );
+    }
+
+    #[test]
+    fn fixed_limit_override_wins_over_adaptive_budgets() {
+        let (exec, _eng) = setup(Strategy::ThreePath);
+        let exec = exec
+            .with_limits(PathLimits { fast: 3, middle: 4 })
+            .with_adaptive_budgets(BudgetConfig::default());
+        assert_eq!(exec.limits(), PathLimits { fast: 3, middle: 4 });
     }
 
     #[test]

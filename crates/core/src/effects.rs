@@ -6,21 +6,34 @@
 //! attempt wrapper applies them only after the transaction commits.
 //! Conversely, nodes *allocated* inside a transaction are tracked so an
 //! abort can free them (an aborted transaction published nothing, so they
-//! are provably unreachable).
+//! are provably unreachable — which is also why the undo path may return
+//! them to the thread's node pool immediately, with no grace period).
 
 use threepath_llxscx::{ScxEngine, ScxThread};
+use threepath_reclaim::ReclaimCtx;
 
-unsafe fn drop_box<T>(p: *mut u8) {
-    drop(unsafe { Box::from_raw(p as *mut T) });
+/// A type-erased action on a pointer that needs the thread's reclamation
+/// context (to reach its node pool).
+type CtxAction = unsafe fn(*mut u8, &ReclaimCtx);
+
+unsafe fn retire_node_erased<T: Send>(p: *mut u8, ctx: &ReclaimCtx) {
+    // SAFETY: forwarded from `defer_retire`'s contract.
+    unsafe { ctx.retire_node(p as *mut T) };
+}
+
+unsafe fn return_node_erased<T: Send>(p: *mut u8, ctx: &ReclaimCtx) {
+    // SAFETY: forwarded from `alloc` tracking — the node was never
+    // published (the attempt aborted or explicitly un-published it).
+    unsafe { ctx.dealloc_unpublished(p as *mut T) };
 }
 
 /// Buffered post-commit (and post-abort) actions for one transactional
 /// attempt.
 #[derive(Default)]
 pub struct Effects {
-    retire: Vec<(*mut u8, unsafe fn(*mut u8))>,
+    retire: Vec<(*mut u8, CtxAction)>,
     release_infos: Vec<u64>,
-    allocs: Vec<(*mut u8, unsafe fn(*mut u8))>,
+    allocs: Vec<(*mut u8, CtxAction)>,
 }
 
 impl Effects {
@@ -29,15 +42,16 @@ impl Effects {
         Self::default()
     }
 
-    /// Defers retiring `ptr` (a `Box`-allocated node that the transaction
-    /// unlinks) until the transaction commits.
+    /// Defers retiring `ptr` (a node that the transaction unlinks) until
+    /// the transaction commits; the retirement goes through
+    /// [`ReclaimCtx::retire_node`], so pooled nodes recycle.
     ///
     /// # Safety
     ///
-    /// Same contract as [`threepath_reclaim::ReclaimCtx::retire`], holding
-    /// at the time [`Effects::commit`] runs.
+    /// Same contract as [`ReclaimCtx::retire_node`], holding at the time
+    /// [`Effects::commit`] runs.
     pub unsafe fn defer_retire<T: Send>(&mut self, ptr: *mut T) {
-        self.retire.push((ptr as *mut u8, drop_box::<T>));
+        self.retire.push((ptr as *mut u8, retire_node_erased::<T>));
     }
 
     /// Defers releasing the install reference of a replaced `info` value
@@ -46,29 +60,30 @@ impl Effects {
         self.release_infos.push(info);
     }
 
-    /// Boxes `val` and tracks the allocation: if the attempt aborts, the
-    /// node is freed (nothing was published); if it commits, the node has
-    /// been linked into the structure and is kept.
-    pub fn alloc<T: Send>(&mut self, val: T) -> *mut T {
-        let p = Box::into_raw(Box::new(val));
-        self.allocs.push((p as *mut u8, drop_box::<T>));
+    /// Allocates a node through `ctx` (pooled when the domain pools) and
+    /// tracks the allocation: if the attempt aborts, the node returns to
+    /// the pool (nothing was published); if it commits, the node has been
+    /// linked into the structure and is kept.
+    pub fn alloc<T: Send>(&mut self, ctx: &ReclaimCtx, val: T) -> *mut T {
+        let p = ctx.alloc(val);
+        self.allocs.push((p as *mut u8, return_node_erased::<T>));
         p
     }
 
     /// Stops tracking an allocation made with [`Self::alloc`] and frees it
-    /// now. For paths that decide *within* the attempt not to publish a
-    /// node.
+    /// now (back to the pool). For paths that decide *within* the attempt
+    /// not to publish a node.
     ///
     /// # Safety
     ///
-    /// `ptr` must have come from [`Self::alloc`] on this buffer and must
-    /// not have been published.
-    pub unsafe fn free_unpublished<T: Send>(&mut self, ptr: *mut T) {
+    /// `ptr` must have come from [`Self::alloc`] on this buffer (allocated
+    /// through `ctx`'s domain) and must not have been published.
+    pub unsafe fn free_unpublished<T: Send>(&mut self, ctx: &ReclaimCtx, ptr: *mut T) {
         let raw = ptr as *mut u8;
         if let Some(i) = self.allocs.iter().position(|(p, _)| *p == raw) {
-            let (p, dtor) = self.allocs.swap_remove(i);
+            let (p, ret) = self.allocs.swap_remove(i);
             // SAFETY: tracked allocation, unpublished per contract.
-            unsafe { dtor(p) };
+            unsafe { ret(p, ctx) };
         }
     }
 
@@ -81,24 +96,25 @@ impl Effects {
     /// allocations are simply released from tracking (they are now owned by
     /// the structure).
     pub fn commit(self, eng: &ScxEngine, th: &ScxThread) {
-        for (ptr, dtor) in &self.retire {
+        for (ptr, retire) in &self.retire {
             // SAFETY: per defer_retire's contract; the transaction that
             // unlinked these nodes has committed.
-            unsafe { th.reclaim.retire_raw(*ptr, *dtor) };
+            unsafe { retire(*ptr, &th.reclaim) };
         }
         eng.release_replaced(th, &self.release_infos);
         // self.allocs dropped without freeing: nodes are published.
     }
 
-    /// Cleans up after an abort: frees tracked allocations (the transaction
-    /// had no effect, so they were never published) and discards deferred
-    /// retirements/releases (the nodes are still linked).
-    pub fn abort_cleanup(&mut self) {
+    /// Cleans up after an abort: returns tracked allocations to the pool
+    /// (the transaction had no effect, so they were never published and
+    /// need no grace period) and discards deferred retirements/releases
+    /// (the nodes are still linked).
+    pub fn abort_cleanup(&mut self, ctx: &ReclaimCtx) {
         self.retire.clear();
         self.release_infos.clear();
-        for (ptr, dtor) in self.allocs.drain(..) {
+        for (ptr, ret) in self.allocs.drain(..) {
             // SAFETY: allocated by `alloc` and unpublished (attempt aborted).
-            unsafe { dtor(ptr) };
+            unsafe { ret(ptr, ctx) };
         }
     }
 }
@@ -118,6 +134,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+    use threepath_reclaim::{Domain, PoolConfig, ReclaimMode};
 
     struct DropCounter(Arc<AtomicUsize>);
     impl Drop for DropCounter {
@@ -126,15 +143,20 @@ mod tests {
         }
     }
 
+    fn ctx() -> ReclaimCtx {
+        Domain::register(&Arc::new(Domain::new(ReclaimMode::Epoch)))
+    }
+
     #[test]
     fn abort_cleanup_frees_allocs_and_discards_retires() {
+        let ctx = ctx();
         let count = Arc::new(AtomicUsize::new(0));
         let mut e = Effects::new();
-        let _a = e.alloc(DropCounter(count.clone()));
+        let _a = e.alloc(&ctx, DropCounter(count.clone()));
         let r = Box::into_raw(Box::new(7u64));
         unsafe { e.defer_retire(r) };
         e.defer_release_info(0);
-        e.abort_cleanup();
+        e.abort_cleanup(&ctx);
         assert!(e.is_empty());
         assert_eq!(count.load(Ordering::Relaxed), 1, "alloc freed on abort");
         // The deferred retire must NOT have freed r.
@@ -143,13 +165,31 @@ mod tests {
 
     #[test]
     fn free_unpublished_releases_single_alloc() {
+        let ctx = ctx();
         let count = Arc::new(AtomicUsize::new(0));
         let mut e = Effects::new();
-        let a = e.alloc(DropCounter(count.clone()));
-        let _b = e.alloc(DropCounter(count.clone()));
-        unsafe { e.free_unpublished(a) };
+        let a = e.alloc(&ctx, DropCounter(count.clone()));
+        let _b = e.alloc(&ctx, DropCounter(count.clone()));
+        unsafe { e.free_unpublished(&ctx, a) };
         assert_eq!(count.load(Ordering::Relaxed), 1);
-        e.abort_cleanup();
+        e.abort_cleanup(&ctx);
         assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn pooled_abort_cleanup_returns_blocks_to_the_pool() {
+        let domain = Arc::new(Domain::with_pool(ReclaimMode::Epoch, PoolConfig::default()));
+        let ctx = Domain::register(&domain);
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut e = Effects::new();
+        let a = e.alloc(&ctx, DropCounter(count.clone()));
+        let addr = a as usize;
+        e.abort_cleanup(&ctx);
+        assert_eq!(count.load(Ordering::Relaxed), 1, "dropped in place");
+        assert_eq!(ctx.pool_stats().unpublished_returns, 1);
+        // The same block is handed straight back out.
+        let b = ctx.alloc(0u64);
+        assert_eq!(b as usize, addr);
+        unsafe { ctx.dealloc_unpublished(b) };
     }
 }

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod access;
+mod budget;
 mod driver;
 mod effects;
 mod snzi;
@@ -37,6 +38,7 @@ mod sync;
 mod template;
 
 pub use access::{DirectMem, Mem, TxMem};
+pub use budget::{AdaptiveBudgets, BudgetConfig, OpTally};
 pub use driver::{ExecCtx, StrategySwapError, ADAPTIVE_STRATEGIES};
 pub use effects::Effects;
 pub use stats::{AbortCounts, PathKind, PathStats};

@@ -1,6 +1,6 @@
 //! The fallback-path counter `F` and the TLE global lock.
 
-use threepath_htm::{CachePadded, HtmRuntime, TxCell};
+use threepath_htm::{Backoff, CachePadded, HtmRuntime, TxCell};
 
 /// The paper's global fetch-and-increment object `F`, counting how many
 /// operations are currently executing on the fallback path.
@@ -66,15 +66,24 @@ impl TleLock {
         self.cell.load_direct(rt) != 0
     }
 
-    /// Acquires the lock, spinning until free.
+    /// Acquires the lock, spinning with capped exponential backoff (and
+    /// jitter — see [`Backoff`]) so contending acquirers don't hammer the
+    /// lock line in lockstep.
     pub fn acquire(&self, rt: &HtmRuntime) {
-        let mut spins = 0u32;
-        while self.cell.cas_direct(rt, 0, 1).is_err() {
-            spins += 1;
-            if spins % 64 == 0 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
+        if self.cell.cas_direct(rt, 0, 1).is_ok() {
+            return;
+        }
+        // Seed mixes a stack-local address so contending acquirers draw
+        // different jitter sequences (same-seed waiters would re-probe in
+        // lockstep, defeating the jitter).
+        let local = 0u8;
+        let mut backoff = Backoff::new(self as *const _ as u64 ^ (&local as *const u8 as u64));
+        loop {
+            backoff.wait();
+            // Probe with a plain load first: a failed CAS takes the line
+            // exclusive and slows the eventual release.
+            if self.cell.load_direct(rt) == 0 && self.cell.cas_direct(rt, 0, 1).is_ok() {
+                return;
             }
         }
     }

@@ -4,6 +4,7 @@
 
 use threepath_htm::{codes, Abort, TxCell, Txn};
 use threepath_llxscx::{LlxHandle, LlxResult, ScxArgs, ScxEngine, ScxHeader, ScxThread};
+use threepath_reclaim::ReclaimCtx;
 
 use crate::effects::Effects;
 
@@ -108,16 +109,17 @@ impl TemplateMode for OrigMode<'_> {
     }
 
     unsafe fn retire<T: Send>(&mut self, ptr: *mut T) {
-        // SAFETY: forwarded contract.
-        unsafe { self.th.reclaim.retire(ptr) };
+        // SAFETY: forwarded contract; pooled nodes recycle on expiry.
+        unsafe { self.th.reclaim.retire_node(ptr) };
     }
     fn alloc<T: Send>(&mut self, val: T) -> *mut T {
-        Box::into_raw(Box::new(val))
+        self.th.reclaim.alloc(val)
     }
     unsafe fn free_unpublished<T: Send>(&mut self, ptr: *mut T) {
         // SAFETY: the SCX that would have published `ptr` failed (or was
-        // never attempted), so the caller is the sole owner.
-        drop(unsafe { Box::from_raw(ptr) });
+        // never attempted), so the caller is the sole owner — the block
+        // goes straight back to the pool.
+        unsafe { self.th.reclaim.dealloc_unpublished(ptr) };
     }
 }
 
@@ -129,22 +131,26 @@ pub struct TxMode<'a, 'b> {
     tx: &'a mut Txn<'b>,
     tseq: u64,
     effects: &'a mut Effects,
+    reclaim: &'a ReclaimCtx,
 }
 
 impl<'a, 'b> TxMode<'a, 'b> {
     /// Creates the mode for one transactional attempt. `tseq` is the
-    /// thread's fresh tagged sequence number for this attempt.
+    /// thread's fresh tagged sequence number for this attempt; `reclaim`
+    /// is the calling thread's reclamation context (the allocation seam).
     pub fn new(
         eng: &'a ScxEngine,
         tx: &'a mut Txn<'b>,
         tseq: u64,
         effects: &'a mut Effects,
+        reclaim: &'a ReclaimCtx,
     ) -> Self {
         TxMode {
             eng,
             tx,
             tseq,
             effects,
+            reclaim,
         }
     }
 
@@ -185,11 +191,11 @@ impl TemplateMode for TxMode<'_, '_> {
         unsafe { self.effects.defer_retire(ptr) };
     }
     fn alloc<T: Send>(&mut self, val: T) -> *mut T {
-        self.effects.alloc(val)
+        self.effects.alloc(self.reclaim, val)
     }
     unsafe fn free_unpublished<T: Send>(&mut self, ptr: *mut T) {
         // SAFETY: forwarded contract.
-        unsafe { self.effects.free_unpublished(ptr) };
+        unsafe { self.effects.free_unpublished(self.reclaim, ptr) };
     }
 }
 

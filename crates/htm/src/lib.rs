@@ -57,7 +57,7 @@ pub use abort::{codes, Abort, AbortCode};
 pub use cell::{TxCell, TxPtr};
 pub use config::HtmConfig;
 pub use pad::CachePadded;
-pub use rng::{fib_scatter, SplitMix64};
+pub use rng::{fib_scatter, Backoff, SplitMix64};
 pub use runtime::{HtmRuntime, ThreadId, TxThread, MAX_THREADS};
 pub use txn::Txn;
 

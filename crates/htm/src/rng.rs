@@ -92,6 +92,123 @@ pub fn fib_scatter(value: u64, range: u64) -> u64 {
     ((hash as u128 * range as u128) >> 64) as u64
 }
 
+/// Capped exponential backoff for spin-wait loops, with [`fib_scatter`]
+/// jitter so threads that entered the same wait in lockstep do not also
+/// re-probe in lockstep (which turns one collision into a convoy).
+///
+/// Each [`wait`](Backoff::wait) round spins for a jittered count drawn from
+/// `[window/2, window]` where the window doubles per round up to
+/// 2^[`MAX_EXP`](Backoff::MAX_EXP); once capped, every further round also
+/// yields the thread, so a long wait degrades to the scheduler instead of
+/// burning a core.
+#[derive(Debug)]
+pub struct Backoff {
+    exp: u32,
+    round: u64,
+    seed: u64,
+}
+
+/// The jittered spin count for one backoff round: uniform-ish in
+/// `[window/2, window]` for `window = 2^exp` (and exactly 1 while the
+/// window is still 1). Pure so the jitter bounds are unit-testable.
+fn jittered_spins(seed: u64, round: u64, exp: u32) -> u64 {
+    let window = 1u64 << exp;
+    let lo = (window / 2).max(1);
+    lo + fib_scatter(seed ^ round.rotate_left(17), window - lo + 1)
+}
+
+impl Backoff {
+    /// Largest window exponent: a capped round spins at most 2^MAX_EXP
+    /// times (and yields).
+    pub const MAX_EXP: u32 = 10;
+
+    /// A fresh backoff. `seed` decorrelates concurrent waiters — pass
+    /// something per-waiter-ish (a thread id, an object address).
+    pub fn new(seed: u64) -> Self {
+        Backoff {
+            exp: 0,
+            round: 0,
+            seed,
+        }
+    }
+
+    /// One backoff round: spin (jittered, exponentially growing window),
+    /// then escalate; once the window is capped, also yield to the
+    /// scheduler.
+    pub fn wait(&mut self) {
+        self.round += 1;
+        let spins = jittered_spins(self.seed, self.round, self.exp);
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+        if self.is_capped() {
+            std::thread::yield_now();
+        } else {
+            self.exp += 1;
+        }
+    }
+
+    /// Current window exponent (grows by 1 per round until the cap).
+    pub fn exp(&self) -> u32 {
+        self.exp
+    }
+
+    /// Whether the window has reached 2^[`MAX_EXP`](Self::MAX_EXP); capped
+    /// rounds yield the thread instead of growing further.
+    pub fn is_capped(&self) -> bool {
+        self.exp >= Self::MAX_EXP
+    }
+
+    /// Resets to the initial window (call after the awaited condition
+    /// cleared, if the same backoff is reused for a new wait).
+    pub fn reset(&mut self) {
+        self.exp = 0;
+    }
+}
+
+#[cfg(test)]
+mod backoff_tests {
+    use super::*;
+
+    #[test]
+    fn window_is_capped() {
+        let mut b = Backoff::new(7);
+        assert_eq!(b.exp(), 0);
+        for _ in 0..(Backoff::MAX_EXP * 3) {
+            b.wait();
+        }
+        assert_eq!(b.exp(), Backoff::MAX_EXP, "window must stop growing");
+        assert!(b.is_capped());
+        b.wait();
+        assert_eq!(b.exp(), Backoff::MAX_EXP, "capped rounds stay capped");
+        b.reset();
+        assert_eq!(b.exp(), 0);
+        assert!(!b.is_capped());
+    }
+
+    #[test]
+    fn jitter_stays_inside_the_window() {
+        for exp in 0..=Backoff::MAX_EXP {
+            let window = 1u64 << exp;
+            for round in 1..200u64 {
+                let s = jittered_spins(0xDEAD_BEEF, round, exp);
+                assert!(s >= 1, "round must make progress");
+                assert!(
+                    s >= window / 2 && s <= window,
+                    "spins {s} outside [{}, {}] at exp {exp}",
+                    window / 2,
+                    window
+                );
+            }
+        }
+        // Jitter actually varies (not a constant window).
+        let distinct: std::collections::HashSet<u64> = (1..100u64)
+            .map(|r| jittered_spins(1, r, Backoff::MAX_EXP))
+            .collect();
+        assert!(distinct.len() > 10, "jitter produced {} values", distinct.len());
+    }
+}
+
 #[cfg(test)]
 mod scatter_tests {
     use super::fib_scatter;

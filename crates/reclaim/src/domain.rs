@@ -1,6 +1,7 @@
 //! The reclamation domain: global epoch, per-thread announcements, limbo
-//! bags and the advance/collect protocol.
+//! bags, node pools and the advance/collect protocol.
 
+use std::alloc::Layout;
 use std::cell::{Cell, UnsafeCell};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -8,6 +9,7 @@ use std::sync::{Arc, Mutex};
 use threepath_htm::CachePadded;
 
 use crate::bag::{Bag, Retired};
+use crate::pool::{self, Chunk, NodePool, OrphanChain, PoolStats};
 use crate::GRACE_EPOCHS;
 
 /// How a domain reclaims retired objects.
@@ -22,6 +24,39 @@ pub enum ReclaimMode {
     Leak,
 }
 
+/// Node-pool configuration for a [`Domain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Whether contexts allocate nodes from per-thread pools
+    /// ([`ReclaimCtx::alloc`]) and expired retirements recycle blocks
+    /// instead of freeing them. When off, `alloc`/`retire_node` degrade to
+    /// plain `Box` allocation and deallocation.
+    pub enabled: bool,
+    /// Blocks carved per arena chunk on a free-list miss (amortizes one
+    /// global allocation over this many node hand-outs).
+    pub chunk_blocks: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        // 64 class-0 blocks = one 4 KiB page per refill.
+        PoolConfig {
+            enabled: true,
+            chunk_blocks: 64,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// A configuration with pooling switched off (`Box` semantics).
+    pub fn disabled() -> Self {
+        PoolConfig {
+            enabled: false,
+            chunk_blocks: 64,
+        }
+    }
+}
+
 const DEFAULT_SLOTS: usize = 512;
 /// Try to advance the global epoch every this many pins.
 const PIN_ADVANCE_PERIOD: u64 = 64;
@@ -31,6 +66,7 @@ const BAG_ADVANCE_THRESHOLD: usize = 256;
 /// A reclamation domain. One per data structure instance.
 pub struct Domain {
     mode: ReclaimMode,
+    pool_cfg: PoolConfig,
     epoch: CachePadded<AtomicU64>,
     /// Announcement per slot: `(epoch << 1) | active`.
     slots: Box<[CachePadded<AtomicU64>]>,
@@ -39,35 +75,83 @@ pub struct Domain {
     free_slots: Mutex<Vec<usize>>,
     /// Bags abandoned by dropped contexts; freed when the domain drops.
     orphans: Mutex<Vec<Retired>>,
+    /// Free chains abandoned by dropped contexts; adopted by later pools.
+    orphan_chains: Mutex<Vec<OrphanChain>>,
+    /// Pool counters folded in by dropped contexts.
+    pool_totals: Mutex<PoolStats>,
     retired_total: AtomicU64,
     freed_total: AtomicU64,
+    /// Arena chunks from dropped contexts. Declared last: chunk memory
+    /// must outlive the orphaned `Retired`s freed in `Drop::drop` and the
+    /// orphan chains above.
+    chunks: Mutex<Vec<Chunk>>,
 }
 
 impl Domain {
-    /// Creates a domain with the default slot capacity.
+    /// Creates a domain with the default slot capacity and node pooling
+    /// disabled (plain `Box` allocation).
     pub fn new(mode: ReclaimMode) -> Self {
-        Self::with_slots(mode, DEFAULT_SLOTS)
+        Self::with_slots_and_pool(mode, DEFAULT_SLOTS, PoolConfig::disabled())
     }
 
-    /// Creates a domain supporting up to `slots` concurrently live contexts.
+    /// Creates a domain with per-thread node pools per `pool`.
+    pub fn with_pool(mode: ReclaimMode, pool: PoolConfig) -> Self {
+        Self::with_slots_and_pool(mode, DEFAULT_SLOTS, pool)
+    }
+
+    /// Creates a domain supporting up to `slots` concurrently live
+    /// contexts, pooling disabled.
     pub fn with_slots(mode: ReclaimMode, slots: usize) -> Self {
+        Self::with_slots_and_pool(mode, slots, PoolConfig::disabled())
+    }
+
+    /// Creates a domain with explicit slot capacity and pool configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool.enabled` and `pool.chunk_blocks == 0`.
+    pub fn with_slots_and_pool(mode: ReclaimMode, slots: usize, pool: PoolConfig) -> Self {
+        assert!(
+            !pool.enabled || pool.chunk_blocks > 0,
+            "pool chunk_blocks must be positive"
+        );
         let mut v = Vec::with_capacity(slots);
         v.resize_with(slots, || CachePadded::new(AtomicU64::new(0)));
         Domain {
             mode,
+            pool_cfg: pool,
             epoch: CachePadded::new(AtomicU64::new(GRACE_EPOCHS + 1)),
             slots: v.into_boxed_slice(),
             slot_hwm: AtomicUsize::new(0),
             free_slots: Mutex::new(Vec::new()),
             orphans: Mutex::new(Vec::new()),
+            orphan_chains: Mutex::new(Vec::new()),
+            pool_totals: Mutex::new(PoolStats::default()),
             retired_total: AtomicU64::new(0),
             freed_total: AtomicU64::new(0),
+            chunks: Mutex::new(Vec::new()),
         }
     }
 
     /// The domain's reclamation mode.
     pub fn mode(&self) -> ReclaimMode {
         self.mode
+    }
+
+    /// Whether node pooling is enabled.
+    pub fn pool_enabled(&self) -> bool {
+        self.pool_cfg.enabled
+    }
+
+    /// The pool size class serving `T`, or `None` when `T` bypasses the
+    /// pool (pooling disabled, or `T` too big or over-aligned). Allocation
+    /// and retirement both derive the class from this, so they can never
+    /// disagree on how a node's memory returns.
+    pub fn class_of<T>(&self) -> Option<u8> {
+        if !self.pool_cfg.enabled {
+            return None;
+        }
+        pool::class_for(Layout::new::<T>())
     }
 
     /// Registers the calling thread, returning its reclamation context.
@@ -90,6 +174,7 @@ impl Domain {
             s
         });
         domain.slots[slot].store(0, Ordering::SeqCst);
+        let chunk_blocks = domain.pool_cfg.chunk_blocks.max(1);
         ReclaimCtx {
             domain: Arc::clone(domain),
             slot,
@@ -97,6 +182,7 @@ impl Domain {
             pin_count: Cell::new(0),
             local_epoch: Cell::new(0),
             bags: UnsafeCell::new([Bag::default(), Bag::default(), Bag::default()]),
+            pool: UnsafeCell::new(NodePool::new(chunk_blocks)),
         }
     }
 
@@ -105,9 +191,29 @@ impl Domain {
         self.retired_total.load(Ordering::Relaxed)
     }
 
-    /// Total objects actually freed so far (excluding domain drop).
+    /// Total objects actually freed so far (excluding domain drop). For
+    /// pooled objects "freed" means dropped in place and recycled.
     pub fn freed_total(&self) -> u64 {
         self.freed_total.load(Ordering::Relaxed)
+    }
+
+    /// Pool counters folded in by contexts that have already dropped.
+    /// Live contexts report through [`ReclaimCtx::pool_stats`]; for a full
+    /// picture, read after the structure's handles are gone.
+    pub fn pool_stats(&self) -> PoolStats {
+        *self.pool_totals.lock().unwrap()
+    }
+
+    /// Blocks currently parked in orphaned free chains (from dropped
+    /// contexts, awaiting adoption).
+    pub fn orphan_chain_blocks(&self) -> u64 {
+        self.orphan_chains.lock().unwrap().iter().map(|c| c.len).sum()
+    }
+
+    fn pop_orphan_chain(&self, class: u8) -> Option<OrphanChain> {
+        let mut chains = self.orphan_chains.lock().unwrap();
+        let i = chains.iter().position(|c| c.class == class)?;
+        Some(chains.swap_remove(i))
     }
 
     /// Current global epoch (diagnostic).
@@ -134,6 +240,9 @@ impl Domain {
 
 impl Drop for Domain {
     fn drop(&mut self) {
+        // Orphaned retired objects are destroyed first; the arena chunks
+        // (the `chunks` field) drop after this body, releasing the memory
+        // that backed the pooled ones.
         let mut orphans = self.orphans.lock().unwrap();
         for r in orphans.drain(..) {
             r.free();
@@ -145,6 +254,7 @@ impl std::fmt::Debug for Domain {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Domain")
             .field("mode", &self.mode)
+            .field("pool", &self.pool_cfg)
             .field("epoch", &self.epoch())
             .field("retired", &self.retired_total())
             .field("freed", &self.freed_total())
@@ -161,6 +271,7 @@ pub struct ReclaimCtx {
     pin_count: Cell<u64>,
     local_epoch: Cell<u64>,
     bags: UnsafeCell<[Bag; 3]>,
+    pool: UnsafeCell<NodePool>,
 }
 
 impl ReclaimCtx {
@@ -214,6 +325,102 @@ impl ReclaimCtx {
         self.unpin();
     }
 
+    // ------------------------------------------------------------------
+    // Node allocation (the pool seam).
+    // ------------------------------------------------------------------
+
+    /// Allocates a node. On a pooled domain this pops a block from the
+    /// thread's free list for `T`'s size class (adopting an orphaned chain
+    /// or carving an arena chunk on a miss); otherwise it is a plain `Box`
+    /// allocation. Free the result with [`Self::retire_node`] (once
+    /// unlinked from the structure) or [`Self::dealloc_unpublished`]
+    /// (never published).
+    pub fn alloc<T: Send>(&self, val: T) -> *mut T {
+        match self.domain.class_of::<T>() {
+            None => Box::into_raw(Box::new(val)),
+            Some(class) => {
+                // SAFETY: !Sync context; pool only touched by this thread.
+                let p = {
+                    let pool = unsafe { &mut *self.pool.get() };
+                    if pool.would_miss(class) {
+                        if let Some(chain) = self.domain.pop_orphan_chain(class) {
+                            // SAFETY: chain orphaned by a context of this
+                            // same domain (same class table).
+                            unsafe { pool.adopt(chain) };
+                        }
+                    }
+                    pool.alloc_block(class) as *mut T
+                };
+                // SAFETY: the block is at least size_of::<T>() bytes at
+                // BLOCK_ALIGN >= align_of::<T>() (per `class_of`),
+                // exclusively owned, uninitialized.
+                unsafe { p.write(val) };
+                p
+            }
+        }
+    }
+
+    /// Frees a node from [`Self::alloc`] that was never published: drops
+    /// it in place and returns its block to the pool immediately (an
+    /// unpublished node is unreachable by construction — no other thread
+    /// can hold a reference, so no grace period is needed).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from [`Self::alloc`] on a context of this domain,
+    /// must never have been written into any reachable cell, and must not
+    /// be used again.
+    pub unsafe fn dealloc_unpublished<T: Send>(&self, ptr: *mut T) {
+        match self.domain.class_of::<T>() {
+            None => drop(unsafe { Box::from_raw(ptr) }),
+            Some(class) => {
+                // SAFETY: sole owner per contract.
+                unsafe { std::ptr::drop_in_place(ptr) };
+                // SAFETY: !Sync context; block provably unreachable.
+                let pool = unsafe { &mut *self.pool.get() };
+                unsafe { pool.release_unpublished(class, ptr as *mut u8) };
+            }
+        }
+    }
+
+    /// Retires a node from [`Self::alloc`] for deferred destruction; on a
+    /// pooled domain the node's block returns to a free list once its
+    /// grace period ends, instead of going through the global allocator.
+    ///
+    /// # Safety
+    ///
+    /// As [`Self::retire`], and `ptr` must come from [`Self::alloc`] on a
+    /// context of this domain (on pooled domains the block's class is
+    /// derived from `T`, which must match the allocation).
+    pub unsafe fn retire_node<T: Send>(&self, ptr: *mut T) {
+        self.domain.retired_total.fetch_add(1, Ordering::Relaxed);
+        let retired = match self.domain.class_of::<T>() {
+            // SAFETY: per caller contract.
+            None => unsafe { Retired::new(ptr) },
+            Some(class) => {
+                {
+                    // SAFETY: !Sync context (borrow ends before `stash`).
+                    let pool = unsafe { &mut *self.pool.get() };
+                    pool.stats_mut().retired_pooled += 1;
+                }
+                // SAFETY: per caller contract.
+                unsafe { Retired::recycle(ptr, class) }
+            }
+        };
+        self.stash(retired);
+    }
+
+    /// This context's pool counters (folded into
+    /// [`Domain::pool_stats`] when the context drops).
+    pub fn pool_stats(&self) -> PoolStats {
+        // SAFETY: !Sync context; shared borrow of the pool for a copy.
+        *unsafe { &*self.pool.get() }.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Type-erased / Box retirement (SCX records, non-node objects).
+    // ------------------------------------------------------------------
+
     /// Retires a type-erased object for deferred destruction.
     ///
     /// # Safety
@@ -226,7 +433,9 @@ impl ReclaimCtx {
         self.stash(retired);
     }
 
-    /// Retires an object for deferred destruction.
+    /// Retires a `Box`-allocated object for deferred destruction. Objects
+    /// allocated with [`Self::alloc`] must use [`Self::retire_node`]
+    /// instead (which returns pooled blocks to the pool).
     ///
     /// # Safety
     ///
@@ -251,12 +460,13 @@ impl ReclaimCtx {
             }
             ReclaimMode::Epoch => {
                 let e = self.domain.epoch.load(Ordering::Acquire);
-                // SAFETY: as above.
+                // SAFETY: as above; bags and pool are distinct cells.
                 let bags = unsafe { &mut *self.bags.get() };
+                let pool = unsafe { &mut *self.pool.get() };
                 let bag = &mut bags[(e % 3) as usize];
                 if bag.epoch != e {
                     // The bag's previous contents are >= 3 epochs old.
-                    let n = bag.free_all();
+                    let n = bag.settle_all(pool);
                     self.domain
                         .freed_total
                         .fetch_add(n as u64, Ordering::Relaxed);
@@ -272,12 +482,14 @@ impl ReclaimCtx {
 
     /// Frees bags whose epoch is at least [`GRACE_EPOCHS`] behind `e`.
     fn collect_eligible(&self, e: u64) {
-        // SAFETY: !Sync context; bags only touched by this thread.
+        // SAFETY: !Sync context; bags and pool are distinct cells only
+        // touched by this thread.
         let bags = unsafe { &mut *self.bags.get() };
+        let pool = unsafe { &mut *self.pool.get() };
         let mut freed = 0usize;
         for bag in bags.iter_mut() {
             if !bag.items.is_empty() && e >= bag.epoch + GRACE_EPOCHS {
-                freed += bag.free_all();
+                freed += bag.settle_all(pool);
             }
         }
         if freed > 0 {
@@ -309,6 +521,18 @@ impl Drop for ReclaimCtx {
             orphans.append(&mut bag.items);
         }
         drop(orphans);
+        // Orphan the pool the same way: counters fold into the domain,
+        // free chains become adoptable, chunks transfer so the memory
+        // backing still-live blocks outlives every context.
+        let pool = self.pool.get_mut();
+        self.domain.pool_totals.lock().unwrap().merge(pool.stats());
+        let (chunks, chains) = pool.take_orphans();
+        if !chunks.is_empty() {
+            self.domain.chunks.lock().unwrap().extend(chunks);
+        }
+        if !chains.is_empty() {
+            self.domain.orphan_chains.lock().unwrap().extend(chains);
+        }
         self.domain.slots[self.slot].store(0, Ordering::SeqCst);
         self.domain.free_slots.lock().unwrap().push(self.slot);
     }
@@ -488,5 +712,192 @@ mod tests {
         let e0 = d.epoch();
         churn(&ctx, PIN_ADVANCE_PERIOD * 4);
         assert!(d.epoch() > e0);
+    }
+
+    // ------------------------------------------------------------------
+    // Node-pool integration.
+    // ------------------------------------------------------------------
+
+    fn pooled_domain() -> Arc<Domain> {
+        Arc::new(Domain::with_pool(
+            ReclaimMode::Epoch,
+            PoolConfig {
+                enabled: true,
+                chunk_blocks: 8,
+            },
+        ))
+    }
+
+    #[test]
+    fn pooled_alloc_retire_recycles_blocks() {
+        let d = pooled_domain();
+        let ctx = Domain::register(&d);
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut blocks = std::collections::HashSet::new();
+        for round in 0..4 {
+            {
+                let _g = ctx.pin();
+                for _ in 0..8 {
+                    let p = ctx.alloc(DropCounter(count.clone()));
+                    blocks.insert(p as usize);
+                    // SAFETY: p unlinked (never published anywhere).
+                    unsafe { ctx.retire_node(p) };
+                }
+            }
+            churn(&ctx, PIN_ADVANCE_PERIOD * 8);
+            let s = ctx.pool_stats();
+            assert_eq!(s.alloc_total, (round + 1) * 8);
+            assert_eq!(s.recycled, d.freed_total(), "every free was a recycle");
+        }
+        let s = ctx.pool_stats();
+        // Blocks cycled: only the first round(s) carve; later rounds hit.
+        assert_eq!(s.chunks, 1, "one 8-block chunk serves 8-at-a-time churn");
+        assert!(s.pool_hits >= 16, "recycled blocks are reused");
+        assert!(
+            blocks.len() < 32,
+            "addresses repeat across rounds ({} distinct)",
+            blocks.len()
+        );
+        assert_eq!(count.load(Ordering::Relaxed) as u64, d.freed_total());
+        assert_eq!(d.retired_total(), 32);
+        // Destructors that never ran fire at domain drop via orphans.
+        drop(ctx);
+        drop(d);
+        assert_eq!(count.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn unpublished_nodes_return_to_the_pool_immediately() {
+        let d = pooled_domain();
+        let ctx = Domain::register(&d);
+        let count = Arc::new(AtomicUsize::new(0));
+        let p = ctx.alloc(DropCounter(count.clone()));
+        let q = ctx.alloc(DropCounter(count.clone()));
+        assert_ne!(p, q);
+        // SAFETY: never published.
+        unsafe { ctx.dealloc_unpublished(p) };
+        assert_eq!(count.load(Ordering::Relaxed), 1, "dropped in place");
+        let r = ctx.alloc(DropCounter(count.clone()));
+        assert_eq!(r, p, "block reused with no grace period");
+        let s = ctx.pool_stats();
+        assert_eq!(s.unpublished_returns, 1);
+        assert_eq!(s.alloc_total, 3);
+        assert_eq!(d.retired_total(), 0, "unpublished frees are not retires");
+        unsafe {
+            ctx.dealloc_unpublished(q);
+            ctx.dealloc_unpublished(r);
+        }
+    }
+
+    #[test]
+    fn orphaned_chains_are_adopted_by_new_contexts() {
+        let d = pooled_domain();
+        {
+            let donor = Domain::register(&d);
+            let p = donor.alloc(7u64);
+            unsafe { donor.dealloc_unpublished(p) };
+            drop(donor);
+        }
+        assert_eq!(d.orphan_chain_blocks(), 8, "whole chunk orphaned");
+        assert_eq!(d.pool_stats().chunks, 1, "counters folded on drop");
+        let heir = Domain::register(&d);
+        let p = heir.alloc(9u64);
+        let s = heir.pool_stats();
+        assert_eq!(s.chunks, 0, "no new chunk needed");
+        assert_eq!(s.adopted_blocks, 8);
+        assert_eq!(d.orphan_chain_blocks(), 0);
+        unsafe { heir.dealloc_unpublished(p) };
+    }
+
+    #[test]
+    fn disabled_pool_uses_box_semantics() {
+        let d = Arc::new(Domain::new(ReclaimMode::Epoch));
+        assert!(!d.pool_enabled());
+        assert_eq!(d.class_of::<u64>(), None);
+        let ctx = Domain::register(&d);
+        let count = Arc::new(AtomicUsize::new(0));
+        let p = ctx.alloc(DropCounter(count.clone()));
+        unsafe { ctx.retire_node(p) };
+        churn(&ctx, PIN_ADVANCE_PERIOD * 8);
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+        let s = ctx.pool_stats();
+        assert_eq!(s.alloc_total, 0, "pool untouched");
+        assert_eq!(s.recycled, 0);
+        let q = ctx.alloc(DropCounter(count.clone()));
+        unsafe { ctx.dealloc_unpublished(q) };
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn oversized_types_bypass_the_pool() {
+        let d = pooled_domain();
+        assert!(d.pool_enabled());
+        assert_eq!(d.class_of::<[u64; 1024]>(), None, "8 KiB exceeds classes");
+        assert!(d.class_of::<u64>().is_some());
+        let ctx = Domain::register(&d);
+        let p = ctx.alloc([0u64; 1024]);
+        unsafe { ctx.retire_node(p) };
+        churn(&ctx, PIN_ADVANCE_PERIOD * 8);
+        assert_eq!(d.freed_total(), 1);
+        assert_eq!(ctx.pool_stats().alloc_total, 0);
+    }
+
+    #[test]
+    fn cross_thread_retires_recycle_into_the_retiring_pool() {
+        // A node allocated by thread A and retired by thread B lands in
+        // B's free list — blocks migrate, chunks do not.
+        let d = pooled_domain();
+        struct SendPtr(*mut u64);
+        unsafe impl Send for SendPtr {}
+        let a = Domain::register(&d);
+        let p = a.alloc(41u64);
+        let addr = p as usize;
+        let sent = SendPtr(p);
+        std::thread::scope(|s| {
+            let d2 = d.clone();
+            s.spawn(move || {
+                let b = Domain::register(&d2);
+                let sent = sent; // move the whole wrapper (not just .0)
+                let p = sent.0;
+                // SAFETY: sole reference, "unlinked" by construction.
+                unsafe { b.retire_node(p) };
+                churn(&b, PIN_ADVANCE_PERIOD * 8);
+                let sb = b.pool_stats();
+                assert_eq!(sb.recycled, 1, "B recycled A's block");
+                let q = b.alloc(43u64);
+                assert_eq!(q as usize, addr, "B reuses the migrated block");
+                unsafe { b.dealloc_unpublished(q) };
+            });
+        });
+        assert_eq!(d.freed_total(), 1);
+        assert_eq!(a.pool_stats().recycled, 0);
+    }
+
+    #[test]
+    fn pooled_balance_invariant_holds() {
+        // alloc_total == unpublished + retired_pooled + live hand-outs.
+        let d = pooled_domain();
+        let ctx = Domain::register(&d);
+        let mut live = Vec::new();
+        for i in 0..50u64 {
+            let p = ctx.alloc(i);
+            match i % 3 {
+                0 => unsafe { ctx.dealloc_unpublished(p) },
+                1 => unsafe { ctx.retire_node(p) },
+                _ => live.push(p as usize),
+            }
+        }
+        churn(&ctx, PIN_ADVANCE_PERIOD * 8);
+        let s = ctx.pool_stats();
+        assert_eq!(
+            s.alloc_total,
+            s.unpublished_returns + s.retired_pooled + live.len() as u64
+        );
+        // Free-list population: carved + returned - handed out.
+        let frees = unsafe { &*ctx.pool.get() }.free_blocks_total();
+        assert_eq!(
+            frees,
+            s.carved_blocks + s.recycled + s.unpublished_returns - s.alloc_total
+        );
     }
 }

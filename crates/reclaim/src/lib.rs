@@ -16,6 +16,17 @@
 //! per-operation reclamation work, the upper bound of what immediate
 //! freeing could save) — see `DESIGN.md`.
 //!
+//! # Node pools
+//!
+//! With synchronization made cheap, allocation is the next hot-path cost:
+//! every tree update pays `malloc` on insert and `free` at reclamation
+//! time. Domains built with [`PoolConfig`] (`Domain::with_pool`) route
+//! node allocation through per-thread [`NodePool`]s — segregated free
+//! lists keyed by size class, backed by chunked arena refills — and turn
+//! reclamation into *recycling*: an expired retired node's block returns
+//! to a free list instead of the global allocator. See [`ReclaimCtx::alloc`],
+//! [`ReclaimCtx::retire_node`] and [`ReclaimCtx::dealloc_unpublished`].
+//!
 //! # Example
 //!
 //! ```
@@ -36,8 +47,10 @@
 
 mod bag;
 mod domain;
+mod pool;
 
-pub use domain::{Domain, Guard, ReclaimCtx, ReclaimMode};
+pub use domain::{Domain, Guard, PoolConfig, ReclaimCtx, ReclaimMode};
+pub use pool::{NodePool, PoolStats, BLOCK_ALIGN, CLASS_SIZES, NUM_CLASSES};
 
 /// Number of logical epochs objects must age before being freed.
 pub(crate) const GRACE_EPOCHS: u64 = 2;

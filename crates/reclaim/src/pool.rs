@@ -1,0 +1,506 @@
+//! Per-thread node pools: segregated intrusive free lists keyed by size
+//! class, backed by chunked arena refills.
+//!
+//! Lock-free tree updates allocate and retire nodes at the operation rate;
+//! once synchronization is cheap (the whole point of the HTM template),
+//! `malloc`/`free` become the hot-path bottleneck. A [`NodePool`] removes
+//! both calls from the steady state:
+//!
+//! * **Allocation** pops a block from the thread's free list for the node's
+//!   size class — one pointer read, no shared state, no locks. On a miss
+//!   the pool *carves* a fresh arena chunk (one `alloc` for many blocks)
+//!   and refills the list.
+//! * **Reclamation** recycles: when the epoch machinery expires a retired
+//!   node, its block is pushed back onto the reclaiming thread's free list
+//!   instead of going through the global allocator.
+//!
+//! Blocks are cache-line aligned ([`BLOCK_ALIGN`]) and sized to their
+//! class, so two nodes never share a line (malloc packs two 64-byte BST
+//! nodes per line, a guaranteed false-sharing conflict under HTM).
+//!
+//! # Ownership
+//!
+//! A block's *memory* is owned by the chunk it was carved from, never by
+//! the block itself: blocks are never passed to `dealloc` individually.
+//! Blocks migrate freely between threads (allocated by one, retired and
+//! recycled into another's pool); chunks do not — a pool keeps the chunks
+//! it carved until the owning thread exits, at which point chunks and any
+//! remaining free blocks are orphaned into the reclamation domain
+//! (mirroring the domain's orphan-bag path). Orphaned free chains are
+//! adopted by the next pool that misses; chunk memory is released when the
+//! domain drops, after every retired object has been destroyed.
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::ptr;
+
+/// Alignment of every pooled block (one cache line). Types with stricter
+/// alignment fall back to the global allocator.
+pub const BLOCK_ALIGN: usize = 64;
+
+/// Block size of each class. Classes are cache-line multiples — fine
+/// steps up to 512 bytes (node-sized structures live there: a BST node
+/// fits class 0 exactly, the relaxed (a,b)-tree's b = 16 nodes take the
+/// ~5-line class; a coarse table would waste a large fraction of each
+/// block and the cache lines that back it), then powers of two.
+pub const CLASS_SIZES: [usize; 10] =
+    [64, 128, 192, 256, 320, 384, 448, 512, 1024, 2048];
+
+/// Number of size classes.
+pub const NUM_CLASSES: usize = CLASS_SIZES.len();
+
+/// The size class serving `layout`, or `None` when the layout is too big
+/// or over-aligned and must use the global allocator. Pure function of the
+/// layout and the class table, so allocation and retirement sites agree on
+/// a type's class without storing anything per object.
+pub fn class_for(layout: Layout) -> Option<u8> {
+    if layout.align() > BLOCK_ALIGN {
+        return None;
+    }
+    CLASS_SIZES
+        .iter()
+        .position(|&s| s >= layout.size().max(1))
+        .map(|i| i as u8)
+}
+
+/// One arena chunk: a single allocation carved into `CLASS_SIZES[class]`
+/// blocks. Owns the memory; dropping a chunk deallocates it, so a chunk
+/// must outlive every block carved from it (pools hand their chunks to the
+/// domain on thread exit; the domain drops them last).
+pub(crate) struct Chunk {
+    ptr: *mut u8,
+    layout: Layout,
+}
+
+// SAFETY: a chunk is a passive memory region; the pool/domain protocols
+// serialize all access to it.
+unsafe impl Send for Chunk {}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        // SAFETY: allocated with exactly this layout in `carve`.
+        unsafe { dealloc(self.ptr, self.layout) };
+    }
+}
+
+/// Counters for one pool (plain `u64`s — pools are thread-local). Folded
+/// into domain-wide totals when the owning context drops.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Blocks handed out (`pool_hits + fresh_blocks + adopted` hand-outs
+    /// all count once here).
+    pub alloc_total: u64,
+    /// Hand-outs served from a warm free list (no chunk carve needed).
+    pub pool_hits: u64,
+    /// Blocks carved from arena chunks (lifetime capacity created).
+    pub carved_blocks: u64,
+    /// Arena chunks allocated.
+    pub chunks: u64,
+    /// Blocks adopted from the domain's orphaned free chains.
+    pub adopted_blocks: u64,
+    /// Retired blocks returned to a free list after their grace period.
+    pub recycled: u64,
+    /// Unpublished allocations (failed SCX, aborted transaction) returned
+    /// to a free list immediately.
+    pub unpublished_returns: u64,
+    /// Pooled objects retired into limbo bags (the pooled share of the
+    /// domain's `retired_total`).
+    pub retired_pooled: u64,
+}
+
+impl PoolStats {
+    /// Fraction of hand-outs served without touching the global allocator
+    /// path at all (warm free list; carves amortize one `alloc` over a
+    /// whole chunk). 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        if self.alloc_total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / self.alloc_total as f64
+        }
+    }
+
+    /// Accumulates another pool's counters.
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.alloc_total += other.alloc_total;
+        self.pool_hits += other.pool_hits;
+        self.carved_blocks += other.carved_blocks;
+        self.chunks += other.chunks;
+        self.adopted_blocks += other.adopted_blocks;
+        self.recycled += other.recycled;
+        self.unpublished_returns += other.unpublished_returns;
+        self.retired_pooled += other.retired_pooled;
+    }
+}
+
+/// An orphaned free chain: `len` blocks of `class` linked through their
+/// first word, headed by `head`. Produced on thread exit, adopted on a
+/// refill miss.
+pub(crate) struct OrphanChain {
+    pub(crate) class: u8,
+    pub(crate) head: *mut u8,
+    pub(crate) len: u64,
+}
+
+// SAFETY: the chain's blocks are unreachable from any thread (they were in
+// a thread-local free list); ownership transfers wholesale.
+unsafe impl Send for OrphanChain {}
+
+/// A per-thread segregated node pool. Not `Sync`; lives inside a
+/// `ReclaimCtx`.
+pub struct NodePool {
+    /// Intrusive free-list heads (next pointer stored in each block's
+    /// first word).
+    heads: [*mut u8; NUM_CLASSES],
+    free_len: [u64; NUM_CLASSES],
+    chunk_blocks: usize,
+    chunks: Vec<Chunk>,
+    stats: PoolStats,
+}
+
+// SAFETY: the pool exclusively owns its parked blocks and chunks; moving
+// the whole pool to another thread transfers that ownership wholesale
+// (the thread-exit orphan/adopt protocol is exactly such a move).
+unsafe impl Send for NodePool {}
+
+impl NodePool {
+    /// A pool whose refills carve `chunk_blocks` blocks at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_blocks` is zero.
+    pub fn new(chunk_blocks: usize) -> Self {
+        assert!(chunk_blocks > 0, "chunk_blocks must be positive");
+        NodePool {
+            heads: [ptr::null_mut(); NUM_CLASSES],
+            free_len: [0; NUM_CLASSES],
+            chunk_blocks,
+            chunks: Vec::new(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// This pool's counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Mutable access for the owning context's retire bookkeeping.
+    pub(crate) fn stats_mut(&mut self) -> &mut PoolStats {
+        &mut self.stats
+    }
+
+    /// Blocks currently parked in the class's free list.
+    pub fn free_blocks(&self, class: u8) -> u64 {
+        self.free_len[class as usize]
+    }
+
+    /// Blocks parked across all free lists.
+    pub fn free_blocks_total(&self) -> u64 {
+        self.free_len.iter().sum()
+    }
+
+    fn push(&mut self, class: u8, block: *mut u8) {
+        let c = class as usize;
+        // SAFETY: `block` is a live, exclusively owned block of at least
+        // BLOCK_ALIGN-aligned CLASS_SIZES[c] >= 8 bytes; its first word is
+        // free for the intrusive link.
+        unsafe { block.cast::<*mut u8>().write(self.heads[c]) };
+        self.heads[c] = block;
+        self.free_len[c] += 1;
+    }
+
+    fn pop(&mut self, class: u8) -> Option<*mut u8> {
+        let c = class as usize;
+        let head = self.heads[c];
+        if head.is_null() {
+            return None;
+        }
+        // SAFETY: non-null heads always point at a parked block whose
+        // first word holds the next link (written in `push`/`carve`).
+        self.heads[c] = unsafe { head.cast::<*mut u8>().read() };
+        self.free_len[c] -= 1;
+        Some(head)
+    }
+
+    /// Carves one fresh chunk for `class` and parks its blocks.
+    fn carve(&mut self, class: u8) {
+        let size = CLASS_SIZES[class as usize];
+        let layout = Layout::from_size_align(size * self.chunk_blocks, BLOCK_ALIGN)
+            .expect("chunk layout overflow");
+        // SAFETY: layout has non-zero size.
+        let chunk = unsafe { alloc(layout) };
+        if chunk.is_null() {
+            handle_alloc_error(layout);
+        }
+        for i in 0..self.chunk_blocks {
+            // SAFETY: i*size stays inside the chunk allocation; blocks
+            // retain the chunk's provenance.
+            self.push(class, unsafe { chunk.add(i * size) });
+        }
+        self.chunks.push(Chunk { ptr: chunk, layout });
+        self.stats.chunks += 1;
+        self.stats.carved_blocks += self.chunk_blocks as u64;
+    }
+
+    /// Whether a hand-out for `class` would miss the free list (the caller
+    /// may then offer an orphan chain via `adopt` before paying
+    /// for a carve).
+    pub fn would_miss(&self, class: u8) -> bool {
+        self.heads[class as usize].is_null()
+    }
+
+    /// Hands out one block of `class`, carving a fresh chunk on a miss.
+    /// The returned block is uninitialized.
+    pub fn alloc_block(&mut self, class: u8) -> *mut u8 {
+        let hit = !self.would_miss(class);
+        if !hit {
+            self.carve(class);
+        }
+        let block = self.pop(class).expect("carve refilled the free list");
+        self.stats.alloc_total += 1;
+        self.stats.pool_hits += u64::from(hit);
+        block
+    }
+
+    /// Returns a block whose retired object's grace period expired.
+    ///
+    /// # Safety
+    ///
+    /// `block` must be a pool block of `class` (from any pool of the same
+    /// domain), its object already dropped in place, and unreachable.
+    pub unsafe fn recycle(&mut self, class: u8, block: *mut u8) {
+        self.push(class, block);
+        self.stats.recycled += 1;
+    }
+
+    /// Returns a block whose allocation was never published (failed SCX,
+    /// aborted transaction): nothing can reach it, so it is reusable
+    /// immediately with no grace period.
+    ///
+    /// # Safety
+    ///
+    /// As [`Self::recycle`].
+    pub unsafe fn release_unpublished(&mut self, class: u8, block: *mut u8) {
+        self.push(class, block);
+        self.stats.unpublished_returns += 1;
+    }
+
+    /// Splices an orphaned free chain into this pool's `class` list.
+    ///
+    /// # Safety
+    ///
+    /// The chain must have been produced by [`Self::take_orphans`] for the
+    /// same class table (same domain), and ownership transfers here.
+    pub(crate) unsafe fn adopt(&mut self, chain: OrphanChain) {
+        let c = chain.class as usize;
+        // Walk to the tail and splice before the current head.
+        let mut tail = chain.head;
+        // SAFETY: chain links were written by `push` and never exposed.
+        unsafe {
+            while !tail.cast::<*mut u8>().read().is_null() {
+                tail = tail.cast::<*mut u8>().read();
+            }
+            tail.cast::<*mut u8>().write(self.heads[c]);
+        }
+        self.heads[c] = chain.head;
+        self.free_len[c] += chain.len;
+        self.stats.adopted_blocks += chain.len;
+    }
+
+    /// Dismantles the pool on thread exit: the chunks (whose blocks may
+    /// still be live in the structure or other pools) and the parked free
+    /// chains, both destined for the domain.
+    pub(crate) fn take_orphans(&mut self) -> (Vec<Chunk>, Vec<OrphanChain>) {
+        let mut chains = Vec::new();
+        for c in 0..NUM_CLASSES {
+            if !self.heads[c].is_null() {
+                chains.push(OrphanChain {
+                    class: c as u8,
+                    head: self.heads[c],
+                    len: self.free_len[c],
+                });
+                self.heads[c] = ptr::null_mut();
+                self.free_len[c] = 0;
+            }
+        }
+        (std::mem::take(&mut self.chunks), chains)
+    }
+}
+
+impl std::fmt::Debug for NodePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodePool")
+            .field("free", &self.free_len)
+            .field("chunks", &self.chunks.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_table_is_monotonic_and_line_aligned() {
+        let mut prev = 0;
+        for &s in &CLASS_SIZES {
+            assert!(s > prev && s % BLOCK_ALIGN == 0, "class {s}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn class_for_picks_smallest_fit() {
+        assert_eq!(class_for(Layout::from_size_align(1, 1).unwrap()), Some(0));
+        assert_eq!(class_for(Layout::from_size_align(64, 8).unwrap()), Some(0));
+        assert_eq!(class_for(Layout::from_size_align(65, 8).unwrap()), Some(1));
+        assert_eq!(
+            class_for(Layout::from_size_align(2048, 64).unwrap()),
+            Some((NUM_CLASSES - 1) as u8)
+        );
+        assert_eq!(class_for(Layout::from_size_align(2049, 8).unwrap()), None);
+        assert_eq!(class_for(Layout::from_size_align(64, 128).unwrap()), None);
+    }
+
+    #[test]
+    fn alloc_recycle_round_trip() {
+        let mut p = NodePool::new(4);
+        let a = p.alloc_block(0);
+        assert!(!a.is_null());
+        assert_eq!(a as usize % BLOCK_ALIGN, 0, "blocks are line-aligned");
+        // First hand-out carved a chunk: miss, 3 blocks left parked.
+        assert_eq!(p.stats().chunks, 1);
+        assert_eq!(p.stats().pool_hits, 0);
+        assert_eq!(p.free_blocks(0), 3);
+        // Use the block as real memory.
+        unsafe {
+            a.cast::<u64>().write(0xFEED);
+            assert_eq!(a.cast::<u64>().read(), 0xFEED);
+        }
+        unsafe { p.recycle(0, a) };
+        assert_eq!(p.free_blocks(0), 4);
+        let b = p.alloc_block(0);
+        assert_eq!(b, a, "LIFO reuse of the recycled block");
+        assert_eq!(p.stats().pool_hits, 1);
+        unsafe { p.release_unpublished(0, b) };
+        assert_eq!(p.stats().unpublished_returns, 1);
+        assert_eq!(
+            p.stats().alloc_total,
+            p.stats().recycled + p.stats().unpublished_returns
+        );
+    }
+
+    #[test]
+    fn carve_refills_exhausted_class_and_classes_are_independent() {
+        let mut p = NodePool::new(2);
+        let blocks: Vec<*mut u8> = (0..5).map(|_| p.alloc_block(1)).collect();
+        assert_eq!(p.stats().chunks, 3, "5 hand-outs from 2-block chunks");
+        assert_eq!(p.stats().carved_blocks, 6);
+        assert_eq!(p.free_blocks(1), 1);
+        assert_eq!(p.free_blocks(0), 0, "class 0 untouched");
+        // Distinct, non-overlapping blocks (stride = class size).
+        let mut sorted: Vec<usize> = blocks.iter().map(|b| *b as usize).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+        for b in blocks {
+            unsafe { p.recycle(1, b) };
+        }
+        assert_eq!(p.free_blocks(1), 6);
+    }
+
+    #[test]
+    fn whole_block_is_writable() {
+        // Every byte of a block is usable memory of the class's size, not
+        // just the intrusive first word (catches carve stride bugs under
+        // Miri).
+        let mut p = NodePool::new(3);
+        for class in 0..NUM_CLASSES as u8 {
+            let size = CLASS_SIZES[class as usize];
+            let a = p.alloc_block(class);
+            let b = p.alloc_block(class);
+            unsafe {
+                ptr::write_bytes(a, 0xA5, size);
+                ptr::write_bytes(b, 0x5A, size);
+                assert_eq!(a.add(size - 1).read(), 0xA5);
+                assert_eq!(b.add(size - 1).read(), 0x5A);
+                p.recycle(class, a);
+                p.recycle(class, b);
+            }
+        }
+    }
+
+    #[test]
+    fn orphan_chains_transfer_between_pools() {
+        let mut donor = NodePool::new(4);
+        let a = donor.alloc_block(2);
+        unsafe { donor.recycle(2, a) };
+        let (chunks, chains) = donor.take_orphans();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].len, 4);
+        assert_eq!(donor.free_blocks_total(), 0, "donor emptied");
+
+        let mut heir = NodePool::new(4);
+        for chain in chains {
+            unsafe { heir.adopt(chain) };
+        }
+        assert_eq!(heir.free_blocks(2), 4);
+        assert_eq!(heir.stats().adopted_blocks, 4);
+        // Adopted blocks are served without carving.
+        for _ in 0..4 {
+            heir.alloc_block(2);
+        }
+        assert_eq!(heir.stats().chunks, 0);
+        assert_eq!(heir.stats().pool_hits, 4);
+        // `chunks` still owns the memory; dropping it frees the arena.
+        // (Blocks handed out by `heir` must not be used past this point —
+        // this test stops here.)
+        drop(chunks);
+    }
+
+    #[test]
+    fn adopt_splices_ahead_of_existing_blocks() {
+        let mut donor = NodePool::new(2);
+        let d = donor.alloc_block(0);
+        unsafe { donor.recycle(0, d) };
+        let (_chunks, chains) = donor.take_orphans();
+
+        let mut heir = NodePool::new(2);
+        let h = heir.alloc_block(0);
+        unsafe { heir.recycle(0, h) };
+        let before = heir.free_blocks(0);
+        for chain in chains {
+            unsafe { heir.adopt(chain) };
+        }
+        assert_eq!(heir.free_blocks(0), before + 2);
+        // Both the adopted and the original blocks drain cleanly.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..heir.free_blocks(0) {
+            assert!(seen.insert(heir.alloc_block(0) as usize), "duplicate block");
+        }
+        assert!(heir.would_miss(0));
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = PoolStats::default();
+        let mut p = NodePool::new(2);
+        p.alloc_block(0);
+        a.merge(p.stats());
+        a.merge(p.stats());
+        assert_eq!(a.alloc_total, 2);
+        assert_eq!(a.chunks, 2);
+        assert!(a.hit_rate() < 1e-9);
+        a.pool_hits = 1;
+        assert!((a.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(PoolStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_chunk_blocks_rejected() {
+        NodePool::new(0);
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use threepath_core::{PathStats, Strategy};
+use threepath_core::{BudgetConfig, PathStats, Strategy};
 use threepath_htm::HtmConfig;
 use threepath_reclaim::ReclaimMode;
 
@@ -48,6 +48,19 @@ pub struct ShardedConfig {
     pub search_outside_txn: bool,
     /// Use a SNZI in place of the fetch-and-increment counter `F`.
     pub snzi: bool,
+    /// Fixed attempt budgets for every shard (wins over `budget`);
+    /// `None` uses the paper's per-strategy defaults.
+    pub limits: Option<threepath_core::PathLimits>,
+    /// Per-thread node pools in every shard's reclamation domain (on by
+    /// default — see [`threepath_reclaim::NodePool`]). Off gives the
+    /// `Box`-based allocator baseline.
+    pub pool: bool,
+    /// Per-shard adaptive attempt budgets: each shard's `ExecCtx` scales
+    /// its fast/middle attempt counts per epoch from that shard's own
+    /// abort mix (see [`threepath_core::BudgetConfig`]). Independent of
+    /// [`adaptive`](Self::adaptive) strategy switching; when both are on,
+    /// a strategy swap re-anchors the shard's budgets.
+    pub budget: Option<BudgetConfig>,
 }
 
 impl ShardedConfig {
@@ -72,6 +85,13 @@ impl ShardedConfig {
             }
             if !threepath_core::ADAPTIVE_STRATEGIES.contains(&self.strategy) {
                 return Err(ConfigError::AdaptiveStrategy(self.strategy));
+            }
+        }
+        if let Some(b) = &self.budget {
+            // Same typed-error contract as the other knobs: surface
+            // exactly the tunings AdaptiveBudgets::new would panic on.
+            if b.validate().is_err() {
+                return Err(ConfigError::InvalidBudget);
             }
         }
         if let Some(&(shard, _)) = self
@@ -102,6 +122,9 @@ impl Default for ShardedConfig {
             reclaim: ReclaimMode::Epoch,
             search_outside_txn: false,
             snzi: false,
+            limits: None,
+            pool: true,
+            budget: None,
         }
     }
 }
@@ -216,6 +239,22 @@ impl ShardedMap {
     /// The configured key-space upper bound.
     pub fn key_space(&self) -> u64 {
         self.key_space
+    }
+
+    /// Every shard's attempt budgets currently in effect, in shard order
+    /// (diagnostic for adaptive-budget experiments).
+    pub fn shard_limits(&self) -> Vec<threepath_core::PathLimits> {
+        self.shards.iter().map(ShardTree::limits).collect()
+    }
+
+    /// Node-pool counters summed across every shard's domain (contexts
+    /// fold on drop; read after handles are gone for a complete picture).
+    pub fn pool_stats(&self) -> threepath_reclaim::PoolStats {
+        let mut total = threepath_reclaim::PoolStats::default();
+        for s in &self.shards {
+            total.merge(&s.pool_stats());
+        }
+        total
     }
 
     /// Which shard owns `key` (delegates to the router).
@@ -643,6 +682,48 @@ mod tests {
             .unwrap_err();
             assert_eq!(err, ConfigError::ZeroShards, "{router}");
         }
+    }
+
+    #[test]
+    fn degenerate_budget_tuning_is_a_typed_error() {
+        for bad in [
+            BudgetConfig {
+                epoch_ops: 0,
+                ..BudgetConfig::default()
+            },
+            BudgetConfig {
+                min_attempts: 0,
+                ..BudgetConfig::default()
+            },
+            BudgetConfig {
+                max_scale: 0,
+                ..BudgetConfig::default()
+            },
+            // Inverted thresholds: no hysteresis gap.
+            BudgetConfig {
+                shrink_fail_rate: 0.2,
+                grow_fail_rate: 0.8,
+                ..BudgetConfig::default()
+            },
+            // NaN thresholds must not slip through the comparison.
+            BudgetConfig {
+                grow_fail_rate: f64::NAN,
+                ..BudgetConfig::default()
+            },
+        ] {
+            let err = ShardedMap::with_config(ShardedConfig {
+                budget: Some(bad.clone()),
+                ..ShardedConfig::default()
+            })
+            .unwrap_err();
+            assert_eq!(err, ConfigError::InvalidBudget, "{bad:?}");
+        }
+        // A sane budget passes.
+        ShardedMap::with_config(ShardedConfig {
+            budget: Some(BudgetConfig::default()),
+            ..ShardedConfig::default()
+        })
+        .unwrap();
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub enum ConfigError {
     AdaptiveStrategy(threepath_core::Strategy),
     /// An adaptive epoch or sampling interval of zero operations.
     ZeroAdaptiveInterval,
+    /// Degenerate adaptive-budget tuning (any condition
+    /// `threepath_core::BudgetConfig::validate` rejects: zero or
+    /// over-large `epoch_ops`, zero `min_attempts`/`max_scale`, or
+    /// thresholds without a hysteresis gap).
+    InvalidBudget,
     /// A per-shard HTM override names a shard index `>= shards`.
     OverrideOutOfRange {
         /// The offending shard index.
@@ -57,6 +62,10 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroAdaptiveInterval => {
                 f.write_str("adaptive epoch_ops and sample_every must be non-zero")
             }
+            ConfigError::InvalidBudget => f.write_str(
+                "budget tuning must have epoch_ops in 1..=2^30, non-zero \
+                 min_attempts/max_scale, and grow_fail_rate < shrink_fail_rate",
+            ),
             ConfigError::OverrideOutOfRange { shard, shards } => write!(
                 f,
                 "per-shard HTM override for shard {shard}, but only {shards} shards exist"

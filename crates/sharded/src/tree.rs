@@ -62,20 +62,24 @@ impl ShardTree {
             ShardBackend::Bst => ShardTree::Bst(Arc::new(Bst::with_config(BstConfig {
                 strategy: cfg.strategy,
                 htm,
-                limits: None,
+                limits: cfg.limits,
                 reclaim: cfg.reclaim,
                 search_outside_txn: cfg.search_outside_txn,
                 snzi: cfg.snzi,
                 adaptive,
+                pool: cfg.pool,
+                budget: cfg.budget.clone(),
             }))),
             ShardBackend::AbTree => ShardTree::AbTree(Arc::new(AbTree::with_config(AbTreeConfig {
                 strategy: cfg.strategy,
                 htm,
-                limits: None,
+                limits: cfg.limits,
                 reclaim: cfg.reclaim,
                 search_outside_txn: cfg.search_outside_txn,
                 snzi: cfg.snzi,
                 adaptive,
+                pool: cfg.pool,
+                budget: cfg.budget.clone(),
                 ..AbTreeConfig::default()
             }))),
         }
@@ -103,6 +107,23 @@ impl ShardTree {
         match self {
             ShardTree::Bst(t) => t.set_strategy(strategy),
             ShardTree::AbTree(t) => t.set_strategy(strategy),
+        }
+    }
+
+    /// The attempt budgets currently in effect (fixed, adaptive, or the
+    /// paper defaults).
+    pub fn limits(&self) -> threepath_core::PathLimits {
+        match self {
+            ShardTree::Bst(t) => t.limits(),
+            ShardTree::AbTree(t) => t.limits(),
+        }
+    }
+
+    /// Node-pool counters folded into the tree's domain so far.
+    pub fn pool_stats(&self) -> threepath_reclaim::PoolStats {
+        match self {
+            ShardTree::Bst(t) => t.pool_stats(),
+            ShardTree::AbTree(t) => t.pool_stats(),
         }
     }
 

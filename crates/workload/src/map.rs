@@ -36,6 +36,9 @@ fn tree_config(spec: &TrialSpec, shards: usize, sharded: bool) -> ShardedConfig 
         reclaim: spec.reclaim,
         search_outside_txn: spec.search_outside_txn,
         snzi: spec.snzi,
+        limits: spec.limits,
+        pool: spec.pool,
+        budget: spec.budget.clone(),
     }
 }
 
@@ -104,6 +107,16 @@ impl AnyTree {
         match self {
             AnyTree::Single(t) => t.validate(),
             AnyTree::Sharded(t) => t.validate(),
+        }
+    }
+
+    /// Node-pool counters (summed across shards for sharded structures).
+    /// Contexts fold their counters on drop, so read after worker handles
+    /// are gone for a complete picture.
+    pub fn pool_stats(&self) -> threepath_reclaim::PoolStats {
+        match self {
+            AnyTree::Single(t) => t.pool_stats(),
+            AnyTree::Sharded(t) => t.pool_stats(),
         }
     }
 }

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use threepath_core::{PathKind, PathStats};
+use threepath_reclaim::PoolStats;
 
 /// Measurements from one trial.
 #[derive(Debug, Clone)]
@@ -23,12 +24,21 @@ pub struct TrialResult {
     pub keysum_ok: bool,
     /// Keys in the tree after the trial.
     pub final_size: usize,
+    /// Node-pool counters from the structure's domain(s), read after the
+    /// worker threads dropped their handles (all zeros when the trial ran
+    /// with `pool: false`).
+    pub pool: PoolStats,
 }
 
 impl TrialResult {
     /// Fraction of operations completed on `path`.
     pub fn path_fraction(&self, path: PathKind) -> f64 {
         self.stats.completed_fraction(path)
+    }
+
+    /// The pool's hand-out hit rate (0 when pooling was off or idle).
+    pub fn pool_hit_rate(&self) -> f64 {
+        self.pool.hit_rate()
     }
 }
 
@@ -43,6 +53,7 @@ pub fn average(results: &[TrialResult]) -> TrialResult {
     let mut rq_ops = 0;
     let mut elapsed = Duration::ZERO;
     let mut keysum_ok = true;
+    let mut pool = PoolStats::default();
     for r in results {
         stats.merge(&r.stats);
         throughput += r.throughput;
@@ -51,6 +62,7 @@ pub fn average(results: &[TrialResult]) -> TrialResult {
         rq_ops += r.rq_ops;
         elapsed += r.elapsed;
         keysum_ok &= r.keysum_ok;
+        pool.merge(&r.pool);
     }
     TrialResult {
         throughput: throughput / results.len() as f64,
@@ -61,6 +73,7 @@ pub fn average(results: &[TrialResult]) -> TrialResult {
         stats,
         keysum_ok,
         final_size: results.last().unwrap().final_size,
+        pool,
     }
 }
 
@@ -78,6 +91,7 @@ mod tests {
             stats: PathStats::new(),
             keysum_ok: ok,
             final_size: 5,
+            pool: PoolStats::default(),
         }
     }
 

@@ -3,7 +3,7 @@
 use std::str::FromStr;
 use std::time::Duration;
 
-use threepath_core::Strategy;
+use threepath_core::{BudgetConfig, Strategy};
 use threepath_htm::HtmConfig;
 use threepath_reclaim::ReclaimMode;
 use threepath_sharded::{AdaptiveConfig, RouterKind};
@@ -251,6 +251,15 @@ pub struct TrialSpec {
     pub search_outside_txn: bool,
     /// Use a SNZI in place of the fetch-and-increment counter `F`.
     pub snzi: bool,
+    /// Fixed attempt budgets (wins over `budget`); `None` uses the
+    /// paper's per-strategy defaults.
+    pub limits: Option<threepath_core::PathLimits>,
+    /// Per-thread node pools (on by default); off measures the `Box`
+    /// allocator baseline.
+    pub pool: bool,
+    /// Adaptive attempt budgets, anchored at the paper's 10/10/20 (see
+    /// [`BudgetConfig`]). `None` keeps the paper's fixed budgets.
+    pub budget: Option<BudgetConfig>,
     /// Base PRNG seed (trial `i` derives per-thread seeds from it).
     pub seed: u64,
 }
@@ -271,6 +280,9 @@ impl Default for TrialSpec {
             reclaim: ReclaimMode::Epoch,
             search_outside_txn: false,
             snzi: false,
+            limits: None,
+            pool: true,
+            budget: None,
             seed: 0x5EED,
         }
     }
