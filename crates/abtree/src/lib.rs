@@ -41,6 +41,7 @@
 mod fix;
 mod node;
 mod ops;
+mod readpath;
 mod rq;
 mod tree;
 

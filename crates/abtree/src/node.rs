@@ -27,6 +27,18 @@ pub(crate) struct AbNode {
     /// Leaf: `size` sorted keys. Internal: `size - 1` sorted routing keys.
     keys: [TxCell; B],
     size: TxCell,
+    /// Seqlock word for the uninstrumented read path, logically extending
+    /// the LLX header: where `hdr.info` versions node *replacement*, `ver`
+    /// versions *in-place* leaf mutation (which never touches `hdr`).
+    /// Every multi-cell in-place mutation wraps itself in
+    /// `ver += 1 … ver += 1` (odd while a non-transactional TLE mutation
+    /// is mid-flight; transactional mutations publish the whole wrap
+    /// atomically, so readers only ever observe even values from them).
+    /// An optimistic reader snapshots `ver`, reads the leaf's cells with
+    /// relaxed loads, re-validates `ver`, and retries the search on any
+    /// change. Always 0 on internal nodes — their keys and size are
+    /// immutable and their child pointers change by single atomic words.
+    ver: TxCell,
     pub(crate) leaf: bool,
     pub(crate) tagged: bool,
 }
@@ -39,6 +51,7 @@ impl AbNode {
             ptrs: std::array::from_fn(|_| TxCell::new(0)),
             keys: std::array::from_fn(|_| TxCell::new(0)),
             size: TxCell::new(items.len() as u64),
+            ver: TxCell::new(0),
             leaf: true,
             tagged: false,
         };
@@ -60,6 +73,7 @@ impl AbNode {
             ptrs: std::array::from_fn(|_| TxCell::new(0)),
             keys: std::array::from_fn(|_| TxCell::new(0)),
             size: TxCell::new(children.len() as u64),
+            ver: TxCell::new(0),
             leaf: false,
             tagged,
         };
@@ -89,6 +103,10 @@ impl AbNode {
 
     pub(crate) fn size_cell(&self) -> &TxCell {
         &self.size
+    }
+
+    pub(crate) fn ver_cell(&self) -> &TxCell {
+        &self.ver
     }
 
     // Quiescent plain readers (validation / drop / collect).

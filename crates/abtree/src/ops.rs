@@ -267,12 +267,18 @@ pub(crate) fn insert_seq<M: Mem>(
     };
     match lv.find_key(key) {
         Ok(i) => {
+            // Value-only update: a single cell, atomic on its own —
+            // optimistic readers need no seqlock protection for it.
             let old = lv.ptrs[i];
             m.write(l.ptr_cell(i), value)?;
             Ok((Some(old), false))
         }
         Err(pos) if lv.size < B => {
-            // In-place sorted insertion: shift the tail right.
+            // In-place sorted insertion: shift the tail right, wrapped in
+            // the leaf's seqlock (odd while a direct-mode mutation is in
+            // flight; one atomic +2 when transactional) so uninstrumented
+            // readers detect the multi-cell mutation and retry.
+            let v0 = begin_inplace(m, l)?;
             for j in (pos..lv.size).rev() {
                 m.write(l.key_cell(j + 1), lv.keys[j])?;
                 m.write(l.ptr_cell(j + 1), lv.ptrs[j])?;
@@ -280,14 +286,21 @@ pub(crate) fn insert_seq<M: Mem>(
             m.write(l.key_cell(pos), key)?;
             m.write(l.ptr_cell(pos), value)?;
             m.write(l.size_cell(), (lv.size + 1) as u64)?;
+            end_inplace(m, l, v0)?;
             Ok((None, false))
         }
         Err(_) => {
             // Overflow: keep the left half in place, create a sibling and
             // a parent (two new nodes instead of the template's three).
+            // The seqlock stays odd across the *whole* splice — truncation
+            // AND parent swing — because the truncated leaf no longer
+            // covers its upper half until the new parent is reachable: a
+            // direct-mode (TLE) reader validating the leaf between the
+            // two steps would miss continuously-present keys.
             let mut buf = [(0u64, 0u64); B + 1];
             let n = items_with(&lv, key, value, &mut buf);
             let ls = n.div_ceil(2);
+            let v0 = begin_inplace(m, l)?;
             for (j, (k, v)) in buf[..ls].iter().enumerate() {
                 m.write(l.key_cell(j), *k)?;
                 m.write(l.ptr_cell(j), *v)?;
@@ -301,6 +314,7 @@ pub(crate) fn insert_seq<M: Mem>(
                 tagged,
             ));
             m.write(p.ptr_cell(f.p_idx), np as u64)?;
+            end_inplace(m, l, v0)?;
             Ok((None, tagged))
         }
     }
@@ -328,13 +342,34 @@ pub(crate) fn delete_seq<M: Mem>(
         Err(_) => return Ok((None, false)),
     };
     let old = lv.ptrs[i];
+    let v0 = begin_inplace(m, l)?;
     for j in i + 1..lv.size {
         m.write(l.key_cell(j - 1), lv.keys[j])?;
         m.write(l.ptr_cell(j - 1), lv.ptrs[j])?;
     }
     m.write(l.size_cell(), (lv.size - 1) as u64)?;
+    end_inplace(m, l, v0)?;
     let fix = lv.size - 1 < a && f.p != entry;
     Ok((Some(old), fix))
+}
+
+/// Opens a leaf's seqlock around an in-place multi-cell mutation: bumps
+/// `ver` to odd and returns the pre-mutation (even) value. In
+/// transactional modes the odd intermediate is buffered and overwritten by
+/// [`end_inplace`] before the atomic commit, so readers only ever observe
+/// the even `+2`; in direct mode (TLE under the lock) the odd value is
+/// visible for the duration of the mutation and makes optimistic readers
+/// retry.
+fn begin_inplace<M: Mem>(m: &mut M, l: &AbNode) -> Result<u64, Abort> {
+    let v0 = m.read(l.ver_cell())?;
+    debug_assert_eq!(v0 & 1, 0, "mutators are mutually excluded");
+    m.write(l.ver_cell(), v0.wrapping_add(1))?;
+    Ok(v0)
+}
+
+/// Closes the seqlock opened by [`begin_inplace`].
+fn end_inplace<M: Mem>(m: &mut M, l: &AbNode, v0: u64) -> Result<(), Abort> {
+    m.write(l.ver_cell(), v0.wrapping_add(2))
 }
 
 /// Lookup through any read mode.

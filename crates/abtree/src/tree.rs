@@ -14,6 +14,7 @@ use threepath_reclaim::{Domain, PoolConfig, PoolStats, ReclaimMode};
 use crate::fix;
 use crate::node::{AbNode, B, MAX_KEY};
 use crate::ops::{self, AbFound, UpdResult};
+use crate::readpath;
 use crate::rq;
 
 /// Configuration for an [`AbTree`].
@@ -47,6 +48,16 @@ pub struct AbTreeConfig {
     /// Adaptive attempt budgets anchored at the paper's 10/10/20 (see
     /// [`BudgetConfig`]). A fixed `limits` override wins.
     pub budget: Option<BudgetConfig>,
+    /// Route `get`/`contains`/`first`/`last` through the uninstrumented
+    /// read path: an epoch-pinned direct traversal with zero transactions
+    /// or locks. Because (a,b)-tree leaves are mutated in place, each leaf
+    /// read is seqlock-validated against the node's version word and the
+    /// search retries on a lost race, escalating to the transactional
+    /// machinery only after
+    /// [`threepath_core::DEFAULT_READ_ATTEMPTS`] failures. On by
+    /// default; off routes reads through `run_op` (the baseline the
+    /// read-heavy benchmarks compare against).
+    pub read_path: bool,
 }
 
 impl Default for AbTreeConfig {
@@ -62,6 +73,7 @@ impl Default for AbTreeConfig {
             adaptive: false,
             pool: true,
             budget: None,
+            read_path: true,
         }
     }
 }
@@ -97,6 +109,8 @@ pub struct AbTree {
     /// than individual `Box` allocations — decides how `Drop` frees the
     /// node graph.
     pooled: bool,
+    /// Whether reads bypass `run_op` (see [`AbTreeConfig::read_path`]).
+    read_path: bool,
 }
 
 // SAFETY: shared mutation of the raw node graph is mediated by the HTM
@@ -118,8 +132,14 @@ impl AbTree {
     pub fn with_config(cfg: AbTreeConfig) -> Self {
         assert!(cfg.a >= 2 && B >= 2 * cfg.a - 1, "invalid (a, b) pair");
         let rt = Arc::new(HtmRuntime::new(cfg.htm.clone()));
+        // Fat-node structure: register an exact-fit size class so nodes
+        // are guaranteed under one cache line of internal fragmentation
+        // regardless of how the node layout evolves (today the standard
+        // table's 320 B class already fits `AbNode` exactly; the
+        // registration pins that property rather than changing it —
+        // per-structure class tables, ROADMAP PR 4 follow-up).
         let pool_cfg = if cfg.pool {
-            PoolConfig::default()
+            PoolConfig::default().with_class_of::<AbNode>()
         } else {
             PoolConfig::disabled()
         };
@@ -154,6 +174,7 @@ impl AbTree {
             a: cfg.a,
             sec8: cfg.search_outside_txn,
             pooled,
+            read_path: cfg.read_path,
         }
     }
 
@@ -201,6 +222,16 @@ impl AbTree {
     /// drop; read after handles are gone for a complete picture).
     pub fn pool_stats(&self) -> PoolStats {
         self.domain().pool_stats()
+    }
+
+    /// `(pooled block size, node size)` for this tree's nodes, or `None`
+    /// when pooling is off. The difference is the per-node internal
+    /// fragmentation; the dedicated (a,b)-tree size class registered at
+    /// construction keeps it under one cache line.
+    pub fn node_block_size(&self) -> Option<(usize, usize)> {
+        self.domain()
+            .block_size_of::<AbNode>()
+            .map(|b| (b, std::mem::size_of::<AbNode>()))
     }
 
     /// Registers the calling thread and returns an operation handle.
@@ -354,7 +385,25 @@ impl AbTree {
 
     // ------------------------------------------------------------------
     // Reads.
+    //
+    // The default path is the uninstrumented optimistic read
+    // (`crate::readpath`): direct traversal, seqlock-validated leaf read,
+    // whole-search retry on a lost race, escalation to `run_op` only
+    // after a bounded number of failures. The transactional closures
+    // below remain as the escalation target and as the
+    // `read_path: false` baseline.
     // ------------------------------------------------------------------
+
+    /// One optimistic lookup attempt (requires the caller's epoch pin);
+    /// `None` = leaf validation failed, retry.
+    fn read_get_attempt(&self, key: u64) -> Option<Option<u64>> {
+        readpath::get_optimistic(self.exec.runtime(), self.entry, key, &mut || {})
+    }
+
+    /// One optimistic extremum attempt (requires the caller's epoch pin).
+    fn read_extreme_attempt(&self, last: bool) -> Option<Option<(u64, u64)>> {
+        readpath::extreme_optimistic(self.exec.runtime(), self.entry, last, &mut || {})
+    }
 
     fn fast_get(&self, th: &mut ScxThread, key: u64) -> Result<Option<u64>, Abort> {
         self.exec.attempt_seq(&self.eng, th, |m| {
@@ -843,11 +892,32 @@ impl AbTreeHandle {
     }
 
     /// Looks up `key`.
+    ///
+    /// On the default configuration this is an uninstrumented optimistic
+    /// read: zero HTM transactions and no locks in the steady state, under
+    /// every strategy including TLE. Leaves are seqlock-validated (they
+    /// mutate in place); a read that keeps losing validation races
+    /// escalates to the transactional machinery after
+    /// [`threepath_core::DEFAULT_READ_ATTEMPTS`] attempts. Completions
+    /// land on the [`PathKind::Read`](threepath_core::PathKind) lane,
+    /// validation failures and escalations in
+    /// [`PathStats::read_retries`]/[`PathStats::read_escalations`].
     pub fn get(&mut self, key: u64) -> Option<u64> {
         if key > MAX_KEY {
             return None;
         }
         let tree = &self.tree;
+        if tree.read_path {
+            if let Some(r) = tree.exec.run_read_validated(
+                &mut self.th,
+                &mut self.stats,
+                threepath_core::DEFAULT_READ_ATTEMPTS,
+                |_th| tree.read_get_attempt(key),
+            ) {
+                return r;
+            }
+            // Optimistic attempts kept losing validation races: escalate.
+        }
         let (r, _path) = tree.exec.run_op(
             &mut self.th,
             &mut self.stats,
@@ -890,6 +960,16 @@ impl AbTreeHandle {
 
     fn extreme(&mut self, last: bool) -> Option<(u64, u64)> {
         let tree = &self.tree;
+        if tree.read_path {
+            if let Some(r) = tree.exec.run_read_validated(
+                &mut self.th,
+                &mut self.stats,
+                threepath_core::DEFAULT_READ_ATTEMPTS,
+                |_th| tree.read_extreme_attempt(last),
+            ) {
+                return r;
+            }
+        }
         let (r, _path) = tree.exec.run_op(
             &mut self.th,
             &mut self.stats,

@@ -5,6 +5,12 @@
 //! * **pool A/B** — the update-heavy workload (50/50 insert/delete) with
 //!   the per-thread node pool on vs the `Box`/global-allocator baseline,
 //!   on both backends. The headline allocator claim of the pool PR.
+//! * **read-heavy A/B** — YCSB-B/C-style mixes (95% and 100% reads,
+//!   uniform and Zipf keys) with the uninstrumented read path vs the
+//!   `run_op`-read baseline, calm and under an 85%-spurious storm. The
+//!   storm is where the baseline collapses (reads fall back to the
+//!   serialized paths) while the read path — zero transactions — is
+//!   immune.
 //! * **budget A/B** — adaptive attempt budgets vs fixed budgets (the
 //!   paper's 10/10, the storm-optimal 1/1, and a deep 20/20) under a calm
 //!   mix and an injected 85%-spurious abort storm. Adaptive should track
@@ -20,11 +26,11 @@ use criterion::{Criterion};
 
 use threepath_bench::{bench_record, measure_spec, write_bench_json, BenchEnv, BenchRecord};
 use threepath_bst::{Bst, BstConfig};
-use threepath_core::{BudgetConfig, PathLimits, Strategy};
+use threepath_core::{BudgetConfig, PathKind, PathLimits, Strategy};
 use threepath_htm::{HtmConfig, HtmRuntime, TxCell};
 use threepath_llxscx::{LlxResult, ScxArgs, ScxEngine, ScxHeader};
 use threepath_reclaim::{Domain, ReclaimMode};
-use threepath_workload::{average, run_trial, Structure, TrialSpec};
+use threepath_workload::{average, run_trial, KeyDist, Structure, TrialSpec, Workload};
 
 fn bench_htm_primitives(c: &mut Criterion) {
     let rt = Arc::new(HtmRuntime::new(HtmConfig::default()));
@@ -203,6 +209,94 @@ fn pool_ab(env: &BenchEnv, records: &mut Vec<BenchRecord>) {
     }
 }
 
+/// Read-heavy panels (YCSB-B/C-shaped mixes): the uninstrumented read
+/// path vs the `run_op`-read baseline, under a calm abort environment
+/// and — uniform only, where the contrast is starkest — a spurious-abort
+/// storm that collapses the baseline's reads onto the serialized
+/// fallback paths while the read path is immune.
+fn read_heavy_ab(env: &BenchEnv, records: &mut Vec<BenchRecord>) {
+    println!("\n== read-heavy A/B: read path vs run_op-read baseline ==");
+    println!(
+        "{:<36} {:>7} {:>14} {:>14} {:>9} {:>10}",
+        "series", "threads", "runop ops/s", "readpath ops/s", "speedup", "read share"
+    );
+    let storm = HtmConfig::default().with_spurious(0.85);
+    let threads = env.max_threads();
+    for structure in [Structure::Bst, Structure::AbTree] {
+        let key_range = ((structure.paper_key_range() as f64 * env.scale) as u64).max(256);
+        for (mix, read_pct) in [("ycsb-b-95", 95u8), ("ycsb-c-100", 100u8)] {
+            let combos: [(&str, KeyDist, HtmConfig); 3] = [
+                ("uniform/calm", KeyDist::Uniform, HtmConfig::default()),
+                (
+                    "zipf/calm",
+                    KeyDist::Zipf { theta: 0.99 },
+                    HtmConfig::default(),
+                ),
+                ("uniform/storm", KeyDist::Uniform, storm.clone()),
+            ];
+            for (combo, key_dist, htm) in combos {
+                let base = TrialSpec {
+                    structure,
+                    strategy: Strategy::ThreePath,
+                    threads,
+                    duration: env.duration,
+                    key_range,
+                    key_dist,
+                    htm,
+                    workload: Workload::ReadHeavy { read_pct },
+                    ..TrialSpec::default()
+                };
+                // Interleave the two sides so host-load drift hits both
+                // equally (same discipline as the pool A/B).
+                let mut runop_runs = Vec::new();
+                let mut readpath_runs = Vec::new();
+                for i in 0..env.trials {
+                    let seed = base.seed.wrapping_add(i as u64 * 0x9E37_79B9);
+                    runop_runs.push(run_trial(&TrialSpec {
+                        read_path: false,
+                        seed,
+                        ..base.clone()
+                    }));
+                    readpath_runs.push(run_trial(&TrialSpec {
+                        seed,
+                        ..base.clone()
+                    }));
+                }
+                let runop = average(&runop_runs);
+                let readpath = average(&readpath_runs);
+                assert!(runop.keysum_ok && readpath.keysum_ok, "keysum failed");
+                // The acceptance invariant: with the read path on, every
+                // lookup completes on the read lane — zero transactions —
+                // except the (counted) escalations after exhausted
+                // optimistic attempts, which are legitimate designed-in
+                // behaviour under extreme validation races.
+                assert!(
+                    readpath.stats.completed(PathKind::Read)
+                        + readpath.stats.read_escalations()
+                        >= readpath.read_ops,
+                    "read ops leaked off the read lane"
+                );
+                assert_eq!(runop.stats.completed(PathKind::Read), 0);
+                let name = format!("{structure}/{mix}/{combo}");
+                println!(
+                    "{:<36} {:>7} {:>14.0} {:>14.0} {:>8.2}x {:>9.1}%",
+                    name,
+                    threads,
+                    runop.throughput,
+                    readpath.throughput,
+                    readpath.throughput / runop.throughput,
+                    readpath.read_path_share() * 100.0
+                );
+                records.push(bench_record(format!("read-heavy/{name}/runop"), &runop));
+                records.push(bench_record(
+                    format!("read-heavy/{name}/readpath"),
+                    &readpath,
+                ));
+            }
+        }
+    }
+}
+
 /// Adaptive budgets vs fixed budgets under a calm and a storm abort mix.
 fn budget_ab(env: &BenchEnv, records: &mut Vec<BenchRecord>) {
     println!("\n== budget A/B: adaptive vs fixed attempt budgets (BST, 3-path) ==");
@@ -277,6 +371,7 @@ fn main() {
     println!("\nA/B panels: {}", threepath_bench::describe(&env));
     let mut records = Vec::new();
     pool_ab(&env, &mut records);
+    read_heavy_ab(&env, &mut records);
     budget_ab(&env, &mut records);
     write_bench_json("micro", &records);
 }

@@ -178,13 +178,13 @@ pub fn print_panel(title: &str, cells: &[Cell], threads: &[usize]) {
 pub fn write_csv(name: &str, cells: &[Cell]) -> PathBuf {
     let mut out = String::from(
         "structure,workload,series,threads,throughput,total_ops,update_ops,rq_ops,\
-         fast_frac,middle_frac,fallback_frac,keysum_ok\n",
+         fast_frac,middle_frac,fallback_frac,read_frac,keysum_ok\n",
     );
     for c in cells {
         use threepath_core::PathKind;
         writeln!(
             out,
-            "{},{},{},{},{:.1},{},{},{},{:.4},{:.4},{:.4},{}",
+            "{},{},{},{},{:.1},{},{},{},{:.4},{:.4},{:.4},{:.4},{}",
             c.structure,
             c.workload,
             c.series,
@@ -196,6 +196,7 @@ pub fn write_csv(name: &str, cells: &[Cell]) -> PathBuf {
             c.result.path_fraction(PathKind::Fast),
             c.result.path_fraction(PathKind::Middle),
             c.result.path_fraction(PathKind::Fallback),
+            c.result.path_fraction(PathKind::Read),
             c.result.keysum_ok,
         )
         .unwrap();
@@ -260,7 +261,8 @@ pub fn bench_json(bench: &str, records: &[BenchRecord]) -> String {
             out,
             "{}\n    \"{}\": {{\"ops_per_sec\": {:.1}, \
              \"abort_mix\": {{\"explicit\": {}, \"conflict\": {}, \"capacity\": {}, \"spurious\": {}}}, \
-             \"abort_rate\": {:.4}, \"fallback_frac\": {:.4}, \
+             \"abort_rate\": {:.4}, \"fallback_frac\": {:.4}, \"read_frac\": {:.4}, \
+             \"read_retries\": {}, \"read_escalations\": {}, \
              \"pool_hit_rate\": {:.4}, \"pool_allocs\": {}, \"pool_recycled\": {}}}",
             if i == 0 { "" } else { "," },
             json_escape(&r.name),
@@ -271,6 +273,9 @@ pub fn bench_json(bench: &str, records: &[BenchRecord]) -> String {
             mix.spurious,
             r.stats.abort_rate(),
             r.stats.fallback_fraction(),
+            r.stats.completed_fraction(PathKind::Read),
+            r.stats.read_retries(),
+            r.stats.read_escalations(),
             r.pool.hit_rate(),
             r.pool.alloc_total,
             r.pool.recycled,

@@ -47,6 +47,14 @@ pub struct BstConfig {
     /// epoch from the observed abort mix, anchored at the paper's
     /// 10/10/20 (see [`BudgetConfig`]). A fixed `limits` override wins.
     pub budget: Option<BudgetConfig>,
+    /// Route `get`/`contains`/`first`/`last` through the uninstrumented
+    /// wait-free read path ([`threepath_core::ExecCtx::run_read`]): an
+    /// epoch-pinned direct traversal with zero transactions, locks or `F`
+    /// subscription — linearizable because leaf keys are immutable and
+    /// child pointers only change via atomic SCX commits. On by default;
+    /// off routes reads through `run_op` like any update (the baseline the
+    /// read-heavy benchmarks compare against).
+    pub read_path: bool,
 }
 
 impl Default for BstConfig {
@@ -61,6 +69,7 @@ impl Default for BstConfig {
             adaptive: false,
             pool: true,
             budget: None,
+            read_path: true,
         }
     }
 }
@@ -96,6 +105,8 @@ pub struct Bst {
     /// than individual `Box` allocations — decides how `Drop` frees the
     /// node graph.
     pooled: bool,
+    /// Whether reads bypass `run_op` (see [`BstConfig::read_path`]).
+    read_path: bool,
 }
 
 // SAFETY: the raw root pointer references a heap structure whose shared
@@ -148,6 +159,7 @@ impl Bst {
             root,
             sec8: cfg.search_outside_txn,
             pooled,
+            read_path: cfg.read_path,
         }
     }
 
@@ -332,100 +344,108 @@ impl Bst {
         })
     }
 
-    fn fast_get(&self, th: &mut ScxThread, key: u64) -> Result<Option<u64>, Abort> {
-        if self.sec8 {
-            th.pinned(|th| {
-                let f = self.search_direct(key);
-                self.exec.attempt_seq(&self.eng, th, |m| {
-                    let l = unsafe { &*f.l };
-                    if m.read(l.hdr.marked())? != 0 {
-                        return Err(Abort::explicit(codes::MARKED));
-                    }
-                    ops::get_seq(m, &f, key)
-                })
-            })
+    // ------------------------------------------------------------------
+    // Reads.
+    //
+    // The wait-free read path: an epoch-pinned direct traversal with zero
+    // transactions, locks or `F` subscription. Linearizable without
+    // validation because (a) leaf keys are immutable — a leaf reached
+    // through a pointer read linearizes at that read, whether or not it
+    // was unlinked in between (its content can never change again), and
+    // (b) the only in-place mutation is the fast/TLE value update, a
+    // single cell whose `load_direct` is atomic against transactional
+    // commits and direct stores alike.
+    // ------------------------------------------------------------------
+
+    /// Direct lookup body (requires the caller's epoch pin).
+    fn read_get(&self, key: u64) -> Option<u64> {
+        let f = self.search_direct(key);
+        let l = unsafe { &*f.l };
+        if l.key == key {
+            Some(l.value.load_direct(self.exec.runtime()))
         } else {
-            self.exec.attempt_seq(&self.eng, th, |m| {
-                let f = {
-                    let mut rd = |c: &TxCell| m.read(c);
-                    ops::search_with(&mut rd, self.root, key)?
-                };
-                ops::get_seq(m, &f, key)
-            })
+            None
         }
     }
 
-    fn middle_get(&self, th: &mut ScxThread, key: u64) -> Result<Option<u64>, Abort> {
-        self.exec.attempt_template(&self.eng, th, |m| {
-            let f = {
-                let mut rd = |c: &TxCell| m.read(c);
-                ops::search_with(&mut rd, self.root, key)?
-            };
-            let l = unsafe { &*f.l };
-            if l.key == key {
-                Ok(Some(m.read(&l.value)?))
-            } else {
-                Ok(None)
-            }
-        })
+    /// Direct extremum body: the leaf covering `probe`, when it holds a
+    /// user key (requires the caller's epoch pin).
+    fn read_locate(&self, probe: u64) -> Option<(u64, u64)> {
+        let f = self.search_direct(probe);
+        let l = unsafe { &*f.l };
+        if l.key <= MAX_KEY {
+            Some((l.key, l.value.load_direct(self.exec.runtime())))
+        } else {
+            None
+        }
     }
 
-    fn fallback_get(&self, th: &mut ScxThread, key: u64) -> Option<u64> {
-        th.pinned(|th| {
-            let _ = th;
-            let f = self.search_direct(key);
-            let l = unsafe { &*f.l };
-            if l.key == key {
-                Some(l.value.load_direct(self.exec.runtime()))
-            } else {
-                None
-            }
-        })
+    /// Mem-generic lookup: transactional search plus leaf read. Only used
+    /// by the `read_path: false` baseline's fast/middle closures.
+    fn get_mem<M: Mem>(&self, m: &mut M, key: u64) -> Result<Option<u64>, Abort> {
+        let f = {
+            let mut rd = |c: &TxCell| m.read(c);
+            ops::search_with(&mut rd, self.root, key)?
+        };
+        ops::get_seq(m, &f, key)
     }
 
-    /// Locates the leaf covering `probe` and returns its pair when it
-    /// holds a user key (used for `first`/`last`).
-    fn fast_locate(&self, th: &mut ScxThread, probe: u64) -> Result<Option<(u64, u64)>, Abort> {
-        self.exec.attempt_seq(&self.eng, th, |m| {
-            let f = {
-                let mut rd = |c: &TxCell| m.read(c);
-                ops::search_with(&mut rd, self.root, probe)?
-            };
-            let l = unsafe { &*f.l };
-            if l.key <= MAX_KEY {
-                Ok(Some((l.key, m.read(&l.value)?)))
-            } else {
-                Ok(None)
-            }
-        })
+    /// Mem-generic extremum (baseline only, like [`Self::get_mem`]).
+    fn locate_mem<M: Mem>(&self, m: &mut M, probe: u64) -> Result<Option<(u64, u64)>, Abort> {
+        let f = {
+            let mut rd = |c: &TxCell| m.read(c);
+            ops::search_with(&mut rd, self.root, probe)?
+        };
+        let l = unsafe { &*f.l };
+        if l.key <= MAX_KEY {
+            Ok(Some((l.key, m.read(&l.value)?)))
+        } else {
+            Ok(None)
+        }
     }
 
-    fn middle_locate(&self, th: &mut ScxThread, probe: u64) -> Result<Option<(u64, u64)>, Abort> {
-        self.exec.attempt_template(&self.eng, th, |m| {
-            let f = {
-                let mut rd = |c: &TxCell| m.read(c);
-                ops::search_with(&mut rd, self.root, probe)?
-            };
-            let l = unsafe { &*f.l };
-            if l.key <= MAX_KEY {
-                Ok(Some((l.key, m.read(&l.value)?)))
-            } else {
-                Ok(None)
-            }
-        })
+    /// The `read_path: false` baseline: drives a lookup through `run_op`
+    /// exactly like an update (transactional fast/middle attempts, direct
+    /// traversal on the software paths) — what every read paid before the
+    /// dedicated read path existed, kept for A/B measurement.
+    fn get_runop(&self, th: &mut ScxThread, stats: &mut PathStats, key: u64) -> Option<u64> {
+        let (r, _path) = self.exec.run_op(
+            th,
+            stats,
+            |th| self.exec.attempt_seq(&self.eng, th, |m| self.get_mem(m, key)),
+            |th| {
+                self.exec.attempt_template(&self.eng, th, |m| {
+                    let mut mem = TemplateModeMem(m);
+                    self.get_mem(&mut mem, key)
+                })
+            },
+            |th| th.pinned(|_th| self.read_get(key)),
+            |th| th.pinned(|_th| self.read_get(key)),
+        );
+        r
     }
 
-    fn fallback_locate(&self, th: &mut ScxThread, probe: u64) -> Option<(u64, u64)> {
-        th.pinned(|th| {
-            let _ = th;
-            let f = self.search_direct(probe);
-            let l = unsafe { &*f.l };
-            if l.key <= MAX_KEY {
-                Some((l.key, l.value.load_direct(self.exec.runtime())))
-            } else {
-                None
-            }
-        })
+    /// `run_op` baseline for `first`/`last` (see [`Self::get_runop`]).
+    fn locate_runop(
+        &self,
+        th: &mut ScxThread,
+        stats: &mut PathStats,
+        probe: u64,
+    ) -> Option<(u64, u64)> {
+        let (r, _path) = self.exec.run_op(
+            th,
+            stats,
+            |th| self.exec.attempt_seq(&self.eng, th, |m| self.locate_mem(m, probe)),
+            |th| {
+                self.exec.attempt_template(&self.eng, th, |m| {
+                    let mut mem = TemplateModeMem(m);
+                    self.locate_mem(&mut mem, probe)
+                })
+            },
+            |th| th.pinned(|_th| self.read_locate(probe)),
+            |th| th.pinned(|_th| self.read_locate(probe)),
+        );
+        r
     }
 
     fn fast_rq(&self, th: &mut ScxThread, lo: u64, hi: u64) -> Result<Vec<(u64, u64)>, Abort> {
@@ -713,20 +733,24 @@ impl BstHandle {
     }
 
     /// Looks up `key`.
+    ///
+    /// On the default configuration this is a wait-free uninstrumented
+    /// search ([`threepath_core::ExecCtx::run_read`]): zero HTM
+    /// transactions, no locks, no fallback escalation — under every
+    /// strategy, including TLE (reads never take or wait for the global
+    /// lock). Completions land on the
+    /// [`PathKind::Read`](threepath_core::PathKind) stats lane.
     pub fn get(&mut self, key: u64) -> Option<u64> {
         if key > MAX_KEY {
             return None;
         }
         let tree = &self.tree;
-        let (r, _path) = tree.exec.run_op(
-            &mut self.th,
-            &mut self.stats,
-            |th| tree.fast_get(th, key),
-            |th| tree.middle_get(th, key),
-            |th| tree.fallback_get(th, key),
-            |th| tree.fallback_get(th, key),
-        );
-        r
+        if tree.read_path {
+            tree.exec
+                .run_read(&mut self.th, &mut self.stats, |_th| tree.read_get(key))
+        } else {
+            tree.get_runop(&mut self.th, &mut self.stats, key)
+        }
     }
 
     /// Whether `key` is present.
@@ -750,15 +774,12 @@ impl BstHandle {
 
     fn extreme(&mut self, probe: u64) -> Option<(u64, u64)> {
         let tree = &self.tree;
-        let (r, _path) = tree.exec.run_op(
-            &mut self.th,
-            &mut self.stats,
-            |th| tree.fast_locate(th, probe),
-            |th| tree.middle_locate(th, probe),
-            |th| tree.fallback_locate(th, probe),
-            |th| tree.fallback_locate(th, probe),
-        );
-        r
+        if tree.read_path {
+            tree.exec
+                .run_read(&mut self.th, &mut self.stats, |_th| tree.read_locate(probe))
+        } else {
+            tree.locate_runop(&mut self.th, &mut self.stats, probe)
+        }
     }
 
     /// Returns all pairs with keys in `[lo, hi)`, ascending.
@@ -775,8 +796,11 @@ impl BstHandle {
         r
     }
 
-    /// The path the *last* completed operation ran on, according to this
-    /// handle's statistics (diagnostic helper for tests).
+    /// The path *most* of this handle's completed operations ran on,
+    /// according to its statistics (diagnostic helper for tests). On a
+    /// read-heavy handle this is [`PathKind::Read`], the uninstrumented
+    /// read lane — reads never appear on the fast/middle/fallback lanes
+    /// unless the tree was built with `read_path: false`.
     pub fn last_path_hint(&self) -> Option<PathKind> {
         PathKind::ALL
             .into_iter()

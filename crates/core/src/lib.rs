@@ -24,6 +24,13 @@
 //! Data structures plug in four closures (fast, middle, fallback,
 //! sequential-under-lock) and this crate's [`ExecCtx::run_op`] drives
 //! attempts, budgets, waiting, and statistics.
+//!
+//! Read-only operations do not go through `run_op` at all: the paper's
+//! "searches require no synchronization" property gets a first-class
+//! wait-free entry ([`ExecCtx::run_read`] /
+//! [`ExecCtx::run_read_validated`]) with its own [`PathKind::Read`]
+//! statistics lane — no subscription, no budget tally, no fallback
+//! escalation.
 
 #![warn(missing_docs)]
 
@@ -31,6 +38,7 @@ mod access;
 mod budget;
 mod driver;
 mod effects;
+mod readpath;
 mod snzi;
 mod stats;
 mod strategy;
@@ -40,6 +48,7 @@ mod template;
 pub use access::{DirectMem, Mem, TxMem};
 pub use budget::{AdaptiveBudgets, BudgetConfig, OpTally};
 pub use driver::{ExecCtx, StrategySwapError, ADAPTIVE_STRATEGIES};
+pub use readpath::DEFAULT_READ_ATTEMPTS;
 pub use effects::Effects;
 pub use stats::{AbortCounts, PathKind, PathStats};
 pub use snzi::Snzi;

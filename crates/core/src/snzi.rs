@@ -160,20 +160,24 @@ impl Snzi {
         loop {
             let cur = self.root.load(Ordering::Acquire);
             let (c, v) = unpack(cur);
-            let new = if c == 0 {
-                pack(1, v + 1)
+            let (new, epoch) = if c == 0 {
+                (pack(1, v + 1), v as u64 + 1)
             } else {
-                pack(c + 1, v)
+                (pack(c + 1, v), v as u64)
             };
             if self
                 .root
                 .compare_exchange(cur, new, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
-                if c == 0 {
-                    // Epoch v+1 opened.
-                    self.install_indicator(rt, 2 * (v as u64 + 1) + 1);
-                }
+                // Every arriver (help-)installs its epoch's open value,
+                // not just the 0 -> 1 opener: an arriver that increments
+                // a just-opened root must not return while the opener is
+                // still stalled between its CAS and its install — the
+                // indicator would under-report an active fallback. The
+                // install is monotone and idempotent, so the common case
+                // costs one read.
+                self.install_indicator(rt, 2 * epoch + 1);
                 return;
             }
         }

@@ -15,17 +15,31 @@ pub enum PathKind {
     Middle,
     /// Software path: lock-free template, or sequential-under-lock for TLE.
     Fallback,
+    /// The uninstrumented wait-free read path: an epoch-pinned direct
+    /// traversal with **zero** transactions, locks, or `F` subscription —
+    /// the paper's "searches require no synchronization" claim made
+    /// first-class (see `ExecCtx::run_read`). Never records commits or
+    /// aborts; optimistic-validation retries and escalations to the
+    /// transactional machinery are tracked separately
+    /// ([`PathStats::read_retries`] / [`PathStats::read_escalations`]).
+    Read,
 }
 
 impl PathKind {
     /// All paths.
-    pub const ALL: [PathKind; 3] = [PathKind::Fast, PathKind::Middle, PathKind::Fallback];
+    pub const ALL: [PathKind; 4] = [
+        PathKind::Fast,
+        PathKind::Middle,
+        PathKind::Fallback,
+        PathKind::Read,
+    ];
 
     fn index(self) -> usize {
         match self {
             PathKind::Fast => 0,
             PathKind::Middle => 1,
             PathKind::Fallback => 2,
+            PathKind::Read => 3,
         }
     }
 }
@@ -36,6 +50,7 @@ impl fmt::Display for PathKind {
             PathKind::Fast => "fast",
             PathKind::Middle => "middle",
             PathKind::Fallback => "fallback",
+            PathKind::Read => "read",
         })
     }
 }
@@ -82,9 +97,16 @@ impl AbortCounts {
 /// end of a trial.
 #[derive(Debug, Clone, Default)]
 pub struct PathStats {
-    completed: [u64; 3],
-    commits: [u64; 3],
-    aborts: [AbortCounts; 3],
+    completed: [u64; 4],
+    commits: [u64; 4],
+    aborts: [AbortCounts; 4],
+    /// Optimistic-read validation failures (seqlock re-check lost a race
+    /// with an in-place mutation; the read re-ran its traversal).
+    read_retries: u64,
+    /// Reads whose optimistic attempts all failed validation and which
+    /// escalated to the transactional machinery (`run_op`); their
+    /// completion is recorded on whatever path finished them.
+    read_escalations: u64,
 }
 
 impl PathStats {
@@ -155,7 +177,10 @@ impl PathStats {
     /// Aborted attempts per completed operation (0 when idle) — the load
     /// signal adaptive strategy controllers act on: a rate near 0 means the
     /// HTM fast path commits eagerly, a rate in the tens means most
-    /// transactional work is wasted retries.
+    /// transactional work is wasted retries. Read-lane completions count
+    /// in the denominator and never abort, so a read-heavy mix reads as
+    /// calm — which is correct: its updates are the only transactional
+    /// work there is.
     pub fn abort_rate(&self) -> f64 {
         let total = self.total_completed();
         if total == 0 {
@@ -171,13 +196,38 @@ impl PathStats {
         self.completed_fraction(PathKind::Fallback)
     }
 
+    /// Records `n` optimistic-read validation failures.
+    pub fn add_read_retries(&mut self, n: u64) {
+        self.read_retries += n;
+    }
+
+    /// Records a read that exhausted its optimistic attempts and escalated
+    /// to the transactional machinery.
+    pub fn record_read_escalation(&mut self) {
+        self.read_escalations += 1;
+    }
+
+    /// Optimistic-read validation failures (each one re-ran the read's
+    /// traversal; zero on the BST, whose reads never need validation).
+    pub fn read_retries(&self) -> u64 {
+        self.read_retries
+    }
+
+    /// Reads that escalated to `run_op` after exhausting their optimistic
+    /// attempts (completed on fast/middle/fallback, not the read lane).
+    pub fn read_escalations(&self) -> u64 {
+        self.read_escalations
+    }
+
     /// Accumulates another thread's statistics into this one.
     pub fn merge(&mut self, other: &PathStats) {
-        for i in 0..3 {
+        for i in 0..4 {
             self.completed[i] += other.completed[i];
             self.commits[i] += other.commits[i];
             self.aborts[i].merge(&other.aborts[i]);
         }
+        self.read_retries += other.read_retries;
+        self.read_escalations += other.read_escalations;
     }
 }
 
@@ -202,6 +252,11 @@ impl fmt::Display for PathStats {
                 a.spurious
             )?;
         }
+        writeln!(
+            f,
+            "read-lane retries {} escalations {}",
+            self.read_retries, self.read_escalations
+        )?;
         Ok(())
     }
 }
@@ -252,6 +307,30 @@ mod tests {
     fn empty_fraction_is_zero() {
         let s = PathStats::new();
         assert_eq!(s.completed_fraction(PathKind::Fast), 0.0);
+    }
+
+    #[test]
+    fn read_lane_counts_and_merges() {
+        let mut s = PathStats::new();
+        s.record_completed(PathKind::Read);
+        s.record_completed(PathKind::Read);
+        s.record_completed(PathKind::Fast);
+        s.add_read_retries(3);
+        s.record_read_escalation();
+        assert_eq!(s.completed(PathKind::Read), 2);
+        assert_eq!(s.total_completed(), 3);
+        assert_eq!(s.read_retries(), 3);
+        assert_eq!(s.read_escalations(), 1);
+        assert_eq!(s.aborts(PathKind::Read), AbortCounts::default());
+        assert!((s.completed_fraction(PathKind::Read) - 2.0 / 3.0).abs() < 1e-12);
+        let mut t = PathStats::new();
+        t.merge(&s);
+        t.merge(&s);
+        assert_eq!(t.completed(PathKind::Read), 4);
+        assert_eq!(t.read_retries(), 6);
+        assert_eq!(t.read_escalations(), 2);
+        assert!(s.to_string().contains("read"));
+        assert!(s.to_string().contains("retries 3"));
     }
 
     #[test]

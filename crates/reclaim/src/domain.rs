@@ -9,7 +9,7 @@ use std::sync::{Arc, Mutex};
 use threepath_htm::CachePadded;
 
 use crate::bag::{Bag, Retired};
-use crate::pool::{self, Chunk, NodePool, OrphanChain, PoolStats};
+use crate::pool::{Chunk, ClassTable, NodePool, OrphanChain, PoolStats};
 use crate::GRACE_EPOCHS;
 
 /// How a domain reclaims retired objects.
@@ -35,6 +35,11 @@ pub struct PoolConfig {
     /// Blocks carved per arena chunk on a free-list miss (amortizes one
     /// global allocation over this many node hand-outs).
     pub chunk_blocks: usize,
+    /// The domain's size-class table. Defaults to the standard table;
+    /// structures with fat nodes add an exact-fit class with
+    /// [`PoolConfig::with_class_of`] so they stop paying internal
+    /// fragmentation.
+    pub classes: ClassTable,
 }
 
 impl Default for PoolConfig {
@@ -43,6 +48,7 @@ impl Default for PoolConfig {
         PoolConfig {
             enabled: true,
             chunk_blocks: 64,
+            classes: ClassTable::standard(),
         }
     }
 }
@@ -52,8 +58,15 @@ impl PoolConfig {
     pub fn disabled() -> Self {
         PoolConfig {
             enabled: false,
-            chunk_blocks: 64,
+            ..PoolConfig::default()
         }
+    }
+
+    /// Adds a dedicated size class exactly fitting `T` (see
+    /// [`ClassTable::with_class_of`]).
+    pub fn with_class_of<T>(mut self) -> Self {
+        self.classes = self.classes.with_class_of::<T>();
+        self
     }
 }
 
@@ -151,7 +164,17 @@ impl Domain {
         if !self.pool_cfg.enabled {
             return None;
         }
-        pool::class_for(Layout::new::<T>())
+        self.pool_cfg.classes.class_for(Layout::new::<T>())
+    }
+
+    /// The pooled block size serving `T`, or `None` when `T` bypasses the
+    /// pool. `block_size_of::<T>() - size_of::<T>()` is the internal
+    /// fragmentation `T` pays per node — a structure that registers a
+    /// dedicated class ([`PoolConfig::with_class_of`]) keeps it under one
+    /// cache line.
+    pub fn block_size_of<T>(&self) -> Option<usize> {
+        self.class_of::<T>()
+            .map(|c| self.pool_cfg.classes.block_size(c))
     }
 
     /// Registers the calling thread, returning its reclamation context.
@@ -182,7 +205,7 @@ impl Domain {
             pin_count: Cell::new(0),
             local_epoch: Cell::new(0),
             bags: UnsafeCell::new([Bag::default(), Bag::default(), Bag::default()]),
-            pool: UnsafeCell::new(NodePool::new(chunk_blocks)),
+            pool: UnsafeCell::new(NodePool::with_table(chunk_blocks, domain.pool_cfg.classes)),
         }
     }
 
@@ -724,6 +747,7 @@ mod tests {
             PoolConfig {
                 enabled: true,
                 chunk_blocks: 8,
+                ..PoolConfig::default()
             },
         ))
     }

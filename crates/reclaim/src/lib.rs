@@ -50,7 +50,7 @@ mod domain;
 mod pool;
 
 pub use domain::{Domain, Guard, PoolConfig, ReclaimCtx, ReclaimMode};
-pub use pool::{NodePool, PoolStats, BLOCK_ALIGN, CLASS_SIZES, NUM_CLASSES};
+pub use pool::{ClassTable, NodePool, PoolStats, BLOCK_ALIGN, CLASS_SIZES, MAX_CLASSES, NUM_CLASSES};
 
 /// Number of logical epochs objects must age before being freed.
 pub(crate) const GRACE_EPOCHS: u64 = 2;

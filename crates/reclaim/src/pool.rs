@@ -37,29 +37,125 @@ use std::ptr;
 /// alignment fall back to the global allocator.
 pub const BLOCK_ALIGN: usize = 64;
 
-/// Block size of each class. Classes are cache-line multiples — fine
-/// steps up to 512 bytes (node-sized structures live there: a BST node
-/// fits class 0 exactly, the relaxed (a,b)-tree's b = 16 nodes take the
-/// ~5-line class; a coarse table would waste a large fraction of each
-/// block and the cache lines that back it), then powers of two.
+/// Block size of each class in the *standard* table. Classes are
+/// cache-line multiples — fine steps up to 512 bytes (node-sized
+/// structures live there: a BST node fits class 0 exactly, the relaxed
+/// (a,b)-tree's b = 16 nodes take the ~5-line class; a coarse table would
+/// waste a large fraction of each block and the cache lines that back it),
+/// then powers of two.
 pub const CLASS_SIZES: [usize; 10] =
     [64, 128, 192, 256, 320, 384, 448, 512, 1024, 2048];
 
-/// Number of size classes.
+/// Number of size classes in the standard table.
 pub const NUM_CLASSES: usize = CLASS_SIZES.len();
 
-/// The size class serving `layout`, or `None` when the layout is too big
-/// or over-aligned and must use the global allocator. Pure function of the
-/// layout and the class table, so allocation and retirement sites agree on
-/// a type's class without storing anything per object.
-pub fn class_for(layout: Layout) -> Option<u8> {
-    if layout.align() > BLOCK_ALIGN {
-        return None;
+/// Maximum number of size classes a [`ClassTable`] may hold (the standard
+/// table plus a few per-structure exact-fit classes).
+pub const MAX_CLASSES: usize = 16;
+
+/// A domain's size-class table: the sorted block sizes its pools segregate
+/// free lists by.
+///
+/// Every domain starts from the [standard](ClassTable::standard) table;
+/// structures with fat nodes add a dedicated exact-fit class via
+/// [`ClassTable::with_class_of`] so they stop paying internal
+/// fragmentation (ROADMAP PR 4 follow-up: per-structure class tables).
+/// Class *indices* are only meaningful within one domain — allocation,
+/// retirement and orphan-chain adoption all happen against a single
+/// domain's table, so the indices can never cross tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassTable {
+    sizes: [usize; MAX_CLASSES],
+    len: usize,
+}
+
+impl ClassTable {
+    /// The standard table ([`CLASS_SIZES`]).
+    pub fn standard() -> Self {
+        let mut sizes = [0usize; MAX_CLASSES];
+        sizes[..NUM_CLASSES].copy_from_slice(&CLASS_SIZES);
+        ClassTable {
+            sizes,
+            len: NUM_CLASSES,
+        }
     }
-    CLASS_SIZES
-        .iter()
-        .position(|&s| s >= layout.size().max(1))
-        .map(|i| i as u8)
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table holds no classes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The block sizes, ascending.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes[..self.len]
+    }
+
+    /// Block size of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn block_size(&self, class: u8) -> usize {
+        self.sizes()[class as usize]
+    }
+
+    /// Adds a dedicated class exactly fitting `T` (its size rounded up to
+    /// the cache-line multiple pooled blocks require). No-op when such a
+    /// class already exists or when `T` cannot be pooled at all (too big
+    /// for the largest standard class stays poolable — the new class is
+    /// inserted — but over-alignment bypasses the pool entirely).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is full ([`MAX_CLASSES`]).
+    pub fn with_class_of<T>(mut self) -> Self {
+        let layout = Layout::new::<T>();
+        if layout.align() > BLOCK_ALIGN || layout.size() == 0 {
+            return self;
+        }
+        let size = layout.size().div_ceil(BLOCK_ALIGN) * BLOCK_ALIGN;
+        let slice = &self.sizes[..self.len];
+        let Err(pos) = slice.binary_search(&size) else {
+            return self; // exact class already present
+        };
+        assert!(self.len < MAX_CLASSES, "class table full");
+        self.sizes.copy_within(pos..self.len, pos + 1);
+        self.sizes[pos] = size;
+        self.len += 1;
+        self
+    }
+
+    /// The size class serving `layout`, or `None` when the layout is too
+    /// big or over-aligned and must use the global allocator. Pure
+    /// function of the layout and the table, so allocation and retirement
+    /// sites agree on a type's class without storing anything per object.
+    pub fn class_for(&self, layout: Layout) -> Option<u8> {
+        if layout.align() > BLOCK_ALIGN {
+            return None;
+        }
+        self.sizes()
+            .iter()
+            .position(|&s| s >= layout.size().max(1))
+            .map(|i| i as u8)
+    }
+}
+
+impl Default for ClassTable {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// The *standard-table* size class serving `layout` (see
+/// [`ClassTable::class_for`]).
+#[cfg(test)]
+pub(crate) fn class_for(layout: Layout) -> Option<u8> {
+    ClassTable::standard().class_for(layout)
 }
 
 /// One arena chunk: a single allocation carved into `CLASS_SIZES[class]`
@@ -149,9 +245,11 @@ unsafe impl Send for OrphanChain {}
 /// `ReclaimCtx`.
 pub struct NodePool {
     /// Intrusive free-list heads (next pointer stored in each block's
-    /// first word).
-    heads: [*mut u8; NUM_CLASSES],
-    free_len: [u64; NUM_CLASSES],
+    /// first word). Indexed by class of `table`; slots past `table.len()`
+    /// stay empty.
+    heads: [*mut u8; MAX_CLASSES],
+    free_len: [u64; MAX_CLASSES],
+    table: ClassTable,
     chunk_blocks: usize,
     chunks: Vec<Chunk>,
     stats: PoolStats,
@@ -163,16 +261,29 @@ pub struct NodePool {
 unsafe impl Send for NodePool {}
 
 impl NodePool {
-    /// A pool whose refills carve `chunk_blocks` blocks at a time.
+    /// A pool over the standard class table whose refills carve
+    /// `chunk_blocks` blocks at a time.
     ///
     /// # Panics
     ///
     /// Panics if `chunk_blocks` is zero.
     pub fn new(chunk_blocks: usize) -> Self {
+        Self::with_table(chunk_blocks, ClassTable::standard())
+    }
+
+    /// A pool over an explicit class table (all pools of one domain must
+    /// share the domain's table — class indices travel between them via
+    /// cross-thread recycling and orphan-chain adoption).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_blocks` is zero.
+    pub fn with_table(chunk_blocks: usize, table: ClassTable) -> Self {
         assert!(chunk_blocks > 0, "chunk_blocks must be positive");
         NodePool {
-            heads: [ptr::null_mut(); NUM_CLASSES],
-            free_len: [0; NUM_CLASSES],
+            heads: [ptr::null_mut(); MAX_CLASSES],
+            free_len: [0; MAX_CLASSES],
+            table,
             chunk_blocks,
             chunks: Vec::new(),
             stats: PoolStats::default(),
@@ -224,7 +335,7 @@ impl NodePool {
 
     /// Carves one fresh chunk for `class` and parks its blocks.
     fn carve(&mut self, class: u8) {
-        let size = CLASS_SIZES[class as usize];
+        let size = self.table.block_size(class);
         let layout = Layout::from_size_align(size * self.chunk_blocks, BLOCK_ALIGN)
             .expect("chunk layout overflow");
         // SAFETY: layout has non-zero size.
@@ -312,7 +423,7 @@ impl NodePool {
     /// chains, both destined for the domain.
     pub(crate) fn take_orphans(&mut self) -> (Vec<Chunk>, Vec<OrphanChain>) {
         let mut chains = Vec::new();
-        for c in 0..NUM_CLASSES {
+        for c in 0..self.table.len() {
             if !self.heads[c].is_null() {
                 chains.push(OrphanChain {
                     class: c as u8,
@@ -348,6 +459,55 @@ mod tests {
             assert!(s > prev && s % BLOCK_ALIGN == 0, "class {s}");
             prev = s;
         }
+    }
+
+    #[test]
+    fn class_table_with_class_of_inserts_exact_fit() {
+        struct Fat(#[allow(dead_code)] [u8; 600]);
+        let t = ClassTable::standard().with_class_of::<Fat>();
+        assert_eq!(t.len(), NUM_CLASSES + 1);
+        let c = t.class_for(Layout::new::<Fat>()).unwrap();
+        assert_eq!(t.block_size(c), 640, "600 B rounds up to 10 lines");
+        assert!(t.sizes().windows(2).all(|w| w[0] < w[1]), "sorted");
+        // Re-adding is a no-op, as is a size the standard table covers
+        // exactly already.
+        assert_eq!(t.with_class_of::<Fat>(), t);
+        assert_eq!(
+            ClassTable::standard().with_class_of::<[u8; 64]>(),
+            ClassTable::standard()
+        );
+        // Over-aligned types bypass the pool and gain no class.
+        #[repr(align(128))]
+        struct Over(#[allow(dead_code)] u8);
+        assert_eq!(
+            ClassTable::standard().with_class_of::<Over>(),
+            ClassTable::standard()
+        );
+        assert_eq!(t.class_for(Layout::new::<Over>()), None);
+        // Beyond the standard maximum, a dedicated class still pools.
+        let big = ClassTable::standard().with_class_of::<[u8; 4096]>();
+        let cb = big.class_for(Layout::new::<[u8; 4096]>()).unwrap();
+        assert_eq!(big.block_size(cb), 4096);
+    }
+
+    #[test]
+    fn pool_serves_dedicated_classes() {
+        let t = ClassTable::standard().with_class_of::<[u8; 600]>();
+        let mut p = NodePool::with_table(2, t);
+        let c = t.class_for(Layout::new::<[u8; 600]>()).unwrap();
+        let a = p.alloc_block(c);
+        let b = p.alloc_block(c);
+        assert_ne!(a, b);
+        // The whole 640-byte block is usable and blocks do not overlap.
+        unsafe {
+            ptr::write_bytes(a, 0xA5, t.block_size(c));
+            ptr::write_bytes(b, 0x5A, t.block_size(c));
+            assert_eq!(a.add(t.block_size(c) - 1).read(), 0xA5);
+            assert_eq!(b.add(t.block_size(c) - 1).read(), 0x5A);
+            p.recycle(c, a);
+            p.recycle(c, b);
+        }
+        assert_eq!(p.free_blocks(c), 2);
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub struct ShardedConfig {
     /// [`adaptive`](Self::adaptive) strategy switching; when both are on,
     /// a strategy swap re-anchors the shard's budgets.
     pub budget: Option<BudgetConfig>,
+    /// Route every shard's `get`/`contains`/`first`/`last` through the
+    /// uninstrumented wait-free read path (zero transactions and locks;
+    /// seqlock-validated on the (a,b)-tree backend). On by default; off
+    /// routes reads through `run_op` — the read-heavy benchmarks' baseline.
+    pub read_path: bool,
 }
 
 impl ShardedConfig {
@@ -125,6 +130,7 @@ impl Default for ShardedConfig {
             limits: None,
             pool: true,
             budget: None,
+            read_path: true,
         }
     }
 }
@@ -427,7 +433,10 @@ impl ShardedHandle {
         r
     }
 
-    /// Looks up a key.
+    /// Looks up a key: routes straight to the owning shard's read path —
+    /// on the default configuration an uninstrumented wait-free traversal
+    /// of that shard's tree (zero transactions, no locks), recorded on
+    /// the merged [`PathStats`]' read lane.
     pub fn get(&mut self, key: u64) -> Option<u64> {
         let s = self.map.shard_of(key);
         let r = self.shard_handle(s).get(key);

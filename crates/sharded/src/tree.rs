@@ -69,6 +69,7 @@ impl ShardTree {
                 adaptive,
                 pool: cfg.pool,
                 budget: cfg.budget.clone(),
+                read_path: cfg.read_path,
             }))),
             ShardBackend::AbTree => ShardTree::AbTree(Arc::new(AbTree::with_config(AbTreeConfig {
                 strategy: cfg.strategy,
@@ -80,6 +81,7 @@ impl ShardTree {
                 adaptive,
                 pool: cfg.pool,
                 budget: cfg.budget.clone(),
+                read_path: cfg.read_path,
                 ..AbTreeConfig::default()
             }))),
         }

@@ -39,6 +39,7 @@ fn tree_config(spec: &TrialSpec, shards: usize, sharded: bool) -> ShardedConfig 
         limits: spec.limits,
         pool: spec.pool,
         budget: spec.budget.clone(),
+        read_path: spec.read_path,
     }
 }
 

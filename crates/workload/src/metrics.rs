@@ -14,6 +14,8 @@ pub struct TrialResult {
     pub total_ops: u64,
     /// Completed update operations.
     pub update_ops: u64,
+    /// Completed point lookups (read-heavy workloads).
+    pub read_ops: u64,
     /// Completed range queries.
     pub rq_ops: u64,
     /// Wall-clock duration actually measured.
@@ -36,6 +38,14 @@ impl TrialResult {
         self.stats.completed_fraction(path)
     }
 
+    /// Fraction of completions that ran on the uninstrumented read lane
+    /// — the read-path share. For a read-heavy trial with `read_path` on,
+    /// this tracks the workload's read ratio; with `read_path` off it is
+    /// 0 (lookups complete on fast/middle/fallback like updates).
+    pub fn read_path_share(&self) -> f64 {
+        self.stats.completed_fraction(PathKind::Read)
+    }
+
     /// The pool's hand-out hit rate (0 when pooling was off or idle).
     pub fn pool_hit_rate(&self) -> f64 {
         self.pool.hit_rate()
@@ -50,6 +60,7 @@ pub fn average(results: &[TrialResult]) -> TrialResult {
     let mut throughput = 0.0;
     let mut total_ops = 0;
     let mut update_ops = 0;
+    let mut read_ops = 0;
     let mut rq_ops = 0;
     let mut elapsed = Duration::ZERO;
     let mut keysum_ok = true;
@@ -59,6 +70,7 @@ pub fn average(results: &[TrialResult]) -> TrialResult {
         throughput += r.throughput;
         total_ops += r.total_ops;
         update_ops += r.update_ops;
+        read_ops += r.read_ops;
         rq_ops += r.rq_ops;
         elapsed += r.elapsed;
         keysum_ok &= r.keysum_ok;
@@ -68,6 +80,7 @@ pub fn average(results: &[TrialResult]) -> TrialResult {
         throughput: throughput / results.len() as f64,
         total_ops,
         update_ops,
+        read_ops,
         rq_ops,
         elapsed,
         stats,
@@ -85,7 +98,8 @@ mod tests {
         TrialResult {
             throughput: tp,
             total_ops: 10,
-            update_ops: 8,
+            update_ops: 6,
+            read_ops: 2,
             rq_ops: 2,
             elapsed: Duration::from_millis(100),
             stats: PathStats::new(),

@@ -38,6 +38,7 @@ pub fn prefill(tree: &AnyTree, key_range: u64, seed: u64) -> i128 {
 
 struct WorkerOutcome {
     updates: u64,
+    reads: u64,
     rqs: u64,
     keysum_delta: i64,
     stats: PathStats,
@@ -63,6 +64,37 @@ fn updater_loop(
         ops += 1;
     }
     (ops, delta)
+}
+
+/// The YCSB-shaped mixed loop: `read_pct`% lookups, the rest 50/50
+/// inserts/deletes. Returns `(updates, reads, keysum delta)`.
+fn read_mix_loop(
+    h: &mut AnyHandle,
+    sampler: &KeySampler,
+    rng: &mut SplitMix64,
+    stop: &AtomicBool,
+    read_pct: u8,
+) -> (u64, u64, i64) {
+    let mut updates = 0u64;
+    let mut reads = 0u64;
+    let mut delta = 0i64;
+    while !stop.load(Ordering::Relaxed) {
+        let k = sampler.sample(rng);
+        if rng.next_below(100) < u64::from(read_pct) {
+            std::hint::black_box(h.get(k));
+            reads += 1;
+        } else {
+            if rng.next_below(2) == 0 {
+                if h.insert(k, reads).is_none() {
+                    delta += k as i64;
+                }
+            } else if h.remove(k).is_some() {
+                delta -= k as i64;
+            }
+            updates += 1;
+        }
+    }
+    (updates, reads, delta)
 }
 
 fn rq_loop(h: &mut AnyHandle, key_range: u64, rq_extent: u64, rng: &mut SplitMix64, stop: &AtomicBool) -> u64 {
@@ -118,19 +150,24 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
                 let is_rq_thread = matches!(spec.workload, Workload::Heavy { .. })
                     && t == spec.threads - 1
                     && spec.threads >= 1;
-                let (updates, rqs, delta) = if is_rq_thread {
+                let (updates, reads, rqs, delta) = if is_rq_thread {
                     let Workload::Heavy { rq_extent } = spec.workload else {
                         unreachable!()
                     };
                     let rqs = rq_loop(&mut h, spec.key_range, rq_extent, &mut rng, &stop);
-                    (0, rqs, 0)
+                    (0, 0, rqs, 0)
+                } else if let Workload::ReadHeavy { read_pct } = spec.workload {
+                    let (updates, reads, delta) =
+                        read_mix_loop(&mut h, sampler, &mut rng, &stop, read_pct);
+                    (updates, reads, 0, delta)
                 } else {
                     let (ops, delta) = updater_loop(&mut h, sampler, &mut rng, &stop);
-                    (ops, 0, delta)
+                    (ops, 0, 0, delta)
                 };
                 delta_total.fetch_add(delta, Ordering::Relaxed);
                 WorkerOutcome {
                     updates,
+                    reads,
                     rqs,
                     keysum_delta: delta,
                     stats: h.stats(),
@@ -148,11 +185,13 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
 
     let mut stats = PathStats::new();
     let mut updates = 0u64;
+    let mut reads = 0u64;
     let mut rqs = 0u64;
     let mut delta: i128 = 0;
     for o in &outcomes {
         stats.merge(&o.stats);
         updates += o.updates;
+        reads += o.reads;
         rqs += o.rqs;
         delta += o.keysum_delta as i128;
     }
@@ -160,12 +199,13 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     tree.validate().expect("structural validation failed");
     let final_sum = tree.key_sum() as i128;
     let keysum_ok = final_sum == prefill_sum + delta;
-    let total_ops = updates + rqs;
+    let total_ops = updates + reads + rqs;
 
     TrialResult {
         throughput: total_ops as f64 / elapsed.as_secs_f64(),
         total_ops,
         update_ops: updates,
+        read_ops: reads,
         rq_ops: rqs,
         elapsed,
         stats,
@@ -406,6 +446,89 @@ mod tests {
             limits.fast < 10,
             "a 95% spurious storm must shrink the fast budget, got {limits:?}"
         );
+    }
+
+    /// Read-heavy trials verify on every structure, report their reads,
+    /// and — with the read path on — complete every lookup on the
+    /// uninstrumented read lane.
+    #[test]
+    fn read_heavy_trials_verify_and_use_the_read_lane() {
+        use threepath_core::PathKind;
+        for structure in [
+            Structure::Bst,
+            Structure::AbTree,
+            Structure::ShardedBst { shards: 4 },
+            Structure::ShardedAbTree { shards: 3 },
+        ] {
+            let mut spec = quick_spec(structure, Strategy::ThreePath, false);
+            spec.workload = Workload::ReadHeavy { read_pct: 95 };
+            let r = run_trial(&spec);
+            assert!(r.keysum_ok, "{structure} read-heavy keysum failed");
+            assert!(r.read_ops > 0, "{structure}: no reads completed");
+            assert!(r.update_ops > 0, "{structure}: no updates completed");
+            assert_eq!(r.total_ops, r.update_ops + r.read_ops);
+            // Escalations (bounded-optimistic reads that lost every
+            // validation race) are counted, legitimate exceptions.
+            assert!(
+                r.stats.completed(PathKind::Read) + r.stats.read_escalations() >= r.read_ops,
+                "{structure}: lookups must ride the read lane \
+                 ({} lane completions, {} escalations, {} reads)",
+                r.stats.completed(PathKind::Read),
+                r.stats.read_escalations(),
+                r.read_ops
+            );
+            assert!(r.read_path_share() > 0.0);
+        }
+    }
+
+    /// The `read_path: false` baseline drives lookups through `run_op`:
+    /// the read lane stays empty and reads complete on the classic paths.
+    #[test]
+    fn read_path_off_routes_lookups_through_run_op() {
+        use threepath_core::PathKind;
+        let mut spec = quick_spec(Structure::Bst, Strategy::ThreePath, false);
+        spec.workload = Workload::ReadHeavy { read_pct: 100 };
+        spec.read_path = false;
+        let r = run_trial(&spec);
+        assert!(r.keysum_ok);
+        assert!(r.read_ops > 0);
+        assert_eq!(r.stats.completed(PathKind::Read), 0, "read lane unused");
+        assert_eq!(r.read_path_share(), 0.0);
+        assert!(r.stats.total_completed() > 0);
+    }
+
+    /// Acceptance check for the read path: in the steady state a lookup
+    /// executes **zero** HTM transactions on either backend — even under
+    /// TLE (no lock) and under a spurious-abort storm (reads are immune).
+    #[test]
+    fn pure_read_mix_executes_zero_transactions() {
+        use threepath_core::PathKind;
+        use threepath_htm::HtmConfig;
+        for structure in [Structure::Bst, Structure::AbTree] {
+            for strategy in [Strategy::ThreePath, Strategy::Tle] {
+                let mut spec = quick_spec(structure, strategy, false);
+                spec.workload = Workload::ReadHeavy { read_pct: 100 };
+                spec.htm = HtmConfig::default().with_spurious(0.9);
+                let r = run_trial(&spec);
+                assert!(r.read_ops > 0);
+                assert_eq!(r.update_ops, 0, "100% read mix");
+                assert_eq!(
+                    r.stats.completed(PathKind::Read),
+                    r.read_ops,
+                    "{structure}/{strategy}: every lookup on the read lane"
+                );
+                for p in [PathKind::Fast, PathKind::Middle, PathKind::Fallback] {
+                    assert_eq!(
+                        r.stats.completed(p),
+                        0,
+                        "{structure}/{strategy}: read ops leaked onto {p}"
+                    );
+                    assert_eq!(r.stats.commits(p), 0);
+                    assert_eq!(r.stats.aborts(p).total(), 0);
+                }
+                assert_eq!(r.stats.read_escalations(), 0, "no contention, no escalation");
+            }
+        }
     }
 
     #[test]

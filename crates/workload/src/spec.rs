@@ -193,7 +193,7 @@ impl FromStr for KeyDist {
     }
 }
 
-/// Workload mix (paper Section 7.1).
+/// Workload mix (paper Section 7.1, plus YCSB-style read-heavy mixes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Workload {
     /// All `n` threads perform 50% inserts / 50% deletes.
@@ -204,6 +204,14 @@ pub enum Workload {
         /// Maximum range-query extent `S`.
         rq_extent: u64,
     },
+    /// Every thread performs `read_pct`% lookups and the rest 50/50
+    /// inserts/deletes — `read_pct: 95` is YCSB-B-shaped, `100` is
+    /// YCSB-C (read-only after prefill), the dominant serving mixes the
+    /// uninstrumented read path targets.
+    ReadHeavy {
+        /// Percentage of operations that are lookups (`0..=100`).
+        read_pct: u8,
+    },
 }
 
 impl std::fmt::Display for Workload {
@@ -211,6 +219,7 @@ impl std::fmt::Display for Workload {
         match self {
             Workload::Light => f.write_str("light"),
             Workload::Heavy { .. } => f.write_str("heavy"),
+            Workload::ReadHeavy { read_pct } => write!(f, "read-{read_pct}"),
         }
     }
 }
@@ -260,6 +269,10 @@ pub struct TrialSpec {
     /// Adaptive attempt budgets, anchored at the paper's 10/10/20 (see
     /// [`BudgetConfig`]). `None` keeps the paper's fixed budgets.
     pub budget: Option<BudgetConfig>,
+    /// Route lookups through the uninstrumented wait-free read path (on
+    /// by default); off drives them through `run_op` like any update —
+    /// the baseline the read-heavy benchmark panels compare against.
+    pub read_path: bool,
     /// Base PRNG seed (trial `i` derives per-thread seeds from it).
     pub seed: u64,
 }
@@ -283,6 +296,7 @@ impl Default for TrialSpec {
             limits: None,
             pool: true,
             budget: None,
+            read_path: true,
             seed: 0x5EED,
         }
     }
