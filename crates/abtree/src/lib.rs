@@ -43,6 +43,7 @@ mod node;
 mod ops;
 mod readpath;
 mod rq;
+mod scan;
 mod tree;
 
 pub use node::{B, MAX_KEY};

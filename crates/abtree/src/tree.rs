@@ -16,6 +16,7 @@ use crate::node::{AbNode, B, MAX_KEY};
 use crate::ops::{self, AbFound, UpdResult};
 use crate::readpath;
 use crate::rq;
+use crate::scan;
 
 /// Configuration for an [`AbTree`].
 #[derive(Debug, Clone)]
@@ -58,6 +59,16 @@ pub struct AbTreeConfig {
     /// default; off routes reads through `run_op` (the baseline the
     /// read-heavy benchmarks compare against).
     pub read_path: bool,
+    /// Route `range_query` through the uninstrumented scan path: an
+    /// epoch-pinned multi-leaf traversal that accumulates a validation
+    /// set (followed edges + per-leaf version words) and re-validates it
+    /// as a whole (see `crate::scan`). Lost races retry; after
+    /// [`threepath_core::DEFAULT_READ_ATTEMPTS`] failures a partial
+    /// rescan re-reads only the invalidated subranges, and only if that
+    /// also fails does the scan escalate to the transactional machinery.
+    /// On by default; off routes scans through `run_op` (the baseline
+    /// the scan benchmarks compare against).
+    pub scan_path: bool,
 }
 
 impl Default for AbTreeConfig {
@@ -74,6 +85,7 @@ impl Default for AbTreeConfig {
             pool: true,
             budget: None,
             read_path: true,
+            scan_path: true,
         }
     }
 }
@@ -111,6 +123,8 @@ pub struct AbTree {
     pooled: bool,
     /// Whether reads bypass `run_op` (see [`AbTreeConfig::read_path`]).
     read_path: bool,
+    /// Whether scans bypass `run_op` (see [`AbTreeConfig::scan_path`]).
+    scan_path: bool,
 }
 
 // SAFETY: shared mutation of the raw node graph is mediated by the HTM
@@ -175,6 +189,7 @@ impl AbTree {
             sec8: cfg.search_outside_txn,
             pooled,
             read_path: cfg.read_path,
+            scan_path: cfg.scan_path,
         }
     }
 
@@ -916,7 +931,20 @@ impl AbTreeHandle {
             ) {
                 return r;
             }
-            // Optimistic attempts kept losing validation races: escalate.
+            // Optimistic attempts kept losing validation races: escalate
+            // with whatever attempt limits are currently in force
+            // (including adaptively collapsed ones) but without feeding
+            // the budget tally — an escalated read's aborts say nothing
+            // about the update mix the budgets adapt to.
+            let (r, _path) = tree.exec.run_op_escalated(
+                &mut self.th,
+                &mut self.stats,
+                |th| tree.fast_get(th, key),
+                |th| tree.middle_get(th, key),
+                |th| tree.fallback_get(th, key),
+                |th| tree.fallback_get(th, key),
+            );
+            return r;
         }
         let (r, _path) = tree.exec.run_op(
             &mut self.th,
@@ -930,8 +958,60 @@ impl AbTreeHandle {
     }
 
     /// Returns all pairs with keys in `[lo, hi)`, ascending.
+    ///
+    /// On the default configuration this is an uninstrumented optimistic
+    /// scan: an epoch-pinned multi-leaf traversal with zero HTM
+    /// transactions and no locks in the steady state, under every
+    /// strategy. Every followed edge and every visited leaf's version
+    /// word goes into a validation set that is re-checked as a whole
+    /// after the copy-out; a scan that keeps losing races escalates
+    /// first to a partial rescan of only the invalidated subranges, then
+    /// to the transactional machinery. Completions land on the
+    /// [`PathKind::Read`](threepath_core::PathKind) lane; retries,
+    /// validated-leaf counts, and terminal escalations land in the
+    /// [`PathStats`] scan lane.
     pub fn range_query(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
         let tree = &self.tree;
+        if tree.scan_path {
+            let state = std::cell::RefCell::new(scan::ScanState::new());
+            if let Some(r) = tree.exec.run_scan(
+                &mut self.th,
+                &mut self.stats,
+                threepath_core::DEFAULT_READ_ATTEMPTS,
+                |_th, tally| {
+                    state.borrow_mut().attempt_full(
+                        tree.exec.runtime(),
+                        tree.entry,
+                        lo,
+                        hi,
+                        tally,
+                        &mut || {},
+                    )
+                },
+                |_th, tally| {
+                    state.borrow_mut().attempt_partial(
+                        tree.exec.runtime(),
+                        tree.entry,
+                        tally,
+                        &mut || {},
+                        scan::PARTIAL_ROUNDS,
+                    )
+                },
+            ) {
+                return r;
+            }
+            // Even the partial rescan kept losing races: escalate without
+            // feeding the adaptive budget tally (as in `get`).
+            let (r, _path) = tree.exec.run_op_escalated(
+                &mut self.th,
+                &mut self.stats,
+                |th| tree.fast_rq(th, lo, hi),
+                |th| tree.middle_rq(th, lo, hi),
+                |th| tree.fallback_rq(th, lo, hi),
+                |th| tree.locked_rq(th, lo, hi),
+            );
+            return r;
+        }
         let (r, _path) = tree.exec.run_op(
             &mut self.th,
             &mut self.stats,
@@ -969,6 +1049,16 @@ impl AbTreeHandle {
             ) {
                 return r;
             }
+            // Escalate without feeding the budget tally (as in `get`).
+            let (r, _path) = tree.exec.run_op_escalated(
+                &mut self.th,
+                &mut self.stats,
+                |th| tree.fast_extreme(th, last),
+                |th| tree.middle_extreme(th, last),
+                |th| tree.fallback_extreme(th, last),
+                |th| tree.locked_extreme(th, last),
+            );
+            return r;
         }
         let (r, _path) = tree.exec.run_op(
             &mut self.th,

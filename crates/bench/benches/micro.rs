@@ -11,6 +11,12 @@
 //!   storm is where the baseline collapses (reads fall back to the
 //!   serialized paths) while the read path — zero transactions — is
 //!   immune.
+//! * **scan A/B** — YCSB-E-shaped mixes (95% range scans + inserts) at
+//!   scan lengths 10/100/1000 with the optimistic multi-leaf scan path
+//!   vs the `run_op` transactional-scan baseline, calm and under the
+//!   same 85%-spurious storm. Calm optimistic scans execute zero
+//!   transactions; under the storm the baseline's scans serialize on the
+//!   fallback paths while validation-set scans keep retrying for free.
 //! * **budget A/B** — adaptive attempt budgets vs fixed budgets (the
 //!   paper's 10/10, the storm-optimal 1/1, and a deep 20/20) under a calm
 //!   mix and an injected 85%-spurious abort storm. Adaptive should track
@@ -297,6 +303,81 @@ fn read_heavy_ab(env: &BenchEnv, records: &mut Vec<BenchRecord>) {
     }
 }
 
+/// Scan panels (YCSB-E-shaped mix: 95% range scans, 5% inserts): the
+/// optimistic multi-leaf scan path vs the `run_op` transactional-scan
+/// baseline, across scan lengths and a calm/storm abort mix. The storm
+/// is the headline case — the baseline's scans collapse onto the
+/// serialized paths while validation-set scans never enter a
+/// transaction unless terminally escalated.
+fn scan_ab(env: &BenchEnv, records: &mut Vec<BenchRecord>) {
+    println!("\n== scan A/B: optimistic scan path vs run_op-scan baseline ==");
+    println!(
+        "{:<26} {:>7} {:>14} {:>15} {:>9} {:>10}",
+        "series", "threads", "runop ops/s", "scanpath ops/s", "speedup", "scan share"
+    );
+    let storm = HtmConfig::default().with_spurious(0.85);
+    let threads = env.max_threads();
+    for structure in [Structure::Bst, Structure::AbTree] {
+        let key_range = ((structure.paper_key_range() as f64 * env.scale) as u64).max(256);
+        for scan_len in [10u64, 100, 1000] {
+            for (mix, htm) in [("calm", HtmConfig::default()), ("storm", storm.clone())] {
+                let base = TrialSpec {
+                    structure,
+                    strategy: Strategy::ThreePath,
+                    threads,
+                    duration: env.duration,
+                    key_range,
+                    htm,
+                    workload: Workload::ScanHeavy { scan_pct: 95, scan_len },
+                    ..TrialSpec::default()
+                };
+                // Interleave the two sides so host-load drift hits both
+                // equally (same discipline as the other A/B panels).
+                let mut runop_runs = Vec::new();
+                let mut scanpath_runs = Vec::new();
+                for i in 0..env.trials {
+                    let seed = base.seed.wrapping_add(i as u64 * 0x9E37_79B9);
+                    runop_runs.push(run_trial(&TrialSpec {
+                        scan_path: false,
+                        seed,
+                        ..base.clone()
+                    }));
+                    scanpath_runs.push(run_trial(&TrialSpec {
+                        seed,
+                        ..base.clone()
+                    }));
+                }
+                let runop = average(&runop_runs);
+                let scanpath = average(&scanpath_runs);
+                assert!(runop.keysum_ok && scanpath.keysum_ok, "keysum failed");
+                // With the scan path on, every scan completes on the read
+                // lane except counted terminal escalations; the baseline
+                // never touches the read lane or the scan counters.
+                assert!(
+                    scanpath.stats.completed(PathKind::Read)
+                        + scanpath.stats.scan_escalations()
+                        >= scanpath.scan_ops,
+                    "scans leaked off the read lane"
+                );
+                assert_eq!(runop.stats.completed(PathKind::Read), 0);
+                assert_eq!(runop.stats.scan_escalations(), 0);
+                let name = format!("{structure}/len{scan_len}/{mix}");
+                println!(
+                    "{:<26} {:>7} {:>14.0} {:>15.0} {:>8.2}x {:>9.1}%",
+                    name,
+                    threads,
+                    runop.throughput,
+                    scanpath.throughput,
+                    scanpath.throughput / runop.throughput,
+                    scanpath.scan_path_share() * 100.0
+                );
+                records.push(bench_record(format!("scan-ab/{name}/runop"), &runop));
+                records.push(bench_record(format!("scan-ab/{name}/scanpath"), &scanpath));
+            }
+        }
+    }
+}
+
 /// Adaptive budgets vs fixed budgets under a calm and a storm abort mix.
 fn budget_ab(env: &BenchEnv, records: &mut Vec<BenchRecord>) {
     println!("\n== budget A/B: adaptive vs fixed attempt budgets (BST, 3-path) ==");
@@ -372,6 +453,7 @@ fn main() {
     let mut records = Vec::new();
     pool_ab(&env, &mut records);
     read_heavy_ab(&env, &mut records);
+    scan_ab(&env, &mut records);
     budget_ab(&env, &mut records);
     write_bench_json("micro", &records);
 }

@@ -15,6 +15,17 @@
 //! instrumented lock-free fallback are wasted work — and independently
 //! demotes itself to TLE. Compare against both fixed choices.
 //!
+//! A fourth panel measures cross-shard range queries: a scan-heavy mix
+//! (95% scans of 100 keys) over the range router, where most scans span
+//! shard boundaries and the ordered plan merges per-shard sub-scans.
+//! With `scan_path` on, every sub-scan runs on the optimistic multi-leaf
+//! path, so a calm cross-shard RQ executes zero transactions end-to-end;
+//! with it off, each shard pays a `run_op` transaction per sub-scan. Both
+//! a calm and an 85%-spurious-storm leg run: the storm is where the
+//! transaction-free path pays off (the baseline's sub-scans collapse
+//! onto the serialized fallback), while calm the BST validation-set walk
+//! is the more expensive of the two (see the micro scan panel).
+//!
 //! Scale with `THREEPATH_THREADS`, `THREEPATH_TRIAL_MS`,
 //! `THREEPATH_TRIALS`, `THREEPATH_SCALE`, or set `THREEPATH_SMOKE=1` for
 //! the CI smoke lane (see `threepath-bench` docs).
@@ -24,7 +35,7 @@ use threepath_bench::{
 };
 use threepath_core::Strategy;
 use threepath_htm::HtmConfig;
-use threepath_workload::{AdaptiveConfig, KeyDist, RouterKind, Structure, TrialSpec};
+use threepath_workload::{AdaptiveConfig, KeyDist, RouterKind, Structure, TrialSpec, Workload};
 
 const SHARDS: usize = 8;
 const ZIPF_THETA: f64 = 0.9;
@@ -137,6 +148,53 @@ fn main() {
     );
     all.extend(cells);
 
+    // ------------------------------------------------------------------
+    // Panel 4: cross-shard range queries. The range router keeps each
+    // scan's keyspan contiguous, so a 100-key scan regularly crosses a
+    // shard boundary and the sharded layer stitches the per-shard
+    // sub-scans through its ordered plan. The only variable is how each
+    // shard executes its sub-scan: the optimistic multi-leaf scan path
+    // (zero transactions on the calm path) vs the run_op baseline.
+    // ------------------------------------------------------------------
+    let mut cells = Vec::new();
+    for (mix, htm) in [
+        ("calm", HtmConfig::default()),
+        ("storm", HtmConfig::default().with_spurious(0.85)),
+    ] {
+        for (label, scan_path) in [("runop", false), ("optimistic", true)] {
+            for &threads in &env.threads {
+                let spec = TrialSpec {
+                    structure,
+                    strategy: Strategy::ThreePath,
+                    threads,
+                    key_range,
+                    router: RouterKind::Range,
+                    workload: Workload::ScanHeavy {
+                        scan_pct: 95,
+                        scan_len: 100,
+                    },
+                    scan_path,
+                    htm: htm.clone(),
+                    ..TrialSpec::default()
+                };
+                let result = measure_spec(&env, &spec);
+                cells.push(Cell {
+                    structure,
+                    workload: "scan",
+                    series: format!("{label}-{mix}"),
+                    threads,
+                    result,
+                });
+            }
+        }
+    }
+    print_panel(
+        "cross-shard range scans (95% scans of 100 keys), range router, calm + 85%-spurious storm (throughput, ops/s)",
+        &cells,
+        &env.threads,
+    );
+    all.extend(cells);
+
     write_csv("sharded", &all);
     // Machine-readable mirror of every cell (series → ops/s, abort mix,
     // pool hit rate), committed-format for cross-PR perf tracking.
@@ -175,6 +233,11 @@ fn main() {
     println!("  adaptive vs baseline under abort pressure:  {:.2}x", adaptive / fixed_3p);
     println!("  hash+adaptive vs baseline (same pressure):  {:.2}x", hash_adaptive / fixed_3p);
     println!("  adaptive vs fixed-tle (oracle best fixed):  {:.2}x", adaptive / fixed_tle);
+    let scan_calm = throughput(&all, "scan", "optimistic-calm", t)
+        / throughput(&all, "scan", "runop-calm", t);
+    let scan_storm = throughput(&all, "scan", "optimistic-storm", t)
+        / throughput(&all, "scan", "runop-storm", t);
+    println!("  optimistic vs run_op cross-shard scans:     {scan_calm:.2}x calm, {scan_storm:.2}x storm");
 }
 
 /// Fraction of `KeyDist::Zipf(ZIPF_THETA)` draws landing on the most

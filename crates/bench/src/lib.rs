@@ -177,14 +177,14 @@ pub fn print_panel(title: &str, cells: &[Cell], threads: &[usize]) {
 /// Writes cells as CSV under `target/figures/<name>.csv`.
 pub fn write_csv(name: &str, cells: &[Cell]) -> PathBuf {
     let mut out = String::from(
-        "structure,workload,series,threads,throughput,total_ops,update_ops,rq_ops,\
-         fast_frac,middle_frac,fallback_frac,read_frac,keysum_ok\n",
+        "structure,workload,series,threads,throughput,total_ops,update_ops,rq_ops,scan_ops,\
+         fast_frac,middle_frac,fallback_frac,read_frac,scan_retries,scan_escalations,keysum_ok\n",
     );
     for c in cells {
         use threepath_core::PathKind;
         writeln!(
             out,
-            "{},{},{},{},{:.1},{},{},{},{:.4},{:.4},{:.4},{:.4},{}",
+            "{},{},{},{},{:.1},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{},{},{}",
             c.structure,
             c.workload,
             c.series,
@@ -193,10 +193,13 @@ pub fn write_csv(name: &str, cells: &[Cell]) -> PathBuf {
             c.result.total_ops,
             c.result.update_ops,
             c.result.rq_ops,
+            c.result.scan_ops,
             c.result.path_fraction(PathKind::Fast),
             c.result.path_fraction(PathKind::Middle),
             c.result.path_fraction(PathKind::Fallback),
             c.result.path_fraction(PathKind::Read),
+            c.result.stats.scan_retries(),
+            c.result.stats.scan_escalations(),
             c.result.keysum_ok,
         )
         .unwrap();
@@ -263,6 +266,7 @@ pub fn bench_json(bench: &str, records: &[BenchRecord]) -> String {
              \"abort_mix\": {{\"explicit\": {}, \"conflict\": {}, \"capacity\": {}, \"spurious\": {}}}, \
              \"abort_rate\": {:.4}, \"fallback_frac\": {:.4}, \"read_frac\": {:.4}, \
              \"read_retries\": {}, \"read_escalations\": {}, \
+             \"scan_retries\": {}, \"scan_escalations\": {}, \"scan_leaves\": {}, \
              \"pool_hit_rate\": {:.4}, \"pool_allocs\": {}, \"pool_recycled\": {}}}",
             if i == 0 { "" } else { "," },
             json_escape(&r.name),
@@ -276,6 +280,9 @@ pub fn bench_json(bench: &str, records: &[BenchRecord]) -> String {
             r.stats.completed_fraction(PathKind::Read),
             r.stats.read_retries(),
             r.stats.read_escalations(),
+            r.stats.scan_retries(),
+            r.stats.scan_escalations(),
+            r.stats.scan_leaves_validated(),
             r.pool.hit_rate(),
             r.pool.alloc_total,
             r.pool.recycled,

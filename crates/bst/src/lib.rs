@@ -41,6 +41,7 @@
 mod node;
 mod ops;
 mod rq;
+mod scan;
 mod tree;
 
 pub use node::MAX_KEY;

@@ -1,0 +1,317 @@
+//! Uninstrumented optimistic range scans (the multi-leaf extension of
+//! `crate::rq::rq_validated` with tiered escalation).
+//!
+//! A BST scan walks every leaf covering `[lo, hi)` with LLX snapshots —
+//! software reads, zero HTM transactions — and accumulates a *validation
+//! set*, each entry tagged with the key subrange it covers (left subtree
+//! `[clo, key)`, right `[key, chi)` — a stable property of the immutable
+//! node key):
+//!
+//! * every visited node's `info` word (catches template-path SCXs, which
+//!   freeze and replace through it) **and marked bit** (catches the
+//!   sequential delete, which splices through a plain child write and
+//!   only marks the removed nodes);
+//! * every **followed edge** — the child cell must still hold the pointer
+//!   the walk followed (catches sequential inserts/deletes, which swing
+//!   child pointers without touching `info`);
+//! * every **copied leaf value** (catches the sequential insert's
+//!   in-place value write, which touches nothing else).
+//!
+//! A final pass re-checks the whole set. Pointers, `info` words and
+//! marked bits cannot recur while the scan's epoch pin blocks node
+//! recycling, so unchanged-at-recheck means unchanged-throughout: every
+//! entry's interval covers the instant the pass began, and the copied
+//! pairs are the tree's content over `[lo, hi)` at that single instant.
+//! (Values are certified *by value*, the usual optimistic-validation
+//! assumption: a racing write-away-write-back of the identical value is
+//! indistinguishable from quiescence — and indistinguishable in effect.)
+//!
+//! Where `rq_validated` restarts from scratch on any lost race, this
+//! module keeps the failed attempt's state so the partial-rescan tier
+//! (`ExecCtx::run_scan`'s last resort before the transactional machinery)
+//! can merge the invalidated subranges into holes
+//! ([`threepath_core::merge_subranges`]), re-walk only the holes, and
+//! re-validate the **combined** set in one final pass — preserving the
+//! single-instant argument while re-reading only what was lost.
+
+use threepath_core::{merge_subranges, ScanTally};
+use threepath_htm::TxCell;
+use threepath_llxscx::{LlxResult, ScxEngine, ScxThread};
+
+use crate::node::{BstNode, SENT1};
+
+/// How many hole-repair rounds one partial-rescan tier may run before the
+/// scan escalates to the transactional machinery.
+pub(crate) const PARTIAL_ROUNDS: u32 = 4;
+
+/// What one validation-set entry certifies.
+enum Check {
+    /// The node's `info` word is unchanged and its marked bit still clear.
+    Node { node: *mut BstNode, info: u64 },
+    /// The cell (a followed child edge, or a copied leaf value) still
+    /// holds the word the walk observed.
+    Word { cell: *const TxCell, value: u64 },
+}
+
+/// One recorded dependency, tagged with the key subrange that part of the
+/// answer covers.
+struct TraceEntry {
+    check: Check,
+    lo: u64,
+    hi: u64,
+}
+
+impl TraceEntry {
+    /// Whether the dependency still holds. Requires the scan's epoch pin.
+    fn holds(&self, rt: &threepath_htm::HtmRuntime) -> bool {
+        match self.check {
+            Check::Node { node, info } => {
+                // SAFETY: recorded nodes were reached under the caller's
+                // epoch pin, still held.
+                let n = unsafe { &*node };
+                n.hdr.info().load_direct(rt) == info && n.hdr.marked().load_direct(rt) == 0
+            }
+            // SAFETY: the cell lives in a node reached under the pin.
+            Check::Word { cell, value } => unsafe { &*cell }.load_direct(rt) == value,
+        }
+    }
+}
+
+/// The pair copied from one snapshotted leaf (empty when the leaf's key
+/// falls outside the query or is a sentinel), tagged with the leaf's
+/// routed subrange.
+struct Segment {
+    lo: u64,
+    hi: u64,
+    pair: Option<(u64, u64)>,
+}
+
+/// The accumulated state of one optimistic scan, carried across the
+/// full-attempt and partial-rescan tiers of `ExecCtx::run_scan`.
+pub(crate) struct ScanState {
+    trace: Vec<TraceEntry>,
+    segments: Vec<Segment>,
+    /// Subranges already known invalid at read time (LLX refused to
+    /// snapshot: the node was finalized or an SCX was in flight).
+    failed: Vec<(u64, u64)>,
+}
+
+/// Whether `[lo, hi)` overlaps any of the (sorted, disjoint) `holes`.
+fn intersects(holes: &[(u64, u64)], lo: u64, hi: u64) -> bool {
+    holes.iter().any(|&(a, b)| a < hi && b > lo)
+}
+
+/// Whether `[lo, hi)` lies entirely inside one of the (sorted, disjoint)
+/// `holes` (merged holes are maximal, so containment means one hole).
+fn contained(holes: &[(u64, u64)], lo: u64, hi: u64) -> bool {
+    holes.iter().any(|&(a, b)| a <= lo && hi <= b)
+}
+
+impl ScanState {
+    pub(crate) fn new() -> Self {
+        ScanState {
+            trace: Vec::new(),
+            segments: Vec::new(),
+            failed: Vec::new(),
+        }
+    }
+
+    /// Pruned LLX-snapshot DFS over `[lo, hi)`, appending to the
+    /// validation set and segments. A node LLX refuses to snapshot is
+    /// recorded as a failed subrange rather than aborting the walk, so
+    /// the partial tier knows exactly what to re-read. Requires the
+    /// caller's epoch pin.
+    fn scan_range(
+        &mut self,
+        eng: &ScxEngine,
+        th: &ScxThread,
+        root: *mut BstNode,
+        lo: u64,
+        hi: u64,
+        tally: &mut ScanTally,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let rt = eng.runtime();
+        let mut stack: Vec<(*mut BstNode, u64, u64)> = vec![(root, lo, hi)];
+        while let Some((ptr, clo, chi)) = stack.pop() {
+            // SAFETY: reachable under the caller's epoch pin.
+            let n = unsafe { &*ptr };
+            let h = match eng.llx(th, &n.hdr, n.mutable()) {
+                LlxResult::Snapshot(h) => h,
+                _ => {
+                    self.failed.push((clo, chi));
+                    continue;
+                }
+            };
+            self.trace.push(TraceEntry {
+                check: Check::Node {
+                    node: ptr,
+                    info: h.info_observed(),
+                },
+                lo: clo,
+                hi: chi,
+            });
+            if n.is_leaf {
+                tally.leaves += 1;
+                let pair = (n.key >= clo && n.key < chi && n.key < SENT1)
+                    .then(|| (n.key, n.value.load_direct(rt)));
+                if let Some((_, v)) = pair {
+                    // The sequential insert updates values in place with
+                    // no other trace: certify the copied word itself.
+                    self.trace.push(TraceEntry {
+                        check: Check::Word {
+                            cell: &n.value,
+                            value: v,
+                        },
+                        lo: clo,
+                        hi: chi,
+                    });
+                }
+                self.segments.push(Segment {
+                    lo: clo,
+                    hi: chi,
+                    pair,
+                });
+            } else {
+                // Left subtree keys < n.key; right >= n.key. Push the
+                // right first so the left is processed first (ascending).
+                // Each followed edge joins the validation set under the
+                // child's subrange: the sequential ops swing child
+                // pointers without touching `info`, and this is where
+                // those swings become visible.
+                for (dir, (elo, ehi)) in [(1, (n.key.max(clo), chi)), (0, (clo, n.key.min(chi)))] {
+                    if elo < ehi {
+                        let child = h.snapshot().get_ptr(dir);
+                        self.trace.push(TraceEntry {
+                            check: Check::Word {
+                                cell: n.child(dir),
+                                value: child as u64,
+                            },
+                            lo: elo,
+                            hi: ehi,
+                        });
+                        stack.push((child, elo, ehi));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The merged subranges whose coverage is currently invalid: failed
+    /// LLXs plus every validation-set entry that no longer holds.
+    fn invalid_subranges(&self, eng: &ScxEngine) -> Vec<(u64, u64)> {
+        let rt = eng.runtime();
+        let mut holes = self.failed.clone();
+        for e in &self.trace {
+            if !e.holds(rt) {
+                holes.push((e.lo, e.hi));
+            }
+        }
+        merge_subranges(holes)
+    }
+
+    /// Concatenates the segments into the sorted result.
+    fn assemble(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self.segments.iter().filter_map(|s| s.pair).collect();
+        out.sort_unstable_by_key(|e| e.0);
+        out
+    }
+
+    /// One full optimistic attempt over `[lo, hi)`: fresh walk, whole-set
+    /// re-validation. `None` = a race was lost; the state keeps the walk's
+    /// trace so a subsequent [`Self::attempt_partial`] can repair exactly
+    /// the invalidated subranges. Requires the caller's epoch pin.
+    pub(crate) fn attempt_full(
+        &mut self,
+        eng: &ScxEngine,
+        th: &ScxThread,
+        root: *mut BstNode,
+        lo: u64,
+        hi: u64,
+        tally: &mut ScanTally,
+    ) -> Option<Vec<(u64, u64)>> {
+        self.trace.clear();
+        self.segments.clear();
+        self.failed.clear();
+        self.scan_range(eng, th, root, lo, hi, tally);
+        if self.invalid_subranges(eng).is_empty() {
+            Some(self.assemble())
+        } else {
+            None
+        }
+    }
+
+    /// The partial-rescan tier: merge the invalidated subranges into
+    /// holes, drop the entries and segments the holes swallow, re-walk
+    /// only the holes, and re-validate the combined set — up to `rounds`
+    /// times. `None` = the caller escalates to the transactional
+    /// machinery. Requires the caller's epoch pin.
+    pub(crate) fn attempt_partial(
+        &mut self,
+        eng: &ScxEngine,
+        th: &ScxThread,
+        root: *mut BstNode,
+        tally: &mut ScanTally,
+        rounds: u32,
+    ) -> Option<Vec<(u64, u64)>> {
+        let rt = eng.runtime();
+        for _ in 0..rounds {
+            let mut holes = self.invalid_subranges(eng);
+            if holes.is_empty() {
+                return Some(self.assemble());
+            }
+            // A dropped segment's *whole* subrange must be re-walked, and
+            // across rounds the tree's shape (and so the subranges) may
+            // have shifted: grow the holes until every intersected
+            // segment is fully contained.
+            loop {
+                let extra: Vec<(u64, u64)> = self
+                    .segments
+                    .iter()
+                    .filter(|s| {
+                        intersects(&holes, s.lo, s.hi) && !contained(&holes, s.lo, s.hi)
+                    })
+                    .map(|s| (s.lo, s.hi))
+                    .collect();
+                if extra.is_empty() {
+                    break;
+                }
+                holes.extend(extra);
+                holes = merge_subranges(holes);
+            }
+            self.failed.clear();
+            // Retain only still-valid entries the holes do not swallow:
+            // an entry that spans a hole but also covers retained
+            // segments stays (it keeps their root-to-leaf coverage) and
+            // is re-validated with everything else at the end.
+            self.trace.retain(|e| e.holds(rt) && !contained(&holes, e.lo, e.hi));
+            self.segments.retain(|s| !intersects(&holes, s.lo, s.hi));
+            for &(hlo, hhi) in &holes {
+                self.scan_range(eng, th, root, hlo, hhi, tally);
+            }
+        }
+        if self.invalid_subranges(eng).is_empty() {
+            Some(self.assemble())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hole_bookkeeping_is_pure_interval_logic() {
+        let holes = merge_subranges(vec![(5, 9), (9, 12), (40, 41)]);
+        assert_eq!(holes, vec![(5, 12), (40, 41)]);
+        assert!(intersects(&holes, 0, 6));
+        assert!(!intersects(&holes, 12, 40));
+        assert!(contained(&holes, 5, 12));
+        assert!(!contained(&holes, 4, 12));
+        assert!(!contained(&holes, 11, 41), "spanning two holes never counts");
+    }
+}

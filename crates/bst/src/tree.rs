@@ -14,6 +14,7 @@ use threepath_reclaim::{Domain, PoolConfig, PoolStats, ReclaimMode};
 use crate::node::{BstNode, MAX_KEY, SENT1, SENT2};
 use crate::ops::{self, Found};
 use crate::rq;
+use crate::scan;
 
 /// Configuration for a [`Bst`].
 #[derive(Debug, Clone)]
@@ -55,6 +56,17 @@ pub struct BstConfig {
     /// off routes reads through `run_op` like any update (the baseline the
     /// read-heavy benchmarks compare against).
     pub read_path: bool,
+    /// Route `range_query` through the uninstrumented scan path: an
+    /// epoch-pinned LLX-snapshot traversal (software reads, zero HTM
+    /// transactions) that accumulates a validation set of visited nodes'
+    /// `info` words and re-validates it as a whole (see `crate::scan`).
+    /// Lost races retry; after
+    /// [`threepath_core::DEFAULT_READ_ATTEMPTS`] failures a partial
+    /// rescan re-reads only the invalidated subranges, and only if that
+    /// also fails does the scan escalate to the transactional machinery.
+    /// On by default; off routes scans through `run_op` (the baseline
+    /// the scan benchmarks compare against).
+    pub scan_path: bool,
 }
 
 impl Default for BstConfig {
@@ -70,6 +82,7 @@ impl Default for BstConfig {
             pool: true,
             budget: None,
             read_path: true,
+            scan_path: true,
         }
     }
 }
@@ -107,6 +120,8 @@ pub struct Bst {
     pooled: bool,
     /// Whether reads bypass `run_op` (see [`BstConfig::read_path`]).
     read_path: bool,
+    /// Whether scans bypass `run_op` (see [`BstConfig::scan_path`]).
+    scan_path: bool,
 }
 
 // SAFETY: the raw root pointer references a heap structure whose shared
@@ -160,6 +175,7 @@ impl Bst {
             sec8: cfg.search_outside_txn,
             pooled,
             read_path: cfg.read_path,
+            scan_path: cfg.scan_path,
         }
     }
 
@@ -783,8 +799,55 @@ impl BstHandle {
     }
 
     /// Returns all pairs with keys in `[lo, hi)`, ascending.
+    ///
+    /// On the default configuration this is an uninstrumented optimistic
+    /// scan: an epoch-pinned LLX-snapshot traversal with zero HTM
+    /// transactions and no locks, under every strategy. Every visited
+    /// node's `info` word goes into a validation set that is re-checked
+    /// as a whole after the copy-out; a scan that keeps losing races
+    /// escalates first to a partial rescan of only the invalidated
+    /// subranges, then to the transactional machinery. Completions land
+    /// on the [`PathKind::Read`](threepath_core::PathKind) lane; retries,
+    /// validated-leaf counts, and terminal escalations land in the
+    /// [`PathStats`] scan lane.
     pub fn range_query(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
         let tree = &self.tree;
+        if tree.scan_path {
+            let state = std::cell::RefCell::new(scan::ScanState::new());
+            if let Some(r) = tree.exec.run_scan(
+                &mut self.th,
+                &mut self.stats,
+                threepath_core::DEFAULT_READ_ATTEMPTS,
+                |th, tally| {
+                    state
+                        .borrow_mut()
+                        .attempt_full(&tree.eng, th, tree.root, lo, hi, tally)
+                },
+                |th, tally| state.borrow_mut().attempt_partial(
+                    &tree.eng,
+                    th,
+                    tree.root,
+                    tally,
+                    scan::PARTIAL_ROUNDS,
+                ),
+            ) {
+                return r;
+            }
+            // Even the partial rescan kept losing races: escalate with
+            // whatever attempt limits are currently in force (including
+            // adaptively collapsed ones) but without feeding the budget
+            // tally — an escalated scan's aborts say nothing about the
+            // update mix the budgets adapt to.
+            let (r, _path) = tree.exec.run_op_escalated(
+                &mut self.th,
+                &mut self.stats,
+                |th| tree.fast_rq(th, lo, hi),
+                |th| tree.middle_rq(th, lo, hi),
+                |th| tree.fallback_rq(th, lo, hi),
+                |th| tree.locked_rq(th, lo, hi),
+            );
+            return r;
+        }
         let (r, _path) = tree.exec.run_op(
             &mut self.th,
             &mut self.stats,

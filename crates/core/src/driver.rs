@@ -346,6 +346,34 @@ impl ExecCtx {
         out
     }
 
+    /// Runs one operation like [`Self::run_op`], but **without** feeding
+    /// its attempt tally into the adaptive budgets.
+    ///
+    /// This is the entry point for read/scan *escalations*: an optimistic
+    /// read or scan that exhausted its validation attempts re-enters the
+    /// transactional machinery here. It still runs under the budgets'
+    /// current (possibly collapsed) attempt limits — a storm-shrunk budget
+    /// applies to escalated work too — but its aborts are driven by
+    /// validation races, not the HTM abort environment the budgets model,
+    /// so feeding them back would inflate the storm window and hold the
+    /// budgets shrunk after the updates went calm.
+    pub fn run_op_escalated<T>(
+        &self,
+        th: &mut ScxThread,
+        stats: &mut PathStats,
+        fast: impl FnMut(&mut ScxThread) -> Result<T, Abort>,
+        middle: impl FnMut(&mut ScxThread) -> Result<T, Abort>,
+        fallback: impl FnMut(&mut ScxThread) -> T,
+        seq_locked: impl FnMut(&mut ScxThread) -> T,
+    ) -> (T, PathKind) {
+        let strategy = self.strategy();
+        let limits = self.effective_limits(strategy);
+        let mut tally = OpTally::default();
+        self.run_paths(
+            th, stats, &mut tally, strategy, limits, fast, middle, fallback, seq_locked,
+        )
+    }
+
     /// The per-strategy path protocol for one operation (see
     /// [`Self::run_op`]), tallying effective attempts for the adaptive
     /// budgets.
@@ -930,6 +958,66 @@ mod tests {
             PathLimits::for_strategy(Strategy::Tle),
             "swap re-anchors at the new strategy's paper budgets"
         );
+    }
+
+    #[test]
+    fn escalated_ops_run_under_collapsed_limits_without_feeding_budgets() {
+        // A validation-storm escalation re-enters the transactional
+        // machinery with the budgets' *current* attempt limits — but its
+        // aborts must not count toward the budget windows, or storm-time
+        // escalated reads would hold the budgets shrunk forever.
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let exec = exec.with_adaptive_budgets(BudgetConfig {
+            epoch_ops: 64,
+            ..BudgetConfig::default()
+        });
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        // Shrink the budgets with a conflict storm through run_op.
+        for _ in 0..64 * 6 {
+            exec.run_op(
+                &mut th,
+                &mut stats,
+                |_| Err(Abort::new(AbortCode::Conflict)),
+                |_| Err(Abort::new(AbortCode::Conflict)),
+                |_| 1,
+                |_| 0,
+            );
+        }
+        let collapsed = exec.limits();
+        assert_eq!(collapsed, PathLimits { fast: 1, middle: 1 });
+        let b = exec.budgets().expect("budgets enabled");
+        let shrinks_before = b.shrinks();
+        let grows_before = b.grows();
+        // Escalated ops observe the collapsed limits...
+        let fast_calls = Cell::new(0u32);
+        let (v, path) = exec.run_op_escalated(
+            &mut th,
+            &mut stats,
+            |_| {
+                fast_calls.set(fast_calls.get() + 1);
+                Err(Abort::new(AbortCode::Conflict))
+            },
+            |_| Err(Abort::new(AbortCode::Conflict)),
+            |_| 5,
+            |_| 0,
+        );
+        assert_eq!((v, path), (5, PathKind::Fallback));
+        assert_eq!(fast_calls.get(), collapsed.fast, "collapsed budget applies");
+        // ...but many epochs' worth of escalated aborts move nothing.
+        for _ in 0..64 * 4 {
+            exec.run_op_escalated(
+                &mut th,
+                &mut stats,
+                |_| Err(Abort::new(AbortCode::Conflict)),
+                |_| Err(Abort::new(AbortCode::Conflict)),
+                |_| 1,
+                |_| 0,
+            );
+        }
+        assert_eq!(exec.limits(), collapsed, "escalations never move budgets");
+        assert_eq!(b.shrinks(), shrinks_before);
+        assert_eq!(b.grows(), grows_before);
     }
 
     #[test]

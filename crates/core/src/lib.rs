@@ -28,9 +28,10 @@
 //! Read-only operations do not go through `run_op` at all: the paper's
 //! "searches require no synchronization" property gets a first-class
 //! wait-free entry ([`ExecCtx::run_read`] /
-//! [`ExecCtx::run_read_validated`]) with its own [`PathKind::Read`]
-//! statistics lane — no subscription, no budget tally, no fallback
-//! escalation.
+//! [`ExecCtx::run_read_validated`] for point reads,
+//! [`ExecCtx::run_scan`] for multi-leaf range scans) with its own
+//! [`PathKind::Read`] statistics lane — no subscription, no budget tally,
+//! no fallback escalation until the optimistic attempts are exhausted.
 
 #![warn(missing_docs)]
 
@@ -48,7 +49,7 @@ mod template;
 pub use access::{DirectMem, Mem, TxMem};
 pub use budget::{AdaptiveBudgets, BudgetConfig, OpTally};
 pub use driver::{ExecCtx, StrategySwapError, ADAPTIVE_STRATEGIES};
-pub use readpath::DEFAULT_READ_ATTEMPTS;
+pub use readpath::{merge_subranges, ScanTally, DEFAULT_READ_ATTEMPTS};
 pub use effects::Effects;
 pub use stats::{AbortCounts, PathKind, PathStats};
 pub use snzi::Snzi;

@@ -23,6 +23,14 @@
 //!   failures the read returns `None` to the caller, which escalates to
 //!   the transactional machinery via [`run_op`]. Retries and escalations
 //!   are tallied in [`PathStats`].
+//! * [`ExecCtx::run_scan`] — the multi-leaf extension: each attempt walks
+//!   every leaf covering `[lo, hi)` while accumulating a *validation set*
+//!   (leaf seqlock words, followed edges, `info` words) and re-validates
+//!   the whole set at the end; a lost race retries the full scan, and once
+//!   the full-scan budget is exhausted a single *partial rescan* attempt
+//!   re-reads only the invalidated subranges before the scan gives up and
+//!   escalates to [`run_op`]. Scan retries/escalations and validation-set
+//!   sizes are tallied on [`PathStats`]' scan lane.
 //!
 //! [`run_op`]: ExecCtx::run_op
 
@@ -38,6 +46,33 @@ use crate::stats::{PathKind, PathStats};
 /// reader stalled behind a pathological mutation storm stays lock-free
 /// rather than spinning forever.
 pub const DEFAULT_READ_ATTEMPTS: u32 = 8;
+
+/// Per-scan bookkeeping an optimistic scan attempt reports back through
+/// [`ExecCtx::run_scan`]: how much validation work the attempts did, folded
+/// into [`PathStats::scan_leaves_validated`] when the scan finishes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanTally {
+    /// Leaves (or nodes) whose validation word was captured and re-checked.
+    pub leaves: u64,
+}
+
+/// Merges a set of half-open `[lo, hi)` subranges into a minimal sorted
+/// list of disjoint subranges (empty inputs are dropped, overlapping and
+/// adjacent inputs coalesce). The partial-rescan tier of an optimistic
+/// scan uses this to turn the invalidated validation-set entries into the
+/// holes it re-reads.
+pub fn merge_subranges(mut ranges: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    ranges.retain(|&(lo, hi)| lo < hi);
+    ranges.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+    for (lo, hi) in ranges {
+        match out.last_mut() {
+            Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
 
 impl ExecCtx {
     /// Runs a wait-free read-only operation: `body` executes exactly once
@@ -100,6 +135,61 @@ impl ExecCtx {
             }
             None => {
                 stats.record_read_escalation();
+                None
+            }
+        }
+    }
+
+    /// Runs an optimistic multi-leaf range scan: up to `max_attempts` full
+    /// `attempt`s execute under one epoch pin, each returning `None` when
+    /// its validation-set re-check lost a race; once the full-scan budget
+    /// is exhausted, one `partial` attempt runs — the backend's
+    /// partial-rescan tier, which re-reads only the invalidated subranges
+    /// of the last full attempt and re-validates the *combined* set (so
+    /// the result is still a single-instant snapshot).
+    ///
+    /// Returns `Some` on success (recorded on the [`PathKind::Read`] lane;
+    /// failed attempts tallied as [scan retries](PathStats::scan_retries))
+    /// or `None` once even the partial rescan failed — recorded as a
+    /// [scan escalation](PathStats::scan_escalations); the caller then
+    /// routes the scan through the transactional machinery
+    /// ([`Self::run_op_escalated`]). Validation-set sizes accumulated in
+    /// the attempts' [`ScanTally`] land on
+    /// [`PathStats::scan_leaves_validated`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `max_attempts` is zero.
+    pub fn run_scan<T>(
+        &self,
+        th: &mut ScxThread,
+        stats: &mut PathStats,
+        max_attempts: u32,
+        mut attempt: impl FnMut(&mut ScxThread, &mut ScanTally) -> Option<T>,
+        mut partial: impl FnMut(&mut ScxThread, &mut ScanTally) -> Option<T>,
+    ) -> Option<T> {
+        debug_assert!(max_attempts > 0, "at least one optimistic attempt");
+        let mut tally = ScanTally::default();
+        let (out, failed) = th.pinned(|th| {
+            for i in 0..max_attempts {
+                if let Some(v) = attempt(th, &mut tally) {
+                    return (Some(v), u64::from(i));
+                }
+            }
+            match partial(th, &mut tally) {
+                Some(v) => (Some(v), u64::from(max_attempts)),
+                None => (None, u64::from(max_attempts) + 1),
+            }
+        });
+        stats.add_scan_retries(failed);
+        stats.add_scan_leaves_validated(tally.leaves);
+        match out {
+            Some(v) => {
+                stats.record_completed(PathKind::Read);
+                Some(v)
+            }
+            None => {
+                stats.record_scan_escalation();
                 None
             }
         }
@@ -175,5 +265,95 @@ mod tests {
         assert_eq!(stats.completed(PathKind::Read), 0, "no read completion");
         assert_eq!(stats.read_retries(), 4);
         assert_eq!(stats.read_escalations(), 1);
+    }
+
+    #[test]
+    fn scan_success_records_read_lane_and_leaves() {
+        let (exec, eng) = setup();
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        let r = exec.run_scan(
+            &mut th,
+            &mut stats,
+            8,
+            |th, tally| {
+                assert!(th.reclaim.is_pinned(), "scan attempts run pinned");
+                tally.leaves += 5;
+                Some(vec![(1u64, 2u64)])
+            },
+            |_th, _tally| unreachable!("first attempt succeeded"),
+        );
+        assert_eq!(r, Some(vec![(1, 2)]));
+        assert!(!th.reclaim.is_pinned());
+        assert_eq!(stats.completed(PathKind::Read), 1);
+        assert_eq!(stats.scan_retries(), 0);
+        assert_eq!(stats.scan_escalations(), 0);
+        assert_eq!(stats.scan_leaves_validated(), 5);
+    }
+
+    #[test]
+    fn scan_retries_then_partial_rescue_counts_full_failures() {
+        let (exec, eng) = setup();
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        let mut full_calls = 0u32;
+        let r = exec.run_scan(
+            &mut th,
+            &mut stats,
+            3,
+            |_th, tally| {
+                full_calls += 1;
+                tally.leaves += 2;
+                None
+            },
+            |_th, tally| {
+                tally.leaves += 1;
+                Some(99u64)
+            },
+        );
+        assert_eq!(r, Some(99));
+        assert_eq!(full_calls, 3, "full budget exhausted before partial");
+        assert_eq!(stats.completed(PathKind::Read), 1);
+        assert_eq!(stats.scan_retries(), 3, "every full attempt failed");
+        assert_eq!(stats.scan_escalations(), 0, "partial rescan rescued it");
+        assert_eq!(stats.scan_leaves_validated(), 7);
+    }
+
+    #[test]
+    fn scan_escalates_when_even_the_partial_rescan_fails() {
+        let (exec, eng) = setup();
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        let mut partial_calls = 0u32;
+        let r: Option<u64> = exec.run_scan(
+            &mut th,
+            &mut stats,
+            2,
+            |_th, _tally| None,
+            |_th, _tally| {
+                partial_calls += 1;
+                None
+            },
+        );
+        assert_eq!(r, None);
+        assert_eq!(partial_calls, 1, "exactly one partial-rescan attempt");
+        assert_eq!(stats.completed(PathKind::Read), 0);
+        assert_eq!(stats.scan_retries(), 3, "two full + one partial failure");
+        assert_eq!(stats.scan_escalations(), 1);
+    }
+
+    #[test]
+    fn merge_subranges_coalesces_and_sorts() {
+        assert_eq!(merge_subranges(vec![]), vec![]);
+        assert_eq!(merge_subranges(vec![(5, 5), (9, 3)]), vec![], "empties dropped");
+        assert_eq!(
+            merge_subranges(vec![(10, 20), (5, 8), (19, 25), (8, 9)]),
+            vec![(5, 9), (10, 25)],
+            "overlap and adjacency coalesce, gaps stay split"
+        );
+        assert_eq!(
+            merge_subranges(vec![(0, 1), (1, 2), (3, 4)]),
+            vec![(0, 2), (3, 4)]
+        );
     }
 }

@@ -107,6 +107,17 @@ pub struct PathStats {
     /// escalated to the transactional machinery (`run_op`); their
     /// completion is recorded on whatever path finished them.
     read_escalations: u64,
+    /// Optimistic-scan attempts whose validation set re-check lost a race
+    /// (the scan re-ran, fully or over the invalidated subranges only).
+    scan_retries: u64,
+    /// Scans that exhausted every optimistic attempt — including the
+    /// partial-rescan repair — and escalated to the transactional
+    /// machinery (`run_op`); completed on whatever path finished them.
+    scan_escalations: u64,
+    /// Leaves (or BST nodes) whose validation word was captured and
+    /// re-checked by optimistic scans — the size of the validation sets,
+    /// summed.
+    scan_leaves_validated: u64,
 }
 
 impl PathStats {
@@ -219,6 +230,39 @@ impl PathStats {
         self.read_escalations
     }
 
+    /// Records `n` optimistic-scan validation failures.
+    pub fn add_scan_retries(&mut self, n: u64) {
+        self.scan_retries += n;
+    }
+
+    /// Records a scan that exhausted its optimistic attempts (full and
+    /// partial) and escalated to the transactional machinery.
+    pub fn record_scan_escalation(&mut self) {
+        self.scan_escalations += 1;
+    }
+
+    /// Records `n` leaves validated by an optimistic scan attempt.
+    pub fn add_scan_leaves_validated(&mut self, n: u64) {
+        self.scan_leaves_validated += n;
+    }
+
+    /// Optimistic-scan validation failures (each one re-ran the scan,
+    /// fully or over the invalidated subranges only).
+    pub fn scan_retries(&self) -> u64 {
+        self.scan_retries
+    }
+
+    /// Scans that escalated to `run_op` after exhausting their optimistic
+    /// attempts (completed on fast/middle/fallback, not the read lane).
+    pub fn scan_escalations(&self) -> u64 {
+        self.scan_escalations
+    }
+
+    /// Total leaves captured into optimistic scans' validation sets.
+    pub fn scan_leaves_validated(&self) -> u64 {
+        self.scan_leaves_validated
+    }
+
     /// Accumulates another thread's statistics into this one.
     pub fn merge(&mut self, other: &PathStats) {
         for i in 0..4 {
@@ -228,6 +272,9 @@ impl PathStats {
         }
         self.read_retries += other.read_retries;
         self.read_escalations += other.read_escalations;
+        self.scan_retries += other.scan_retries;
+        self.scan_escalations += other.scan_escalations;
+        self.scan_leaves_validated += other.scan_leaves_validated;
     }
 }
 
@@ -256,6 +303,11 @@ impl fmt::Display for PathStats {
             f,
             "read-lane retries {} escalations {}",
             self.read_retries, self.read_escalations
+        )?;
+        writeln!(
+            f,
+            "scan-lane retries {} escalations {} leaves-validated {}",
+            self.scan_retries, self.scan_escalations, self.scan_leaves_validated
         )?;
         Ok(())
     }
@@ -331,6 +383,28 @@ mod tests {
         assert_eq!(t.read_escalations(), 2);
         assert!(s.to_string().contains("read"));
         assert!(s.to_string().contains("retries 3"));
+    }
+
+    #[test]
+    fn scan_lane_counts_and_merges() {
+        let mut s = PathStats::new();
+        s.record_completed(PathKind::Read);
+        s.add_scan_retries(2);
+        s.record_scan_escalation();
+        s.add_scan_leaves_validated(17);
+        assert_eq!(s.scan_retries(), 2);
+        assert_eq!(s.scan_escalations(), 1);
+        assert_eq!(s.scan_leaves_validated(), 17);
+        // The scan lane is counters-only: no new PathKind, optimistic
+        // scans complete on the read lane.
+        assert_eq!(s.completed(PathKind::Read), 1);
+        let mut t = PathStats::new();
+        t.merge(&s);
+        t.merge(&s);
+        assert_eq!(t.scan_retries(), 4);
+        assert_eq!(t.scan_escalations(), 2);
+        assert_eq!(t.scan_leaves_validated(), 34);
+        assert!(s.to_string().contains("scan-lane retries 2"));
     }
 
     #[test]

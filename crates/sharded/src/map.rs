@@ -66,6 +66,15 @@ pub struct ShardedConfig {
     /// seqlock-validated on the (a,b)-tree backend). On by default; off
     /// routes reads through `run_op` — the read-heavy benchmarks' baseline.
     pub read_path: bool,
+    /// Route every shard's `range_query` through the uninstrumented
+    /// optimistic scan path (epoch-pinned multi-leaf validation with a
+    /// partial-rescan escalation tier; zero transactions on the calm
+    /// path). Cross-shard range queries then feed per-shard optimistic
+    /// scans into the usual concat/sort-merge plan, so they are
+    /// transaction-free end-to-end when every shard's scan succeeds
+    /// optimistically. On by default; off routes scans through `run_op`
+    /// — the scan benchmarks' baseline.
+    pub scan_path: bool,
 }
 
 impl ShardedConfig {
@@ -131,6 +140,7 @@ impl Default for ShardedConfig {
             pool: true,
             budget: None,
             read_path: true,
+            scan_path: true,
         }
     }
 }

@@ -70,6 +70,7 @@ impl ShardTree {
                 pool: cfg.pool,
                 budget: cfg.budget.clone(),
                 read_path: cfg.read_path,
+                scan_path: cfg.scan_path,
             }))),
             ShardBackend::AbTree => ShardTree::AbTree(Arc::new(AbTree::with_config(AbTreeConfig {
                 strategy: cfg.strategy,
@@ -82,6 +83,7 @@ impl ShardTree {
                 pool: cfg.pool,
                 budget: cfg.budget.clone(),
                 read_path: cfg.read_path,
+                scan_path: cfg.scan_path,
                 ..AbTreeConfig::default()
             }))),
         }

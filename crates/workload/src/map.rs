@@ -40,6 +40,7 @@ fn tree_config(spec: &TrialSpec, shards: usize, sharded: bool) -> ShardedConfig 
         pool: spec.pool,
         budget: spec.budget.clone(),
         read_path: spec.read_path,
+        scan_path: spec.scan_path,
     }
 }
 

@@ -18,6 +18,10 @@ pub struct TrialResult {
     pub read_ops: u64,
     /// Completed range queries.
     pub rq_ops: u64,
+    /// Completed range scans (scan-heavy workloads). Kept separate from
+    /// `rq_ops` (the heavy workload's dedicated-thread queries) so the
+    /// YCSB-E-shaped mix reports its own lane.
+    pub scan_ops: u64,
     /// Wall-clock duration actually measured.
     pub elapsed: Duration,
     /// Merged per-path statistics from all threads.
@@ -46,6 +50,18 @@ impl TrialResult {
         self.stats.completed_fraction(PathKind::Read)
     }
 
+    /// Fraction of completed range scans that stayed on the optimistic
+    /// scan path (completions land on the read lane; only terminal
+    /// escalations fall through to the transactional paths). 0 when the
+    /// trial ran no scans or with `scan_path` off.
+    pub fn scan_path_share(&self) -> f64 {
+        if self.scan_ops == 0 {
+            return 0.0;
+        }
+        let escalated = self.stats.scan_escalations().min(self.scan_ops);
+        (self.scan_ops - escalated) as f64 / self.scan_ops as f64
+    }
+
     /// The pool's hand-out hit rate (0 when pooling was off or idle).
     pub fn pool_hit_rate(&self) -> f64 {
         self.pool.hit_rate()
@@ -62,6 +78,7 @@ pub fn average(results: &[TrialResult]) -> TrialResult {
     let mut update_ops = 0;
     let mut read_ops = 0;
     let mut rq_ops = 0;
+    let mut scan_ops = 0;
     let mut elapsed = Duration::ZERO;
     let mut keysum_ok = true;
     let mut pool = PoolStats::default();
@@ -72,6 +89,7 @@ pub fn average(results: &[TrialResult]) -> TrialResult {
         update_ops += r.update_ops;
         read_ops += r.read_ops;
         rq_ops += r.rq_ops;
+        scan_ops += r.scan_ops;
         elapsed += r.elapsed;
         keysum_ok &= r.keysum_ok;
         pool.merge(&r.pool);
@@ -82,6 +100,7 @@ pub fn average(results: &[TrialResult]) -> TrialResult {
         update_ops,
         read_ops,
         rq_ops,
+        scan_ops,
         elapsed,
         stats,
         keysum_ok,
@@ -101,6 +120,7 @@ mod tests {
             update_ops: 6,
             read_ops: 2,
             rq_ops: 2,
+            scan_ops: 0,
             elapsed: Duration::from_millis(100),
             stats: PathStats::new(),
             keysum_ok: ok,
@@ -117,5 +137,16 @@ mod tests {
         assert!(avg.keysum_ok);
         let avg = average(&[dummy(1.0, true), dummy(1.0, false)]);
         assert!(!avg.keysum_ok);
+    }
+
+    #[test]
+    fn scan_path_share_counts_escalations_against_the_lane() {
+        let mut r = dummy(1.0, true);
+        assert_eq!(r.scan_path_share(), 0.0, "no scans, no share");
+        r.scan_ops = 10;
+        assert_eq!(r.scan_path_share(), 1.0);
+        r.stats.record_scan_escalation();
+        r.stats.record_scan_escalation();
+        assert!((r.scan_path_share() - 0.8).abs() < 1e-9);
     }
 }

@@ -40,6 +40,7 @@ struct WorkerOutcome {
     updates: u64,
     reads: u64,
     rqs: u64,
+    scans: u64,
     keysum_delta: i64,
     stats: PathStats,
 }
@@ -97,6 +98,36 @@ fn read_mix_loop(
     (updates, reads, delta)
 }
 
+/// The YCSB-E-shaped mixed loop: `scan_pct`% range scans of extent
+/// `scan_len` starting at a drawn key, the rest inserts. Returns
+/// `(updates, scans, keysum delta)`.
+fn scan_mix_loop(
+    h: &mut AnyHandle,
+    sampler: &KeySampler,
+    rng: &mut SplitMix64,
+    stop: &AtomicBool,
+    scan_pct: u8,
+    scan_len: u64,
+) -> (u64, u64, i64) {
+    let mut updates = 0u64;
+    let mut scans = 0u64;
+    let mut delta = 0i64;
+    while !stop.load(Ordering::Relaxed) {
+        let k = sampler.sample(rng);
+        if rng.next_below(100) < u64::from(scan_pct) {
+            let out = h.range_query(k, k.saturating_add(scan_len));
+            std::hint::black_box(&out);
+            scans += 1;
+        } else {
+            if h.insert(k, scans).is_none() {
+                delta += k as i64;
+            }
+            updates += 1;
+        }
+    }
+    (updates, scans, delta)
+}
+
 fn rq_loop(h: &mut AnyHandle, key_range: u64, rq_extent: u64, rng: &mut SplitMix64, stop: &AtomicBool) -> u64 {
     let mut ops = 0u64;
     while !stop.load(Ordering::Relaxed) {
@@ -150,25 +181,30 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
                 let is_rq_thread = matches!(spec.workload, Workload::Heavy { .. })
                     && t == spec.threads - 1
                     && spec.threads >= 1;
-                let (updates, reads, rqs, delta) = if is_rq_thread {
+                let (updates, reads, rqs, scans, delta) = if is_rq_thread {
                     let Workload::Heavy { rq_extent } = spec.workload else {
                         unreachable!()
                     };
                     let rqs = rq_loop(&mut h, spec.key_range, rq_extent, &mut rng, &stop);
-                    (0, 0, rqs, 0)
+                    (0, 0, rqs, 0, 0)
                 } else if let Workload::ReadHeavy { read_pct } = spec.workload {
                     let (updates, reads, delta) =
                         read_mix_loop(&mut h, sampler, &mut rng, &stop, read_pct);
-                    (updates, reads, 0, delta)
+                    (updates, reads, 0, 0, delta)
+                } else if let Workload::ScanHeavy { scan_pct, scan_len } = spec.workload {
+                    let (updates, scans, delta) =
+                        scan_mix_loop(&mut h, sampler, &mut rng, &stop, scan_pct, scan_len);
+                    (updates, 0, 0, scans, delta)
                 } else {
                     let (ops, delta) = updater_loop(&mut h, sampler, &mut rng, &stop);
-                    (ops, 0, 0, delta)
+                    (ops, 0, 0, 0, delta)
                 };
                 delta_total.fetch_add(delta, Ordering::Relaxed);
                 WorkerOutcome {
                     updates,
                     reads,
                     rqs,
+                    scans,
                     keysum_delta: delta,
                     stats: h.stats(),
                 }
@@ -187,19 +223,21 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     let mut updates = 0u64;
     let mut reads = 0u64;
     let mut rqs = 0u64;
+    let mut scans = 0u64;
     let mut delta: i128 = 0;
     for o in &outcomes {
         stats.merge(&o.stats);
         updates += o.updates;
         reads += o.reads;
         rqs += o.rqs;
+        scans += o.scans;
         delta += o.keysum_delta as i128;
     }
 
     tree.validate().expect("structural validation failed");
     let final_sum = tree.key_sum() as i128;
     let keysum_ok = final_sum == prefill_sum + delta;
-    let total_ops = updates + reads + rqs;
+    let total_ops = updates + reads + rqs + scans;
 
     TrialResult {
         throughput: total_ops as f64 / elapsed.as_secs_f64(),
@@ -207,6 +245,7 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
         update_ops: updates,
         read_ops: reads,
         rq_ops: rqs,
+        scan_ops: scans,
         elapsed,
         stats,
         keysum_ok,
@@ -527,6 +566,93 @@ mod tests {
                     assert_eq!(r.stats.aborts(p).total(), 0);
                 }
                 assert_eq!(r.stats.read_escalations(), 0, "no contention, no escalation");
+            }
+        }
+    }
+
+    /// Scan-heavy trials verify on every structure, report their scans
+    /// separately, and — with the scan path on — keep the overwhelming
+    /// majority of scans on the optimistic lane.
+    #[test]
+    fn scan_heavy_trials_verify_and_use_the_scan_path() {
+        for structure in [
+            Structure::Bst,
+            Structure::AbTree,
+            Structure::ShardedBst { shards: 4 },
+            Structure::ShardedAbTree { shards: 3 },
+        ] {
+            let mut spec = quick_spec(structure, Strategy::ThreePath, false);
+            spec.workload = Workload::ScanHeavy {
+                scan_pct: 95,
+                scan_len: 32,
+            };
+            let r = run_trial(&spec);
+            assert!(r.keysum_ok, "{structure} scan-heavy keysum failed");
+            assert!(r.scan_ops > 0, "{structure}: no scans completed");
+            assert!(r.update_ops > 0, "{structure}: no inserts completed");
+            assert_eq!(r.total_ops, r.update_ops + r.scan_ops);
+            assert_eq!(r.rq_ops, 0, "the mixed loop reports scans, not rqs");
+            assert!(
+                r.stats.scan_escalations() <= r.scan_ops / 10,
+                "{structure}: scans should rarely escalate ({} of {})",
+                r.stats.scan_escalations(),
+                r.scan_ops
+            );
+            assert!(r.scan_path_share() > 0.9, "{structure}");
+            assert!(r.stats.scan_leaves_validated() > 0, "{structure}");
+        }
+    }
+
+    /// The `scan_path: false` baseline drives every range scan through
+    /// `run_op`: the scan lane stays silent.
+    #[test]
+    fn scan_path_off_routes_scans_through_run_op() {
+        use threepath_core::PathKind;
+        let mut spec = quick_spec(Structure::AbTree, Strategy::ThreePath, false);
+        spec.workload = Workload::ScanHeavy {
+            scan_pct: 100,
+            scan_len: 16,
+        };
+        spec.scan_path = false;
+        let r = run_trial(&spec);
+        assert!(r.scan_ops > 0);
+        assert_eq!(r.stats.completed(PathKind::Read), 0, "read lane unused");
+        assert_eq!(r.stats.scan_leaves_validated(), 0, "scan lane unused");
+        assert_eq!(r.stats.scan_retries(), 0);
+        assert!(r.stats.total_completed() > 0);
+    }
+
+    /// Acceptance check for the scan path: a pure scan mix in the steady
+    /// state executes **zero** HTM transactions on either backend — even
+    /// under TLE and under a spurious-abort storm.
+    #[test]
+    fn pure_scan_mix_executes_zero_transactions() {
+        use threepath_core::PathKind;
+        use threepath_htm::HtmConfig;
+        for structure in [Structure::Bst, Structure::AbTree] {
+            for strategy in [Strategy::ThreePath, Strategy::Tle] {
+                let mut spec = quick_spec(structure, strategy, false);
+                spec.workload = Workload::ScanHeavy {
+                    scan_pct: 100,
+                    scan_len: 32,
+                };
+                spec.htm = HtmConfig::default().with_spurious(0.9);
+                let r = run_trial(&spec);
+                assert!(r.scan_ops > 0);
+                assert_eq!(r.update_ops, 0, "100% scan mix");
+                assert_eq!(
+                    r.stats.completed(PathKind::Read),
+                    r.scan_ops,
+                    "{structure}/{strategy}: every scan on the read lane"
+                );
+                for p in [PathKind::Fast, PathKind::Middle, PathKind::Fallback] {
+                    assert_eq!(r.stats.completed(p), 0, "{structure}/{strategy}: {p} used");
+                    assert_eq!(r.stats.commits(p), 0);
+                    assert_eq!(r.stats.aborts(p).total(), 0);
+                }
+                assert_eq!(r.stats.scan_escalations(), 0, "no contention, no escalation");
+                assert_eq!(r.stats.scan_retries(), 0);
+                assert!(r.stats.scan_leaves_validated() >= r.scan_ops);
             }
         }
     }

@@ -212,6 +212,16 @@ pub enum Workload {
         /// Percentage of operations that are lookups (`0..=100`).
         read_pct: u8,
     },
+    /// Every thread performs `scan_pct`% range queries of extent
+    /// `scan_len` (starting at a drawn key) and the rest inserts —
+    /// `scan_pct: 95` is YCSB-E-shaped, the mix the uninstrumented scan
+    /// path targets.
+    ScanHeavy {
+        /// Percentage of operations that are range scans (`0..=100`).
+        scan_pct: u8,
+        /// Extent of each scan (`[k, k + scan_len)`).
+        scan_len: u64,
+    },
 }
 
 impl std::fmt::Display for Workload {
@@ -220,6 +230,9 @@ impl std::fmt::Display for Workload {
             Workload::Light => f.write_str("light"),
             Workload::Heavy { .. } => f.write_str("heavy"),
             Workload::ReadHeavy { read_pct } => write!(f, "read-{read_pct}"),
+            Workload::ScanHeavy { scan_pct, scan_len } => {
+                write!(f, "scan-{scan_pct}-{scan_len}")
+            }
         }
     }
 }
@@ -273,6 +286,10 @@ pub struct TrialSpec {
     /// by default); off drives them through `run_op` like any update —
     /// the baseline the read-heavy benchmark panels compare against.
     pub read_path: bool,
+    /// Route range queries through the uninstrumented optimistic scan
+    /// path (on by default); off drives them through `run_op` like any
+    /// update — the baseline the scan benchmark panels compare against.
+    pub scan_path: bool,
     /// Base PRNG seed (trial `i` derives per-thread seeds from it).
     pub seed: u64,
 }
@@ -297,6 +314,7 @@ impl Default for TrialSpec {
             pool: true,
             budget: None,
             read_path: true,
+            scan_path: true,
             seed: 0x5EED,
         }
     }
@@ -362,6 +380,14 @@ mod tests {
         );
         assert_eq!(Workload::Light.to_string(), "light");
         assert_eq!(Workload::Heavy { rq_extent: 5 }.to_string(), "heavy");
+        assert_eq!(
+            Workload::ScanHeavy {
+                scan_pct: 95,
+                scan_len: 100
+            }
+            .to_string(),
+            "scan-95-100"
+        );
         assert_eq!(KeyDist::Uniform.to_string(), "uniform");
         assert_eq!(KeyDist::Zipf { theta: 0.99 }.to_string(), "zipf-0.99");
         assert_eq!(
