@@ -69,6 +69,19 @@ pub struct AbTreeConfig {
     /// On by default; off routes scans through `run_op` (the baseline
     /// the scan benchmarks compare against).
     pub scan_path: bool,
+    /// HTM admission control on the fallback path: at most this many
+    /// threads may attempt hardware transactions while the fallback is
+    /// active (TLE lock held / `F != 0`); overflow threads park on a
+    /// ready lane and take the fallback directly — see
+    /// [`threepath_core::AdmissionGate`]. `None` (the default) admits
+    /// everyone.
+    pub admission: Option<u32>,
+    /// Probe the read-escalation bound instead of using the fixed
+    /// [`threepath_core::DEFAULT_READ_ATTEMPTS`]: contended reads and
+    /// scans feed a ladder of candidate bounds and the tree runs the one
+    /// that measures fastest (see [`threepath_core::ReadBoundConfig`]).
+    /// Uncontended reads never touch the machinery.
+    pub read_probe: Option<threepath_core::ReadBoundConfig>,
 }
 
 impl Default for AbTreeConfig {
@@ -86,6 +99,8 @@ impl Default for AbTreeConfig {
             budget: None,
             read_path: true,
             scan_path: true,
+            admission: None,
+            read_probe: None,
         }
     }
 }
@@ -173,6 +188,12 @@ impl AbTree {
         if let Some(b) = cfg.budget {
             exec = exec.with_adaptive_budgets(b);
         }
+        if let Some(cap) = cfg.admission {
+            exec = exec.with_admission(cap);
+        }
+        if let Some(r) = cfg.read_probe {
+            exec = exec.with_read_probe(r);
+        }
         // Entry node (never deleted) with the initial empty root leaf,
         // allocated through a short-lived context so they come from the
         // pool too (uniform ownership for `Drop`).
@@ -231,6 +252,13 @@ impl AbTree {
     /// it.
     pub fn budgets(&self) -> Option<&AdaptiveBudgets> {
         self.exec.budgets()
+    }
+
+    /// The read-path transaction-attempt bound currently in effect (the
+    /// probing read bound's settled arm when [`AbTreeConfig::read_probe`]
+    /// enabled it, or the fixed default).
+    pub fn read_attempts(&self) -> u32 {
+        self.exec.read_attempts()
     }
 
     /// Node-pool counters folded into the domain so far (contexts fold on
@@ -926,7 +954,7 @@ impl AbTreeHandle {
             if let Some(r) = tree.exec.run_read_validated(
                 &mut self.th,
                 &mut self.stats,
-                threepath_core::DEFAULT_READ_ATTEMPTS,
+                tree.exec.read_attempts(),
                 |_th| tree.read_get_attempt(key),
             ) {
                 return r;
@@ -977,7 +1005,7 @@ impl AbTreeHandle {
             if let Some(r) = tree.exec.run_scan(
                 &mut self.th,
                 &mut self.stats,
-                threepath_core::DEFAULT_READ_ATTEMPTS,
+                tree.exec.read_attempts(),
                 |_th, tally| {
                     state.borrow_mut().attempt_full(
                         tree.exec.runtime(),
@@ -1044,7 +1072,7 @@ impl AbTreeHandle {
             if let Some(r) = tree.exec.run_read_validated(
                 &mut self.th,
                 &mut self.stats,
-                threepath_core::DEFAULT_READ_ATTEMPTS,
+                tree.exec.read_attempts(),
                 |_th| tree.read_extreme_attempt(last),
             ) {
                 return r;

@@ -67,6 +67,19 @@ pub struct BstConfig {
     /// On by default; off routes scans through `run_op` (the baseline
     /// the scan benchmarks compare against).
     pub scan_path: bool,
+    /// HTM admission control on the fallback path: at most this many
+    /// threads may attempt hardware transactions while the fallback is
+    /// active (TLE lock held / `F != 0`); overflow threads park on a
+    /// ready lane and take the fallback directly — see
+    /// [`threepath_core::AdmissionGate`]. `None` (the default) admits
+    /// everyone.
+    pub admission: Option<u32>,
+    /// Probe the read-escalation bound instead of using the fixed
+    /// [`threepath_core::DEFAULT_READ_ATTEMPTS`]: contended reads and
+    /// scans feed a ladder of candidate bounds and the tree runs the one
+    /// that measures fastest (see [`threepath_core::ReadBoundConfig`]).
+    /// Uncontended reads never touch the machinery.
+    pub read_probe: Option<threepath_core::ReadBoundConfig>,
 }
 
 impl Default for BstConfig {
@@ -83,6 +96,8 @@ impl Default for BstConfig {
             budget: None,
             read_path: true,
             scan_path: true,
+            admission: None,
+            read_probe: None,
         }
     }
 }
@@ -159,6 +174,12 @@ impl Bst {
         if let Some(b) = cfg.budget {
             exec = exec.with_adaptive_budgets(b);
         }
+        if let Some(cap) = cfg.admission {
+            exec = exec.with_admission(cap);
+        }
+        if let Some(r) = cfg.read_probe {
+            exec = exec.with_read_probe(r);
+        }
         // Initial tree (Ellen et al.): entry(∞₂) over leaf(∞₁), leaf(∞₂).
         // Allocated through a short-lived context so sentinels come from
         // the pool too (uniform ownership for `Drop`).
@@ -211,6 +232,13 @@ impl Bst {
     /// The adaptive budget state, when [`BstConfig::budget`] enabled it.
     pub fn budgets(&self) -> Option<&AdaptiveBudgets> {
         self.exec.budgets()
+    }
+
+    /// The read-path transaction-attempt bound currently in effect (the
+    /// probing read bound's settled arm when [`BstConfig::read_probe`]
+    /// enabled it, or the fixed default).
+    pub fn read_attempts(&self) -> u32 {
+        self.exec.read_attempts()
     }
 
     /// Node-pool counters folded into the domain so far (contexts fold on
@@ -817,7 +845,7 @@ impl BstHandle {
             if let Some(r) = tree.exec.run_scan(
                 &mut self.th,
                 &mut self.stats,
-                threepath_core::DEFAULT_READ_ATTEMPTS,
+                tree.exec.read_attempts(),
                 |th, tally| {
                     state
                         .borrow_mut()

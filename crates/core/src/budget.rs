@@ -1,84 +1,99 @@
-//! Adaptive attempt budgets: scale [`PathLimits`] per epoch from the
-//! observed abort mix.
+//! Adaptive attempt budgets: probe a ladder of [`PathLimits`] arms and
+//! keep the one that measures fastest.
 //!
 //! The paper fixes the attempt budgets — 10 fast / 10 middle for the
 //! three-path algorithm, 20 fast for TLE and the two-path variants — and
 //! those numbers are the right *calm-state anchor*: when transactions
 //! mostly commit, a deep budget costs nothing (operations succeed on the
-//! first attempt) and absorbs bursts. But under a conflict storm almost
-//! every fast-path attempt aborts, and each doomed operation burns the
-//! whole budget before escalating to a path that can actually finish the
-//! work: the fixed budget becomes a per-operation tax of wasted
-//! transactions.
+//! first attempt) and absorbs bursts. But under a storm almost every
+//! fast-path attempt aborts, and each doomed operation burns the whole
+//! budget before escalating to a path that can actually finish the work.
 //!
-//! [`AdaptiveBudgets`] closes the loop using the same per-operation abort
-//! information [`PathStats`](crate::PathStats) records. Handles tally each
-//! operation's attempts into a shared window; once the window accumulates
-//! [`BudgetConfig::epoch_ops`] effective fast-path attempts (≈ operations
-//! when calm; faster under a storm), whoever crosses the threshold claims
-//! it and re-scales each path's budget from that path's
-//! *per-attempt hardware-failure rate* (conflict + capacity + spurious
-//! aborts per effective attempt — explicit aborts such as `F != 0` are
-//! excluded: they are the escalation protocol working, not wasted work):
+//! Earlier revisions closed the loop with abort-rate thresholds (halve
+//! above a shrink rate, double below a grow rate) — two platform guesses
+//! that had to be hand-tuned per machine. [`AdaptiveBudgets`] now
+//! delegates the decision to the contention manager
+//! ([`crate::controller`]): the candidate budgets form a fixed ladder of
+//! *arms* between [`BudgetConfig::min_attempts`] and
+//! `anchor × `[`BudgetConfig::max_scale`], a
+//! [`ProbingController`] tries each arm for a decision window, and the
+//! arm whose window measured the highest throughput (completed
+//! operations per wall-second, or per attempt when the clock is
+//! disabled) keeps the budget. No rates, no thresholds — whichever
+//! budget is empirically faster on this machine, under this workload,
+//! wins.
 //!
-//! * rate ≥ [`shrink_fail_rate`](BudgetConfig::shrink_fail_rate) — the
-//!   path is storming; halve its budget (floor
-//!   [`min_attempts`](BudgetConfig::min_attempts)), so operations stop
-//!   paying for attempts that almost surely abort.
-//! * rate ≤ [`grow_fail_rate`](BudgetConfig::grow_fail_rate) — commits are
-//!   cheap again; double the budget back toward the anchor (cap
-//!   `anchor × `[`max_scale`](BudgetConfig::max_scale)).
-//! * in between — keep the current budget. The gap between the two
-//!   thresholds is the hysteresis band that prevents flapping, exactly
-//!   like the sharded layer's strategy controller.
+//! The hot path is unchanged from the threshold era: handles tally each
+//! operation's effective attempts into packed per-path windows (one
+//! relaxed RMW per path used, plus one for the op count), and whoever
+//! crosses [`BudgetConfig::epoch_ops`] claims the window under the
+//! `deciding` latch and feeds it to the controller.
 //!
 //! A runtime strategy swap ([`ExecCtx::set_strategy`](crate::ExecCtx::set_strategy))
-//! re-anchors the budgets at the new strategy's paper values and restarts
-//! the window.
+//! re-anchors the ladder at the new strategy's paper values and restarts
+//! probing.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
 
 use threepath_htm::{AbortCode, CachePadded};
 
+use crate::controller::{Controller, ProbeConfig, ProbingController, Window};
 use crate::strategy::{PathLimits, Strategy};
 
-/// Minimum effective attempts a path must show in a window before its
-/// budget moves (less is noise, not signal).
-const MIN_SAMPLE: u64 = 16;
+/// The budget ladder: each arm scales the paper anchor by `num/den`
+/// (floored at [`BudgetConfig::min_attempts`]); the last arm additionally
+/// multiplies by [`BudgetConfig::max_scale`]. Arm [`ANCHOR_ARM`] is the
+/// paper budget itself — probing starts there.
+const ARM_FRACS: [(u32, u32); 5] = [(0, 1), (1, 4), (1, 2), (1, 1), (1, 1)];
+
+/// Index of the paper-anchor arm in [`ARM_FRACS`].
+const ANCHOR_ARM: usize = 3;
+
+/// Index of the over-anchor arm (`anchor × max_scale`).
+const WIDE_ARM: usize = 4;
+
+/// Attempt-equivalent cost charged for an operation that exhausted its
+/// transactional attempts and completed on the serialized fallback, when
+/// scoring windows without wall-clock: the fallback serializes against
+/// every concurrent operation, which a raw attempt count cannot see.
+const FALLBACK_WEIGHT: u64 = 16;
 
 /// Tuning for [`AdaptiveBudgets`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct BudgetConfig {
-    /// Effective fast-path attempts per decision window. In the calm
-    /// state one operation makes one attempt, so this is roughly
-    /// "operations per window"; under a storm each operation burns its
-    /// whole budget and windows turn correspondingly faster — which is
-    /// exactly when faster reaction is wanted.
+    /// Effective fast- or middle-path attempts per decision window. In
+    /// the calm state one operation makes one attempt, so this is
+    /// roughly "operations per window"; under a storm each operation
+    /// burns its whole budget and windows turn correspondingly faster —
+    /// which is exactly when faster probing is wanted. Must be at least
+    /// 2: a one-attempt window carries no comparative signal, and the
+    /// claim guards degenerate (`epoch_ops / 2 == 0` admits empty
+    /// windows).
     pub epoch_ops: u64,
-    /// Per-attempt hardware-failure rate at or above which a path's
-    /// budget halves.
-    pub shrink_fail_rate: f64,
-    /// Rate at or below which a path's budget doubles back toward the
-    /// anchor. Keep well under
-    /// [`shrink_fail_rate`](Self::shrink_fail_rate); the gap is the
-    /// hysteresis band.
-    pub grow_fail_rate: f64,
-    /// Floor for a shrunken budget (≥ 1: a path must keep probing, or it
-    /// could never observe the storm ending).
+    /// Floor for the smallest ladder arm (≥ 1: a path must keep probing
+    /// the hardware, or no window could ever measure it recovering).
     pub min_attempts: u32,
-    /// Budget ceiling as a multiple of the paper anchor (1 = the paper's
-    /// 10/10/20 are also the maximum).
+    /// Ceiling of the widest ladder arm as a multiple of the paper
+    /// anchor (1 = the paper's 10/10/20 are also the maximum).
     pub max_scale: u32,
+    /// Probe/settle cadence for the controller.
+    pub probe: ProbeConfig,
+    /// Score windows by wall-clock throughput (completed ops per
+    /// second). When `false` the score is completed ops per attempt —
+    /// deterministic, and preferable where the clock is unavailable or
+    /// untrustworthy.
+    pub wall_clock: bool,
 }
 
 impl Default for BudgetConfig {
     fn default() -> Self {
         BudgetConfig {
             epoch_ops: 1024,
-            shrink_fail_rate: 0.75,
-            grow_fail_rate: 0.25,
             min_attempts: 1,
             max_scale: 1,
+            probe: ProbeConfig::default(),
+            wall_clock: true,
         }
     }
 }
@@ -89,8 +104,10 @@ impl BudgetConfig {
     /// sharded map) call this to surface the same conditions as typed
     /// errors instead of panics.
     pub fn validate(&self) -> Result<(), &'static str> {
-        if self.epoch_ops == 0 {
-            return Err("epoch_ops must be positive");
+        // A 1-op window would make the size guard `< epoch_ops / 2`
+        // vacuous and leave the controller comparing empty windows.
+        if self.epoch_ops < 2 {
+            return Err("epoch_ops must be at least 2");
         }
         // The window counters pack `attempts << 32 | fails`; bounding the
         // window keeps both halves far from carrying into each other.
@@ -103,15 +120,28 @@ impl BudgetConfig {
         if self.max_scale == 0 {
             return Err("max_scale must be positive");
         }
-        // partial_cmp rejects NaN thresholds along with inverted ones.
-        if self
-            .grow_fail_rate
-            .partial_cmp(&self.shrink_fail_rate)
-            .is_none_or(|o| o != std::cmp::Ordering::Less)
-        {
-            return Err("grow threshold must sit below shrink threshold (hysteresis)");
+        self.probe.validate()
+    }
+
+    /// The budget ladder arm `arm` for `strategy`'s paper anchor.
+    fn arm_limits(&self, strategy: Strategy, arm: usize) -> PathLimits {
+        let anchor = PathLimits::for_strategy(strategy);
+        let scale = |base: u32| -> u32 {
+            if base == 0 {
+                // The strategy has no such path; every arm keeps it shut.
+                return 0;
+            }
+            let (num, den) = ARM_FRACS[arm];
+            let mut v = if num == 0 { 0 } else { base * num / den };
+            if arm == WIDE_ARM {
+                v = base.saturating_mul(self.max_scale);
+            }
+            v.max(self.min_attempts)
+        };
+        PathLimits {
+            fast: scale(anchor.fast),
+            middle: scale(anchor.middle),
         }
-        Ok(())
     }
 }
 
@@ -183,20 +213,26 @@ fn unpack(v: u64) -> PathLimits {
 #[derive(Debug)]
 pub struct AdaptiveBudgets {
     cfg: BudgetConfig,
+    /// The contention manager choosing a ladder arm.
+    ctl: ProbingController,
     /// Read by every operation; padded away from the write-hot windows.
     limits: CachePadded<AtomicU64>,
-    /// `attempts << 32 | fails`, one fetch-add per op that used the path
-    /// (a window holds at most `epoch_ops × budget` attempts, far below
-    /// 2³², so the halves cannot carry into each other). The fast
-    /// window's attempt half doubles as the epoch trigger, so the calm
-    /// hot path pays exactly one shared RMW per operation.
+    /// `attempts << 32 | fails`, one fetch-add per op that used the path.
+    /// `fails ≤ attempts` is enforced at the push (see [`Self::record`]),
+    /// and windows are claimed when the attempt half crosses the epoch
+    /// (bounded at 2³⁰), so neither half can carry into the other.
     win_fast: CachePadded<AtomicU64>,
     win_middle: CachePadded<AtomicU64>,
+    /// Operations completed in the window (the controller's `ops`).
+    win_ops: CachePadded<AtomicU64>,
+    /// Window start, nanoseconds since `base` (wall-clock scoring).
+    win_start: AtomicU64,
+    base: Instant,
     epochs: AtomicU64,
-    shrinks: AtomicU64,
-    grows: AtomicU64,
-    /// Decision latch (see the sharded controller): one decision per
-    /// window, and `limits` moves atomically with the counters.
+    /// Decision latch (see the sharded controller): the claimant takes it
+    /// *before* swapping the windows, so a racing claimant swaps nothing
+    /// and no counts are lost, and `limits` moves atomically with the
+    /// counters.
     deciding: AtomicBool,
 }
 
@@ -211,14 +247,17 @@ impl AdaptiveBudgets {
         if let Err(e) = cfg.validate() {
             panic!("invalid budget tuning: {e}");
         }
-        let anchor = PathLimits::for_strategy(strategy);
+        let anchor = cfg.arm_limits(strategy, ANCHOR_ARM);
+        let ctl = ProbingController::new(ARM_FRACS.len(), ANCHOR_ARM, cfg.probe);
         AdaptiveBudgets {
+            ctl,
             limits: CachePadded::new(AtomicU64::new(pack(anchor))),
             win_fast: CachePadded::new(AtomicU64::new(0)),
             win_middle: CachePadded::new(AtomicU64::new(0)),
+            win_ops: CachePadded::new(AtomicU64::new(0)),
+            win_start: AtomicU64::new(0),
+            base: Instant::now(),
             epochs: AtomicU64::new(0),
-            shrinks: AtomicU64::new(0),
-            grows: AtomicU64::new(0),
             deciding: AtomicBool::new(false),
             cfg,
         }
@@ -234,24 +273,37 @@ impl AdaptiveBudgets {
         unpack(self.limits.load(Ordering::Acquire))
     }
 
+    /// The contention manager behind the ladder (diagnostics).
+    pub fn controller(&self) -> &dyn Controller {
+        &self.ctl
+    }
+
     /// Decision windows completed so far.
     pub fn epochs(&self) -> u64 {
         self.epochs.load(Ordering::Relaxed)
     }
 
-    /// Decisions that shrank at least one path's budget.
-    pub fn shrinks(&self) -> u64 {
-        self.shrinks.load(Ordering::Relaxed)
+    /// Times the chosen ladder arm changed (probe excursions included).
+    pub fn switches(&self) -> u64 {
+        self.ctl.switches()
     }
 
-    /// Decisions that grew at least one path's budget.
-    pub fn grows(&self) -> u64 {
-        self.grows.load(Ordering::Relaxed)
+    /// Completed probe passes over the whole ladder.
+    pub fn passes(&self) -> u64 {
+        self.ctl.passes()
     }
 
-    /// Re-anchors at `strategy`'s paper limits and restarts the window
-    /// (called on a runtime strategy swap — the old strategy's abort mix
-    /// says nothing about the new one's budgets).
+    /// The budgets probing has settled on for `strategy` — the incumbent
+    /// arm's limits, independent of any probe excursion in flight.
+    /// [`Self::current`] may transiently differ while the controller
+    /// measures another arm; this is the decision.
+    pub fn settled_limits(&self, strategy: Strategy) -> PathLimits {
+        self.cfg.arm_limits(strategy, self.ctl.incumbent())
+    }
+
+    /// Re-anchors at `strategy`'s paper limits and restarts probing
+    /// (called on a runtime strategy swap — the old strategy's windows
+    /// say nothing about the new one's budgets).
     pub fn reset(&self, strategy: Strategy) {
         // Take the decision latch: a decision already in flight for the
         // old strategy must not overwrite the re-anchored limits after
@@ -265,48 +317,61 @@ impl AdaptiveBudgets {
         {
             std::hint::spin_loop();
         }
-        self.limits
-            .store(pack(PathLimits::for_strategy(strategy)), Ordering::Release);
+        self.ctl.reset(ANCHOR_ARM);
+        self.limits.store(
+            pack(self.cfg.arm_limits(strategy, ANCHOR_ARM)),
+            Ordering::Release,
+        );
         self.win_fast.store(0, Ordering::Relaxed);
         self.win_middle.store(0, Ordering::Relaxed);
+        self.win_ops.store(0, Ordering::Relaxed);
+        self.win_start
+            .store(self.base.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.deciding.store(false, Ordering::Release);
     }
 
     /// Accumulates one completed operation's tally and, when either
-    /// window's attempts cross the epoch, re-scales the budgets. (The
-    /// middle window must be able to trigger on its own: while the
-    /// fallback indicator `F` is active, fast-path attempts abort
-    /// explicitly and tally nothing, yet the middle path may be storming
-    /// — exactly when its budget needs shrinking.)
+    /// window's attempts cross the epoch, claims the window and feeds it
+    /// to the probing controller. (The middle window must be able to
+    /// trigger on its own: while the fallback indicator `F` is active,
+    /// fast-path attempts abort explicitly and tally nothing, yet the
+    /// middle path may be storming — exactly when its window matters.)
     ///
     /// Operations with an empty tally (explicit aborts only, or a
     /// strategy arm that made no transactional attempt) cost nothing and
-    /// do not advance the windows — with no hardware-abort signal there
-    /// is nothing to adapt to.
+    /// do not advance the windows — with no attempt signal there is
+    /// nothing to compare.
     pub fn record(&self, strategy: Strategy, tally: &OpTally) {
+        if tally.is_empty() {
+            return;
+        }
+        // Defend the packed counters: a malformed tally claiming more
+        // fails than attempts would eventually carry the fail half into
+        // the attempt half of the window word. Clamping at the push keeps
+        // the invariant `fails ≤ attempts`, which (with the epoch-bounded
+        // attempt half) bounds both halves below 2³².
+        let ff = tally.fast_fails.min(tally.fast_attempts);
+        let mf = tally.middle_fails.min(tally.middle_attempts);
+        debug_assert_eq!(ff, tally.fast_fails, "tally fails exceed attempts");
+        debug_assert_eq!(mf, tally.middle_fails, "tally fails exceed attempts");
         let mut crossed = false;
         if tally.middle_attempts > 0 {
-            let add = (u64::from(tally.middle_attempts) << 32) | u64::from(tally.middle_fails);
+            let add = (u64::from(tally.middle_attempts) << 32) | u64::from(mf);
             let attempts = (self.win_middle.fetch_add(add, Ordering::Relaxed) + add) >> 32;
             crossed |= attempts >= self.cfg.epoch_ops;
         }
         if tally.fast_attempts > 0 {
-            let add = (u64::from(tally.fast_attempts) << 32) | u64::from(tally.fast_fails);
+            let add = (u64::from(tally.fast_attempts) << 32) | u64::from(ff);
             let attempts = (self.win_fast.fetch_add(add, Ordering::Relaxed) + add) >> 32;
             crossed |= attempts >= self.cfg.epoch_ops;
         }
+        self.win_ops.fetch_add(1, Ordering::Relaxed);
         if !crossed {
             return;
         }
-        // Claim the window; racing claimants swap out a near-empty window
-        // and bail on the size guard.
-        let fast_w = self.win_fast.swap(0, Ordering::Relaxed);
-        let middle_w = self.win_middle.swap(0, Ordering::Relaxed);
-        let (fa, ff) = (fast_w >> 32, fast_w & u64::from(u32::MAX));
-        let (ma, mf) = (middle_w >> 32, middle_w & u64::from(u32::MAX));
-        if fa < self.cfg.epoch_ops / 2 && ma < self.cfg.epoch_ops / 2 {
-            return;
-        }
+        // Claim the window under the latch: the single claimant swaps
+        // the counters, so a racing claimant discards nothing — its
+        // pushes stay in place for the next window.
         if self
             .deciding
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
@@ -314,53 +379,44 @@ impl AdaptiveBudgets {
         {
             return;
         }
-        let anchor = PathLimits::for_strategy(strategy);
-        let cur = self.current();
-        let next = PathLimits {
-            fast: self.scale_path(cur.fast, anchor.fast, fa, ff),
-            middle: self.scale_path(cur.middle, anchor.middle, ma, mf),
-        };
-        if next != cur {
-            self.limits.store(pack(next), Ordering::Release);
-            if next.fast < cur.fast || next.middle < cur.middle {
-                self.shrinks.fetch_add(1, Ordering::Relaxed);
-            }
-            if next.fast > cur.fast || next.middle > cur.middle {
-                self.grows.fetch_add(1, Ordering::Relaxed);
-            }
+        let fast_w = self.win_fast.swap(0, Ordering::Relaxed);
+        let middle_w = self.win_middle.swap(0, Ordering::Relaxed);
+        let ops_w = self.win_ops.swap(0, Ordering::Relaxed);
+        let now = self.base.elapsed().as_nanos() as u64;
+        let start = self.win_start.swap(now, Ordering::Relaxed);
+        let (fa, ff) = (fast_w >> 32, fast_w & u64::from(u32::MAX));
+        let (ma, mf) = (middle_w >> 32, middle_w & u64::from(u32::MAX));
+        // Size guards: a second claimant racing in right behind the swap
+        // sees a near-empty window — no signal, no decision. `ops_w == 0`
+        // also covers the degenerate all-fails window.
+        if ops_w == 0 || (fa < self.cfg.epoch_ops / 2 && ma < self.cfg.epoch_ops / 2) {
+            self.deciding.store(false, Ordering::Release);
+            return;
         }
+        // Operations that committed transactionally vs. ones that fell
+        // through to the serialized fallback: the latter carry a weight
+        // the raw attempt count cannot see (they serialize the world).
+        let commits = (fa - ff) + (ma - mf);
+        let fell_back = ops_w.saturating_sub(commits);
+        let w = Window {
+            ops: ops_w,
+            attempts: fa + ma + fell_back * FALLBACK_WEIGHT,
+            conflicts: ff + mf,
+            other: 0,
+            nanos: if self.cfg.wall_clock {
+                now.saturating_sub(start)
+            } else {
+                0
+            },
+        };
+        let arm = self.ctl.arm();
+        self.ctl.observe(arm, w);
+        self.limits.store(
+            pack(self.cfg.arm_limits(strategy, self.ctl.arm())),
+            Ordering::Release,
+        );
         self.epochs.fetch_add(1, Ordering::Relaxed);
         self.deciding.store(false, Ordering::Release);
-    }
-
-    /// One path's next budget from its window failure rate. `anchor == 0`
-    /// means the strategy has no such path.
-    fn scale_path(&self, cur: u32, anchor: u32, attempts: u64, fails: u64) -> u32 {
-        if anchor == 0 {
-            return 0;
-        }
-        if attempts < MIN_SAMPLE {
-            // No signal — the path went unused this window (e.g. the
-            // middle path while the fast path commits everything). An
-            // unused budget costs nothing, so drift it back up to the
-            // calm-state anchor; it re-opens at full depth when needed.
-            return if cur < anchor {
-                cur.saturating_mul(2).min(anchor)
-            } else {
-                cur
-            };
-        }
-        let rate = fails as f64 / attempts as f64;
-        if rate >= self.cfg.shrink_fail_rate {
-            (cur / 2).max(self.cfg.min_attempts)
-        } else if rate <= self.cfg.grow_fail_rate {
-            let cap = anchor
-                .saturating_mul(self.cfg.max_scale)
-                .max(self.cfg.min_attempts);
-            cur.saturating_mul(2).min(cap)
-        } else {
-            cur
-        }
     }
 }
 
@@ -368,29 +424,23 @@ impl AdaptiveBudgets {
 mod tests {
     use super::*;
 
-    fn budgets(epoch_ops: u64) -> AdaptiveBudgets {
-        AdaptiveBudgets::new(
-            BudgetConfig {
-                epoch_ops,
-                ..BudgetConfig::default()
-            },
-            Strategy::ThreePath,
-        )
-    }
-
-    /// Pushes one window of `n` identical tallies.
-    fn push(b: &AdaptiveBudgets, strategy: Strategy, n: u64, tally: OpTally) {
-        for _ in 0..n {
-            b.record(strategy, &tally);
+    fn test_config(epoch_ops: u64) -> BudgetConfig {
+        BudgetConfig {
+            epoch_ops,
+            // Deterministic scores: completed ops per attempt.
+            wall_clock: false,
+            ..BudgetConfig::default()
         }
     }
 
-    fn storm_tally(attempts: u32) -> OpTally {
-        OpTally {
-            fast_attempts: attempts,
-            fast_fails: attempts,
-            middle_attempts: attempts,
-            middle_fails: attempts,
+    fn budgets(epoch_ops: u64) -> AdaptiveBudgets {
+        AdaptiveBudgets::new(test_config(epoch_ops), Strategy::ThreePath)
+    }
+
+    /// Pushes `n` identical tallies.
+    fn push(b: &AdaptiveBudgets, strategy: Strategy, n: u64, tally: OpTally) {
+        for _ in 0..n {
+            b.record(strategy, &tally);
         }
     }
 
@@ -398,8 +448,19 @@ mod tests {
         OpTally {
             fast_attempts: 1,
             fast_fails: 0,
-            middle_attempts: 1,
+            middle_attempts: 0,
             middle_fails: 0,
+        }
+    }
+
+    /// A storm tally parameterized by the *current* budget: the op burns
+    /// the whole fast budget failing, then completes off-path.
+    fn storm_tally(limits: PathLimits) -> OpTally {
+        OpTally {
+            fast_attempts: limits.fast,
+            fast_fails: limits.fast,
+            middle_attempts: limits.middle,
+            middle_fails: limits.middle,
         }
     }
 
@@ -407,34 +468,66 @@ mod tests {
     fn starts_at_the_paper_anchor() {
         let b = budgets(64);
         assert_eq!(b.current(), PathLimits::for_strategy(Strategy::ThreePath));
-        let tle = AdaptiveBudgets::new(BudgetConfig::default(), Strategy::Tle);
+        let tle = AdaptiveBudgets::new(test_config(1024), Strategy::Tle);
         assert_eq!(tle.current().fast, 20);
         assert_eq!(tle.current().middle, 0);
     }
 
     #[test]
-    fn storms_shrink_to_the_floor_and_calm_grows_back() {
-        let b = budgets(64);
-        // Under a storm each op burns many attempts, so windows turn fast
-        // and a single 64-push block is enough to halve down to the floor.
-        push(&b, Strategy::ThreePath, 64, storm_tally(10));
-        assert_eq!(b.current(), PathLimits { fast: 1, middle: 1 });
-        assert!(b.shrinks() >= 3, "10 -> 5 -> 2 -> 1");
-        // Calm windows (one attempt per op) double back up one window per
-        // 64-push block, capped at the anchor.
-        for expect_fast in [2u32, 4, 8, 10, 10] {
-            push(&b, Strategy::ThreePath, 64, calm_tally());
-            assert_eq!(b.current().fast, expect_fast);
+    fn ladder_spans_floor_to_anchor() {
+        let cfg = test_config(64);
+        let arms: Vec<PathLimits> = (0..ARM_FRACS.len())
+            .map(|i| cfg.arm_limits(Strategy::ThreePath, i))
+            .collect();
+        assert_eq!(arms[0], PathLimits { fast: 1, middle: 1 });
+        assert_eq!(arms[ANCHOR_ARM], PathLimits::for_strategy(Strategy::ThreePath));
+        // Budgets never fall below the floor or rise above the cap.
+        for a in &arms {
+            assert!(a.fast >= 1 && a.fast <= 10);
+            assert!(a.middle >= 1 && a.middle <= 10);
         }
-        assert_eq!(b.current(), PathLimits::for_strategy(Strategy::ThreePath));
-        assert!(b.grows() >= 4);
+        // A strategy without a middle path keeps it shut on every arm.
+        for i in 0..ARM_FRACS.len() {
+            assert_eq!(cfg.arm_limits(Strategy::Tle, i).middle, 0);
+        }
     }
 
     #[test]
-    fn middle_only_storm_still_triggers_adaptation() {
+    fn probing_converges_on_the_floor_under_a_storm() {
+        // Every op burns its whole fast budget and completes elsewhere:
+        // ops/attempt is maximal on the smallest arm, so probing must
+        // land the budget on the floor.
+        let b = budgets(64);
+        for _ in 0..6000 {
+            b.record(Strategy::ThreePath, &storm_tally(b.current()));
+        }
+        assert_eq!(
+            b.settled_limits(Strategy::ThreePath),
+            PathLimits { fast: 1, middle: 1 },
+            "storm windows must drive the settled budget to the floor arm"
+        );
+        assert!(b.epochs() > 0);
+        assert!(b.passes() >= 1);
+    }
+
+    #[test]
+    fn calm_windows_stay_anchored() {
+        // One attempt, one commit: every arm scores identically, so the
+        // hold-back margin keeps the anchor through whole probe passes.
+        let b = budgets(64);
+        push(&b, Strategy::ThreePath, 4096, calm_tally());
+        assert!(b.passes() >= 2, "probing must keep cycling");
+        assert_eq!(
+            b.settled_limits(Strategy::ThreePath),
+            PathLimits::for_strategy(Strategy::ThreePath),
+            "calm ties must leave the incumbent anchor in place"
+        );
+    }
+
+    #[test]
+    fn middle_only_storm_still_turns_windows() {
         // While F is active the fast path aborts explicitly (no effective
-        // attempts), but a storming middle path must still shrink: the
-        // middle window triggers decisions on its own.
+        // attempts); the middle window must trigger decisions on its own.
         let b = budgets(64);
         let middle_storm = OpTally {
             fast_attempts: 0,
@@ -442,34 +535,12 @@ mod tests {
             middle_attempts: 10,
             middle_fails: 10,
         };
-        push(&b, Strategy::ThreePath, 64, middle_storm);
-        assert_eq!(b.current().middle, 1, "middle budget must hit the floor");
-        assert_eq!(
-            b.current().fast,
-            10,
-            "no fast-path signal: the fast budget stays anchored"
-        );
+        push(&b, Strategy::ThreePath, 256, middle_storm);
+        assert!(b.epochs() > 0, "middle-only windows must claim epochs");
     }
 
     #[test]
-    fn hysteresis_band_keeps_the_current_budget() {
-        let b = budgets(64);
-        push(&b, Strategy::ThreePath, 64, storm_tally(10));
-        let shrunk = b.current();
-        assert!(shrunk.fast < 10);
-        // 50% failure rate sits between grow (25%) and shrink (75%).
-        let mid = OpTally {
-            fast_attempts: 2,
-            fast_fails: 1,
-            middle_attempts: 2,
-            middle_fails: 1,
-        };
-        push(&b, Strategy::ThreePath, 64, mid);
-        assert_eq!(b.current(), shrunk, "mid-band windows must not move budgets");
-    }
-
-    #[test]
-    fn explicit_aborts_do_not_shrink() {
+    fn explicit_aborts_do_not_advance_windows() {
         // Operations that only saw explicit aborts record no effective
         // attempts: no signal, no window turnover, budgets stay put.
         let b = budgets(64);
@@ -481,35 +552,106 @@ mod tests {
     #[test]
     fn reset_reanchors_on_strategy_swap() {
         let b = budgets(64);
-        push(&b, Strategy::ThreePath, 64, storm_tally(10));
-        assert!(b.current().fast < 10);
+        for _ in 0..2000 {
+            b.record(Strategy::ThreePath, &storm_tally(b.current()));
+        }
         b.reset(Strategy::Tle);
         assert_eq!(b.current(), PathLimits::for_strategy(Strategy::Tle));
     }
 
     #[test]
-    fn max_scale_allows_growth_past_the_anchor() {
-        let b = AdaptiveBudgets::new(
+    fn max_scale_widens_the_top_arm() {
+        let cfg = BudgetConfig {
+            max_scale: 2,
+            ..test_config(64)
+        };
+        assert_eq!(cfg.arm_limits(Strategy::ThreePath, WIDE_ARM).fast, 20);
+        assert_eq!(cfg.arm_limits(Strategy::Tle, WIDE_ARM).fast, 40);
+    }
+
+    #[test]
+    fn fail_half_cannot_carry_into_the_attempt_half() {
+        // Regression: a malformed tally with more fails than attempts
+        // used to accumulate `fails` past the attempt half's epoch
+        // trigger, eventually carrying into — and corrupting — the
+        // attempt count. The push now clamps `fails ≤ attempts`.
+        let b = budgets(64);
+        let malformed = OpTally {
+            fast_attempts: 1,
+            fast_fails: u32::MAX,
+            middle_attempts: 0,
+            middle_fails: 0,
+        };
+        // Debug builds assert on the malformed tally; the release-mode
+        // behavior (clamping) is what this regression test pins down.
+        if cfg!(debug_assertions) {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                b.record(Strategy::ThreePath, &malformed);
+            }));
+            assert!(r.is_err(), "debug builds reject fails > attempts loudly");
+            return;
+        }
+        for _ in 0..128 {
+            b.record(Strategy::ThreePath, &malformed);
+        }
+        // Pre-fix, the fail half carries ~2^32 per push into the attempt
+        // half, the claimed "attempts" explode, and the window feeds the
+        // controller garbage. Post-fix the windows stay coherent and the
+        // budget stays on the ladder.
+        let cur = b.current();
+        assert!(
+            (1..=10).contains(&cur.fast),
+            "budget left the ladder: {cur:?}"
+        );
+        assert!(b.epochs() >= 1, "claims must still happen");
+    }
+
+    #[test]
+    fn tiny_epoch_is_rejected() {
+        // Regression: epoch_ops = 1 degenerates the claim size guard
+        // (`epoch_ops / 2 == 0`), letting racing claimants decide on
+        // empty windows. The validator now requires at least 2.
+        assert!(BudgetConfig {
+            epoch_ops: 1,
+            ..BudgetConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BudgetConfig {
+            epoch_ops: 0,
+            ..BudgetConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BudgetConfig {
+            epoch_ops: 2,
+            ..BudgetConfig::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_epoch_panics_at_construction() {
+        AdaptiveBudgets::new(
             BudgetConfig {
-                epoch_ops: 64,
-                max_scale: 2,
+                epoch_ops: 1,
                 ..BudgetConfig::default()
             },
             Strategy::ThreePath,
         );
-        for _ in 0..4 {
-            push(&b, Strategy::ThreePath, 64, calm_tally());
-        }
-        assert_eq!(b.current().fast, 20, "2x anchor cap");
     }
 
     #[test]
-    #[should_panic(expected = "hysteresis")]
-    fn inverted_thresholds_rejected() {
+    #[should_panic(expected = "probe_windows")]
+    fn degenerate_probe_tuning_rejected() {
         AdaptiveBudgets::new(
             BudgetConfig {
-                shrink_fail_rate: 0.2,
-                grow_fail_rate: 0.8,
+                probe: ProbeConfig {
+                    probe_windows: 0,
+                    ..ProbeConfig::default()
+                },
                 ..BudgetConfig::default()
             },
             Strategy::ThreePath,

@@ -12,10 +12,11 @@ use threepath_llxscx::{ScxEngine, ScxThread};
 use crate::access::TxMem;
 use crate::budget::{AdaptiveBudgets, BudgetConfig, OpTally};
 use crate::effects::Effects;
+use crate::readpath::{ReadBound, ReadBoundConfig, DEFAULT_READ_ATTEMPTS};
 use crate::stats::{PathKind, PathStats};
 use crate::strategy::{PathLimits, Strategy};
 use crate::snzi::Snzi;
-use crate::sync::{FallbackCount, Indicator, TleLock};
+use crate::sync::{AdmissionGate, FallbackCount, Indicator, TleLock};
 use crate::template::TxMode;
 
 /// The strategies an adaptive context may swap between at runtime (see
@@ -81,6 +82,8 @@ pub struct ExecCtx {
     adaptive: bool,
     limits_override: Option<PathLimits>,
     budgets: Option<AdaptiveBudgets>,
+    read_bound: Option<ReadBound>,
+    admission: Option<AdmissionGate>,
     f: Indicator,
     lock: TleLock,
 }
@@ -94,6 +97,8 @@ impl ExecCtx {
             adaptive: false,
             limits_override: None,
             budgets: None,
+            read_bound: None,
+            admission: None,
             f: Indicator::Counter(FallbackCount::new()),
             lock: TleLock::new(),
         }
@@ -129,6 +134,63 @@ impl ExecCtx {
     /// The adaptive budget state, when enabled.
     pub fn budgets(&self) -> Option<&AdaptiveBudgets> {
         self.budgets.as_ref()
+    }
+
+    /// Enables the probing read-escalation bound: optimistic reads and
+    /// scans get their validation-attempt budget from a contention
+    /// manager probing [`ReadBoundConfig::ladder`] instead of the fixed
+    /// [`DEFAULT_READ_ATTEMPTS`]. Only contended reads feed it; the calm
+    /// read path stays zero-synchronization.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate tuning (see [`ReadBoundConfig::validate`]).
+    pub fn with_read_probe(mut self, cfg: ReadBoundConfig) -> Self {
+        self.read_bound = Some(ReadBound::new(cfg));
+        self
+    }
+
+    /// The validation-attempt bound optimistic reads and scans should
+    /// pass to [`Self::run_read_validated`] / [`Self::run_scan`]: the
+    /// probing controller's current choice, or
+    /// [`DEFAULT_READ_ATTEMPTS`] when no read probe is configured.
+    pub fn read_attempts(&self) -> u32 {
+        match &self.read_bound {
+            Some(rb) => rb.bound(),
+            None => DEFAULT_READ_ATTEMPTS,
+        }
+    }
+
+    /// The probing read-bound state, when enabled.
+    pub(crate) fn read_bound(&self) -> Option<&ReadBound> {
+        self.read_bound.as_ref()
+    }
+
+    /// Decision epochs the read-bound controller has completed (0 when
+    /// no read probe is configured; diagnostics).
+    pub fn read_probe_epochs(&self) -> u64 {
+        self.read_bound.as_ref().map_or(0, |rb| rb.epochs())
+    }
+
+    /// Enables HTM admission control: while the serialized fallback is
+    /// busy (the TLE lock held, or `F` active under 3-path), at most
+    /// `cap` threads keep making HTM attempts against it; overflow
+    /// threads queue on the gate's ready lane and take the serialized
+    /// path directly (see [`AdmissionGate`]). Applies to the
+    /// [`Strategy::Tle`] and [`Strategy::ThreePath`] protocols (and both
+    /// halves of an adaptive context); the other strategies never gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn with_admission(mut self, cap: u32) -> Self {
+        self.admission = Some(AdmissionGate::new(cap));
+        self
+    }
+
+    /// The admission gate, when enabled.
+    pub fn admission(&self) -> Option<&AdmissionGate> {
+        self.admission.as_ref()
     }
 
     /// Enables runtime strategy swapping (see the type-level docs for the
@@ -398,12 +460,38 @@ impl ExecCtx {
                 (v, PathKind::Fallback)
             }
             Strategy::Tle => {
+                // Admission control: while the lock is held, only `cap`
+                // threads may keep waiting-and-attempting against its
+                // release; the overflow queues on the ready lane and
+                // takes the lock directly, so a storm drains through the
+                // serialized path instead of re-colliding on every
+                // release.
+                let mut in_window = false;
+                if let Some(gate) = &self.admission {
+                    if self.lock.is_held(rt) {
+                        if gate.try_enter() {
+                            in_window = true;
+                        } else {
+                            stats.record_admission_overflow();
+                            gate.ready_arrive();
+                            self.acquire_tle_lock();
+                            let v = seq_locked(th);
+                            self.lock.release(rt);
+                            gate.ready_depart();
+                            stats.record_completed(PathKind::Fallback);
+                            return (v, PathKind::Fallback);
+                        }
+                    }
+                }
                 for _ in 0..limits.fast {
                     // Wait for the lock to be free before each attempt
                     // (otherwise the attempt is wasted work).
                     self.wait_while(|| self.lock.is_held(rt));
                     match fast(th) {
                         Ok(v) => {
+                            if in_window {
+                                self.gate_exit();
+                            }
                             tally.fast_commit();
                             stats.record_commit(PathKind::Fast);
                             stats.record_completed(PathKind::Fast);
@@ -422,19 +510,10 @@ impl ExecCtx {
                         }
                     }
                 }
-                self.lock.acquire(rt);
-                if self.adaptive {
-                    // Blended discipline: lock-free fallback operations
-                    // admitted under a 3-path read must drain before the
-                    // exclusive sequential section may touch the tree.
-                    // They never wait once arrived, so F drains; arrivals
-                    // racing the acquisition observe the lock and back off.
-                    // The SeqCst fence pairs with the one after F-arrival:
-                    // of the two store→fence→load sequences, at least one
-                    // side must observe the other's store.
-                    std::sync::atomic::fence(Ordering::SeqCst);
-                    self.wait_while(|| self.f.is_active(rt));
+                if in_window {
+                    self.gate_exit();
                 }
+                self.acquire_tle_lock();
                 let v = seq_locked(th);
                 self.lock.release(rt);
                 stats.record_completed(PathKind::Fallback);
@@ -487,6 +566,28 @@ impl ExecCtx {
                 (v, PathKind::Fallback)
             }
             Strategy::ThreePath => {
+                // Admission control: while the lock-free fallback is
+                // active, every fast/middle attempt is doomed to abort
+                // against `F`; only `cap` threads keep attempting, the
+                // overflow joins the fallback directly (queued progress
+                // — the lock-free path always completes).
+                let mut in_window = false;
+                if let Some(gate) = &self.admission {
+                    if self.f.is_active(rt) {
+                        if gate.try_enter() {
+                            in_window = true;
+                        } else {
+                            stats.record_admission_overflow();
+                            gate.ready_arrive();
+                            self.arrive_on_f(th.id().0);
+                            let v = fallback(th);
+                            self.f.depart(rt, th.id().0);
+                            gate.ready_depart();
+                            stats.record_completed(PathKind::Fallback);
+                            return (v, PathKind::Fallback);
+                        }
+                    }
+                }
                 // Fast path: never waits; moves on early when it observes
                 // an operation on the fallback path.
                 let mut attempts = 0;
@@ -494,6 +595,9 @@ impl ExecCtx {
                     attempts += 1;
                     match fast(th) {
                         Ok(v) => {
+                            if in_window {
+                                self.gate_exit();
+                            }
                             tally.fast_commit();
                             stats.record_commit(PathKind::Fast);
                             stats.record_completed(PathKind::Fast);
@@ -512,6 +616,9 @@ impl ExecCtx {
                 for _ in 0..limits.middle {
                     match middle(th) {
                         Ok(v) => {
+                            if in_window {
+                                self.gate_exit();
+                            }
                             tally.middle_commit();
                             stats.record_commit(PathKind::Middle);
                             stats.record_completed(PathKind::Middle);
@@ -523,30 +630,70 @@ impl ExecCtx {
                         }
                     }
                 }
-                if self.adaptive {
-                    // Blended discipline: arrive on F only while the TLE
-                    // lock is free. The re-check after arrival closes the
-                    // race with a concurrent acquisition — exactly one of
-                    // the two (this arrival, the lock holder's F check)
-                    // observes the other, because the arrival is a direct
-                    // RMW ordered before the lock load.
-                    loop {
-                        self.wait_while(|| self.lock.is_held(rt));
-                        self.f.arrive(rt, th.id().0);
-                        std::sync::atomic::fence(Ordering::SeqCst);
-                        if !self.lock.is_held(rt) {
-                            break;
-                        }
-                        self.f.depart(rt, th.id().0);
-                    }
-                } else {
-                    self.f.arrive(rt, th.id().0);
+                if in_window {
+                    // Leave the HTM window before parking on F: a thread
+                    // on the fallback no longer attempts HTM.
+                    self.gate_exit();
                 }
+                self.arrive_on_f(th.id().0);
                 let v = fallback(th);
                 self.f.depart(rt, th.id().0);
                 stats.record_completed(PathKind::Fallback);
                 (v, PathKind::Fallback)
             }
+        }
+    }
+
+    /// Acquires the TLE lock for exclusive sequential access, honoring
+    /// the adaptive blended discipline (drain `F` before touching the
+    /// tree — see [`Strategy::Tle`] in [`Self::run_paths`]).
+    fn acquire_tle_lock(&self) {
+        let rt = &*self.rt;
+        self.lock.acquire(rt);
+        if self.adaptive {
+            // Blended discipline: lock-free fallback operations
+            // admitted under a 3-path read must drain before the
+            // exclusive sequential section may touch the tree.
+            // They never wait once arrived, so F drains; arrivals
+            // racing the acquisition observe the lock and back off.
+            // The SeqCst fence pairs with the one after F-arrival:
+            // of the two store→fence→load sequences, at least one
+            // side must observe the other's store.
+            std::sync::atomic::fence(Ordering::SeqCst);
+            self.wait_while(|| self.f.is_active(rt));
+        }
+    }
+
+    /// Arrives on the fallback indicator `F`, honoring the adaptive
+    /// blended discipline (arrive only while the TLE lock is free).
+    fn arrive_on_f(&self, tid: u16) {
+        let rt = &*self.rt;
+        if self.adaptive {
+            // Blended discipline: arrive on F only while the TLE
+            // lock is free. The re-check after arrival closes the
+            // race with a concurrent acquisition — exactly one of
+            // the two (this arrival, the lock holder's F check)
+            // observes the other, because the arrival is a direct
+            // RMW ordered before the lock load.
+            loop {
+                self.wait_while(|| self.lock.is_held(rt));
+                self.f.arrive(rt, tid);
+                std::sync::atomic::fence(Ordering::SeqCst);
+                if !self.lock.is_held(rt) {
+                    break;
+                }
+                self.f.depart(rt, tid);
+            }
+        } else {
+            self.f.arrive(rt, tid);
+        }
+    }
+
+    /// Leaves the admission window (the gate is necessarily configured
+    /// when this is called).
+    fn gate_exit(&self) {
+        if let Some(gate) = &self.admission {
+            gate.exit();
         }
     }
 
@@ -856,20 +1003,29 @@ mod tests {
         assert!(!exec.fallback_indicator().is_active(&rt));
     }
 
-    #[test]
-    fn adaptive_budgets_shrink_under_storm_and_recover() {
-        let (exec, eng) = setup(Strategy::ThreePath);
-        let exec = exec.with_adaptive_budgets(BudgetConfig {
-            epoch_ops: 64,
+    /// Deterministic probing tuning for budget tests: score windows by
+    /// completed ops per (weighted) attempt, not wall-clock.
+    fn probing_budget_cfg(epoch_ops: u64) -> BudgetConfig {
+        BudgetConfig {
+            epoch_ops,
+            wall_clock: false,
             ..BudgetConfig::default()
-        });
+        }
+    }
+
+    #[test]
+    fn adaptive_budgets_probe_to_the_floor_under_storm_and_recover() {
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let exec = exec.with_adaptive_budgets(probing_budget_cfg(64));
         let mut th = eng.register_thread();
         let mut stats = PathStats::new();
         let anchor = PathLimits::for_strategy(Strategy::ThreePath);
         assert_eq!(exec.limits(), anchor);
         // Conflict storm: every transactional attempt aborts, every op
-        // drains the full budget and completes on the fallback.
-        for _ in 0..64 * 6 {
+        // drains the full budget and completes on the fallback. Every
+        // arm ends on the fallback, so the arm wasting the fewest
+        // attempts first — the floor — measures fastest.
+        for _ in 0..64 * 20 {
             exec.run_op(
                 &mut th,
                 &mut stats,
@@ -881,25 +1037,38 @@ mod tests {
         }
         let b = exec.budgets().expect("budgets enabled");
         assert_eq!(
-            exec.limits(),
+            b.settled_limits(Strategy::ThreePath),
             PathLimits { fast: 1, middle: 1 },
-            "storm shrinks both budgets to the floor"
+            "storm probing settles both budgets on the floor"
         );
-        assert!(b.shrinks() >= 3, "10 -> 5 -> 2 -> 1 on both paths");
-        // Calm again: fast path commits first try; budgets double back to
-        // the paper anchor and stop there.
-        for _ in 0..64 * 8 {
+        assert!(b.epochs() > 0);
+        // The storm relents halfway: operations now commit on their 5th
+        // fast attempt. Collapsed budgets (< 5 attempts) keep eating the
+        // fallback penalty; deeper arms commit transactionally — probing
+        // must grow the budget back.
+        for _ in 0..64 * 30 {
+            let calls = Cell::new(0u32);
             exec.run_op(
                 &mut th,
                 &mut stats,
-                |_| Ok(1),
-                |_| unreachable!(),
-                |_| 0,
+                |_| {
+                    calls.set(calls.get() + 1);
+                    if calls.get() >= 5 {
+                        Ok(1)
+                    } else {
+                        Err(Abort::new(AbortCode::Conflict))
+                    }
+                },
+                |_| Err(Abort::new(AbortCode::Conflict)),
+                |_| 1,
                 |_| 0,
             );
         }
-        assert_eq!(exec.limits(), anchor, "calm state re-anchors at 10/10");
-        assert!(b.grows() >= 4);
+        assert!(
+            b.settled_limits(Strategy::ThreePath).fast >= 5,
+            "probing must re-open the budget once deeper arms pay off (got {:?})",
+            b.settled_limits(Strategy::ThreePath)
+        );
     }
 
     #[test]
@@ -907,10 +1076,7 @@ mod tests {
         // F != 0 aborts are the escalation protocol working: an op that
         // breaks to the middle path must not look like a storm.
         let (exec, eng) = setup(Strategy::ThreePath);
-        let exec = exec.with_adaptive_budgets(BudgetConfig {
-            epoch_ops: 32,
-            ..BudgetConfig::default()
-        });
+        let exec = exec.with_adaptive_budgets(probing_budget_cfg(32));
         let mut th = eng.register_thread();
         let mut stats = PathStats::new();
         for _ in 0..32 * 4 {
@@ -923,8 +1089,9 @@ mod tests {
                 |_| 0,
             );
         }
+        let b = exec.budgets().expect("budgets enabled");
         assert_eq!(
-            exec.limits(),
+            b.settled_limits(Strategy::ThreePath),
             PathLimits::for_strategy(Strategy::ThreePath),
             "explicit-only windows keep the anchor"
         );
@@ -935,13 +1102,10 @@ mod tests {
         let (exec, eng) = setup(Strategy::ThreePath);
         let exec = exec
             .with_adaptive()
-            .with_adaptive_budgets(BudgetConfig {
-                epoch_ops: 64,
-                ..BudgetConfig::default()
-            });
+            .with_adaptive_budgets(probing_budget_cfg(64));
         let mut th = eng.register_thread();
         let mut stats = PathStats::new();
-        for _ in 0..64 * 4 {
+        for _ in 0..64 * 20 {
             exec.run_op(
                 &mut th,
                 &mut stats,
@@ -951,7 +1115,11 @@ mod tests {
                 |_| 0,
             );
         }
-        assert!(exec.limits().fast < 10, "shrunk before the swap");
+        let b = exec.budgets().expect("budgets enabled");
+        assert!(
+            b.settled_limits(Strategy::ThreePath).fast < 10,
+            "settled below the anchor before the swap"
+        );
         exec.set_strategy(Strategy::Tle).unwrap();
         assert_eq!(
             exec.limits(),
@@ -967,14 +1135,11 @@ mod tests {
         // aborts must not count toward the budget windows, or storm-time
         // escalated reads would hold the budgets shrunk forever.
         let (exec, eng) = setup(Strategy::ThreePath);
-        let exec = exec.with_adaptive_budgets(BudgetConfig {
-            epoch_ops: 64,
-            ..BudgetConfig::default()
-        });
+        let exec = exec.with_adaptive_budgets(probing_budget_cfg(64));
         let mut th = eng.register_thread();
         let mut stats = PathStats::new();
-        // Shrink the budgets with a conflict storm through run_op.
-        for _ in 0..64 * 6 {
+        // Collapse the budgets with a conflict storm through run_op.
+        for _ in 0..64 * 20 {
             exec.run_op(
                 &mut th,
                 &mut stats,
@@ -984,11 +1149,16 @@ mod tests {
                 |_| 0,
             );
         }
-        let collapsed = exec.limits();
-        assert_eq!(collapsed, PathLimits { fast: 1, middle: 1 });
         let b = exec.budgets().expect("budgets enabled");
-        let shrinks_before = b.shrinks();
-        let grows_before = b.grows();
+        assert_eq!(
+            b.settled_limits(Strategy::ThreePath),
+            PathLimits { fast: 1, middle: 1 }
+        );
+        // Whatever arm the prober is currently holding is what escalated
+        // ops must observe; they never feed the windows, so it is stable
+        // across the escalated phase below.
+        let collapsed = exec.limits();
+        let epochs_before = b.epochs();
         // Escalated ops observe the collapsed limits...
         let fast_calls = Cell::new(0u32);
         let (v, path) = exec.run_op_escalated(
@@ -1016,8 +1186,7 @@ mod tests {
             );
         }
         assert_eq!(exec.limits(), collapsed, "escalations never move budgets");
-        assert_eq!(b.shrinks(), shrinks_before);
-        assert_eq!(b.grows(), grows_before);
+        assert_eq!(b.epochs(), epochs_before, "no escalated op turns a window");
     }
 
     #[test]

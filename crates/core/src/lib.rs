@@ -37,6 +37,7 @@
 
 mod access;
 mod budget;
+pub mod controller;
 mod driver;
 mod effects;
 mod readpath;
@@ -48,11 +49,12 @@ mod template;
 
 pub use access::{DirectMem, Mem, TxMem};
 pub use budget::{AdaptiveBudgets, BudgetConfig, OpTally};
+pub use controller::{Controller, ProbeConfig, ProbingController, Window};
 pub use driver::{ExecCtx, StrategySwapError, ADAPTIVE_STRATEGIES};
-pub use readpath::{merge_subranges, ScanTally, DEFAULT_READ_ATTEMPTS};
+pub use readpath::{merge_subranges, ReadBoundConfig, ScanTally, DEFAULT_READ_ATTEMPTS};
 pub use effects::Effects;
 pub use stats::{AbortCounts, PathKind, PathStats};
 pub use snzi::Snzi;
 pub use strategy::{PathLimits, Strategy};
-pub use sync::{FallbackCount, Indicator, TleLock};
+pub use sync::{AdmissionGate, FallbackCount, Indicator, TleLock};
 pub use template::{OpOutcome, OrigMode, TemplateMode, TxMode};

@@ -118,6 +118,10 @@ pub struct PathStats {
     /// re-checked by optimistic scans — the size of the validation sets,
     /// summed.
     scan_leaves_validated: u64,
+    /// Operations turned away at the HTM admission gate (the serialized
+    /// path was busy and the attempt window was full); they completed on
+    /// the fallback lane without making any HTM attempt.
+    admission_overflows: u64,
 }
 
 impl PathStats {
@@ -263,6 +267,18 @@ impl PathStats {
         self.scan_leaves_validated
     }
 
+    /// Records an operation the HTM admission gate diverted straight to
+    /// the serialized path.
+    pub fn record_admission_overflow(&mut self) {
+        self.admission_overflows += 1;
+    }
+
+    /// Operations diverted by the HTM admission gate (completed on the
+    /// fallback lane with zero HTM attempts).
+    pub fn admission_overflows(&self) -> u64 {
+        self.admission_overflows
+    }
+
     /// Accumulates another thread's statistics into this one.
     pub fn merge(&mut self, other: &PathStats) {
         for i in 0..4 {
@@ -275,6 +291,7 @@ impl PathStats {
         self.scan_retries += other.scan_retries;
         self.scan_escalations += other.scan_escalations;
         self.scan_leaves_validated += other.scan_leaves_validated;
+        self.admission_overflows += other.admission_overflows;
     }
 }
 

@@ -1,44 +1,47 @@
-//! Per-shard adaptive strategy: each shard observes its own abort profile
-//! and switches between TLE and 3-path independently.
+//! Per-shard adaptive strategy: each shard probes TLE and 3-path against
+//! each other and runs whichever one measures faster.
 //!
 //! The paper's central claim is that fallback-path design dominates HTM
 //! performance once transactions start aborting — and *which* fallback is
-//! right depends on **why** they abort:
+//! right depends on the abort mix, the capacity profile, and the
+//! platform. Earlier revisions classified abort storms against hand-tuned
+//! rate thresholds (demote above X, promote below Y) and encoded a guess
+//! about which strategy each storm class wants. This controller does not
+//! guess: every shard owns a [`Controller`] (by default a
+//! [`ProbingController`]) over the [`ADAPTIVE_STRATEGIES`] arms, feeds it
+//! one [`Window`] per epoch — completed operations, attempts, and
+//! wall-clock nanoseconds — and runs whatever arm the controller picks.
+//! A strategy only survives by measuring fastest on this shard, on this
+//! machine, under the current workload.
 //!
-//! * **Conflict-dominated** abort storms mean real contention. TLE's
-//!   fallback is a per-shard global lock, so every storming operation
-//!   convoys behind it; the 3-path algorithm's lock-free fallback keeps
-//!   the shard concurrent. A conflict storm therefore switches the shard
-//!   to [`Strategy::ThreePath`].
-//! * **Spurious/capacity-dominated** storms mean the shard's HTM is
-//!   structurally failing regardless of contention (interrupt pressure,
-//!   footprints beyond capacity). Optimistic retries are pure waste, and
-//!   the cheapest way out is TLE: give up quickly and run plain
-//!   sequential code under the shard's lock, with none of the lock-free
-//!   template's instrumentation. Such a storm switches the shard to
-//!   [`Strategy::Tle`].
-//! * A **calm** shard (abort rate at or below the promote threshold)
-//!   reverts to the configured preferred strategy.
-//!
-//! The [`AdaptiveController`] decides per shard. Handles push windowed
-//! `(completed, conflict-abort, other-abort)` deltas from their own
-//! [`PathStats`] — already tracked per shard — every
-//! [`AdaptiveConfig::sample_every`] operations; once a shard's window
-//! accumulates [`AdaptiveConfig::epoch_ops`] completions, whoever crosses
-//! the threshold claims the window, classifies it, and swaps that shard's
-//! strategy through [`ShardTree::set_strategy`]. Because every shard owns
-//! its own HTM runtime and reclamation domain, the swap needs no
-//! cross-shard coordination — and within the shard the blended
+//! Handles push windowed `(completed, conflict-abort, other-abort)`
+//! deltas from their own [`PathStats`] — already tracked per shard —
+//! every [`AdaptiveConfig::sample_every`] operations; once a shard's
+//! window accumulates [`AdaptiveConfig::epoch_ops`] completions, whoever
+//! crosses the threshold takes the shard's decision latch, claims the
+//! window, and feeds it to the shard's controller. Because every shard
+//! owns its own HTM runtime and reclamation domain, a strategy swap
+//! needs no cross-shard coordination — and within the shard the blended
 //! subscription discipline ([`threepath_core::ExecCtx`]) makes the swap
 //! safe with operations in flight.
 //!
+//! **Window-claim discipline.** The latch is taken *before* the window
+//! counters are swapped out, so there is exactly one claimant per epoch
+//! and every pushed count lands in exactly one claimed window. (The
+//! previous revision swapped first and raced for the latch after: a
+//! losing claimant would swap out a partially-refilled window and throw
+//! it away, silently losing counts and misattributing the abort mix
+//! across windows.)
+//!
 //! [`PathStats`]: threepath_core::PathStats
-//! [`Strategy::ThreePath`]: threepath_core::Strategy::ThreePath
-//! [`Strategy::Tle`]: threepath_core::Strategy::Tle
+//! [`ADAPTIVE_STRATEGIES`]: threepath_core::ADAPTIVE_STRATEGIES
 
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
-use threepath_core::Strategy;
+use threepath_core::{Controller, ProbeConfig, ProbingController, Strategy, Window};
 
 use crate::router::ConfigError;
 use crate::tree::ShardTree;
@@ -51,20 +54,18 @@ pub struct AdaptiveConfig {
     /// faster but touch the shared counters more often.
     pub sample_every: u64,
     /// Completed operations a shard's shared window must accumulate
-    /// before a strategy decision is taken.
+    /// before the window is claimed and fed to the shard's controller.
+    /// Must be at least 2: a one-operation window carries no comparative
+    /// signal, and the under-full guard (`epoch_ops / 2`) degenerates.
     pub epoch_ops: u64,
-    /// Window abort rate (aborted attempts per completed operation) at or
-    /// above which a shard is in an abort storm and switches to the
-    /// storm-appropriate strategy: 3-path when the window's aborts are
-    /// conflict-dominated (contention wants the lock-free fallback), TLE
-    /// otherwise (spurious/capacity waste wants cheap sequential code
-    /// under the shard lock).
-    pub demote_abort_rate: f64,
-    /// Window abort rate at or below which a shard is calm and reverts
-    /// to the configured preferred strategy. Keep this well under
-    /// [`demote_abort_rate`](Self::demote_abort_rate) — the gap is the
-    /// hysteresis band that prevents flapping.
-    pub promote_abort_rate: f64,
+    /// Probe/settle cadence of each shard's default
+    /// [`ProbingController`]. Ignored when a custom
+    /// [`ControllerFactory`] supplies the controllers.
+    pub probe: ProbeConfig,
+    /// Score claimed windows by wall-clock throughput (ops per second).
+    /// Off scores by completed ops per attempt instead — deterministic,
+    /// for tests and single-stepped environments.
+    pub wall_clock: bool,
 }
 
 impl Default for AdaptiveConfig {
@@ -72,24 +73,70 @@ impl Default for AdaptiveConfig {
         AdaptiveConfig {
             sample_every: 64,
             epoch_ops: 2048,
-            demote_abort_rate: 2.0,
-            promote_abort_rate: 0.5,
+            probe: ProbeConfig::default(),
+            wall_clock: true,
         }
     }
 }
 
+impl AdaptiveConfig {
+    pub(crate) fn validate(&self) -> Result<(), ConfigError> {
+        if self.sample_every == 0 || self.epoch_ops < 2 || self.epoch_ops > (1 << 30) {
+            return Err(ConfigError::ZeroAdaptiveInterval);
+        }
+        self.probe.validate().map_err(ConfigError::InvalidProbe)?;
+        Ok(())
+    }
+}
+
+/// Builds one [`Controller`] per shard — the pluggable seam for maps
+/// that want a policy other than the default [`ProbingController`]
+/// (fixed oracles in benchmarks, recording controllers in tests,
+/// experimental policies).
+///
+/// The closure receives the shard index and must return a controller
+/// with exactly [`ADAPTIVE_STRATEGIES`] arms whose arm indices map to
+/// those strategies in order.
+///
+/// [`ADAPTIVE_STRATEGIES`]: threepath_core::ADAPTIVE_STRATEGIES
+#[derive(Clone)]
+pub struct ControllerFactory(Arc<dyn Fn(usize) -> Box<dyn Controller> + Send + Sync>);
+
+impl ControllerFactory {
+    /// A factory from a `shard index -> controller` closure.
+    pub fn new(f: impl Fn(usize) -> Box<dyn Controller> + Send + Sync + 'static) -> Self {
+        ControllerFactory(Arc::new(f))
+    }
+
+    fn build(&self, shard: usize) -> Box<dyn Controller> {
+        (self.0)(shard)
+    }
+}
+
+impl fmt::Debug for ControllerFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ControllerFactory(..)")
+    }
+}
+
 struct ShardCtl {
+    ctl: Box<dyn Controller>,
     window_ops: AtomicU64,
     window_conflicts: AtomicU64,
     window_other: AtomicU64,
+    /// Nanoseconds (offset from the controller's base instant) at which
+    /// the currently-filling window opened.
+    win_start: AtomicU64,
     lifetime_ops: AtomicU64,
     lifetime_aborts: AtomicU64,
     mode: AtomicU8,
-    /// Decision latch: `mode` and the tree's actual strategy only ever
-    /// change together while this is held, so they cannot desynchronize
-    /// under racing epoch decisions.
+    /// Decision latch. Held across the whole claim: counter swaps,
+    /// controller feed, and strategy swap — so windows have exactly one
+    /// claimant and `mode` and the tree's actual strategy only ever
+    /// change together.
     deciding: AtomicBool,
     flips: AtomicU64,
+    epochs: AtomicU64,
 }
 
 /// The per-shard strategy controller of an adaptive
@@ -97,41 +144,69 @@ struct ShardCtl {
 pub struct AdaptiveController {
     cfg: AdaptiveConfig,
     preferred: Strategy,
+    base: Instant,
     shards: Vec<ShardCtl>,
 }
 
 impl AdaptiveController {
-    /// A controller for `shards` shards all starting on (and reverting
-    /// to) `preferred`.
+    /// A controller for `shards` shards all starting on `preferred`,
+    /// each probing with its own default [`ProbingController`].
     pub fn new(
         cfg: AdaptiveConfig,
         shards: usize,
         preferred: Strategy,
     ) -> Result<Self, ConfigError> {
+        Self::with_factory(cfg, shards, preferred, None)
+    }
+
+    /// As [`AdaptiveController::new`], with per-shard controllers built
+    /// by `factory` when one is supplied.
+    pub fn with_factory(
+        cfg: AdaptiveConfig,
+        shards: usize,
+        preferred: Strategy,
+        factory: Option<&ControllerFactory>,
+    ) -> Result<Self, ConfigError> {
         if shards == 0 {
             return Err(ConfigError::ZeroShards);
         }
-        if cfg.sample_every == 0 || cfg.epoch_ops == 0 {
-            return Err(ConfigError::ZeroAdaptiveInterval);
-        }
-        if !threepath_core::ADAPTIVE_STRATEGIES.contains(&preferred) {
+        cfg.validate()?;
+        let strategies = threepath_core::ADAPTIVE_STRATEGIES;
+        let Some(initial) = strategies.iter().position(|&s| s == preferred) else {
             return Err(ConfigError::AdaptiveStrategy(preferred));
-        }
-        Ok(AdaptiveController {
-            cfg,
-            preferred,
-            shards: (0..shards)
-                .map(|_| ShardCtl {
+        };
+        let shards = (0..shards)
+            .map(|s| {
+                let ctl: Box<dyn Controller> = match factory {
+                    Some(f) => f.build(s),
+                    None => Box::new(ProbingController::new(strategies.len(), initial, cfg.probe)),
+                };
+                if ctl.arms() != strategies.len() {
+                    return Err(ConfigError::ControllerArity {
+                        arms: ctl.arms(),
+                        expected: strategies.len(),
+                    });
+                }
+                Ok(ShardCtl {
+                    ctl,
                     window_ops: AtomicU64::new(0),
                     window_conflicts: AtomicU64::new(0),
                     window_other: AtomicU64::new(0),
+                    win_start: AtomicU64::new(0),
                     lifetime_ops: AtomicU64::new(0),
                     lifetime_aborts: AtomicU64::new(0),
                     mode: AtomicU8::new(preferred.code()),
                     deciding: AtomicBool::new(false),
                     flips: AtomicU64::new(0),
+                    epochs: AtomicU64::new(0),
                 })
-                .collect(),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(AdaptiveController {
+            cfg,
+            preferred,
+            base: Instant::now(),
+            shards,
         })
     }
 
@@ -140,12 +215,16 @@ impl AdaptiveController {
         &self.cfg
     }
 
-    /// The preferred (initial, calm-state) strategy.
+    /// The preferred (initial) strategy.
     pub fn preferred(&self) -> Strategy {
         self.preferred
     }
 
-    /// The strategy shard `shard` currently runs.
+    /// The strategy shard `shard` currently runs. During probe passes
+    /// this reads mid-excursion arms; [`settled_strategy_of`]
+    /// (default controllers only) gives the settled decision.
+    ///
+    /// [`settled_strategy_of`]: AdaptiveController::settled_strategy_of
     pub fn strategy_of(&self, shard: usize) -> Strategy {
         Strategy::from_code(self.shards[shard].mode.load(Ordering::Acquire))
             .expect("mode atomic holds a valid code")
@@ -156,7 +235,21 @@ impl AdaptiveController {
         (0..self.shards.len()).map(|s| self.strategy_of(s)).collect()
     }
 
-    /// How many times shard `shard` has switched strategy.
+    /// Shard `shard`'s controller, for diagnostics (arm, switch count).
+    pub fn controller_of(&self, shard: usize) -> &dyn Controller {
+        self.shards[shard].ctl.as_ref()
+    }
+
+    /// The strategy shard `shard`'s controller has settled on — its
+    /// incumbent, never a mid-probe excursion. This is the right value
+    /// for "what did probing decide?" questions; the shard may
+    /// transiently run the other strategy while a probe pass measures it.
+    pub fn settled_strategy_of(&self, shard: usize) -> Strategy {
+        threepath_core::ADAPTIVE_STRATEGIES[self.shards[shard].ctl.incumbent()]
+    }
+
+    /// How many times shard `shard` has switched strategy (probe
+    /// excursions included).
     pub fn flips(&self, shard: usize) -> u64 {
         self.shards[shard].flips.load(Ordering::Relaxed)
     }
@@ -164,6 +257,11 @@ impl AdaptiveController {
     /// Total strategy switches across all shards.
     pub fn total_flips(&self) -> u64 {
         (0..self.shards.len()).map(|s| self.flips(s)).sum()
+    }
+
+    /// Windows shard `shard` has claimed and fed to its controller.
+    pub fn epochs(&self, shard: usize) -> u64 {
+        self.shards[shard].epochs.load(Ordering::Relaxed)
     }
 
     /// Lifetime `(completed, aborted)` attempt counts observed for shard
@@ -177,29 +275,24 @@ impl AdaptiveController {
         )
     }
 
-    /// The strategy the window calls for, or `None` inside the
-    /// hysteresis band.
-    fn classify(&self, ops: u64, conflicts: u64, other: u64) -> Option<Strategy> {
-        let rate = (conflicts + other) as f64 / ops as f64;
-        if rate >= self.cfg.demote_abort_rate {
-            // Storm: pick the fallback suited to the dominant cause.
-            Some(if conflicts >= other {
-                Strategy::ThreePath
-            } else {
-                Strategy::Tle
-            })
-        } else if rate <= self.cfg.promote_abort_rate {
-            Some(self.preferred)
-        } else {
-            None
-        }
+    /// Counts still accumulating in shard `shard`'s open window, as
+    /// `(completed, conflicts, other)` — together with the windows the
+    /// controller observed this conserves every pushed count.
+    pub fn pending(&self, shard: usize) -> (u64, u64, u64) {
+        let c = &self.shards[shard];
+        (
+            c.window_ops.load(Ordering::Relaxed),
+            c.window_conflicts.load(Ordering::Relaxed),
+            c.window_other.load(Ordering::Relaxed),
+        )
     }
 
     /// Accumulates a handle's windowed `(completed, conflict-abort,
     /// other-abort)` delta for `shard` and, when the shard's window
-    /// crosses the epoch, decides whether to swap `tree`'s strategy.
-    /// Called by [`ShardedHandle`](crate::ShardedHandle); `tree` must be
-    /// the shard's own tree.
+    /// crosses the epoch, claims it under the decision latch, feeds it
+    /// to the shard's controller, and applies the controller's arm to
+    /// `tree`. Called by [`ShardedHandle`](crate::ShardedHandle); `tree`
+    /// must be the shard's own tree.
     pub(crate) fn record(
         &self,
         shard: usize,
@@ -217,24 +310,11 @@ impl AdaptiveController {
         if window < self.cfg.epoch_ops {
             return;
         }
-        // Claim the window. A racing handle that also crossed the epoch
-        // swaps out zero (or a few freshly-pushed ops) and bails on the
-        // size guard below, so at most one decision is taken per epoch.
-        let ops_w = ctl.window_ops.swap(0, Ordering::Relaxed);
-        let conflicts_w = ctl.window_conflicts.swap(0, Ordering::Relaxed);
-        let other_w = ctl.window_other.swap(0, Ordering::Relaxed);
-        if ops_w < self.cfg.epoch_ops / 2 {
-            return;
-        }
-        let Some(next) = self.classify(ops_w, conflicts_w, other_w) else {
-            return;
-        };
-        // Apply under the decision latch so `mode` and the tree's actual
-        // strategy move together — without it, a preempted loser of a
-        // mode CAS could apply a stale `set_strategy` over a newer
-        // decision and leave the two permanently disagreeing. Decisions
-        // are rare (once per epoch); a contended latch just drops this
-        // window's decision.
+        // Claim the window under the latch, and only under the latch:
+        // a racing handle that also crossed the epoch simply bails here,
+        // leaving its counts in the accumulators for the claimant. The
+        // latch holder is the only thread that ever swaps the counters,
+        // so no count can be swapped out and discarded.
         if ctl
             .deciding
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
@@ -242,18 +322,44 @@ impl AdaptiveController {
         {
             return;
         }
+        // Re-check under the latch: the claimant we raced may already
+        // have drained this window.
+        if ctl.window_ops.load(Ordering::Relaxed) < self.cfg.epoch_ops {
+            ctl.deciding.store(false, Ordering::Release);
+            return;
+        }
+        let ops_w = ctl.window_ops.swap(0, Ordering::Relaxed);
+        let conflicts_w = ctl.window_conflicts.swap(0, Ordering::Relaxed);
+        let other_w = ctl.window_other.swap(0, Ordering::Relaxed);
+        let now = u64::try_from(self.base.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let started = ctl.win_start.swap(now, Ordering::Relaxed);
+        let arm = ctl.ctl.arm();
+        let w = Window {
+            ops: ops_w,
+            attempts: ops_w + conflicts_w + other_w,
+            conflicts: conflicts_w,
+            other: other_w,
+            nanos: if self.cfg.wall_clock {
+                now.saturating_sub(started)
+            } else {
+                0
+            },
+        };
+        ctl.ctl.observe(arm, w);
+        let next = threepath_core::ADAPTIVE_STRATEGIES[ctl.ctl.arm()];
         if next != self.strategy_of(shard) {
             tree.set_strategy(next)
                 .expect("adaptive shards are built with runtime swapping enabled");
             ctl.mode.store(next.code(), Ordering::Release);
             ctl.flips.fetch_add(1, Ordering::Relaxed);
         }
+        ctl.epochs.fetch_add(1, Ordering::Relaxed);
         ctl.deciding.store(false, Ordering::Release);
     }
 }
 
-impl std::fmt::Debug for AdaptiveController {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl fmt::Debug for AdaptiveController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AdaptiveController")
             .field("cfg", &self.cfg)
             .field("preferred", &self.preferred)
@@ -276,28 +382,65 @@ mod tests {
         })
     }
 
-    fn ctl(preferred: Strategy, epoch_ops: u64) -> AdaptiveController {
-        AdaptiveController::new(
-            AdaptiveConfig {
-                epoch_ops,
-                ..AdaptiveConfig::default()
+    /// Deterministic tuning: score by ops/attempt, probe one window per
+    /// arm, settle briefly.
+    fn test_cfg(epoch_ops: u64) -> AdaptiveConfig {
+        AdaptiveConfig {
+            sample_every: 64,
+            epoch_ops,
+            probe: ProbeConfig {
+                probe_windows: 1,
+                settle_windows: 2,
+                min_gain: 0.05,
             },
-            2,
-            preferred,
-        )
-        .unwrap()
+            wall_clock: false,
+        }
+    }
+
+    fn ctl(preferred: Strategy, epoch_ops: u64) -> AdaptiveController {
+        AdaptiveController::new(test_cfg(epoch_ops), 2, preferred).unwrap()
+    }
+
+    /// The arm index a strategy occupies in `ADAPTIVE_STRATEGIES`.
+    fn arm_of(s: Strategy) -> usize {
+        threepath_core::ADAPTIVE_STRATEGIES
+            .iter()
+            .position(|&a| a == s)
+            .unwrap()
     }
 
     #[test]
     fn invalid_tuning_is_a_typed_error() {
+        for bad_epoch in [0, 1, (1u64 << 30) + 1] {
+            let bad = AdaptiveConfig {
+                epoch_ops: bad_epoch,
+                ..AdaptiveConfig::default()
+            };
+            assert_eq!(
+                AdaptiveController::new(bad, 2, Strategy::Tle).unwrap_err(),
+                ConfigError::ZeroAdaptiveInterval,
+                "epoch_ops {bad_epoch} must be rejected"
+            );
+        }
         let bad = AdaptiveConfig {
-            epoch_ops: 0,
+            sample_every: 0,
             ..AdaptiveConfig::default()
         };
         assert_eq!(
             AdaptiveController::new(bad, 2, Strategy::Tle).unwrap_err(),
             ConfigError::ZeroAdaptiveInterval
         );
+        let bad = AdaptiveConfig {
+            probe: ProbeConfig {
+                probe_windows: 0,
+                ..ProbeConfig::default()
+            },
+            ..AdaptiveConfig::default()
+        };
+        assert!(matches!(
+            AdaptiveController::new(bad, 2, Strategy::Tle).unwrap_err(),
+            ConfigError::InvalidProbe(_)
+        ));
         assert_eq!(
             AdaptiveController::new(AdaptiveConfig::default(), 0, Strategy::Tle).unwrap_err(),
             ConfigError::ZeroShards
@@ -309,46 +452,85 @@ mod tests {
     }
 
     #[test]
-    fn spurious_storm_demotes_to_tle() {
-        let ctl = ctl(Strategy::ThreePath, 100);
-        let tree = adaptive_tree(Strategy::ThreePath);
-        // Shard 0: 100 ops, 500 spurious/capacity aborts, no conflicts:
-        // HTM is wasted work, drop to lock-based sequential execution.
-        ctl.record(0, 100, 0, 500, &tree);
-        assert_eq!(ctl.strategy_of(0), Strategy::Tle);
-        assert_eq!(tree.strategy(), Strategy::Tle);
-        assert_eq!(ctl.flips(0), 1);
-        // Shard 1 untouched.
-        assert_eq!(ctl.strategy_of(1), Strategy::ThreePath);
-        assert_eq!(ctl.flips(1), 0);
-        assert_eq!(ctl.observed(0), (100, 500));
+    fn factory_controllers_must_cover_every_strategy() {
+        #[derive(Debug)]
+        struct OneArm;
+        impl Controller for OneArm {
+            fn arms(&self) -> usize {
+                1
+            }
+            fn arm(&self) -> usize {
+                0
+            }
+            fn observe(&self, _: usize, _: Window) {}
+            fn switches(&self) -> u64 {
+                0
+            }
+        }
+        let f = ControllerFactory::new(|_| Box::new(OneArm));
+        assert_eq!(
+            AdaptiveController::with_factory(AdaptiveConfig::default(), 2, Strategy::Tle, Some(&f))
+                .unwrap_err(),
+            ConfigError::ControllerArity { arms: 1, expected: 2 }
+        );
     }
 
     #[test]
-    fn conflict_storm_demotes_to_three_path() {
-        let ctl = ctl(Strategy::Tle, 100);
-        let tree = adaptive_tree(Strategy::Tle);
-        // Conflict-dominated storm: contention wants the lock-free
-        // fallback, not a convoy on the shard lock.
-        ctl.record(0, 100, 400, 100, &tree);
-        assert_eq!(ctl.strategy_of(0), Strategy::ThreePath);
-        assert_eq!(tree.strategy(), Strategy::ThreePath);
+    fn probing_settles_on_the_strategy_that_measures_faster() {
+        // TLE windows complete the same ops with far fewer attempts than
+        // 3-path windows: probing must settle the shard on TLE,
+        // regardless of which strategy it starts on.
+        for preferred in [Strategy::ThreePath, Strategy::Tle] {
+            let ctl = ctl(preferred, 100);
+            let tree = adaptive_tree(preferred);
+            for _ in 0..64 {
+                let s = ctl.strategy_of(0);
+                let (c, o) = if s == Strategy::Tle { (0, 50) } else { (400, 400) };
+                ctl.record(0, 100, c, o, &tree);
+            }
+            assert_eq!(
+                ctl.settled_strategy_of(0),
+                Strategy::Tle,
+                "from {preferred}: the cheap strategy wins the probe"
+            );
+            assert!(ctl.epochs(0) >= 3);
+            // Shard 1 untouched.
+            assert_eq!(ctl.strategy_of(1), preferred);
+            assert_eq!(ctl.flips(1), 0);
+        }
     }
 
     #[test]
-    fn calm_windows_revert_to_preferred_with_hysteresis() {
+    fn probing_recovers_when_the_fast_strategy_changes() {
         let ctl = ctl(Strategy::ThreePath, 100);
         let tree = adaptive_tree(Strategy::ThreePath);
-        ctl.record(0, 100, 0, 400, &tree);
-        assert_eq!(ctl.strategy_of(0), Strategy::Tle);
-        // Mid-band rate: stays put (hysteresis).
-        ctl.record(0, 100, 0, 100, &tree);
-        assert_eq!(ctl.strategy_of(0), Strategy::Tle);
-        // Calm window: reverts to the preferred strategy.
-        ctl.record(0, 100, 0, 10, &tree);
-        assert_eq!(ctl.strategy_of(0), Strategy::ThreePath);
-        assert_eq!(tree.strategy(), Strategy::ThreePath);
-        assert_eq!(ctl.flips(0), 2);
+        // Phase 1: TLE measures faster.
+        for _ in 0..64 {
+            let s = ctl.strategy_of(0);
+            let (c, o) = if s == Strategy::Tle { (0, 50) } else { (400, 400) };
+            ctl.record(0, 100, c, o, &tree);
+        }
+        assert_eq!(ctl.settled_strategy_of(0), Strategy::Tle);
+        // Phase 2: contention arrives and 3-path measures faster.
+        for _ in 0..64 {
+            let s = ctl.strategy_of(0);
+            let (c, o) = if s == Strategy::ThreePath { (50, 0) } else { (600, 300) };
+            ctl.record(0, 100, c, o, &tree);
+        }
+        assert_eq!(ctl.settled_strategy_of(0), Strategy::ThreePath);
+        assert!(ctl.flips(0) >= 2);
+    }
+
+    #[test]
+    fn the_tree_and_the_mode_atomic_never_disagree() {
+        let ctl = ctl(Strategy::ThreePath, 100);
+        let tree = adaptive_tree(Strategy::ThreePath);
+        for i in 0..256u64 {
+            let bad = i % 3 == 0;
+            let (c, o) = if bad { (300, 300) } else { (10, 10) };
+            ctl.record(0, 100, c, o, &tree);
+            assert_eq!(ctl.strategy_of(0), tree.strategy(), "iteration {i}");
+        }
     }
 
     #[test]
@@ -357,6 +539,7 @@ mod tests {
         let tree = adaptive_tree(Strategy::ThreePath);
         for _ in 0..9 {
             ctl.record(0, 100, 0, 1000, &tree);
+            assert_eq!(ctl.epochs(0), 0, "no window claimed before the epoch");
             assert_eq!(
                 ctl.strategy_of(0),
                 Strategy::ThreePath,
@@ -364,6 +547,107 @@ mod tests {
             );
         }
         ctl.record(0, 100, 0, 1000, &tree);
-        assert_eq!(ctl.strategy_of(0), Strategy::Tle);
+        assert_eq!(ctl.epochs(0), 1);
+    }
+
+    /// Regression test for the window-claim race: every count pushed
+    /// through `record` must land in exactly one claimed window or still
+    /// be pending — none silently dropped. The pre-fix code swapped the
+    /// window counters *before* racing for the decision latch, so a
+    /// losing claimant would drain a partially-refilled window and throw
+    /// it away.
+    #[test]
+    fn racing_window_claims_conserve_every_count() {
+        #[derive(Debug, Default)]
+        struct Recording {
+            ops: AtomicU64,
+            conflicts: AtomicU64,
+            other: AtomicU64,
+            windows: AtomicU64,
+        }
+        impl Controller for Recording {
+            fn arms(&self) -> usize {
+                threepath_core::ADAPTIVE_STRATEGIES.len()
+            }
+            fn arm(&self) -> usize {
+                arm_of(Strategy::Tle)
+            }
+            fn observe(&self, _: usize, w: Window) {
+                self.ops.fetch_add(w.ops, Ordering::Relaxed);
+                self.conflicts.fetch_add(w.conflicts, Ordering::Relaxed);
+                self.other.fetch_add(w.other, Ordering::Relaxed);
+                self.windows.fetch_add(1, Ordering::Relaxed);
+            }
+            fn switches(&self) -> u64 {
+                0
+            }
+        }
+        let seen = Arc::new(Recording::default());
+        let factory = {
+            let seen = Arc::clone(&seen);
+            ControllerFactory::new(move |_| {
+                let seen = Arc::clone(&seen);
+                #[derive(Debug)]
+                struct Tee(Arc<Recording>);
+                impl Controller for Tee {
+                    fn arms(&self) -> usize {
+                        self.0.arms()
+                    }
+                    fn arm(&self) -> usize {
+                        self.0.arm()
+                    }
+                    fn observe(&self, arm: usize, w: Window) {
+                        self.0.observe(arm, w);
+                    }
+                    fn switches(&self) -> u64 {
+                        0
+                    }
+                }
+                Box::new(Tee(seen))
+            })
+        };
+        // A tiny epoch maximizes claim contention: nearly every push
+        // crosses the threshold and races for the latch.
+        let ctl = Arc::new(
+            AdaptiveController::with_factory(
+                test_cfg(4),
+                1,
+                Strategy::Tle,
+                Some(&factory),
+            )
+            .unwrap(),
+        );
+        let tree = Arc::new(adaptive_tree(Strategy::Tle));
+        const THREADS: u64 = 6;
+        const PUSHES: u64 = 4_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let ctl = Arc::clone(&ctl);
+                let tree = Arc::clone(&tree);
+                s.spawn(move || {
+                    for i in 0..PUSHES {
+                        // Varied deltas so misattribution (not just loss)
+                        // would also break the totals.
+                        let ops = 1 + (i + t) % 3;
+                        ctl.record(0, ops, t % 2, i % 2, &tree);
+                    }
+                });
+            }
+        });
+        let (pend_ops, pend_c, pend_o) = ctl.pending(0);
+        let total_ops: u64 = (0..THREADS)
+            .map(|t| (0..PUSHES).map(|i| 1 + (i + t) % 3).sum::<u64>())
+            .sum();
+        let total_c: u64 = (0..THREADS).map(|t| PUSHES * (t % 2)).sum();
+        let total_o: u64 = THREADS * (PUSHES / 2);
+        assert_eq!(
+            seen.ops.load(Ordering::Relaxed) + pend_ops,
+            total_ops,
+            "claimed + pending completions must equal pushed completions"
+        );
+        assert_eq!(seen.conflicts.load(Ordering::Relaxed) + pend_c, total_c);
+        assert_eq!(seen.other.load(Ordering::Relaxed) + pend_o, total_o);
+        assert_eq!(seen.windows.load(Ordering::Relaxed), ctl.epochs(0));
+        assert!(ctl.epochs(0) > 0, "contended epochs were actually claimed");
     }
 }

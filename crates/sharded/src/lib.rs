@@ -19,10 +19,10 @@
 //!   and range queries degrade to a sort-merge over every shard (the
 //!   trait makes the trade explicit via [`Router::preserves_order`]).
 //! * **Strategy** ([`AdaptiveController`]): fixed per-map by default, or
-//!   — with [`ShardedConfig::adaptive`] — observed per shard: a shard
-//!   whose abort rate crosses the demote threshold switches from TLE to
-//!   the 3-path algorithm on its own, and back once it quiets down,
-//!   without any cross-shard coordination.
+//!   — with [`ShardedConfig::adaptive`] — probed per shard: each shard
+//!   measures TLE and the 3-path algorithm against each other
+//!   (completed-ops throughput per decision window) and runs whichever
+//!   one is empirically faster, without any cross-shard coordination.
 //!
 //! Each per-shard query is individually atomic (a consistent snapshot of
 //! that shard); a cross-shard range query is **not** a single atomic
@@ -57,7 +57,7 @@ mod map;
 mod router;
 mod tree;
 
-pub use adaptive::{AdaptiveConfig, AdaptiveController};
+pub use adaptive::{AdaptiveConfig, AdaptiveController, ControllerFactory};
 pub use map::{ShardedConfig, ShardedHandle, ShardedMap};
 pub use router::{ConfigError, HashRouter, RangeRouter, Router, RouterKind};
 pub use tree::{ShardBackend, ShardHandle, ShardTree};

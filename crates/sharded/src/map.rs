@@ -2,11 +2,11 @@
 
 use std::sync::Arc;
 
-use threepath_core::{BudgetConfig, PathStats, Strategy};
+use threepath_core::{BudgetConfig, PathStats, ReadBoundConfig, Strategy};
 use threepath_htm::HtmConfig;
 use threepath_reclaim::ReclaimMode;
 
-use crate::adaptive::{AdaptiveConfig, AdaptiveController};
+use crate::adaptive::{AdaptiveConfig, AdaptiveController, ControllerFactory};
 use crate::router::{ConfigError, HashRouter, RangeRouter, Router, RouterKind};
 use crate::tree::{ShardBackend, ShardHandle, ShardTree};
 
@@ -75,6 +75,24 @@ pub struct ShardedConfig {
     /// optimistically. On by default; off routes scans through `run_op`
     /// — the scan benchmarks' baseline.
     pub scan_path: bool,
+    /// HTM admission control on every shard's fallback path: at most
+    /// this many threads may attempt hardware transactions while the
+    /// shard's fallback is active; the overflow parks on a ready lane
+    /// and takes the fallback directly (see
+    /// [`threepath_core::AdmissionGate`]). `None` (the default) admits
+    /// everyone — the uncontrolled baseline.
+    pub admission: Option<u32>,
+    /// Probe the read-escalation bound per shard instead of using the
+    /// fixed [`threepath_core::DEFAULT_READ_ATTEMPTS`]: contended reads
+    /// feed a [`ReadBoundConfig`] ladder of candidate bounds and each
+    /// shard runs the bound that measures fastest. Uncontended reads
+    /// never touch the machinery.
+    pub read_probe: Option<ReadBoundConfig>,
+    /// Custom per-shard strategy controllers for the adaptive map (fixed
+    /// oracles in benchmarks, recording controllers in tests). `None`
+    /// uses the default probing controller; ignored unless
+    /// [`adaptive`](Self::adaptive) is set.
+    pub controller: Option<ControllerFactory>,
 }
 
 impl ShardedConfig {
@@ -94,12 +112,16 @@ impl ShardedConfig {
             return Err(ConfigError::ZeroShards);
         }
         if let Some(a) = &self.adaptive {
-            if a.sample_every == 0 || a.epoch_ops == 0 {
-                return Err(ConfigError::ZeroAdaptiveInterval);
-            }
+            a.validate()?;
             if !threepath_core::ADAPTIVE_STRATEGIES.contains(&self.strategy) {
                 return Err(ConfigError::AdaptiveStrategy(self.strategy));
             }
+        }
+        if self.admission == Some(0) {
+            return Err(ConfigError::ZeroAdmissionWindow);
+        }
+        if let Some(r) = &self.read_probe {
+            r.validate().map_err(ConfigError::InvalidReadProbe)?;
         }
         if let Some(b) = &self.budget {
             // Same typed-error contract as the other knobs: surface
@@ -141,6 +163,9 @@ impl Default for ShardedConfig {
             budget: None,
             read_path: true,
             scan_path: true,
+            admission: None,
+            read_probe: None,
+            controller: None,
         }
     }
 }
@@ -208,7 +233,14 @@ impl ShardedMap {
         let adaptive = cfg
             .adaptive
             .as_ref()
-            .map(|a| AdaptiveController::new(a.clone(), cfg.shards, cfg.strategy))
+            .map(|a| {
+                AdaptiveController::with_factory(
+                    a.clone(),
+                    cfg.shards,
+                    cfg.strategy,
+                    cfg.controller.as_ref(),
+                )
+            })
             .transpose()?;
         Ok(ShardedMap {
             shards,
@@ -710,6 +742,11 @@ mod tests {
                 epoch_ops: 0,
                 ..BudgetConfig::default()
             },
+            // A one-op window carries no comparative signal.
+            BudgetConfig {
+                epoch_ops: 1,
+                ..BudgetConfig::default()
+            },
             BudgetConfig {
                 min_attempts: 0,
                 ..BudgetConfig::default()
@@ -718,15 +755,20 @@ mod tests {
                 max_scale: 0,
                 ..BudgetConfig::default()
             },
-            // Inverted thresholds: no hysteresis gap.
+            // A probe pass that never measures anything.
             BudgetConfig {
-                shrink_fail_rate: 0.2,
-                grow_fail_rate: 0.8,
+                probe: threepath_core::ProbeConfig {
+                    probe_windows: 0,
+                    ..threepath_core::ProbeConfig::default()
+                },
                 ..BudgetConfig::default()
             },
-            // NaN thresholds must not slip through the comparison.
+            // NaN hold-back margins must not slip through.
             BudgetConfig {
-                grow_fail_rate: f64::NAN,
+                probe: threepath_core::ProbeConfig {
+                    min_gain: f64::NAN,
+                    ..threepath_core::ProbeConfig::default()
+                },
                 ..BudgetConfig::default()
             },
         ] {
@@ -743,6 +785,43 @@ mod tests {
             ..ShardedConfig::default()
         })
         .unwrap();
+    }
+
+    #[test]
+    fn degenerate_admission_and_read_probe_are_typed_errors() {
+        let err = ShardedMap::with_config(ShardedConfig {
+            admission: Some(0),
+            ..ShardedConfig::default()
+        })
+        .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroAdmissionWindow);
+        let err = ShardedMap::with_config(ShardedConfig {
+            read_probe: Some(threepath_core::ReadBoundConfig {
+                ladder: vec![],
+                ..threepath_core::ReadBoundConfig::default()
+            }),
+            ..ShardedConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidReadProbe(_)));
+        // Sane values pass and the map still works.
+        let map = Arc::new(
+            ShardedMap::with_config(ShardedConfig {
+                shards: 2,
+                key_space: 100,
+                admission: Some(2),
+                read_probe: Some(threepath_core::ReadBoundConfig::default()),
+                ..ShardedConfig::default()
+            })
+            .unwrap(),
+        );
+        let mut h = map.handle();
+        for k in 0..50u64 {
+            h.insert(k, k);
+        }
+        assert_eq!(h.get(25), Some(25));
+        drop(h);
+        map.validate().unwrap();
     }
 
     #[test]
@@ -799,12 +878,15 @@ mod tests {
     }
 
     #[test]
-    fn adaptive_map_demotes_hot_shard_only() {
+    fn adaptive_map_probes_every_shard_independently() {
         // Shard 1 aborts nearly every transaction (spurious injection);
         // the other shards are clean. Drive uniform traffic through all
-        // shards: only shard 1 may flip, and — the storm being
-        // spurious-dominated, i.e. HTM wasted work — it must drop from
-        // the preferred 3-path to TLE.
+        // shards: every shard's controller turns its own windows and
+        // probes both strategies, the decision state stays coherent, and
+        // the per-shard load picture shows the storm where it happened.
+        // (Which strategy wins each shard is an empirical question the
+        // probing answers per machine — asserted on the fixed workloads
+        // of tests/controller_convergence.rs, not here.)
         let hot = HtmConfig::default().with_spurious(0.97);
         let map = Arc::new(
             ShardedMap::with_config(ShardedConfig {
@@ -812,8 +894,8 @@ mod tests {
                 key_space: 400,
                 strategy: Strategy::ThreePath,
                 adaptive: Some(AdaptiveConfig {
-                    sample_every: 32,
-                    epoch_ops: 256,
+                    sample_every: 16,
+                    epoch_ops: 64,
                     ..AdaptiveConfig::default()
                 }),
                 htm_overrides: vec![(1, hot)],
@@ -823,7 +905,7 @@ mod tests {
         );
         assert_eq!(map.shard_strategies(), vec![Strategy::ThreePath; 4]);
         let mut h = map.handle();
-        for i in 0..4000u64 {
+        for i in 0..8000u64 {
             let k = (i * 7) % 400;
             if i % 2 == 0 {
                 h.insert(k, i);
@@ -833,17 +915,20 @@ mod tests {
         }
         drop(h);
         let ctl = map.adaptive().unwrap();
-        assert_eq!(ctl.strategy_of(1), Strategy::Tle, "hot shard demoted to TLE");
-        for s in [0, 2, 3] {
-            assert_eq!(
-                ctl.strategy_of(s),
-                Strategy::ThreePath,
-                "clean shard {s} keeps the preferred strategy"
+        for s in 0..4 {
+            assert!(ctl.epochs(s) > 0, "shard {s} turned decision windows");
+            // The shard runs exactly what its controller chose, and both
+            // live in the adaptive strategy set.
+            assert_eq!(ctl.strategy_of(s), map.shard_strategies()[s]);
+            assert!(threepath_core::ADAPTIVE_STRATEGIES
+                .contains(&ctl.settled_strategy_of(s)));
+            // Probe passes measured the other strategy at least once.
+            assert!(
+                ctl.controller_of(s).switches() > 0,
+                "shard {s} never probed the alternative"
             );
-            assert_eq!(ctl.flips(s), 0);
         }
-        assert!(ctl.flips(1) >= 1);
-        // The observed per-shard load picture backs the decision.
+        // The observed per-shard load picture localizes the storm.
         let (_, hot_aborts) = ctl.observed(1);
         let (cold_ops, cold_aborts) = ctl.observed(0);
         assert!(hot_aborts > cold_aborts * 5, "aborts concentrate on shard 1");

@@ -71,6 +71,8 @@ impl ShardTree {
                 budget: cfg.budget.clone(),
                 read_path: cfg.read_path,
                 scan_path: cfg.scan_path,
+                admission: cfg.admission,
+                read_probe: cfg.read_probe.clone(),
             }))),
             ShardBackend::AbTree => ShardTree::AbTree(Arc::new(AbTree::with_config(AbTreeConfig {
                 strategy: cfg.strategy,
@@ -84,6 +86,8 @@ impl ShardTree {
                 budget: cfg.budget.clone(),
                 read_path: cfg.read_path,
                 scan_path: cfg.scan_path,
+                admission: cfg.admission,
+                read_probe: cfg.read_probe.clone(),
                 ..AbTreeConfig::default()
             }))),
         }

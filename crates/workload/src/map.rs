@@ -41,6 +41,9 @@ fn tree_config(spec: &TrialSpec, shards: usize, sharded: bool) -> ShardedConfig 
         budget: spec.budget.clone(),
         read_path: spec.read_path,
         scan_path: spec.scan_path,
+        admission: spec.admission,
+        read_probe: spec.read_probe.clone(),
+        controller: None,
     }
 }
 

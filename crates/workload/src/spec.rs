@@ -259,8 +259,8 @@ pub struct TrialSpec {
     pub router: RouterKind,
     /// Per-shard adaptive strategy switching for sharded structures
     /// (ignored by the plain trees). `Some` starts every shard on
-    /// `strategy` (must be TLE or 3-path) and lets each shard demote or
-    /// promote itself on its own abort rate. See
+    /// `strategy` (must be TLE or 3-path) and lets each shard probe both
+    /// strategies and run whichever measures faster. See
     /// [`AdaptiveConfig`].
     pub adaptive: Option<AdaptiveConfig>,
     /// Operation mix.
@@ -290,6 +290,16 @@ pub struct TrialSpec {
     /// path (on by default); off drives them through `run_op` like any
     /// update — the baseline the scan benchmark panels compare against.
     pub scan_path: bool,
+    /// HTM admission control on the fallback path: at most this many
+    /// threads attempt hardware transactions while a tree's fallback is
+    /// active; the overflow takes the fallback directly (see
+    /// [`threepath_core::AdmissionGate`]). `None` admits everyone — the
+    /// uncontrolled baseline the admission panels compare against.
+    pub admission: Option<u32>,
+    /// Probe the read-escalation bound instead of the fixed
+    /// [`threepath_core::DEFAULT_READ_ATTEMPTS`] (see
+    /// [`threepath_core::ReadBoundConfig`]).
+    pub read_probe: Option<threepath_core::ReadBoundConfig>,
     /// Base PRNG seed (trial `i` derives per-thread seeds from it).
     pub seed: u64,
 }
@@ -315,6 +325,8 @@ impl Default for TrialSpec {
             budget: None,
             read_path: true,
             scan_path: true,
+            admission: None,
+            read_probe: None,
             seed: 0x5EED,
         }
     }

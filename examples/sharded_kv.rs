@@ -8,9 +8,10 @@
 //!   throughput show why the router is a policy worth choosing;
 //! * cross-shard range queries — an ordered concatenation under the
 //!   range router, a sort-merge under the hash router;
-//! * the adaptive controller demoting exactly the abort-heavy shard
-//!   (spurious-dominated storm → HTM is wasted work there → TLE) while
-//!   the clean shards keep the preferred 3-path strategy.
+//! * the per-shard probing controller measuring TLE against 3-path on
+//!   each shard's own live traffic — the abort-heavy shard's storm shows
+//!   up in its observed abort mix, and every shard settles on whichever
+//!   strategy empirically completes more operations there.
 //!
 //! Run with: `cargo run --release --example sharded_kv`
 
@@ -115,14 +116,23 @@ fn adaptive_demo() {
         }
     });
     let ctl = map.adaptive().expect("adaptive map");
-    for (s, strat) in ctl.strategies().iter().enumerate() {
+    for s in 0..4 {
         let (ops, aborts) = ctl.observed(s);
         println!(
-            "  shard {s}: {strat:<7} (flips {}, observed {ops} ops / {aborts} aborts)",
-            ctl.flips(s)
+            "  shard {s}: settled {:<9?} (windows {}, probes {}, observed {ops} ops / {aborts} aborts)",
+            ctl.settled_strategy_of(s),
+            ctl.epochs(s),
+            ctl.controller_of(s).switches(),
         );
     }
-    assert_eq!(ctl.strategy_of(2), Strategy::Tle, "hot shard demoted to TLE");
+    // What the prober guarantees: every shard turned decision windows
+    // and measured the alternative; the storm shows up exactly where it
+    // was injected. Which strategy wins is the measurement's call.
+    for s in 0..4 {
+        assert!(ctl.epochs(s) > 0 && ctl.controller_of(s).switches() > 0);
+    }
+    let (hot_ops, hot_aborts) = ctl.observed(2);
+    assert!(hot_aborts > hot_ops, "the storm is visible on shard 2");
     map.validate().expect("every shard structurally valid");
 }
 

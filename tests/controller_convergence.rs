@@ -1,0 +1,171 @@
+//! Cross-loop convergence: the attempt-budget prober, the read-escalation
+//! prober, and HTM admission control all running on the same tree at the
+//! same time, under abort storms and under calm, on both template
+//! backends.
+//!
+//! The three loops share one decision engine
+//! ([`threepath::core::ProbingController`]) but observe different signals;
+//! this file pins down that they converge *together* without corrupting
+//! the tree or each other's accounting. Budget scoring runs in
+//! deterministic attempt mode (`wall_clock: false`) so the expected
+//! decisions are interleaving-independent facts, not timing facts.
+#![cfg(feature = "stress-tests")]
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use threepath::core::{
+    BudgetConfig, PathLimits, ReadBoundConfig, Strategy, DEFAULT_READ_ATTEMPTS,
+};
+use threepath::htm::{HtmConfig, SplitMix64};
+
+/// Mixed insert/remove/get hammer tracking the signed key-sum delta.
+/// Returns the delta accumulated across all threads.
+macro_rules! hammer {
+    ($tree:expr, $threads:expr, $ops:expr, $space:expr) => {{
+        let delta = Arc::new(AtomicI64::new(0));
+        std::thread::scope(|s| {
+            for t in 0..$threads as u64 {
+                let tree = $tree.clone();
+                let delta = delta.clone();
+                s.spawn(move || {
+                    let mut h = tree.handle();
+                    let mut rng = SplitMix64::new(t * 611 + 29);
+                    let mut local = 0i64;
+                    for i in 0..$ops as u64 {
+                        let k = rng.next_below($space);
+                        match rng.next_below(4) {
+                            0 | 1 => {
+                                if h.insert(k, i).is_none() {
+                                    local += k as i64;
+                                }
+                            }
+                            2 => {
+                                if h.remove(k).is_some() {
+                                    local -= k as i64;
+                                }
+                            }
+                            _ => {
+                                h.get(k);
+                            }
+                        }
+                    }
+                    delta.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        delta.load(Ordering::Relaxed)
+    }};
+}
+
+/// A total abort storm (every transaction attempt aborts) with all three
+/// loops live and a one-thread admission window: every operation completes
+/// through the fallback path, so attempt-mode scoring makes the floor
+/// budget arm the provable winner (2 weighted attempts per op beat the
+/// anchor's 36), the admission gate's window closes constantly, and the
+/// read bound keeps probing its ladder. The budgets must settle on the
+/// floor, the read bound must stay on its ladder, and the keysum and
+/// structural oracles must hold throughout.
+macro_rules! cross_loop_storm {
+    ($name:ident, $tree:path, $cfg:path) => {
+        #[test]
+        fn $name() {
+            let mut cfg = <$cfg>::default();
+            cfg.strategy = Strategy::ThreePath;
+            cfg.htm = HtmConfig::default().with_spurious(1.0).with_seed(3);
+            cfg.budget = Some(BudgetConfig {
+                epoch_ops: 128,
+                wall_clock: false,
+                ..BudgetConfig::default()
+            });
+            cfg.read_probe = Some(ReadBoundConfig::default());
+            cfg.admission = Some(1);
+            let tree = Arc::new(<$tree>::with_config(cfg));
+            let delta = hammer!(tree, 4, 4000, 512);
+
+            let b = tree.budgets().expect("budgeted tree");
+            assert!(b.epochs() > 0, "the storm must have turned windows");
+            assert_eq!(
+                b.settled_limits(Strategy::ThreePath),
+                PathLimits { fast: 1, middle: 1 },
+                "under a total storm the floor arm provably wins"
+            );
+            assert!(
+                ReadBoundConfig::default()
+                    .ladder
+                    .contains(&tree.read_attempts()),
+                "the live read bound must be a ladder arm"
+            );
+            let shape = tree.validate().expect("structurally sound");
+            assert_eq!(shape.key_sum as i128, delta as i128);
+        }
+    };
+}
+
+cross_loop_storm!(
+    cross_loop_storm_converges_on_bst,
+    threepath::bst::Bst,
+    threepath::bst::BstConfig
+);
+cross_loop_storm!(
+    cross_loop_storm_converges_on_abtree,
+    threepath::abtree::AbTree,
+    threepath::abtree::AbTreeConfig
+);
+
+/// The calm-side fixed point: with zero aborts injected every budget arm
+/// ties, and the prober's `min_gain` hurdle must keep the incumbent anchor
+/// rather than drift — the regression guard for the probing rewrite
+/// (a threshold manager trivially stays put; a prober must *earn* staying
+/// put through its hurdle). Reads never contend, so the read bound must
+/// still be the paper default. Oracles as above.
+///
+/// Single-threaded on purpose: with concurrency, genuine HTM conflicts
+/// inject abort noise and the tie is no longer exact (that regime belongs
+/// to the storm test above). One thread makes every window identical, so
+/// "ties keep the incumbent" is a deterministic fact.
+macro_rules! cross_loop_calm {
+    ($name:ident, $tree:path, $cfg:path) => {
+        #[test]
+        fn $name() {
+            let mut cfg = <$cfg>::default();
+            cfg.strategy = Strategy::ThreePath;
+            cfg.htm = HtmConfig::default().with_seed(9);
+            cfg.budget = Some(BudgetConfig {
+                epoch_ops: 128,
+                wall_clock: false,
+                ..BudgetConfig::default()
+            });
+            cfg.read_probe = Some(ReadBoundConfig::default());
+            cfg.admission = Some(2);
+            let tree = Arc::new(<$tree>::with_config(cfg));
+            let delta = hammer!(tree, 1, 16000, 512);
+
+            let b = tree.budgets().expect("budgeted tree");
+            assert!(b.epochs() > 0, "traffic must have turned windows");
+            assert_eq!(
+                b.settled_limits(Strategy::ThreePath),
+                PathLimits::for_strategy(Strategy::ThreePath),
+                "ties must keep the anchor incumbent (min_gain hurdle)"
+            );
+            assert_eq!(
+                tree.read_attempts(),
+                DEFAULT_READ_ATTEMPTS,
+                "uncontended reads never move the escalation bound"
+            );
+            let shape = tree.validate().expect("structurally sound");
+            assert_eq!(shape.key_sum as i128, delta as i128);
+        }
+    };
+}
+
+cross_loop_calm!(
+    cross_loop_calm_keeps_the_anchor_on_bst,
+    threepath::bst::Bst,
+    threepath::bst::BstConfig
+);
+cross_loop_calm!(
+    cross_loop_calm_keeps_the_anchor_on_abtree,
+    threepath::abtree::AbTree,
+    threepath::abtree::AbTreeConfig
+);
