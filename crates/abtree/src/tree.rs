@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use threepath_core::{
-    AdaptiveBudgets, BudgetConfig, DirectMem, ExecCtx, Mem, OpOutcome, OrigMode, PathLimits,
-    PathStats, Strategy, TemplateMode,
+    AdaptiveBudgets, BatchApply, BatchOp, BudgetConfig, DirectMem, ExecCtx, Mem, OpOutcome,
+    OrigMode, PathKind, PathLimits, PathStats, Strategy, TemplateMode,
 };
 use threepath_htm::{codes, Abort, HtmConfig, HtmRuntime, TxCell};
 use threepath_llxscx::{ScxEngine, ScxThread};
@@ -82,6 +82,17 @@ pub struct AbTreeConfig {
     /// that measures fastest (see [`threepath_core::ReadBoundConfig`]).
     /// Uncontended reads never touch the machinery.
     pub read_probe: Option<threepath_core::ReadBoundConfig>,
+    /// Probe the admission window cap instead of fixing it: gated
+    /// encounters feed a ladder of candidate caps and the gate runs the
+    /// one that measures fastest (see
+    /// [`threepath_core::AdmissionProbeConfig`]). Takes precedence over a
+    /// fixed `admission` cap.
+    pub admission_probe: Option<threepath_core::AdmissionProbeConfig>,
+    /// Enable the batch entry point ([`AbTreeHandle::run_batch`]):
+    /// coalesced operation plans commit in a single fast-path transaction
+    /// or one serialized section. Requires a TLE or 3-path strategy and
+    /// puts every transaction on the blended subscription discipline.
+    pub batched: bool,
 }
 
 impl Default for AbTreeConfig {
@@ -101,6 +112,8 @@ impl Default for AbTreeConfig {
             scan_path: true,
             admission: None,
             read_probe: None,
+            admission_probe: None,
+            batched: false,
         }
     }
 }
@@ -191,8 +204,14 @@ impl AbTree {
         if let Some(cap) = cfg.admission {
             exec = exec.with_admission(cap);
         }
+        if let Some(p) = cfg.admission_probe {
+            exec = exec.with_admission_probe(p);
+        }
         if let Some(r) = cfg.read_probe {
             exec = exec.with_read_probe(r);
+        }
+        if cfg.batched {
+            exec = exec.with_batching();
         }
         // Entry node (never deleted) with the initial empty root leaf,
         // allocated through a short-lived context so they come from the
@@ -230,6 +249,12 @@ impl AbTree {
     /// The minimum degree `a`.
     pub fn min_degree(&self) -> usize {
         self.a
+    }
+
+    /// Whether the batch entry point ([`AbTreeHandle::run_batch`]) is
+    /// enabled (see [`AbTreeConfig::batched`]).
+    pub fn is_batched(&self) -> bool {
+        self.exec.is_batched()
     }
 
     /// The underlying HTM runtime.
@@ -382,6 +407,107 @@ impl AbTree {
                 None => ops::delete_seq(&mut m, self.entry, &f, key, self.a, false),
             }
             .expect("direct mode cannot abort")
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Batch bodies: one transaction (or one serialized section) applies a
+    // whole coalesced plan, returning one reply per operation plus the
+    // keys whose paths need rebalancing. Every operation searches from
+    // the entry inside the same memory mode, so later operations in the
+    // plan observe the effects of earlier ones. Fix-ups are deferred to
+    // the caller: they must run *outside* the serialized section (they go
+    // through `run_op`, which may take the same lock).
+    // ------------------------------------------------------------------
+
+    /// The whole plan in a single fast-path transaction.
+    fn batch_fast(
+        &self,
+        th: &mut ScxThread,
+        ops: &[BatchOp],
+    ) -> Result<(Vec<Option<u64>>, Vec<u64>), Abort> {
+        self.exec.attempt_seq(&self.eng, th, |m| {
+            let mut out = Vec::with_capacity(ops.len());
+            let mut fixes = Vec::new();
+            for op in ops {
+                let r = match *op {
+                    BatchOp::Insert(key, value) => {
+                        let f = {
+                            let mut rd = |c: &TxCell| m.read(c);
+                            ops::search_ab(&mut rd, self.entry, key)?
+                        };
+                        let (prev, fix) = ops::insert_seq(m, self.entry, &f, key, value, false)?;
+                        if fix {
+                            fixes.push(key);
+                        }
+                        prev
+                    }
+                    BatchOp::Remove(key) if key <= MAX_KEY => {
+                        let f = {
+                            let mut rd = |c: &TxCell| m.read(c);
+                            ops::search_ab(&mut rd, self.entry, key)?
+                        };
+                        let (prev, fix) = ops::delete_seq(m, self.entry, &f, key, self.a, false)?;
+                        if fix {
+                            fixes.push(key);
+                        }
+                        prev
+                    }
+                    BatchOp::Get(key) if key <= MAX_KEY => {
+                        let mut rd = |c: &TxCell| m.read(c);
+                        let f = ops::search_ab(&mut rd, self.entry, key)?;
+                        ops::get_with(&mut rd, &f, key)?
+                    }
+                    // Out-of-range removes and lookups answer without
+                    // descending.
+                    BatchOp::Remove(_) | BatchOp::Get(_) => None,
+                };
+                out.push(r);
+            }
+            Ok((out, fixes))
+        })
+    }
+
+    /// The whole plan in one serialized section (caller holds the lock).
+    fn batch_locked(&self, th: &mut ScxThread, ops: &[BatchOp]) -> (Vec<Option<u64>>, Vec<u64>) {
+        th.pinned(|th| {
+            let mut m = DirectMem::new(self.exec.runtime(), &th.reclaim);
+            let mut out = Vec::with_capacity(ops.len());
+            let mut fixes = Vec::new();
+            for op in ops {
+                let r = match *op {
+                    BatchOp::Insert(key, value) => {
+                        assert!(key <= MAX_KEY, "key exceeds MAX_KEY");
+                        let f = self.search_direct(key);
+                        let (prev, fix) = ops::insert_seq(&mut m, self.entry, &f, key, value, false)
+                            .expect("direct mode cannot abort");
+                        if fix {
+                            fixes.push(key);
+                        }
+                        prev
+                    }
+                    BatchOp::Remove(key) if key <= MAX_KEY => {
+                        let f = self.search_direct(key);
+                        let (prev, fix) =
+                            ops::delete_seq(&mut m, self.entry, &f, key, self.a, false)
+                                .expect("direct mode cannot abort");
+                        if fix {
+                            fixes.push(key);
+                        }
+                        prev
+                    }
+                    BatchOp::Get(key) if key <= MAX_KEY => {
+                        let rt = self.exec.runtime();
+                        let mut rd = |c: &TxCell| Ok(c.load_direct(rt));
+                        let f = ops::search_ab(&mut rd, self.entry, key)
+                            .expect("direct search cannot abort");
+                        ops::get_with(&mut rd, &f, key).expect("direct read cannot abort")
+                    }
+                    BatchOp::Remove(_) | BatchOp::Get(_) => None,
+                };
+                out.push(r);
+            }
+            (out, fixes)
         })
     }
 
@@ -867,6 +993,26 @@ unsafe fn validate_rec(
     Ok(())
 }
 
+/// The [`BatchApply`] view handed to a flat-combining hook: each `apply`
+/// runs one more plan inside the serialized section the caller already
+/// holds (see [`AbTreeHandle::run_batch_with`]). Rebalancing keys are
+/// collected and repaired by the combining handle after the section ends.
+struct AbBatchApplier<'a> {
+    tree: &'a AbTree,
+    th: &'a mut ScxThread,
+    combined: &'a std::cell::Cell<u64>,
+    fixes: &'a std::cell::RefCell<Vec<u64>>,
+}
+
+impl BatchApply for AbBatchApplier<'_> {
+    fn apply(&mut self, ops: &[BatchOp]) -> Vec<Option<u64>> {
+        self.combined.set(self.combined.get() + ops.len() as u64);
+        let (out, fixes) = self.tree.batch_locked(self.th, ops);
+        self.fixes.borrow_mut().extend(fixes);
+        out
+    }
+}
+
 /// A per-thread handle to an [`AbTree`].
 pub struct AbTreeHandle {
     tree: Arc<AbTree>,
@@ -932,6 +1078,85 @@ impl AbTreeHandle {
             self.fix_to_key(key);
         }
         prev
+    }
+
+    /// Applies a coalesced plan of operations in submission order,
+    /// returning one reply per operation (the same `Option<u64>` each
+    /// would return individually) and the path the batch committed on.
+    ///
+    /// The whole plan commits in a **single** fast-path transaction or,
+    /// after the attempt budget, one serialized section under the
+    /// fallback lock. Later operations in the plan observe the effects
+    /// of earlier ones. Rebalancing (tag/underfull repair) runs after
+    /// the batch commits, exactly as it does after single updates.
+    /// Requires a tree built with [`AbTreeConfig::batched`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree was not built with `batched`, or if an insert
+    /// key exceeds [`MAX_KEY`](crate::MAX_KEY).
+    pub fn run_batch(&mut self, ops: &[BatchOp]) -> (Vec<Option<u64>>, PathKind) {
+        self.run_batch_inner(ops, None::<fn(&mut dyn BatchApply)>)
+    }
+
+    /// Like [`Self::run_batch`], with a flat-combining hook: when the
+    /// batch escalates to the serialized section, `combine` runs while
+    /// this thread still holds the fallback lock, receiving a
+    /// [`BatchApply`] that applies further plans in the same section.
+    /// The hook does **not** run when the batch commits on the fast path
+    /// (no lock is held there). Rebalancing for combined plans runs on
+    /// this handle after the section ends.
+    pub fn run_batch_with(
+        &mut self,
+        ops: &[BatchOp],
+        combine: impl FnOnce(&mut dyn BatchApply),
+    ) -> (Vec<Option<u64>>, PathKind) {
+        self.run_batch_inner(ops, Some(combine))
+    }
+
+    fn run_batch_inner(
+        &mut self,
+        ops: &[BatchOp],
+        combine: Option<impl FnOnce(&mut dyn BatchApply)>,
+    ) -> (Vec<Option<u64>>, PathKind) {
+        for op in ops {
+            if let BatchOp::Insert(key, _) = op {
+                assert!(*key <= MAX_KEY, "key exceeds MAX_KEY");
+            }
+        }
+        if ops.is_empty() {
+            return (Vec::new(), PathKind::Fast);
+        }
+        let tree = &self.tree;
+        let combined = std::cell::Cell::new(0u64);
+        let combined_fixes = std::cell::RefCell::new(Vec::new());
+        let mut combine_slot = combine;
+        let ((out, fixes), path) = tree.exec.run_batch(
+            &mut self.th,
+            &mut self.stats,
+            ops.len() as u64,
+            |th| tree.batch_fast(th, ops),
+            |th| {
+                let out = tree.batch_locked(th, ops);
+                if let Some(c) = combine_slot.take() {
+                    c(&mut AbBatchApplier {
+                        tree,
+                        th,
+                        combined: &combined,
+                        fixes: &combined_fixes,
+                    });
+                }
+                out
+            },
+        );
+        self.stats.add_combined_ops(combined.get());
+        for key in fixes {
+            self.fix_to_key(key);
+        }
+        for key in combined_fixes.into_inner() {
+            self.fix_to_key(key);
+        }
+        (out, path)
     }
 
     /// Looks up `key`.

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 
 use threepath_abtree::{AbTree, AbTreeConfig, B};
-use threepath_core::{PathKind, Strategy};
+use threepath_core::{BatchOp, PathKind, Strategy};
 use threepath_htm::{HtmConfig, SplitMix64};
 
 fn tree_with(strategy: Strategy, htm: HtmConfig, sec8: bool) -> Arc<AbTree> {
@@ -408,4 +408,105 @@ fn bulk_load_matches_incremental() {
 fn bulk_load_rejects_unsorted() {
     use threepath_abtree::AbTree;
     let _ = AbTree::bulk_load(&[(5, 0), (3, 0)], AbTreeConfig::default());
+}
+
+// ----------------------------------------------------------------------
+// Batched plans (`AbTreeHandle::run_batch`): whole-plan commit semantics,
+// deferred rebalancing, and the flat-combining hook.
+// ----------------------------------------------------------------------
+
+fn batched_tree(strategy: Strategy, htm: HtmConfig) -> Arc<AbTree> {
+    Arc::new(AbTree::with_config(AbTreeConfig {
+        strategy,
+        htm,
+        batched: true,
+        ..AbTreeConfig::default()
+    }))
+}
+
+fn ab_batch_oracle_run(strategy: Strategy, htm: HtmConfig, seed: u64, batches: usize) {
+    let tree = batched_tree(strategy, htm);
+    let mut h = tree.handle();
+    let mut oracle = BTreeMap::new();
+    let mut rng = SplitMix64::new(seed);
+
+    for b in 0..batches {
+        let len = 1 + rng.next_below(16) as usize;
+        let plan: Vec<BatchOp> = (0..len)
+            .map(|i| {
+                let k = rng.next_below(150);
+                match rng.next_below(10) {
+                    0..=4 => BatchOp::Insert(k, b as u64 * 1000 + i as u64),
+                    5..=7 => BatchOp::Remove(k),
+                    _ => BatchOp::Get(k),
+                }
+            })
+            .collect();
+        let (got, _path) = h.run_batch(&plan);
+        let want: Vec<Option<u64>> = plan
+            .iter()
+            .map(|op| match *op {
+                BatchOp::Insert(k, v) => oracle.insert(k, v),
+                BatchOp::Remove(k) => oracle.remove(&k),
+                BatchOp::Get(k) => oracle.get(&k).copied(),
+            })
+            .collect();
+        assert_eq!(got, want, "batch {b} replies diverge ({strategy})");
+    }
+
+    let shape = assert_balanced(&tree);
+    assert_eq!(shape.keys, oracle.len());
+    let collected = tree.collect();
+    let want: Vec<(u64, u64)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(collected, want);
+}
+
+#[test]
+fn batch_oracle_tle_and_three_path() {
+    ab_batch_oracle_run(Strategy::Tle, HtmConfig::default(), 31, 300);
+    ab_batch_oracle_run(Strategy::ThreePath, HtmConfig::default(), 32, 300);
+}
+
+#[test]
+fn batch_oracle_under_spurious_aborts() {
+    ab_batch_oracle_run(Strategy::Tle, HtmConfig::default().with_spurious(0.7), 41, 150);
+    ab_batch_oracle_run(
+        Strategy::ThreePath,
+        HtmConfig::default().with_spurious(0.7),
+        42,
+        150,
+    );
+}
+
+#[test]
+fn batched_inserts_rebalance_and_stay_valid() {
+    // Enough sequential inserts per plan to force splits (and thus
+    // deferred fix-ups) on nearly every batch.
+    let tree = batched_tree(Strategy::ThreePath, HtmConfig::default());
+    let mut h = tree.handle();
+    for b in 0..64u64 {
+        let plan: Vec<BatchOp> = (0..B as u64).map(|i| BatchOp::Insert(b * B as u64 + i, i)).collect();
+        h.run_batch(&plan);
+    }
+    let shape = assert_balanced(&tree);
+    assert_eq!(shape.keys, 64 * B);
+}
+
+#[test]
+fn combine_hook_rebalances_combined_plans() {
+    // Every transaction aborts: the batch escalates, the hook applies a
+    // split-heavy plan for "another submitter", and the combining handle
+    // must repair the violations after the section ends.
+    let tree = batched_tree(Strategy::Tle, HtmConfig::default().with_spurious(1.0));
+    let mut h = tree.handle();
+    let own: Vec<BatchOp> = (0..4u64).map(|i| BatchOp::Insert(i, i)).collect();
+    let other: Vec<BatchOp> = (100..100 + 2 * B as u64).map(|k| BatchOp::Insert(k, k)).collect();
+    let (_, path) = h.run_batch_with(&own, |apply| {
+        let replies = apply.apply(&other);
+        assert!(replies.iter().all(|r| r.is_none()));
+    });
+    assert_eq!(path, PathKind::Fallback);
+    assert_eq!(h.stats().combined_ops(), 2 * B as u64);
+    let shape = assert_balanced(&tree);
+    assert_eq!(shape.keys, 4 + 2 * B);
 }

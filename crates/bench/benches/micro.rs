@@ -17,6 +17,10 @@
 //!   same 85%-spurious storm. Calm optimistic scans execute zero
 //!   transactions; under the storm the baseline's scans serialize on the
 //!   fallback paths while validation-set scans keep retrying for free.
+//! * **batch A/B** — the same update-heavy stream executed directly (one
+//!   transaction per operation) vs through the serving front-end, whose
+//!   combiner coalesces queued submissions into batch plans (one
+//!   transaction per plan), swept over submission batch sizes 1–16.
 //! * **budget A/B** — adaptive attempt budgets vs fixed budgets (the
 //!   paper's 10/10, the storm-optimal 1/1, and a deep 20/20) under a calm
 //!   mix and an injected 85%-spurious abort storm. Adaptive should track
@@ -30,13 +34,17 @@ use std::sync::Arc;
 
 use criterion::{Criterion};
 
-use threepath_bench::{bench_record, measure_spec, write_bench_json, BenchEnv, BenchRecord};
+use threepath_bench::{
+    bench_record, measure_server_spec, measure_spec, write_bench_json, BenchEnv, BenchRecord,
+};
 use threepath_bst::{Bst, BstConfig};
 use threepath_core::{BudgetConfig, PathKind, PathLimits, ProbeConfig, Strategy};
 use threepath_htm::{HtmConfig, HtmRuntime, TxCell};
 use threepath_llxscx::{LlxResult, ScxArgs, ScxEngine, ScxHeader};
 use threepath_reclaim::{Domain, ReclaimMode};
-use threepath_workload::{average, run_trial, KeyDist, Structure, TrialSpec, Workload};
+use threepath_workload::{
+    average, run_trial, KeyDist, ServerTrialSpec, ShardBackend, Structure, TrialSpec, Workload,
+};
 
 fn bench_htm_primitives(c: &mut Criterion) {
     let rt = Arc::new(HtmRuntime::new(HtmConfig::default()));
@@ -504,6 +512,99 @@ fn admission_ab(env: &BenchEnv, records: &mut Vec<BenchRecord>) {
     }
 }
 
+/// Batched vs direct execution of the same update-heavy 50/50
+/// insert/delete stream on ONE shard — the contention case batching is
+/// for. `N` direct updater threads run one transaction per operation;
+/// `N` closed-loop server clients instead submit through the shard
+/// queue, and whichever client holds the combiner role serializes
+/// everything into coalesced batch plans — one transaction per plan.
+/// Two abort regimes: calm (where the transaction envelope is cheap and
+/// direct's parallelism wins — batching is machinery rent there) and an
+/// 85%-spurious storm, the headline case: direct pays the abort-retry
+/// ladder per *operation* while batched pays it per *plan*, and a plan
+/// that exhausts its attempts executes the whole batch under the
+/// fallback lock, immune to further aborts. The sweep varies the
+/// submission batch size; the storm-side speedup grows with the batch
+/// as more of the retry ladder is amortized away. Latency percentiles
+/// on the batched side are full submit-to-reply round trips (the
+/// trade-off: fewer transactions, longer tails).
+fn batch_ab(env: &BenchEnv, records: &mut Vec<BenchRecord>) {
+    println!("\n== batch A/B: coalesced same-shard batches vs direct per-op transactions ==");
+    println!(
+        "{:<30} {:>7} {:>14} {:>9} {:>10} {:>10}",
+        "series", "clients", "ops/s", "vs direct", "txns/batch", "p99 us"
+    );
+    let clients = env.max_threads();
+    const SHARDS: usize = 1;
+    for backend in [ShardBackend::Bst, ShardBackend::AbTree] {
+        let structure = match backend {
+            ShardBackend::Bst => Structure::ShardedBst { shards: SHARDS },
+            ShardBackend::AbTree => Structure::ShardedAbTree { shards: SHARDS },
+        };
+        let key_range = ((structure.paper_key_range() as f64 * env.scale) as u64).max(256);
+        for (mix, htm) in [
+            ("calm", HtmConfig::default()),
+            ("storm", HtmConfig::default().with_spurious(0.85)),
+        ] {
+            let direct = measure_spec(
+                env,
+                &TrialSpec {
+                    structure,
+                    strategy: Strategy::ThreePath,
+                    threads: clients,
+                    key_range,
+                    htm: htm.clone(),
+                    ..TrialSpec::default()
+                },
+            );
+            println!(
+                "{:<30} {:>7} {:>14.0} {:>9} {:>10} {:>9.1}",
+                format!("{backend:?}/{mix}/direct"),
+                clients,
+                direct.throughput,
+                "1.00x",
+                "-",
+                direct.latency.overall().p99().as_secs_f64() * 1e6
+            );
+            records.push(bench_record(
+                format!("batch-ab/{backend:?}/{mix}/direct/{clients}c"),
+                &direct,
+            ));
+            for batch in [1usize, 2, 4, 8, 16] {
+                let batched = measure_server_spec(
+                    env,
+                    &ServerTrialSpec {
+                        backend,
+                        shards: SHARDS,
+                        clients,
+                        batch,
+                        key_range,
+                        strategy: Strategy::ThreePath,
+                        htm: htm.clone(),
+                        batch_cap: batch.max(8),
+                        ..ServerTrialSpec::default()
+                    },
+                );
+                let txns_per_batch =
+                    batched.stats.batch_txns() as f64 / batched.stats.batches().max(1) as f64;
+                println!(
+                    "{:<30} {:>7} {:>14.0} {:>8.2}x {:>10.2} {:>9.1}",
+                    format!("{backend:?}/{mix}/batch{batch}"),
+                    clients,
+                    batched.throughput,
+                    batched.throughput / direct.throughput,
+                    txns_per_batch,
+                    batched.latency.overall().p99().as_secs_f64() * 1e6
+                );
+                records.push(bench_record(
+                    format!("batch-ab/{backend:?}/{mix}/batch{batch}/{clients}c"),
+                    &batched,
+                ));
+            }
+        }
+    }
+}
+
 fn main() {
     let mut c = Criterion::default()
         .sample_size(20)
@@ -521,5 +622,6 @@ fn main() {
     scan_ab(&env, &mut records);
     budget_ab(&env, &mut records);
     admission_ab(&env, &mut records);
+    batch_ab(&env, &mut records);
     write_bench_json("micro", &records);
 }

@@ -27,16 +27,27 @@
 //! onto the serialized fallback), while calm the BST validation-set walk
 //! is the more expensive of the two (see the micro scan panel).
 //!
+//! A fifth panel runs the serving front-end closed loop: N clients
+//! submitting 8-op mixed batches (reads, updates, cross-shard range
+//! queries) into the per-shard queues, with whichever client claims a
+//! shard's combiner role draining the queue into coalesced batch plans.
+//! It reports submit-to-reply latency percentiles per client count — the
+//! batching trade-off panel (fewer transactions, longer tails).
+//!
 //! Scale with `THREEPATH_THREADS`, `THREEPATH_TRIAL_MS`,
 //! `THREEPATH_TRIALS`, `THREEPATH_SCALE`, or set `THREEPATH_SMOKE=1` for
 //! the CI smoke lane (see `threepath-bench` docs).
 
 use threepath_bench::{
-    bench_record, describe, measure_spec, print_panel, write_bench_json, write_csv, BenchEnv, Cell,
+    bench_record, describe, measure_server_spec, measure_spec, print_panel, write_bench_json,
+    write_csv, BenchEnv, Cell,
 };
 use threepath_core::Strategy;
 use threepath_htm::HtmConfig;
-use threepath_workload::{AdaptiveConfig, KeyDist, RouterKind, Structure, TrialSpec, Workload};
+use threepath_workload::{
+    AdaptiveConfig, KeyDist, RouterKind, ServerTrialSpec, ShardBackend, Structure, TrialSpec,
+    Workload,
+};
 
 const SHARDS: usize = 8;
 const ZIPF_THETA: f64 = 0.9;
@@ -209,6 +220,57 @@ fn main() {
         &cells,
         &env.threads,
     );
+    all.extend(cells);
+
+    // ------------------------------------------------------------------
+    // Panel 5: the serving front-end's closed loop — N clients × the same
+    // 8 shards, every client submitting 8-op mixed batches (50% point
+    // reads, 5% cross-shard range queries, the rest 50/50 insert/delete)
+    // into the per-shard queues and blocking for replies. Latency here is
+    // what a serving system reports: the full submit-to-reply round trip,
+    // including queueing behind the combiner. Compare the p99 column
+    // against the direct trials' per-op latency to see the batching
+    // trade-off (fewer transactions, longer tails).
+    // ------------------------------------------------------------------
+    let mut cells = Vec::new();
+    println!("\n== serving front-end: N clients x {SHARDS} shards, 8-op mixed batches ==");
+    println!(
+        "{:<10} {:>14} {:>12} {:>10} {:>10} {:>10}",
+        "clients", "ops/s", "mean batch", "p50 us", "p95 us", "p99 us"
+    );
+    for &clients in &env.threads {
+        let spec = ServerTrialSpec {
+            backend: ShardBackend::Bst,
+            shards: SHARDS,
+            clients,
+            batch: 8,
+            read_pct: 50,
+            rq_pct: 5,
+            rq_extent: 100,
+            key_range,
+            router: RouterKind::Range,
+            strategy: Strategy::ThreePath,
+            ..ServerTrialSpec::default()
+        };
+        let result = measure_server_spec(&env, &spec);
+        let lat = result.latency.overall();
+        println!(
+            "{:<10} {:>14.0} {:>12.2} {:>10.1} {:>10.1} {:>10.1}",
+            clients,
+            result.throughput,
+            result.stats.mean_batch_size(),
+            lat.p50().as_secs_f64() * 1e6,
+            lat.p95().as_secs_f64() * 1e6,
+            lat.p99().as_secs_f64() * 1e6,
+        );
+        cells.push(Cell {
+            structure,
+            workload: "server",
+            series: "closed-loop".to_string(),
+            threads: clients,
+            result,
+        });
+    }
     all.extend(cells);
 
     write_csv("sharded", &all);

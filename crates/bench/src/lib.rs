@@ -25,7 +25,8 @@ use std::time::Duration;
 
 use threepath_core::Strategy;
 use threepath_workload::{
-    average, env_u64, env_usize, run_trials, Structure, TrialResult, TrialSpec,
+    average, env_u64, env_usize, run_server_trials, run_trials, LatencyReport, ServerTrialSpec,
+    Structure, TrialResult, TrialSpec,
 };
 
 /// Benchmark sizing read from the environment (see crate docs).
@@ -111,6 +112,22 @@ pub fn measure_spec(env: &BenchEnv, spec: &TrialSpec) -> TrialResult {
         avg.keysum_ok,
         "key-sum verification failed: {}/{}/{}/{}t",
         spec.structure, spec.strategy, spec.key_dist, spec.threads
+    );
+    avg
+}
+
+/// Runs a closed-loop server trial spec (averaging `env.trials`
+/// repetitions with the env's trial duration). The batched counterpart of
+/// [`measure_spec`] for the batched-vs-direct A/B panels.
+pub fn measure_server_spec(env: &BenchEnv, spec: &ServerTrialSpec) -> TrialResult {
+    let mut spec = spec.clone();
+    spec.duration = env.duration;
+    let results = run_server_trials(&spec, env.trials);
+    let avg = average(&results);
+    assert!(
+        avg.keysum_ok,
+        "server trial key-sum verification failed: {:?}/{}c/{}sh",
+        spec.backend, spec.clients, spec.shards
     );
     avg
 }
@@ -229,6 +246,10 @@ pub struct BenchRecord {
     pub stats: threepath_core::PathStats,
     /// Node-pool counters (all zeros when the series ran pool-off).
     pub pool: threepath_reclaim::PoolStats,
+    /// Client-observed per-operation latency (empty histograms for series
+    /// measured before the closed-loop harness existed; current harnesses
+    /// always record it).
+    pub latency: LatencyReport,
 }
 
 /// Builds a [`BenchRecord`] from a measured trial.
@@ -238,6 +259,7 @@ pub fn bench_record(name: impl Into<String>, result: &TrialResult) -> BenchRecor
         ops_per_sec: result.throughput,
         stats: result.stats.clone(),
         pool: result.pool,
+        latency: result.latency.clone(),
     }
 }
 
@@ -267,7 +289,8 @@ pub fn bench_json(bench: &str, records: &[BenchRecord]) -> String {
              \"abort_rate\": {:.4}, \"fallback_frac\": {:.4}, \"read_frac\": {:.4}, \
              \"read_retries\": {}, \"read_escalations\": {}, \
              \"scan_retries\": {}, \"scan_escalations\": {}, \"scan_leaves\": {}, \
-             \"pool_hit_rate\": {:.4}, \"pool_allocs\": {}, \"pool_recycled\": {}}}",
+             \"pool_hit_rate\": {:.4}, \"pool_allocs\": {}, \"pool_recycled\": {}, \
+             \"lat_p50_us\": {:.3}, \"lat_p95_us\": {:.3}, \"lat_p99_us\": {:.3}}}",
             if i == 0 { "" } else { "," },
             json_escape(&r.name),
             r.ops_per_sec,
@@ -286,6 +309,9 @@ pub fn bench_json(bench: &str, records: &[BenchRecord]) -> String {
             r.pool.hit_rate(),
             r.pool.alloc_total,
             r.pool.recycled,
+            r.latency.overall().p50().as_secs_f64() * 1e6,
+            r.latency.overall().p95().as_secs_f64() * 1e6,
+            r.latency.overall().p99().as_secs_f64() * 1e6,
         );
     }
     out.push_str("\n  }\n}\n");

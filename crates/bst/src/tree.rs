@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use threepath_core::{
-    AdaptiveBudgets, BudgetConfig, DirectMem, ExecCtx, Mem, OpOutcome, OrigMode, PathKind,
-    PathLimits, PathStats, Strategy, TemplateMode,
+    AdaptiveBudgets, BatchApply, BatchOp, BudgetConfig, DirectMem, ExecCtx, Mem, OpOutcome,
+    OrigMode, PathKind, PathLimits, PathStats, Strategy, TemplateMode,
 };
 use threepath_htm::{codes, Abort, HtmConfig, HtmRuntime, TxCell};
 use threepath_llxscx::{ScxEngine, ScxThread};
@@ -80,6 +80,18 @@ pub struct BstConfig {
     /// that measures fastest (see [`threepath_core::ReadBoundConfig`]).
     /// Uncontended reads never touch the machinery.
     pub read_probe: Option<threepath_core::ReadBoundConfig>,
+    /// Probe the admission window cap instead of fixing it: gated
+    /// encounters feed a ladder of candidate caps and the gate runs the
+    /// one that measures fastest (see
+    /// [`threepath_core::AdmissionProbeConfig`]). Takes precedence over a
+    /// fixed `admission` cap.
+    pub admission_probe: Option<threepath_core::AdmissionProbeConfig>,
+    /// Enable the batch entry point ([`BstHandle::run_batch`]): coalesced
+    /// operation plans commit in a single fast-path transaction or one
+    /// serialized section. Requires a TLE or 3-path strategy and puts
+    /// every transaction on the blended subscription discipline (one
+    /// extra transactional lock read per attempt).
+    pub batched: bool,
 }
 
 impl Default for BstConfig {
@@ -98,6 +110,8 @@ impl Default for BstConfig {
             scan_path: true,
             admission: None,
             read_probe: None,
+            admission_probe: None,
+            batched: false,
         }
     }
 }
@@ -177,8 +191,14 @@ impl Bst {
         if let Some(cap) = cfg.admission {
             exec = exec.with_admission(cap);
         }
+        if let Some(p) = cfg.admission_probe {
+            exec = exec.with_admission_probe(p);
+        }
         if let Some(r) = cfg.read_probe {
             exec = exec.with_read_probe(r);
+        }
+        if cfg.batched {
+            exec = exec.with_batching();
         }
         // Initial tree (Ellen et al.): entry(∞₂) over leaf(∞₁), leaf(∞₂).
         // Allocated through a short-lived context so sentinels come from
@@ -204,6 +224,12 @@ impl Bst {
     /// swap on an adaptive tree).
     pub fn strategy(&self) -> Strategy {
         self.exec.strategy()
+    }
+
+    /// Whether the batch entry point ([`BstHandle::run_batch`]) is
+    /// enabled (see [`BstConfig::batched`]).
+    pub fn is_batched(&self) -> bool {
+        self.exec.is_batched()
     }
 
     /// Swaps the execution strategy at runtime while operations are in
@@ -385,6 +411,75 @@ impl Bst {
             let f = self.search_direct(key);
             let mut m = DirectMem::new(self.exec.runtime(), &th.reclaim);
             ops::delete_seq(&mut m, &f, key, false, self.sec8).expect("direct mode cannot abort")
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Batch bodies: one transaction (or one serialized section) applies a
+    // whole coalesced plan. Every operation searches from the root inside
+    // the same memory mode, so later operations in the plan observe the
+    // effects of earlier ones — which is why the sec8 outside-search
+    // variant does not apply here.
+    // ------------------------------------------------------------------
+
+    /// Mem-generic search (borrow-scoped so the caller can keep using `m`).
+    fn search_mem<M: Mem>(&self, m: &mut M, key: u64) -> Result<Found, Abort> {
+        let mut rd = |c: &TxCell| m.read(c);
+        ops::search_with(&mut rd, self.root, key)
+    }
+
+    /// The whole plan in a single fast-path transaction.
+    fn batch_fast(&self, th: &mut ScxThread, ops: &[BatchOp]) -> Result<Vec<Option<u64>>, Abort> {
+        self.exec.attempt_seq(&self.eng, th, |m| {
+            let mut out = Vec::with_capacity(ops.len());
+            for op in ops {
+                let r = match *op {
+                    BatchOp::Insert(key, value) => {
+                        let f = self.search_mem(m, key)?;
+                        ops::insert_seq(m, &f, key, value, false)?
+                    }
+                    BatchOp::Remove(key) if key <= MAX_KEY => {
+                        let f = self.search_mem(m, key)?;
+                        ops::delete_seq(m, &f, key, false, self.sec8)?
+                    }
+                    BatchOp::Get(key) if key <= MAX_KEY => {
+                        let f = self.search_mem(m, key)?;
+                        ops::get_seq(m, &f, key)?
+                    }
+                    // Out-of-range removes and lookups answer without
+                    // touching the sentinel spine.
+                    BatchOp::Remove(_) | BatchOp::Get(_) => None,
+                };
+                out.push(r);
+            }
+            Ok(out)
+        })
+    }
+
+    /// The whole plan in one serialized section (caller holds the lock).
+    fn batch_locked(&self, th: &mut ScxThread, ops: &[BatchOp]) -> Vec<Option<u64>> {
+        th.pinned(|th| {
+            let mut m = DirectMem::new(self.exec.runtime(), &th.reclaim);
+            let mut out = Vec::with_capacity(ops.len());
+            for op in ops {
+                let r = match *op {
+                    BatchOp::Insert(key, value) => {
+                        assert!(key <= MAX_KEY, "key exceeds MAX_KEY");
+                        let f = self.search_direct(key);
+                        ops::insert_seq(&mut m, &f, key, value, false)
+                            .expect("direct mode cannot abort")
+                    }
+                    BatchOp::Remove(key) if key <= MAX_KEY => {
+                        let f = self.search_direct(key);
+                        ops::delete_seq(&mut m, &f, key, false, self.sec8)
+                            .expect("direct mode cannot abort")
+                    }
+                    BatchOp::Get(key) if key <= MAX_KEY => self.read_get(key),
+                    BatchOp::Remove(_) | BatchOp::Get(_) => None,
+                };
+                out.push(r);
+            }
+            out
         })
     }
 
@@ -712,6 +807,22 @@ unsafe fn validate_rec(
     Ok(())
 }
 
+/// The [`BatchApply`] view handed to a flat-combining hook: each `apply`
+/// runs one more plan inside the serialized section the caller already
+/// holds (see [`BstHandle::run_batch_with`]).
+struct BstBatchApplier<'a> {
+    tree: &'a Bst,
+    th: &'a mut ScxThread,
+    combined: &'a std::cell::Cell<u64>,
+}
+
+impl BatchApply for BstBatchApplier<'_> {
+    fn apply(&mut self, ops: &[BatchOp]) -> Vec<Option<u64>> {
+        self.combined.set(self.combined.get() + ops.len() as u64);
+        self.tree.batch_locked(self.th, ops)
+    }
+}
+
 /// A per-thread handle to a [`Bst`].
 ///
 /// Create one per thread with [`Bst::handle`]; operations take `&mut self`
@@ -774,6 +885,77 @@ impl BstHandle {
             |th| tree.locked_delete(th, key),
         );
         r
+    }
+
+    /// Applies a coalesced plan of operations in submission order,
+    /// returning one reply per operation (the same `Option<u64>` each
+    /// would return individually) and the path the batch committed on.
+    ///
+    /// The whole plan commits in a **single** fast-path transaction or,
+    /// after the attempt budget, one serialized section under the
+    /// fallback lock — `ceil(N / batch_cap)` transactions for N
+    /// operations instead of N. Later operations in the plan observe the
+    /// effects of earlier ones. Requires a tree built with
+    /// [`BstConfig::batched`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree was not built with `batched`, or if an insert
+    /// key exceeds [`MAX_KEY`](crate::MAX_KEY).
+    pub fn run_batch(&mut self, ops: &[BatchOp]) -> (Vec<Option<u64>>, PathKind) {
+        self.run_batch_inner(ops, None::<fn(&mut dyn BatchApply)>)
+    }
+
+    /// Like [`Self::run_batch`], with a flat-combining hook: when the
+    /// batch escalates to the serialized section, `combine` runs while
+    /// this thread still holds the fallback lock, receiving a
+    /// [`BatchApply`] that applies further plans in the same section. A
+    /// server uses this to drain other submitters' queued requests
+    /// before the lock is released. The hook does **not** run when the
+    /// batch commits on the fast path (no lock is held there).
+    pub fn run_batch_with(
+        &mut self,
+        ops: &[BatchOp],
+        combine: impl FnOnce(&mut dyn BatchApply),
+    ) -> (Vec<Option<u64>>, PathKind) {
+        self.run_batch_inner(ops, Some(combine))
+    }
+
+    fn run_batch_inner(
+        &mut self,
+        ops: &[BatchOp],
+        combine: Option<impl FnOnce(&mut dyn BatchApply)>,
+    ) -> (Vec<Option<u64>>, PathKind) {
+        for op in ops {
+            if let BatchOp::Insert(key, _) = op {
+                assert!(*key <= MAX_KEY, "key exceeds MAX_KEY");
+            }
+        }
+        if ops.is_empty() {
+            return (Vec::new(), PathKind::Fast);
+        }
+        let tree = &self.tree;
+        let combined = std::cell::Cell::new(0u64);
+        let mut combine_slot = combine;
+        let (out, path) = tree.exec.run_batch(
+            &mut self.th,
+            &mut self.stats,
+            ops.len() as u64,
+            |th| tree.batch_fast(th, ops),
+            |th| {
+                let out = tree.batch_locked(th, ops);
+                if let Some(c) = combine_slot.take() {
+                    c(&mut BstBatchApplier {
+                        tree,
+                        th,
+                        combined: &combined,
+                    });
+                }
+                out
+            },
+        );
+        self.stats.add_combined_ops(combined.get());
+        (out, path)
     }
 
     /// Looks up `key`.

@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 
 use threepath_bst::{Bst, BstConfig};
-use threepath_core::{PathKind, PathStats, Strategy};
+use threepath_core::{BatchOp, PathKind, PathStats, Strategy};
 use threepath_htm::{HtmConfig, SplitMix64};
 use threepath_reclaim::ReclaimMode;
 
@@ -381,4 +381,185 @@ fn first_last_across_strategies() {
         assert_eq!(h.first(), Some((0, 0)), "{strategy}");
         assert_eq!(h.last(), Some((198, 99)), "{strategy}");
     }
+}
+
+// ----------------------------------------------------------------------
+// Batched plans (`BstHandle::run_batch`): whole-plan commit semantics,
+// submission order, the steady-state transaction bound, and the
+// flat-combining hook.
+// ----------------------------------------------------------------------
+
+fn batched_tree(strategy: Strategy, htm: HtmConfig) -> Arc<Bst> {
+    Arc::new(Bst::with_config(BstConfig {
+        strategy,
+        htm,
+        batched: true,
+        ..BstConfig::default()
+    }))
+}
+
+/// Applies the same plan to a BTreeMap in submission order.
+fn oracle_apply(oracle: &mut BTreeMap<u64, u64>, ops: &[BatchOp]) -> Vec<Option<u64>> {
+    ops.iter()
+        .map(|op| match *op {
+            BatchOp::Insert(k, v) => oracle.insert(k, v),
+            BatchOp::Remove(k) => oracle.remove(&k),
+            BatchOp::Get(k) => oracle.get(&k).copied(),
+        })
+        .collect()
+}
+
+fn random_plan(rng: &mut SplitMix64, len: usize, key_range: u64, tag: u64) -> Vec<BatchOp> {
+    (0..len)
+        .map(|i| {
+            let k = rng.next_below(key_range);
+            match rng.next_below(10) {
+                0..=4 => BatchOp::Insert(k, tag * 1000 + i as u64),
+                5..=7 => BatchOp::Remove(k),
+                _ => BatchOp::Get(k),
+            }
+        })
+        .collect()
+}
+
+fn batch_oracle_run(strategy: Strategy, htm: HtmConfig, seed: u64, batches: usize) {
+    let tree = batched_tree(strategy, htm);
+    let mut h = tree.handle();
+    let mut oracle = BTreeMap::new();
+    let mut rng = SplitMix64::new(seed);
+
+    for b in 0..batches {
+        let len = 1 + rng.next_below(16) as usize;
+        let plan = random_plan(&mut rng, len, 150, b as u64);
+        let (got, _path) = h.run_batch(&plan);
+        let want = oracle_apply(&mut oracle, &plan);
+        assert_eq!(got, want, "batch {b} replies diverge ({strategy})");
+    }
+
+    let shape = tree.validate().expect("tree invariants violated");
+    assert_eq!(shape.keys, oracle.len());
+    let collected = tree.collect();
+    let want: Vec<(u64, u64)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(collected, want);
+}
+
+#[test]
+fn batch_oracle_tle_and_three_path() {
+    batch_oracle_run(Strategy::Tle, HtmConfig::default(), 11, 300);
+    batch_oracle_run(Strategy::ThreePath, HtmConfig::default(), 12, 300);
+}
+
+#[test]
+fn batch_oracle_under_spurious_aborts() {
+    // Heavy spurious aborts push whole plans onto the serialized section;
+    // replies and final state must be indistinguishable.
+    batch_oracle_run(Strategy::Tle, HtmConfig::default().with_spurious(0.7), 21, 200);
+    batch_oracle_run(
+        Strategy::ThreePath,
+        HtmConfig::default().with_spurious(0.7),
+        22,
+        200,
+    );
+}
+
+#[test]
+fn batch_mixes_with_single_ops_and_reads() {
+    let tree = batched_tree(Strategy::ThreePath, HtmConfig::default());
+    let mut h = tree.handle();
+    let mut oracle = BTreeMap::new();
+    let mut rng = SplitMix64::new(77);
+    for i in 0..400u64 {
+        if rng.next_below(3) == 0 {
+            let plan = random_plan(&mut rng, 8, 120, i);
+            let want = oracle_apply(&mut oracle, &plan);
+            assert_eq!(h.run_batch(&plan).0, want, "batch @ {i}");
+        } else {
+            let k = rng.next_below(120);
+            match rng.next_below(3) {
+                0 => assert_eq!(h.insert(k, i), oracle.insert(k, i)),
+                1 => assert_eq!(h.remove(k), oracle.remove(&k)),
+                _ => assert_eq!(h.get(k), oracle.get(&k).copied()),
+            }
+        }
+    }
+    let shape = tree.validate().expect("tree invariants violated");
+    assert_eq!(shape.keys, oracle.len());
+}
+
+/// The steady-state claim behind the batching tentpole: a calm run of K
+/// updates submitted as plans of size B commits in K / B transactions —
+/// visible on the stats batch lane.
+#[test]
+fn calm_batches_commit_one_transaction_each() {
+    for strategy in [Strategy::Tle, Strategy::ThreePath] {
+        let tree = batched_tree(strategy, HtmConfig::reliable());
+        let mut h = tree.handle();
+        let plans: Vec<Vec<BatchOp>> = (0..4u64)
+            .map(|b| (0..8u64).map(|i| BatchOp::Insert(b * 8 + i, i)).collect())
+            .collect();
+        for plan in &plans {
+            let (_, path) = h.run_batch(plan);
+            assert_eq!(path, PathKind::Fast, "{strategy}");
+        }
+        assert_eq!(h.stats().batches(), 4, "{strategy}");
+        assert_eq!(h.stats().batch_ops(), 32, "{strategy}");
+        assert_eq!(h.stats().batch_txns(), 4, "{strategy}");
+        assert_eq!(h.stats().completed(PathKind::Fast), 32, "{strategy}");
+    }
+}
+
+#[test]
+fn combine_hook_runs_only_in_serialized_section() {
+    // Calm tree: the batch commits on the fast path and the hook must not
+    // run (no lock is held to combine under).
+    let tree = batched_tree(Strategy::ThreePath, HtmConfig::reliable());
+    let mut h = tree.handle();
+    let mut ran = false;
+    let plan = vec![BatchOp::Insert(1, 1), BatchOp::Insert(2, 2)];
+    let (_, path) = h.run_batch_with(&plan, |_| ran = true);
+    assert_eq!(path, PathKind::Fast);
+    assert!(!ran, "combine hook must not run on the fast path");
+    assert_eq!(h.stats().combined_ops(), 0);
+
+    // Every transaction aborts: the plan escalates to the serialized
+    // section and the hook combines two more plans under the same lock.
+    let tree = batched_tree(Strategy::Tle, HtmConfig::default().with_spurious(1.0));
+    let mut h = tree.handle();
+    let plan = vec![BatchOp::Insert(10, 1), BatchOp::Insert(11, 1)];
+    let (replies, path) = h.run_batch_with(&plan, |apply| {
+        assert_eq!(
+            apply.apply(&[BatchOp::Insert(12, 1), BatchOp::Get(10)]),
+            vec![None, Some(1)],
+        );
+        assert_eq!(apply.apply(&[BatchOp::Remove(11)]), vec![Some(1)]);
+    });
+    assert_eq!(path, PathKind::Fallback);
+    assert_eq!(replies, vec![None, None]);
+    assert_eq!(h.stats().combined_ops(), 3);
+    let collected = tree.collect();
+    assert_eq!(collected, vec![(10, 1), (12, 1)]);
+}
+
+#[test]
+fn batch_replies_honor_out_of_range_keys() {
+    let tree = batched_tree(Strategy::ThreePath, HtmConfig::default());
+    let mut h = tree.handle();
+    let plan = vec![
+        BatchOp::Insert(5, 50),
+        BatchOp::Remove(u64::MAX),
+        BatchOp::Get(u64::MAX - 1),
+        BatchOp::Get(5),
+    ];
+    let (replies, _) = h.run_batch(&plan);
+    assert_eq!(replies, vec![None, None, None, Some(50)]);
+}
+
+#[test]
+#[should_panic(expected = "batched contexts require")]
+fn batching_rejects_non_adaptive_strategies() {
+    let _ = Bst::with_config(BstConfig {
+        strategy: Strategy::NonHtm,
+        batched: true,
+        ..BstConfig::default()
+    });
 }

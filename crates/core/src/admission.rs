@@ -1,0 +1,259 @@
+//! The HTM admission window cap as a contention-manager client.
+//!
+//! PR 7 gated HTM entry while the serialized path is active behind an
+//! [`AdmissionGate`] with a *fixed* cap — a knob the caller has to guess
+//! (`admission: Option<u32>`). This module replaces the guess with the
+//! same empirical rule the strategy/budget/read loops already use: probe
+//! a small ladder of candidate caps with live traffic, score each by how
+//! many gated encounters complete per transactional attempt (overflows —
+//! encounters bounced straight to the serialized lane — charged a
+//! penalty weight), and keep the cap that measures fastest.
+//!
+//! Only *gated* encounters feed the window — operations that arrive
+//! while the serialized path is idle never consult the gate, so a calm
+//! workload pays nothing for the prober. The decision cadence therefore
+//! tracks contention: the cap re-tunes exactly when admission matters.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use threepath_htm::CachePadded;
+
+use crate::controller::{Controller, ProbeConfig, ProbingController, Window};
+use crate::sync::AdmissionGate;
+
+/// Attempt-equivalent cost charged for a gated encounter that overflowed
+/// the window: the operation ran serialized under the fallback lock
+/// (after a ready-lane wait) instead of transactionally — cheaper than an
+/// abort storm, costlier than an admitted attempt that commits.
+const OVERFLOW_WEIGHT: u64 = 8;
+
+/// Tuning for the probing admission cap
+/// ([`ExecCtx::with_admission_probe`](crate::ExecCtx::with_admission_probe)):
+/// the HTM admission window width, chosen empirically from a ladder of
+/// candidate caps instead of fixed at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionProbeConfig {
+    /// Gated encounters per decision window. Must be at least 2 (a
+    /// one-encounter window carries no comparative signal and
+    /// degenerates the claim guard).
+    pub epoch_ops: u64,
+    /// Candidate caps, each one arm of the probing controller. Must be
+    /// non-empty with every entry positive (a zero-width gate would
+    /// starve HTM entry outright).
+    pub ladder: Vec<u32>,
+    /// Probe/settle cadence for the controller.
+    pub probe: ProbeConfig,
+}
+
+impl Default for AdmissionProbeConfig {
+    fn default() -> Self {
+        AdmissionProbeConfig {
+            epoch_ops: 128,
+            ladder: vec![1, 2, 4, 8],
+            probe: ProbeConfig::default(),
+        }
+    }
+}
+
+impl AdmissionProbeConfig {
+    /// Checks the tuning for degeneracy (the conditions
+    /// [`ExecCtx::with_admission_probe`](crate::ExecCtx::with_admission_probe)
+    /// panics on; config layers surface them as typed errors).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.epoch_ops < 2 {
+            return Err("admission-probe epoch_ops must be at least 2");
+        }
+        if self.epoch_ops > (1 << 30) {
+            return Err("admission-probe epoch_ops must be at most 2^30");
+        }
+        if self.ladder.is_empty() {
+            return Err("admission-probe ladder must name at least one cap");
+        }
+        if self.ladder.contains(&0) {
+            return Err("admission-probe caps must be positive");
+        }
+        self.probe.validate()
+    }
+
+    /// The ladder arm probing starts from: the widest cap, so an
+    /// unsaturated workload begins with the least intrusive gate and the
+    /// prober has to *earn* a narrower window with evidence.
+    pub(crate) fn initial_arm(&self) -> usize {
+        self.ladder
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// The admission cap as a contention-manager client: a probing
+/// controller over [`AdmissionProbeConfig::ladder`], fed only by gated
+/// encounters, writing its chosen cap straight into the
+/// [`AdmissionGate`] the execution paths consult.
+#[derive(Debug)]
+pub(crate) struct AdmissionProbe {
+    cfg: AdmissionProbeConfig,
+    ctl: ProbingController,
+    /// `gated encounters << 32 | weighted attempts`, pushed only by
+    /// gated encounters. Both halves stay far below 2³²: the encounter
+    /// count claims the window at `epoch_ops ≤ 2³⁰`, and each encounter
+    /// contributes a bounded attempt count.
+    win: CachePadded<AtomicU64>,
+    /// Overflows (encounters refused into the serialized lane) in the
+    /// window.
+    win_over: CachePadded<AtomicU64>,
+    /// Single-claimant latch: the claimant swaps the windows, so racing
+    /// claimants discard nothing.
+    deciding: AtomicBool,
+    epochs: AtomicU64,
+}
+
+impl AdmissionProbe {
+    /// # Panics
+    ///
+    /// Panics on tuning [`AdmissionProbeConfig::validate`] rejects.
+    pub(crate) fn new(cfg: AdmissionProbeConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid admission-probe tuning: {e}");
+        }
+        let initial = cfg.initial_arm();
+        let ctl = ProbingController::new(cfg.ladder.len(), initial, cfg.probe);
+        AdmissionProbe {
+            ctl,
+            win: CachePadded::new(AtomicU64::new(0)),
+            win_over: CachePadded::new(AtomicU64::new(0)),
+            deciding: AtomicBool::new(false),
+            epochs: AtomicU64::new(0),
+            cfg,
+        }
+    }
+
+    /// The cap the gate should start from.
+    pub(crate) fn initial_cap(&self) -> u32 {
+        self.cfg.ladder[self.cfg.initial_arm()]
+    }
+
+    /// Decision windows completed.
+    pub(crate) fn epochs(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+
+    /// Feeds one *gated* encounter: `attempts` transactional attempts
+    /// made while holding a window slot (0 for an overflow), and whether
+    /// the encounter overflowed to the serialized lane. On an epoch
+    /// decision the chosen cap is written into `gate`.
+    pub(crate) fn note(&self, gate: &AdmissionGate, attempts: u64, overflowed: bool) {
+        if overflowed {
+            self.win_over.fetch_add(1, Ordering::Relaxed);
+        }
+        let add = (1u64 << 32) | attempts.min(u64::from(u32::MAX));
+        let encounters = (self.win.fetch_add(add, Ordering::Relaxed) + add) >> 32;
+        if encounters < self.cfg.epoch_ops {
+            return;
+        }
+        if self
+            .deciding
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let w = self.win.swap(0, Ordering::Relaxed);
+        let over = self.win_over.swap(0, Ordering::Relaxed);
+        let (encounters, attempts) = (w >> 32, w & u64::from(u32::MAX));
+        // A racing claimant right behind the swap sees a near-empty
+        // window: no signal, no decision.
+        if encounters < self.cfg.epoch_ops / 2 {
+            self.deciding.store(false, Ordering::Release);
+            return;
+        }
+        let window = Window {
+            ops: encounters,
+            // Admitted encounters cost their measured attempts;
+            // overflows are charged the serialized-lane penalty.
+            attempts: encounters + attempts + over * OVERFLOW_WEIGHT,
+            conflicts: over,
+            other: 0,
+            nanos: 0,
+        };
+        let arm = self.ctl.arm();
+        self.ctl.observe(arm, window);
+        gate.set_cap(self.cfg.ladder[self.ctl.arm()]);
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+        self.deciding.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tuning_validates() {
+        assert!(AdmissionProbeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_tunings_are_rejected() {
+        let mut c = AdmissionProbeConfig {
+            epoch_ops: 1,
+            ..AdmissionProbeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.epoch_ops = 1 << 31;
+        assert!(c.validate().is_err());
+        c = AdmissionProbeConfig {
+            ladder: vec![],
+            ..AdmissionProbeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.ladder = vec![4, 0];
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn probing_starts_from_the_widest_cap() {
+        let cfg = AdmissionProbeConfig {
+            ladder: vec![2, 8, 4],
+            ..AdmissionProbeConfig::default()
+        };
+        assert_eq!(cfg.initial_arm(), 1);
+        let probe = AdmissionProbe::new(cfg);
+        assert_eq!(probe.initial_cap(), 8);
+    }
+
+    #[test]
+    fn epochs_advance_and_retune_the_gate() {
+        let cfg = AdmissionProbeConfig {
+            epoch_ops: 4,
+            ladder: vec![1, 4],
+            ..AdmissionProbeConfig::default()
+        };
+        let probe = AdmissionProbe::new(cfg);
+        let gate = AdmissionGate::new(probe.initial_cap());
+        assert_eq!(gate.cap(), 4);
+        // Feed enough gated encounters to cross several decision epochs;
+        // the cap must always track the ladder.
+        for i in 0..256u64 {
+            probe.note(&gate, i % 3, i % 7 == 0);
+        }
+        assert!(probe.epochs() >= 2, "no decisions after 256 encounters");
+        assert!(
+            gate.cap() == 1 || gate.cap() == 4,
+            "cap {} left the ladder",
+            gate.cap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "admission-probe caps must be positive")]
+    fn zero_cap_arm_panics() {
+        let cfg = AdmissionProbeConfig {
+            ladder: vec![0],
+            ..AdmissionProbeConfig::default()
+        };
+        let _ = AdmissionProbe::new(cfg);
+    }
+}

@@ -1,0 +1,81 @@
+//! Batched operation plans.
+//!
+//! A serving front-end coalesces N same-shard requests into one
+//! [`BatchOp`] slice and hands it to the structure's batch entry point,
+//! which commits the whole slice in a single fast-path transaction (or
+//! one serialized critical section) via [`ExecCtx::run_batch`] — paying
+//! the per-transaction toll (txn begin/end, budget/stats RMWs, epoch
+//! pin) once per batch instead of once per operation.
+//!
+//! [`ExecCtx::run_batch`]: crate::ExecCtx::run_batch
+
+/// One operation of a compiled batch plan. Every variant replies with
+/// `Option<u64>`: the previous value for `Insert`, the removed value for
+/// `Remove`, the current value for `Get`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Insert or update a pair.
+    Insert(u64, u64),
+    /// Remove a key.
+    Remove(u64),
+    /// Look up a key.
+    Get(u64),
+}
+
+impl BatchOp {
+    /// The key this operation addresses (what a router shards on).
+    pub fn key(&self) -> u64 {
+        match *self {
+            BatchOp::Insert(k, _) | BatchOp::Remove(k) | BatchOp::Get(k) => k,
+        }
+    }
+
+    /// Whether the operation mutates the structure.
+    pub fn is_update(&self) -> bool {
+        !matches!(self, BatchOp::Get(_))
+    }
+}
+
+impl std::fmt::Display for BatchOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BatchOp::Insert(k, v) => write!(f, "insert({k}, {v})"),
+            BatchOp::Remove(k) => write!(f, "remove({k})"),
+            BatchOp::Get(k) => write!(f, "get({k})"),
+        }
+    }
+}
+
+/// The flat-combining hook's view of a structure: while a thread holds a
+/// shard's fallback lock for a batch, it may apply *further* batches on
+/// behalf of queued submitters before releasing. The structure hands an
+/// implementation of this trait to the combine closure; each
+/// [`apply`](BatchApply::apply) runs one more batch under the same held
+/// lock (one serialized section total, however many batches it drains).
+pub trait BatchApply {
+    /// Applies `ops` in order under the held exclusive section and
+    /// returns the per-operation replies.
+    fn apply(&mut self, ops: &[BatchOp]) -> Vec<Option<u64>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_and_update_flags() {
+        assert_eq!(BatchOp::Insert(3, 9).key(), 3);
+        assert_eq!(BatchOp::Remove(4).key(), 4);
+        assert_eq!(BatchOp::Get(5).key(), 5);
+        assert!(BatchOp::Insert(1, 1).is_update());
+        assert!(BatchOp::Remove(1).is_update());
+        assert!(!BatchOp::Get(1).is_update());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(BatchOp::Insert(1, 2).to_string(), "insert(1, 2)");
+        assert_eq!(BatchOp::Remove(7).to_string(), "remove(7)");
+        assert_eq!(BatchOp::Get(8).to_string(), "get(8)");
+    }
+}

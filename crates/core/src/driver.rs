@@ -10,6 +10,7 @@ use threepath_htm::{codes, Abort, Backoff, HtmRuntime, Txn};
 use threepath_llxscx::{ScxEngine, ScxThread};
 
 use crate::access::TxMem;
+use crate::admission::{AdmissionProbe, AdmissionProbeConfig};
 use crate::budget::{AdaptiveBudgets, BudgetConfig, OpTally};
 use crate::effects::Effects;
 use crate::readpath::{ReadBound, ReadBoundConfig, DEFAULT_READ_ATTEMPTS};
@@ -80,10 +81,15 @@ pub struct ExecCtx {
     rt: Arc<HtmRuntime>,
     strategy: AtomicU8,
     adaptive: bool,
+    /// Batch entry point enabled: every transaction adopts the blended
+    /// subscription discipline (see [`Self::with_batching`]), so a batch's
+    /// serialized section excludes all concurrent transactional work.
+    batched: bool,
     limits_override: Option<PathLimits>,
     budgets: Option<AdaptiveBudgets>,
     read_bound: Option<ReadBound>,
     admission: Option<AdmissionGate>,
+    admission_probe: Option<AdmissionProbe>,
     f: Indicator,
     lock: TleLock,
 }
@@ -95,10 +101,12 @@ impl ExecCtx {
             rt,
             strategy: AtomicU8::new(strategy.code()),
             adaptive: false,
+            batched: false,
             limits_override: None,
             budgets: None,
             read_bound: None,
             admission: None,
+            admission_probe: None,
             f: Indicator::Counter(FallbackCount::new()),
             lock: TleLock::new(),
         }
@@ -193,6 +201,74 @@ impl ExecCtx {
         self.admission.as_ref()
     }
 
+    /// Enables HTM admission control with a *probing* cap: instead of a
+    /// fixed window width, a contention manager probes
+    /// [`AdmissionProbeConfig::ladder`] on live gated traffic and keeps
+    /// the cap that completes the most gated encounters per attempt (see
+    /// [`crate::AdmissionProbeConfig`]). The gate starts at the ladder's
+    /// widest cap. Takes precedence over a fixed
+    /// [`Self::with_admission`] cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate tuning (see
+    /// [`AdmissionProbeConfig::validate`]).
+    pub fn with_admission_probe(mut self, cfg: AdmissionProbeConfig) -> Self {
+        let probe = AdmissionProbe::new(cfg);
+        self.admission = Some(AdmissionGate::new(probe.initial_cap()));
+        self.admission_probe = Some(probe);
+        self
+    }
+
+    /// Decision epochs the admission-cap controller has completed (0
+    /// when no admission probe is configured; diagnostics).
+    pub fn admission_probe_epochs(&self) -> u64 {
+        self.admission_probe.as_ref().map_or(0, |p| p.epochs())
+    }
+
+    /// Enables the batch entry point ([`Self::run_batch`]): coalesced
+    /// operation plans may commit in a single fast-path transaction or
+    /// one serialized critical section. Correctness of the serialized
+    /// section relies on the blended subscription discipline (see the
+    /// type-level docs), so — like [`Self::with_adaptive`] — every
+    /// transaction on a batched context subscribes to both the TLE lock
+    /// and `F`, and the lock holder drains `F` before touching the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current strategy is outside [`ADAPTIVE_STRATEGIES`]
+    /// — the blended discipline (and hence batching) only covers TLE and
+    /// 3-path.
+    pub fn with_batching(mut self) -> Self {
+        assert!(
+            ADAPTIVE_STRATEGIES.contains(&self.strategy()),
+            "batched contexts require the TLE or 3-path strategy"
+        );
+        self.batched = true;
+        self
+    }
+
+    /// Whether this context accepts batched plans.
+    pub fn is_batched(&self) -> bool {
+        self.batched
+    }
+
+    /// Whether the blended subscription discipline is in force: adaptive
+    /// contexts need it for runtime strategy swaps, batched contexts for
+    /// the batch serialized section (all concurrent transactions must
+    /// subscribe to the lock it runs under).
+    fn blended(&self) -> bool {
+        self.adaptive || self.batched
+    }
+
+    /// Feeds one gated encounter to the probing admission cap (no-op
+    /// without an admission probe).
+    fn note_admission(&self, attempts: u64, overflowed: bool) {
+        if let (Some(probe), Some(gate)) = (&self.admission_probe, &self.admission) {
+            probe.note(gate, attempts, overflowed);
+        }
+    }
+
     /// Enables runtime strategy swapping (see the type-level docs for the
     /// blended safety discipline).
     ///
@@ -275,10 +351,12 @@ impl ExecCtx {
 
     /// The fast path's subscription check, executed at the start of every
     /// fast-path transaction: TLE subscribes to the global lock; 2-path
-    /// non-con and 3-path subscribe to `F`. Adaptive contexts subscribe to
-    /// **both**, so the check is correct whichever strategy is current.
+    /// non-con and 3-path subscribe to `F`. Adaptive and batched contexts
+    /// subscribe to **both**, so the check is correct whichever strategy
+    /// is current and no transaction commits over a batch's serialized
+    /// section.
     pub fn subscribe(&self, tx: &mut Txn<'_>) -> Result<(), Abort> {
-        if self.adaptive {
+        if self.blended() {
             if tx.read(self.lock.cell())? != 0 {
                 return Err(tx.abort(codes::LOCK_HELD));
             }
@@ -336,9 +414,10 @@ impl ExecCtx {
     /// One instrumented-template attempt (the 2-path-con fast path and the
     /// 3-path middle path): the whole template operation inside one
     /// transaction using the HTM LLX/SCX. No subscription — this path runs
-    /// concurrently with the fallback — except on adaptive contexts, where
-    /// the transaction subscribes to the TLE lock so it can never commit
-    /// over an exclusive sequential fallback running in TLE mode.
+    /// concurrently with the fallback — except on adaptive or batched
+    /// contexts, where the transaction subscribes to the TLE lock so it
+    /// can never commit over an exclusive sequential section (a TLE-mode
+    /// fallback, or a batch's locked lane).
     pub fn attempt_template<T>(
         &self,
         eng: &ScxEngine,
@@ -350,7 +429,7 @@ impl ExecCtx {
             let mut eff = Effects::new();
             let reclaim = &th.reclaim;
             let res = self.rt.attempt(&mut th.htm, |tx| {
-                if self.adaptive && tx.read(self.lock.cell())? != 0 {
+                if self.blended() && tx.read(self.lock.cell())? != 0 {
                     return Err(tx.abort(codes::LOCK_HELD));
                 }
                 let mut mode = TxMode::new(eng, tx, tseq, &mut eff, reclaim);
@@ -436,6 +515,142 @@ impl ExecCtx {
         )
     }
 
+    /// Runs one coalesced batch of `ops` operations to completion: up to
+    /// the fast budget of `fast` attempts — each a **single** transaction
+    /// whose body applies the whole plan — then one serialized
+    /// `seq_locked` section under the TLE lock. No middle path: a batch
+    /// either commits wholesale in HTM or runs exclusively (the
+    /// instrumented template brings per-operation help/abort machinery
+    /// that defeats the amortization batching exists for).
+    ///
+    /// Requires a context built [`with_batching`](Self::with_batching) on
+    /// TLE or 3-path: the blended subscription discipline is what makes
+    /// the serialized section safe against concurrent single-operation
+    /// traffic on every path. The admission gate (when configured)
+    /// applies exactly as in [`Self::run_op`], except a refused batch
+    /// *enqueues* on the serialized lane via the ready queue instead of
+    /// spinning on HTM.
+    ///
+    /// Stats: the batch lands `ops` completions on the finishing path in
+    /// one call, plus one batch-lane record — so
+    /// [`PathStats::batch_txns`] counts exactly one transaction (or
+    /// section) per executed batch, the basis of the steady-state claim
+    /// that K calm same-shard updates commit in ≤ ceil(K / batch_cap)
+    /// transactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context was not built with batching, or the current
+    /// strategy is outside [`ADAPTIVE_STRATEGIES`].
+    pub fn run_batch<T>(
+        &self,
+        th: &mut ScxThread,
+        stats: &mut PathStats,
+        ops: u64,
+        mut fast: impl FnMut(&mut ScxThread) -> Result<T, Abort>,
+        mut seq_locked: impl FnMut(&mut ScxThread) -> T,
+    ) -> (T, PathKind) {
+        let strategy = self.strategy();
+        assert!(
+            self.batched && ADAPTIVE_STRATEGIES.contains(&strategy),
+            "run_batch requires a with_batching context on TLE or 3-path"
+        );
+        let limits = self.effective_limits(strategy);
+        let rt = &*self.rt;
+        // Admission: when the serialized path is busy and the window is
+        // full, the batch enqueues on the ready lane (which has priority
+        // on the lock) instead of spinning — the "refused entrants
+        // enqueue" integration with the PR 7 gate.
+        let mut in_window = false;
+        if let Some(gate) = &self.admission {
+            let busy = self.lock.is_held(rt)
+                || (strategy == Strategy::ThreePath && self.f.is_active(rt));
+            if busy {
+                if gate.try_enter() {
+                    in_window = true;
+                } else {
+                    stats.record_admission_overflow();
+                    self.note_admission(0, true);
+                    gate.ready_arrive();
+                    let v = self.batch_locked_section(th, stats, ops, &mut seq_locked);
+                    gate.ready_depart();
+                    return (v, PathKind::Fallback);
+                }
+            }
+        }
+        let mut gated_attempts = 0u64;
+        let mut attempts = 0;
+        while attempts < limits.fast {
+            attempts += 1;
+            if in_window {
+                gated_attempts += 1;
+            }
+            if strategy == Strategy::Tle {
+                // TLE semantics: wait out the lock before each attempt.
+                self.wait_while(|| self.lock.is_held(rt));
+            }
+            match fast(th) {
+                Ok(v) => {
+                    if in_window {
+                        self.gate_exit();
+                        self.note_admission(gated_attempts, false);
+                    }
+                    stats.record_commit(PathKind::Fast);
+                    stats.record_completed_n(PathKind::Fast, ops);
+                    stats.record_batch(ops, 1);
+                    return (v, PathKind::Fast);
+                }
+                Err(a) => {
+                    stats.record_abort(PathKind::Fast, &a);
+                    // A capacity abort is deterministic for a fixed plan —
+                    // the footprint does not shrink on retry — so the
+                    // batch escalates to the serialized lane at once
+                    // instead of burning the budget on doomed
+                    // re-executions of the whole plan.
+                    if a.code() == threepath_htm::AbortCode::Capacity {
+                        break;
+                    }
+                    // A subscription abort under 3-path means serialized
+                    // work is active; further attempts are doomed, so the
+                    // batch escalates to the lock queue at once. (TLE
+                    // waits the lock out above instead.)
+                    if strategy == Strategy::ThreePath
+                        && matches!(
+                            a.user_code(),
+                            Some(codes::F_NONZERO) | Some(codes::LOCK_HELD)
+                        )
+                    {
+                        break;
+                    }
+                }
+            }
+        }
+        if in_window {
+            self.gate_exit();
+            self.note_admission(gated_attempts, false);
+        }
+        let v = self.batch_locked_section(th, stats, ops, &mut seq_locked);
+        (v, PathKind::Fallback)
+    }
+
+    /// The batch's serialized lane: one exclusive section under the TLE
+    /// lock (draining `F` first — blended discipline), during which the
+    /// caller's closure may also flat-combine further queued batches.
+    fn batch_locked_section<T>(
+        &self,
+        th: &mut ScxThread,
+        stats: &mut PathStats,
+        ops: u64,
+        seq_locked: &mut impl FnMut(&mut ScxThread) -> T,
+    ) -> T {
+        self.acquire_tle_lock();
+        let v = seq_locked(th);
+        self.lock.release(&self.rt);
+        stats.record_completed_n(PathKind::Fallback, ops);
+        stats.record_batch(ops, 1);
+        v
+    }
+
     /// The per-strategy path protocol for one operation (see
     /// [`Self::run_op`]), tallying effective attempts for the adaptive
     /// budgets.
@@ -473,6 +688,7 @@ impl ExecCtx {
                             in_window = true;
                         } else {
                             stats.record_admission_overflow();
+                            self.note_admission(0, true);
                             gate.ready_arrive();
                             self.acquire_tle_lock();
                             let v = seq_locked(th);
@@ -483,14 +699,19 @@ impl ExecCtx {
                         }
                     }
                 }
+                let mut gated_attempts = 0u64;
                 for _ in 0..limits.fast {
                     // Wait for the lock to be free before each attempt
                     // (otherwise the attempt is wasted work).
                     self.wait_while(|| self.lock.is_held(rt));
+                    if in_window {
+                        gated_attempts += 1;
+                    }
                     match fast(th) {
                         Ok(v) => {
                             if in_window {
                                 self.gate_exit();
+                                self.note_admission(gated_attempts, false);
                             }
                             tally.fast_commit();
                             stats.record_commit(PathKind::Fast);
@@ -500,11 +721,11 @@ impl ExecCtx {
                         Err(a) => {
                             tally.fast_abort(a.code());
                             stats.record_abort(PathKind::Fast, &a);
-                            // Adaptive contexts also subscribe to F; while
+                            // Blended contexts also subscribe to F; while
                             // the lock-free fallback is active, retrying is
                             // wasted work — escalate to the lock (which
                             // waits for F to drain) immediately.
-                            if self.adaptive && a.user_code() == Some(codes::F_NONZERO) {
+                            if self.blended() && a.user_code() == Some(codes::F_NONZERO) {
                                 break;
                             }
                         }
@@ -512,6 +733,7 @@ impl ExecCtx {
                 }
                 if in_window {
                     self.gate_exit();
+                    self.note_admission(gated_attempts, false);
                 }
                 self.acquire_tle_lock();
                 let v = seq_locked(th);
@@ -578,6 +800,7 @@ impl ExecCtx {
                             in_window = true;
                         } else {
                             stats.record_admission_overflow();
+                            self.note_admission(0, true);
                             gate.ready_arrive();
                             self.arrive_on_f(th.id().0);
                             let v = fallback(th);
@@ -590,13 +813,18 @@ impl ExecCtx {
                 }
                 // Fast path: never waits; moves on early when it observes
                 // an operation on the fallback path.
+                let mut gated_attempts = 0u64;
                 let mut attempts = 0;
                 while attempts < limits.fast {
                     attempts += 1;
+                    if in_window {
+                        gated_attempts += 1;
+                    }
                     match fast(th) {
                         Ok(v) => {
                             if in_window {
                                 self.gate_exit();
+                                self.note_admission(gated_attempts, false);
                             }
                             tally.fast_commit();
                             stats.record_commit(PathKind::Fast);
@@ -614,10 +842,14 @@ impl ExecCtx {
                 }
                 // Middle path: concurrent with both other paths.
                 for _ in 0..limits.middle {
+                    if in_window {
+                        gated_attempts += 1;
+                    }
                     match middle(th) {
                         Ok(v) => {
                             if in_window {
                                 self.gate_exit();
+                                self.note_admission(gated_attempts, false);
                             }
                             tally.middle_commit();
                             stats.record_commit(PathKind::Middle);
@@ -634,6 +866,7 @@ impl ExecCtx {
                     // Leave the HTM window before parking on F: a thread
                     // on the fallback no longer attempts HTM.
                     self.gate_exit();
+                    self.note_admission(gated_attempts, false);
                 }
                 self.arrive_on_f(th.id().0);
                 let v = fallback(th);
@@ -650,7 +883,7 @@ impl ExecCtx {
     fn acquire_tle_lock(&self) {
         let rt = &*self.rt;
         self.lock.acquire(rt);
-        if self.adaptive {
+        if self.blended() {
             // Blended discipline: lock-free fallback operations
             // admitted under a 3-path read must drain before the
             // exclusive sequential section may touch the tree.
@@ -668,7 +901,7 @@ impl ExecCtx {
     /// blended discipline (arrive only while the TLE lock is free).
     fn arrive_on_f(&self, tid: u16) {
         let rt = &*self.rt;
-        if self.adaptive {
+        if self.blended() {
             // Blended discipline: arrive on F only while the TLE
             // lock is free. The re-check after arrival closes the
             // race with a concurrent acquisition — exactly one of
@@ -1209,5 +1442,139 @@ mod tests {
         exec.fallback_indicator().depart(&rt, 0);
         let r: Result<(), _> = exec.attempt_seq(&eng, &mut th, |_| Ok(()));
         assert!(r.is_ok());
+    }
+
+    #[test]
+    fn batch_commits_in_one_fast_transaction() {
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let exec = exec.with_batching();
+        assert!(exec.is_batched());
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        let (v, path) = exec.run_batch(&mut th, &mut stats, 8, |_| Ok(99), |_| 0);
+        assert_eq!((v, path), (99, PathKind::Fast));
+        assert_eq!(stats.completed(PathKind::Fast), 8, "whole batch landed");
+        assert_eq!(stats.batches(), 1);
+        assert_eq!(stats.batch_ops(), 8);
+        assert_eq!(stats.batch_txns(), 1, "one transaction for the batch");
+        assert_eq!(stats.commits(PathKind::Fast), 1);
+    }
+
+    #[test]
+    fn batch_escalates_to_one_locked_section() {
+        let (exec, eng) = setup(Strategy::Tle);
+        let exec = exec.with_batching();
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        let rt = exec.runtime().clone();
+        let lock_held_inside = Cell::new(false);
+        let (v, path) = exec.run_batch(
+            &mut th,
+            &mut stats,
+            4,
+            |_| Err(Abort::new(AbortCode::Conflict)),
+            |_| {
+                lock_held_inside.set(exec.tle_lock().is_held(&rt));
+                7
+            },
+        );
+        assert_eq!((v, path), (7, PathKind::Fallback));
+        assert!(lock_held_inside.get(), "serialized lane runs under the lock");
+        assert!(!exec.tle_lock().is_held(&rt));
+        assert_eq!(stats.completed(PathKind::Fallback), 4);
+        assert_eq!(stats.batch_txns(), 1, "one serialized section");
+    }
+
+    #[test]
+    fn batched_threepath_abandons_fast_when_serialized_work_is_active() {
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let exec = exec.with_batching();
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        let fast_calls = Cell::new(0u32);
+        let (_, path) = exec.run_batch(
+            &mut th,
+            &mut stats,
+            2,
+            |_| {
+                fast_calls.set(fast_calls.get() + 1);
+                Err(Abort::explicit(codes::LOCK_HELD))
+            },
+            |_| 0,
+        );
+        assert_eq!(path, PathKind::Fallback);
+        assert_eq!(fast_calls.get(), 1, "no doomed re-attempts after LOCK_HELD");
+    }
+
+    #[test]
+    fn batched_context_forces_blended_subscription() {
+        // Non-adaptive 3-path normally subscribes only to F; batching
+        // must add the lock subscription so a batch's serialized section
+        // excludes every concurrent transaction.
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let exec = exec.with_batching();
+        let mut th = eng.register_thread();
+        let rt = exec.runtime().clone();
+        exec.tle_lock().acquire(&rt);
+        let r: Result<(), _> = exec.attempt_seq(&eng, &mut th, |_| Ok(()));
+        assert_eq!(r.unwrap_err().user_code(), Some(codes::LOCK_HELD));
+        let r: Result<(), _> = exec.attempt_template(&eng, &mut th, |_| Ok(()));
+        assert_eq!(r.unwrap_err().user_code(), Some(codes::LOCK_HELD));
+        exec.tle_lock().release(&rt);
+        let r: Result<(), _> = exec.attempt_seq(&eng, &mut th, |_| Ok(()));
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "with_batching")]
+    fn run_batch_requires_batched_context() {
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        let _ = exec.run_batch(&mut th, &mut stats, 1, |_| Ok(0), |_| 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "TLE or 3-path")]
+    fn batching_rejects_uncovered_strategies() {
+        let (exec, _eng) = setup(Strategy::TwoPathCon);
+        let _ = exec.with_batching();
+    }
+
+    #[test]
+    fn admission_probe_retunes_the_gate_cap() {
+        use crate::admission::AdmissionProbeConfig;
+        let (exec, eng) = setup(Strategy::ThreePath);
+        let exec = exec.with_admission_probe(AdmissionProbeConfig {
+            epoch_ops: 8,
+            ladder: vec![1, 4],
+            ..AdmissionProbeConfig::default()
+        });
+        let gate = exec.admission().expect("probe installs a gate");
+        assert_eq!(gate.cap(), 4, "gate starts at the widest ladder cap");
+        let rt = exec.runtime().clone();
+        let mut th = eng.register_thread();
+        let mut stats = PathStats::new();
+        // Keep F active so every op is gated; the fast path aborts on
+        // its subscription and the op drains to the fallback.
+        exec.fallback_indicator().arrive(&rt, 0);
+        for _ in 0..8 * 24 {
+            exec.run_op(
+                &mut th,
+                &mut stats,
+                |_| Err(Abort::explicit(codes::F_NONZERO)),
+                |_| Err(Abort::new(AbortCode::Conflict)),
+                |_| 1,
+                |_| 0,
+            );
+        }
+        exec.fallback_indicator().depart(&rt, 0);
+        assert!(
+            exec.admission_probe_epochs() >= 2,
+            "gated traffic must turn decision windows (got {})",
+            exec.admission_probe_epochs()
+        );
+        let cap = exec.admission().unwrap().cap();
+        assert!(cap == 1 || cap == 4, "cap {cap} left the ladder");
     }
 }

@@ -36,6 +36,8 @@
 #![warn(missing_docs)]
 
 mod access;
+mod admission;
+mod batch;
 mod budget;
 pub mod controller;
 mod driver;
@@ -48,6 +50,8 @@ mod sync;
 mod template;
 
 pub use access::{DirectMem, Mem, TxMem};
+pub use admission::AdmissionProbeConfig;
+pub use batch::{BatchApply, BatchOp};
 pub use budget::{AdaptiveBudgets, BudgetConfig, OpTally};
 pub use controller::{Controller, ProbeConfig, ProbingController, Window};
 pub use driver::{ExecCtx, StrategySwapError, ADAPTIVE_STRATEGIES};

@@ -122,6 +122,20 @@ pub struct PathStats {
     /// path was busy and the attempt window was full); they completed on
     /// the fallback lane without making any HTM attempt.
     admission_overflows: u64,
+    /// Batches executed through `ExecCtx::run_batch` (each one a plan of
+    /// coalesced same-shard operations).
+    batches: u64,
+    /// Operations carried by those batches (the batch-size numerator:
+    /// `batch_ops / batches` is the mean batch size).
+    batch_ops: u64,
+    /// Transactions (or serialized critical sections) that committed
+    /// batches. A calm batch of K ops under a cap of C commits in
+    /// ≤ ceil(K / C) of these — the steady-state amortization claim.
+    batch_txns: u64,
+    /// Operations this thread applied *on behalf of other submitters*
+    /// while flat-combining: it held a shard's fallback lock for its own
+    /// batch and drained further queued batches before releasing.
+    combined_ops: u64,
 }
 
 impl PathStats {
@@ -143,6 +157,12 @@ impl PathStats {
     /// Records an operation that completed on `path`.
     pub fn record_completed(&mut self, path: PathKind) {
         self.completed[path.index()] += 1;
+    }
+
+    /// Records `n` operations that completed on `path` (a batch commit
+    /// lands all its operations at once).
+    pub fn record_completed_n(&mut self, path: PathKind, n: u64) {
+        self.completed[path.index()] += n;
     }
 
     /// Operations completed on `path`.
@@ -279,6 +299,49 @@ impl PathStats {
         self.admission_overflows
     }
 
+    /// Records one executed batch of `ops` coalesced operations that
+    /// committed in `txns` transactions (or serialized sections).
+    pub fn record_batch(&mut self, ops: u64, txns: u64) {
+        self.batches += 1;
+        self.batch_ops += ops;
+        self.batch_txns += txns;
+    }
+
+    /// Records `n` operations applied on behalf of other submitters
+    /// while flat-combining under a held fallback lock.
+    pub fn add_combined_ops(&mut self, n: u64) {
+        self.combined_ops += n;
+    }
+
+    /// Batches executed through the batch entry point.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Operations carried by executed batches.
+    pub fn batch_ops(&self) -> u64 {
+        self.batch_ops
+    }
+
+    /// Transactions (or serialized sections) that committed batches.
+    pub fn batch_txns(&self) -> u64 {
+        self.batch_txns
+    }
+
+    /// Operations applied for other submitters while flat-combining.
+    pub fn combined_ops(&self) -> u64 {
+        self.combined_ops
+    }
+
+    /// Mean operations per executed batch (0 when no batches ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_ops as f64 / self.batches as f64
+        }
+    }
+
     /// Accumulates another thread's statistics into this one.
     pub fn merge(&mut self, other: &PathStats) {
         for i in 0..4 {
@@ -292,6 +355,10 @@ impl PathStats {
         self.scan_escalations += other.scan_escalations;
         self.scan_leaves_validated += other.scan_leaves_validated;
         self.admission_overflows += other.admission_overflows;
+        self.batches += other.batches;
+        self.batch_ops += other.batch_ops;
+        self.batch_txns += other.batch_txns;
+        self.combined_ops += other.combined_ops;
     }
 }
 
@@ -325,6 +392,11 @@ impl fmt::Display for PathStats {
             f,
             "scan-lane retries {} escalations {} leaves-validated {}",
             self.scan_retries, self.scan_escalations, self.scan_leaves_validated
+        )?;
+        writeln!(
+            f,
+            "batch-lane batches {} ops {} txns {} combined-ops {}",
+            self.batches, self.batch_ops, self.batch_txns, self.combined_ops
         )?;
         Ok(())
     }
@@ -422,6 +494,31 @@ mod tests {
         assert_eq!(t.scan_escalations(), 2);
         assert_eq!(t.scan_leaves_validated(), 34);
         assert!(s.to_string().contains("scan-lane retries 2"));
+    }
+
+    #[test]
+    fn batch_lane_counts_and_merges() {
+        let mut s = PathStats::new();
+        s.record_batch(8, 1);
+        s.record_batch(4, 2);
+        s.record_completed_n(PathKind::Fast, 8);
+        s.record_completed_n(PathKind::Fallback, 4);
+        s.add_combined_ops(5);
+        assert_eq!(s.batches(), 2);
+        assert_eq!(s.batch_ops(), 12);
+        assert_eq!(s.batch_txns(), 3);
+        assert_eq!(s.combined_ops(), 5);
+        assert!((s.mean_batch_size() - 6.0).abs() < 1e-12);
+        assert_eq!(s.total_completed(), 12);
+        let mut t = PathStats::new();
+        t.merge(&s);
+        t.merge(&s);
+        assert_eq!(t.batches(), 4);
+        assert_eq!(t.batch_ops(), 24);
+        assert_eq!(t.batch_txns(), 6);
+        assert_eq!(t.combined_ops(), 10);
+        assert!(s.to_string().contains("batch-lane batches 2"));
+        assert_eq!(PathStats::new().mean_batch_size(), 0.0);
     }
 
     #[test]

@@ -92,11 +92,91 @@ impl ReadSet {
     }
 }
 
+/// Growable open-addressed index over a backing `Vec` of entries, with
+/// the same `(stamp, entry_index + 1)` slot encoding and O(1) stamped
+/// reset as [`ReadSet`]'s table. Starts tiny and doubles as the backing
+/// vector grows, so idle transactions cost nothing while a coalesced
+/// batch plan's hundreds of buffered writes still probe in O(1) — the
+/// linear-scan write set this replaces made every read-own-writes lookup
+/// O(buffered writes), turning large batch bodies quadratic.
+struct StampedIndex {
+    table: Box<[(u32, u32)]>,
+    mask: usize,
+    stamp: u32,
+}
+
+#[inline]
+fn fib_hash(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl StampedIndex {
+    fn new(slots: usize) -> Self {
+        let slots = slots.next_power_of_two();
+        StampedIndex {
+            table: vec![(0, 0); slots].into_boxed_slice(),
+            mask: slots - 1,
+            stamp: 1,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.table.fill((0, 0));
+            self.stamp = 1;
+        }
+    }
+
+    /// Probes for the entry whose key matches (per `key_eq`, given an
+    /// entry index into the backing vector). `Ok(entry_index)` when
+    /// found, `Err(slot)` at the first empty slot otherwise — pass that
+    /// slot to [`Self::set`] to insert.
+    #[inline]
+    fn probe(&self, hash: u64, mut key_eq: impl FnMut(usize) -> bool) -> Result<usize, usize> {
+        // Fibonacci hashing: take the mixed top bits for the home slot.
+        let mut slot = (hash >> 32) as usize & self.mask;
+        loop {
+            let (stamp, idx1) = self.table[slot];
+            if stamp != self.stamp || idx1 == 0 {
+                return Err(slot);
+            }
+            let i = idx1 as usize - 1;
+            if key_eq(i) {
+                return Ok(i);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, slot: usize, idx1: usize) {
+        self.table[slot] = (self.stamp, idx1 as u32);
+    }
+
+    /// Doubles and re-indexes once the backing vector fills half the
+    /// table (keeps probe chains short).
+    fn maybe_grow(&mut self, len: usize, mut hash_of: impl FnMut(usize) -> u64) {
+        if len * 2 < self.table.len() {
+            return;
+        }
+        *self = StampedIndex::new(self.table.len() * 2);
+        for i in 0..len {
+            let slot = self.probe(hash_of(i), |_| false).unwrap_err();
+            self.set(slot, i + 1);
+        }
+    }
+}
+
 /// Buffered (lazy-versioning) write set: latest value per cell address plus
-/// the set of distinct lines touched.
+/// the set of distinct lines touched. Both lookups are O(1) via
+/// [`StampedIndex`] — batch plans buffer hundreds of writes and re-read
+/// them, so linear scans here dominate whole-transaction cost.
 pub(crate) struct WriteSet {
     entries: Vec<(usize, u64)>,
+    addr_index: StampedIndex,
     lines: Vec<u32>,
+    line_index: StampedIndex,
     capacity_lines: usize,
 }
 
@@ -104,14 +184,18 @@ impl WriteSet {
     pub(crate) fn with_capacity(capacity_lines: usize) -> Self {
         WriteSet {
             entries: Vec::with_capacity(64),
+            addr_index: StampedIndex::new(128),
             lines: Vec::with_capacity(capacity_lines.min(1 << 12)),
+            line_index: StampedIndex::new(64),
             capacity_lines,
         }
     }
 
     pub(crate) fn clear(&mut self) {
         self.entries.clear();
+        self.addr_index.clear();
         self.lines.clear();
+        self.line_index.clear();
     }
 
     pub(crate) fn is_empty(&self) -> bool {
@@ -121,29 +205,46 @@ impl WriteSet {
     /// Records a buffered write. Returns `false` on capacity overflow.
     pub(crate) fn insert(&mut self, addr: usize, line: u32, val: u64) -> bool {
         // Latest-value-wins for repeated writes to one cell.
-        for e in self.entries.iter_mut().rev() {
-            if e.0 == addr {
-                e.1 = val;
+        let entries = &mut self.entries;
+        match self
+            .addr_index
+            .probe(fib_hash(addr as u64), |i| entries[i].0 == addr)
+        {
+            Ok(i) => {
+                entries[i].1 = val;
                 return true;
             }
-        }
-        if !self.lines.contains(&line) {
-            if self.lines.len() >= self.capacity_lines {
-                return false;
+            Err(slot) => {
+                let lines = &mut self.lines;
+                if let Err(lslot) = self
+                    .line_index
+                    .probe(fib_hash(line as u64), |i| lines[i] == line)
+                {
+                    if lines.len() >= self.capacity_lines {
+                        return false;
+                    }
+                    lines.push(line);
+                    self.line_index.set(lslot, lines.len());
+                    let lines = &self.lines;
+                    self.line_index
+                        .maybe_grow(lines.len(), |i| fib_hash(lines[i] as u64));
+                }
+                entries.push((addr, val));
+                self.addr_index.set(slot, entries.len());
+                let entries = &self.entries;
+                self.addr_index
+                    .maybe_grow(entries.len(), |i| fib_hash(entries[i].0 as u64));
             }
-            self.lines.push(line);
         }
-        self.entries.push((addr, val));
         true
     }
 
     /// Read-own-writes lookup.
     pub(crate) fn get(&self, addr: usize) -> Option<u64> {
-        self.entries
-            .iter()
-            .rev()
-            .find(|e| e.0 == addr)
-            .map(|e| e.1)
+        self.addr_index
+            .probe(fib_hash(addr as u64), |i| self.entries[i].0 == addr)
+            .ok()
+            .map(|i| self.entries[i].1)
     }
 
     pub(crate) fn entries(&self) -> &[(usize, u64)] {
@@ -234,6 +335,24 @@ mod tests {
         assert!(ws.insert(0x20, 2, 0));
         assert!(!ws.insert(0x30, 3, 0)); // third line: overflow
         assert!(ws.insert(0x18, 1, 0)); // existing line: fine
+    }
+
+    #[test]
+    fn write_set_survives_index_growth() {
+        let mut ws = WriteSet::with_capacity(1 << 12);
+        // Push well past the initial 128-slot addr index so both indexes
+        // rehash, then verify every buffered value still resolves.
+        for i in 0..1000usize {
+            assert!(ws.insert(i * 8, (i / 8) as u32, i as u64));
+        }
+        for i in 0..1000usize {
+            assert_eq!(ws.get(i * 8), Some(i as u64));
+        }
+        assert_eq!(ws.entries().len(), 1000);
+        ws.clear();
+        assert_eq!(ws.get(0), None);
+        assert!(ws.insert(0, 0, 7));
+        assert_eq!(ws.get(0), Some(7));
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Serving front-end for the sharded three-path trees.
+//!
+//! The tree layers expose a *direct* execution model: every client thread
+//! runs its own operations, each in its own transaction. Under same-shard
+//! contention that model pays one fast-path transaction (or one critical
+//! section) **per operation**. This crate adds the classic serving
+//! alternative on top of [`threepath_sharded::ShardedMap`]:
+//!
+//! * **Per-shard submission queues** — a client's batch is compiled into
+//!   one *group* per shard; each group queues and executes as an atomic
+//!   unit (never split across plans), and replies come back through
+//!   per-request completion slots (closed loop: a client blocks until
+//!   its own requests are done).
+//! * **Batch coalescing** — whichever client claims a shard's combiner
+//!   role drains up to [`ServerConfig::batch_cap`] queued operations into
+//!   one [`BatchOp`](threepath_core::BatchOp) plan and commits the
+//!   *whole plan* in a single
+//!   fast-path transaction via the trees' batch entry point
+//!   (`run_batch`): `K` queued updates cost `ceil(K / batch_cap)`
+//!   transactions instead of `K`.
+//! * **Flat combining on the fallback lock** — when a plan escalates to
+//!   the serialized section, the combiner keeps draining the queue for
+//!   up to [`ServerConfig::combine_rounds`] more plans *while still
+//!   holding the shard's fallback lock* (the trees' `run_batch_with`
+//!   hook), so blocked submitters' work rides the lock acquisition that
+//!   already happened — the flat-combining discipline of Hendler et al.
+//!   applied to the three-path fallback.
+//! * **Pipelined range queries** — a cross-shard range query splits into
+//!   per-shard sub-scans along the router's plan, travels through the
+//!   same queues, and the runs are concatenated (order-preserving
+//!   router) or sort-merged ([`threepath_sharded::merge_sorted_runs`]).
+//!
+//! The trade-off is latency for throughput: a queued operation waits for
+//! its combiner, so an uncontended single operation is strictly slower
+//! than the direct path. The batching benchmarks
+//! (`crates/bench/benches/micro.rs`) measure both sides; the server is
+//! the right front whenever same-shard update pressure is high enough
+//! that transactions, not queue hops, are the bottleneck.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use threepath_core::BatchOp;
+//! use threepath_server::{KvServer, ServerConfig};
+//! use threepath_sharded::{ShardedConfig, ShardedMap};
+//!
+//! let map = Arc::new(ShardedMap::with_config(ShardedConfig {
+//!     shards: 2,
+//!     key_space: 100,
+//!     batched: true, // the server requires the batch entry point
+//!     ..ShardedConfig::default()
+//! }).expect("valid config"));
+//! let srv = Arc::new(KvServer::new(map, ServerConfig::default()).expect("batched map"));
+//! let mut c = srv.client();
+//! c.insert(10, 1);
+//! c.insert(60, 2);
+//! // A shard-straddling batch: partitioned, queued, coalesced per shard.
+//! let replies = c.submit(vec![BatchOp::Get(10), BatchOp::Remove(60)]);
+//! assert_eq!(replies, vec![Some(1), Some(2)]);
+//! assert_eq!(c.range_query(0, 100), vec![(10, 1)]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod queue;
+mod server;
+
+pub use server::{KvServer, ServerClient, ServerConfig, ServerError};

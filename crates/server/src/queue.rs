@@ -1,0 +1,238 @@
+//! Per-shard submission queues and per-request completion slots.
+//!
+//! A queue element is one submission's whole same-shard sub-plan (a
+//! *group*), never a single operation: the combiner coalesces **whole
+//! groups** into a batch plan, so a group is always applied inside one
+//! plan — one transaction or one serialized section. That gives every
+//! submission per-shard atomicity regardless of how groups from
+//! different clients interleave in the queue.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+use threepath_core::BatchOp;
+
+/// One queued request: a same-shard group of point operations destined
+/// for a coalesced batch plan, or a per-shard sub-scan of a range query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Request {
+    /// Insert/remove/get group, applied atomically within one plan.
+    Ops(Vec<BatchOp>),
+    /// Sub-scan over `[lo, hi)`, clipped to the owning shard.
+    Range(u64, u64),
+}
+
+const PENDING: u8 = 0;
+const DONE: u8 = 1;
+
+/// A submitted request plus its reply slot. The combiner publishes with a
+/// release store to `state`; the submitter's acquire load then makes the
+/// reply vectors visible — each slot is written exactly once, after which
+/// only the submitter touches it.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    pub(crate) req: Request,
+    state: AtomicU8,
+    replies: Mutex<Vec<Option<u64>>>,
+    range_out: Mutex<Vec<(u64, u64)>>,
+}
+
+impl Pending {
+    pub(crate) fn new(req: Request) -> Arc<Self> {
+        Arc::new(Pending {
+            req,
+            state: AtomicU8::new(PENDING),
+            replies: Mutex::new(Vec::new()),
+            range_out: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Operations in this request's plan (0 for a sub-scan).
+    pub(crate) fn op_count(&self) -> usize {
+        match &self.req {
+            Request::Ops(ops) => ops.len(),
+            Request::Range(..) => 0,
+        }
+    }
+
+    /// Whether the reply has been published.
+    pub(crate) fn is_done(&self) -> bool {
+        self.state.load(Ordering::Acquire) != PENDING
+    }
+
+    /// Publishes a group's replies (one per operation, in group order).
+    pub(crate) fn publish(&self, replies: Vec<Option<u64>>) {
+        debug_assert!(!self.is_done(), "reply published twice");
+        debug_assert_eq!(replies.len(), self.op_count());
+        *self.replies.lock().unwrap() = replies;
+        self.state.store(DONE, Ordering::Release);
+    }
+
+    /// Publishes a sub-scan reply.
+    pub(crate) fn publish_range(&self, out: Vec<(u64, u64)>) {
+        debug_assert!(!self.is_done(), "reply published twice");
+        *self.range_out.lock().unwrap() = out;
+        self.state.store(DONE, Ordering::Release);
+    }
+
+    /// The group's replies (call only after [`Self::is_done`]).
+    pub(crate) fn take_replies(&self) -> Vec<Option<u64>> {
+        debug_assert!(self.is_done(), "reply taken before publication");
+        std::mem::take(&mut self.replies.lock().unwrap())
+    }
+
+    /// The sub-scan reply (call only after [`Self::is_done`]).
+    pub(crate) fn take_range_reply(&self) -> Vec<(u64, u64)> {
+        debug_assert!(self.is_done(), "reply taken before publication");
+        std::mem::take(&mut self.range_out.lock().unwrap())
+    }
+}
+
+/// One shard's submission queue plus its combiner claim flag. The mutex
+/// guards only push/pop (never held across tree operations); `combiner`
+/// elects the one thread currently allowed to drain and execute, so
+/// plans commit in queue order.
+#[derive(Debug, Default)]
+pub(crate) struct ShardQueue {
+    q: Mutex<VecDeque<Arc<Pending>>>,
+    combiner: AtomicBool,
+}
+
+impl ShardQueue {
+    /// Enqueues a request at the tail.
+    pub(crate) fn push(&self, p: Arc<Pending>) {
+        self.q.lock().unwrap().push_back(p);
+    }
+
+    /// Pops the next run of whole operation groups — at least one, then
+    /// more while the combined plan stays within `cap` operations (a
+    /// single group larger than `cap` still rides alone; groups are
+    /// never split). When a sub-scan heads the queue, returns that
+    /// sub-scan by itself. `None` when the queue is empty.
+    pub(crate) fn pop_run(&self, cap: usize) -> Option<Vec<Arc<Pending>>> {
+        let mut q = self.q.lock().unwrap();
+        let head = q.front()?;
+        if matches!(head.req, Request::Range(..)) {
+            return Some(vec![q.pop_front().unwrap()]);
+        }
+        Some(Self::drain_ops(&mut q, cap))
+    }
+
+    /// Pops the next run of operation groups only — the flat-combining
+    /// drain, which cannot execute sub-scans because it runs inside a
+    /// batch's serialized section. `None` when the queue is empty or a
+    /// sub-scan heads it.
+    pub(crate) fn pop_op_run(&self, cap: usize) -> Option<Vec<Arc<Pending>>> {
+        let mut q = self.q.lock().unwrap();
+        match q.front() {
+            Some(p) if matches!(p.req, Request::Ops(_)) => Some(Self::drain_ops(&mut q, cap)),
+            _ => None,
+        }
+    }
+
+    fn drain_ops(q: &mut VecDeque<Arc<Pending>>, cap: usize) -> Vec<Arc<Pending>> {
+        let mut run = Vec::new();
+        let mut ops = 0usize;
+        while let Some(p) = q.front() {
+            let n = match &p.req {
+                Request::Ops(o) => o.len(),
+                Request::Range(..) => break,
+            };
+            // The first group always rides; later ones only while the
+            // plan stays within the cap.
+            if !run.is_empty() && ops + n > cap {
+                break;
+            }
+            ops += n;
+            run.push(q.pop_front().unwrap());
+            if ops >= cap {
+                break;
+            }
+        }
+        run
+    }
+
+    /// Tries to become this shard's combiner.
+    pub(crate) fn try_claim(&self) -> bool {
+        !self.combiner.load(Ordering::Relaxed)
+            && self
+                .combiner
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// Releases the combiner role.
+    pub(crate) fn release(&self) {
+        self.combiner.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops_group(keys: &[u64]) -> Arc<Pending> {
+        Pending::new(Request::Ops(keys.iter().map(|&k| BatchOp::Get(k)).collect()))
+    }
+
+    #[test]
+    fn replies_publish_once_and_read_back() {
+        let p = ops_group(&[1, 2]);
+        assert!(!p.is_done());
+        p.publish(vec![Some(7), None]);
+        assert!(p.is_done());
+        assert_eq!(p.take_replies(), vec![Some(7), None]);
+
+        let p = Pending::new(Request::Range(0, 10));
+        p.publish_range(vec![(1, 2)]);
+        assert!(p.is_done());
+        assert_eq!(p.take_range_reply(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn groups_are_never_split() {
+        let q = ShardQueue::default();
+        q.push(ops_group(&[1, 2, 3]));
+        q.push(ops_group(&[4, 5, 6]));
+        // Cap 4: the second group does not fit, so it must wait whole.
+        let run = q.pop_run(4).unwrap();
+        assert_eq!(run.len(), 1);
+        assert_eq!(run[0].op_count(), 3);
+        let run = q.pop_run(4).unwrap();
+        assert_eq!(run.len(), 1);
+        // An oversized group still rides alone rather than splitting.
+        q.push(ops_group(&[1, 2, 3, 4, 5, 6, 7]));
+        let run = q.pop_run(4).unwrap();
+        assert_eq!(run[0].op_count(), 7);
+    }
+
+    #[test]
+    fn runs_coalesce_groups_and_isolate_scans() {
+        let q = ShardQueue::default();
+        q.push(ops_group(&[1]));
+        q.push(ops_group(&[2, 3]));
+        q.push(Pending::new(Request::Range(0, 10)));
+        q.push(ops_group(&[4]));
+
+        let run = q.pop_run(8).unwrap();
+        assert_eq!(run.len(), 2, "groups coalesce up to the scan");
+        let run = q.pop_run(8).unwrap();
+        assert!(matches!(run[0].req, Request::Range(0, 10)));
+        // The op-only drain refuses to pop a heading scan.
+        q.push(Pending::new(Request::Range(5, 6)));
+        assert_eq!(q.pop_op_run(8).unwrap().len(), 1);
+        assert!(q.pop_op_run(8).is_none());
+        assert!(q.pop_run(8).is_some());
+        assert!(q.pop_run(8).is_none());
+    }
+
+    #[test]
+    fn combiner_claim_is_exclusive() {
+        let q = ShardQueue::default();
+        assert!(q.try_claim());
+        assert!(!q.try_claim());
+        q.release();
+        assert!(q.try_claim());
+    }
+}

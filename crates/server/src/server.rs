@@ -1,0 +1,312 @@
+//! The server: configuration, the shared queue set, and per-client
+//! submission handles.
+
+use std::fmt;
+use std::sync::Arc;
+
+use threepath_core::{BatchOp, PathStats};
+use threepath_sharded::{merge_sorted_runs, ShardedHandle, ShardedMap};
+
+use crate::queue::{Pending, Request, ShardQueue};
+
+/// Tuning for a [`KvServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum operations coalesced into one batch plan (one fast-path
+    /// transaction / one serialized section). Default 8.
+    pub batch_cap: usize,
+    /// Maximum *additional* plans the combiner drains while holding a
+    /// shard's fallback lock after a plan escalates (the flat-combining
+    /// rounds). Zero disables combining; default 4.
+    pub combine_rounds: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            batch_cap: 8,
+            combine_rounds: 4,
+        }
+    }
+}
+
+/// Error constructing a [`KvServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerError {
+    /// The map was not built with [`threepath_sharded::ShardedConfig::batched`],
+    /// so it has no batch entry point to coalesce into.
+    NotBatched,
+    /// `batch_cap == 0`: no plan could ever hold an operation.
+    ZeroBatchCap,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::NotBatched => {
+                f.write_str("the server requires a map built with `batched: true`")
+            }
+            ServerError::ZeroBatchCap => f.write_str("batch_cap must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// The serving front-end over a batched [`ShardedMap`]: one submission
+/// queue per shard, shared by every [`ServerClient`]. See the crate docs
+/// for the execution model.
+pub struct KvServer {
+    map: Arc<ShardedMap>,
+    queues: Vec<ShardQueue>,
+    cfg: ServerConfig,
+}
+
+impl KvServer {
+    /// A server over `map`. Fails unless the map was built with
+    /// [`threepath_sharded::ShardedConfig::batched`] and the tuning is
+    /// sane.
+    pub fn new(map: Arc<ShardedMap>, cfg: ServerConfig) -> Result<Self, ServerError> {
+        if cfg.batch_cap == 0 {
+            return Err(ServerError::ZeroBatchCap);
+        }
+        if !map.is_batched() {
+            return Err(ServerError::NotBatched);
+        }
+        let queues = (0..map.shard_count()).map(|_| ShardQueue::default()).collect();
+        Ok(KvServer { map, queues, cfg })
+    }
+
+    /// The underlying map.
+    pub fn map(&self) -> &Arc<ShardedMap> {
+        &self.map
+    }
+
+    /// The tuning in effect.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Registers the calling thread and returns a submission handle.
+    pub fn client(self: &Arc<Self>) -> ServerClient {
+        ServerClient {
+            h: self.map.handle(),
+            srv: Arc::clone(self),
+        }
+    }
+}
+
+impl fmt::Debug for KvServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KvServer")
+            .field("shards", &self.map.shard_count())
+            .field("batch_cap", &self.cfg.batch_cap)
+            .field("combine_rounds", &self.cfg.combine_rounds)
+            .finish()
+    }
+}
+
+/// A per-thread client of a [`KvServer`]: submits requests into the
+/// shared queues and participates in combining while waiting for its own
+/// replies (closed loop — every client is also a potential combiner, so
+/// the server needs no dedicated executor threads).
+pub struct ServerClient {
+    srv: Arc<KvServer>,
+    h: ShardedHandle,
+}
+
+impl ServerClient {
+    /// The server this client submits to.
+    pub fn server(&self) -> &Arc<KvServer> {
+        &self.srv
+    }
+
+    /// Submits a batch of operations (may straddle shards), blocking
+    /// until every reply is published. Replies come back in submission
+    /// order, each the same `Option<u64>` the direct operation would
+    /// return. The batch is compiled into one *group* per shard; a group
+    /// is enqueued and applied atomically — all of its operations land in
+    /// a single plan (one transaction or one serialized section), in
+    /// submission order. Groups on different shards may interleave with
+    /// other clients' work (each key lives in exactly one shard, so
+    /// per-key semantics are unaffected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an insert key exceeds the trees' maximum key.
+    pub fn submit(&mut self, ops: Vec<BatchOp>) -> Vec<Option<u64>> {
+        let n = ops.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Compile the batch: one group per shard, remembering each op's
+        // position so replies reassemble in submission order.
+        let mut groups: Vec<(usize, Vec<usize>, Vec<BatchOp>)> = Vec::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            let shard = self.srv.map.shard_of(op.key());
+            match groups.iter_mut().find(|(s, _, _)| *s == shard) {
+                Some((_, at, plan)) => {
+                    at.push(i);
+                    plan.push(op);
+                }
+                None => groups.push((shard, vec![i], vec![op])),
+            }
+        }
+        let mut pends = Vec::with_capacity(groups.len());
+        let mut positions = Vec::with_capacity(groups.len());
+        for (shard, at, plan) in groups {
+            let p = Pending::new(Request::Ops(plan));
+            self.srv.queues[shard].push(Arc::clone(&p));
+            pends.push((shard, p));
+            positions.push(at);
+        }
+        self.drive(&pends);
+        let mut out = vec![None; n];
+        for (at, (_, p)) in positions.iter().zip(&pends) {
+            for (&i, r) in at.iter().zip(p.take_replies()) {
+                out[i] = r;
+            }
+        }
+        out
+    }
+
+    /// Inserts or updates `key` through the submission queue, returning
+    /// the previous value.
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        self.submit(vec![BatchOp::Insert(key, value)]).pop().unwrap()
+    }
+
+    /// Removes `key` through the submission queue, returning its value.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        self.submit(vec![BatchOp::Remove(key)]).pop().unwrap()
+    }
+
+    /// Looks up `key` through the submission queue.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        self.submit(vec![BatchOp::Get(key)]).pop().unwrap()
+    }
+
+    /// Range query over `[lo, hi)`: the router's plan splits it into
+    /// per-shard sub-scans that travel through the same submission
+    /// queues as updates; the runs concatenate (order-preserving router)
+    /// or sort-merge into one ascending sequence. Like the direct
+    /// [`ShardedHandle::range_query`], a query spanning multiple shards
+    /// is not a single atomic snapshot of the whole map.
+    pub fn range_query(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let plan = self.srv.map.router().shards_for_range(lo, hi);
+        let pends: Vec<(usize, Arc<Pending>)> = plan
+            .iter()
+            .map(|&(shard, _, _)| {
+                let p = Pending::new(Request::Range(lo, hi));
+                self.srv.queues[shard].push(Arc::clone(&p));
+                (shard, p)
+            })
+            .collect();
+        self.drive(&pends);
+        let runs: Vec<Vec<(u64, u64)>> = pends
+            .iter()
+            .map(|(_, p)| p.take_range_reply())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if self.srv.map.router().preserves_order() {
+            runs.into_iter().flatten().collect()
+        } else {
+            merge_sorted_runs(runs)
+        }
+    }
+
+    /// Merged path statistics across every shard this client has combined
+    /// on (includes work it executed for other clients).
+    pub fn stats(&self) -> PathStats {
+        self.h.stats()
+    }
+
+    /// Closed-loop completion: until every own request is answered, try
+    /// to claim the combiner role on each still-pending shard and drain
+    /// its queue; otherwise yield (another client is combining and will
+    /// answer for us).
+    fn drive(&mut self, pends: &[(usize, Arc<Pending>)]) {
+        loop {
+            let mut progressed = false;
+            let mut all_done = true;
+            for i in 0..pends.len() {
+                let (shard, p) = &pends[i];
+                if p.is_done() {
+                    continue;
+                }
+                all_done = false;
+                // One claim per shard per pass: skip if an earlier
+                // pending already covered this shard.
+                if pends[..i].iter().any(|(s, q)| s == shard && !q.is_done()) {
+                    continue;
+                }
+                if self.srv.queues[*shard].try_claim() {
+                    self.combine(*shard);
+                    self.srv.queues[*shard].release();
+                    progressed = true;
+                }
+            }
+            if all_done {
+                return;
+            }
+            if !progressed {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Drains `shard`'s queue as its combiner: each run of queued point
+    /// operations becomes one coalesced plan committed through the batch
+    /// entry point (with the flat-combining hook draining further runs
+    /// if the plan escalates to the serialized section); a queued
+    /// sub-scan runs on the shard's optimistic scan path.
+    fn combine(&mut self, shard: usize) {
+        let srv = &self.srv;
+        let h = &mut self.h;
+        while let Some(run) = srv.queues[shard].pop_run(srv.cfg.batch_cap) {
+            if let [p] = run.as_slice() {
+                if let Request::Range(lo, hi) = &p.req {
+                    p.publish_range(h.shard_range_query(shard, *lo, *hi));
+                    continue;
+                }
+            }
+            let plan = plan_of(&run);
+            let (replies, _path) = h.shard_batch_with(shard, &plan, |apply| {
+                for _ in 0..srv.cfg.combine_rounds {
+                    let Some(more) = srv.queues[shard].pop_op_run(srv.cfg.batch_cap) else {
+                        break;
+                    };
+                    publish_replies(&more, apply.apply(&plan_of(&more)));
+                }
+            });
+            publish_replies(&run, replies);
+        }
+    }
+}
+
+impl fmt::Debug for ServerClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerClient").field("srv", &self.srv).finish()
+    }
+}
+
+/// The coalesced [`BatchOp`] plan of a run of queued operation groups.
+fn plan_of(run: &[Arc<Pending>]) -> Vec<BatchOp> {
+    run.iter()
+        .flat_map(|p| match &p.req {
+            Request::Ops(ops) => ops.iter().copied(),
+            Request::Range(..) => unreachable!("sub-scans never join a batch plan"),
+        })
+        .collect()
+}
+
+/// Splits a coalesced plan's replies back into per-group slices and
+/// publishes each.
+fn publish_replies(run: &[Arc<Pending>], replies: Vec<Option<u64>>) {
+    let mut it = replies.into_iter();
+    for p in run {
+        let n = p.op_count();
+        p.publish(it.by_ref().take(n).collect());
+    }
+    debug_assert!(it.next().is_none(), "reply count mismatch");
+}

@@ -58,6 +58,6 @@ mod router;
 mod tree;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveController, ControllerFactory};
-pub use map::{ShardedConfig, ShardedHandle, ShardedMap};
+pub use map::{merge_sorted_runs, ShardedConfig, ShardedHandle, ShardedMap};
 pub use router::{ConfigError, HashRouter, RangeRouter, Router, RouterKind};
 pub use tree::{ShardBackend, ShardHandle, ShardTree};

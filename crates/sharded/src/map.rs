@@ -2,7 +2,10 @@
 
 use std::sync::Arc;
 
-use threepath_core::{BudgetConfig, PathStats, ReadBoundConfig, Strategy};
+use threepath_core::{
+    AdmissionProbeConfig, BatchApply, BatchOp, BudgetConfig, PathKind, PathStats, ReadBoundConfig,
+    Strategy,
+};
 use threepath_htm::HtmConfig;
 use threepath_reclaim::ReclaimMode;
 
@@ -93,6 +96,18 @@ pub struct ShardedConfig {
     /// uses the default probing controller; ignored unless
     /// [`adaptive`](Self::adaptive) is set.
     pub controller: Option<ControllerFactory>,
+    /// Probe every shard's admission window cap instead of fixing it:
+    /// gated fast-path encounters feed a ladder of candidate caps and
+    /// each shard's gate runs the cap that measures fastest (see
+    /// [`AdmissionProbeConfig`]). Takes precedence over a fixed
+    /// [`admission`](Self::admission) cap.
+    pub admission_probe: Option<AdmissionProbeConfig>,
+    /// Enable per-shard batch entry points
+    /// ([`ShardedHandle::shard_batch`]): coalesced same-shard plans
+    /// commit in a single fast-path transaction or one serialized
+    /// section, with a flat-combining hook for queue-draining servers.
+    /// Requires a TLE or 3-path strategy.
+    pub batched: bool,
 }
 
 impl ShardedConfig {
@@ -119,6 +134,12 @@ impl ShardedConfig {
         }
         if self.admission == Some(0) {
             return Err(ConfigError::ZeroAdmissionWindow);
+        }
+        if let Some(p) = &self.admission_probe {
+            p.validate().map_err(ConfigError::InvalidAdmissionProbe)?;
+        }
+        if self.batched && !threepath_core::ADAPTIVE_STRATEGIES.contains(&self.strategy) {
+            return Err(ConfigError::BatchedStrategy(self.strategy));
         }
         if let Some(r) = &self.read_probe {
             r.validate().map_err(ConfigError::InvalidReadProbe)?;
@@ -166,6 +187,8 @@ impl Default for ShardedConfig {
             admission: None,
             read_probe: None,
             controller: None,
+            admission_probe: None,
+            batched: false,
         }
     }
 }
@@ -308,6 +331,12 @@ impl ShardedMap {
     /// Which shard owns `key` (delegates to the router).
     pub fn shard_of(&self, key: u64) -> usize {
         self.router.route(key)
+    }
+
+    /// Whether the shards were built with the batch entry point enabled
+    /// (see [`ShardedConfig::batched`]).
+    pub fn is_batched(&self) -> bool {
+        self.shards.iter().all(ShardTree::is_batched)
     }
 
     /// Registers the calling thread and returns an operation handle.
@@ -524,6 +553,68 @@ impl ShardedHandle {
         merge_sorted_runs(runs)
     }
 
+    /// Applies a coalesced plan of **same-shard** operations in
+    /// submission order on shard `shard`, committing the whole plan in a
+    /// single fast-path transaction or one serialized section (see the
+    /// backend trees' `run_batch`). Requires a map built with
+    /// [`ShardedConfig::batched`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key in the plan routes to a different shard, or if
+    /// the map is not batched.
+    pub fn shard_batch(&mut self, shard: usize, ops: &[BatchOp]) -> (Vec<Option<u64>>, PathKind) {
+        self.check_shard_plan(shard, ops);
+        let r = self.shard_handle(shard).run_batch(ops);
+        self.note_op(shard);
+        r
+    }
+
+    /// [`Self::shard_batch`] with a flat-combining hook: when the batch
+    /// escalates to the serialized section, `combine` runs while this
+    /// thread holds the shard's fallback lock, receiving a
+    /// [`BatchApply`] that applies further same-shard plans in the same
+    /// section. The server layer uses this to drain a shard's submission
+    /// queue before releasing the lock.
+    pub fn shard_batch_with(
+        &mut self,
+        shard: usize,
+        ops: &[BatchOp],
+        combine: impl FnOnce(&mut dyn BatchApply),
+    ) -> (Vec<Option<u64>>, PathKind) {
+        self.check_shard_plan(shard, ops);
+        let r = self.shard_handle(shard).run_batch_with(ops, combine);
+        self.note_op(shard);
+        r
+    }
+
+    fn check_shard_plan(&self, shard: usize, ops: &[BatchOp]) {
+        for op in ops {
+            let owner = self.map.shard_of(op.key());
+            assert_eq!(
+                owner,
+                shard,
+                "batch op {op} routes to shard {owner}, not {shard}"
+            );
+        }
+    }
+
+    /// One shard's members of `[lo, hi)` in ascending order — the
+    /// per-shard sub-scan of a cross-shard range query, exposed so a
+    /// server can pipeline sub-scans through per-shard queues and
+    /// sort-merge the runs itself (see
+    /// [`crate::merge_sorted_runs`]). The sub-range is clipped by the
+    /// router's plan; a shard outside the plan returns nothing.
+    pub fn shard_range_query(&mut self, shard: usize, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let plan = self.map.router.shards_for_range(lo, hi);
+        let Some(&(s, slo, shi)) = plan.iter().find(|(s, _, _)| *s == shard) else {
+            return Vec::new();
+        };
+        let r = self.shard_handle(s).range_query(slo, shi);
+        self.note_op(s);
+        r
+    }
+
     /// Merged path statistics across every shard this thread has touched.
     pub fn stats(&self) -> PathStats {
         let mut merged = PathStats::new();
@@ -544,8 +635,11 @@ impl std::fmt::Debug for ShardedHandle {
 }
 
 /// K-way merge of individually sorted, mutually disjoint runs (each key
-/// lives in exactly one shard, so ties cannot occur).
-fn merge_sorted_runs(runs: Vec<Vec<(u64, u64)>>) -> Vec<(u64, u64)> {
+/// lives in exactly one shard, so ties cannot occur). Used by
+/// [`ShardedHandle::range_query`] under non-order-preserving routers, and
+/// public for servers that pipeline per-shard sub-scans
+/// ([`ShardedHandle::shard_range_query`]) and merge the runs themselves.
+pub fn merge_sorted_runs(runs: Vec<Vec<(u64, u64)>>) -> Vec<(u64, u64)> {
     match runs.len() {
         0 => return Vec::new(),
         1 => return runs.into_iter().next().unwrap(),
@@ -933,6 +1027,112 @@ mod tests {
         let (cold_ops, cold_aborts) = ctl.observed(0);
         assert!(hot_aborts > cold_aborts * 5, "aborts concentrate on shard 1");
         assert!(cold_ops > 0);
+        map.validate().unwrap();
+    }
+
+    #[test]
+    fn shard_batches_apply_in_order_across_backends() {
+        for backend in [ShardBackend::Bst, ShardBackend::AbTree] {
+            let map = Arc::new(
+                ShardedMap::with_config(ShardedConfig {
+                    shards: 4,
+                    backend,
+                    key_space: 100,
+                    batched: true,
+                    ..ShardedConfig::default()
+                })
+                .unwrap(),
+            );
+            assert!(map.is_batched());
+            let mut h = map.handle();
+            // Shard 1 owns [25, 50) under range routing.
+            let plan = vec![
+                BatchOp::Insert(30, 1),
+                BatchOp::Insert(31, 2),
+                BatchOp::Get(30),
+                BatchOp::Remove(31),
+                BatchOp::Insert(30, 9),
+            ];
+            let (replies, _path) = h.shard_batch(1, &plan);
+            assert_eq!(
+                replies,
+                vec![None, None, Some(1), Some(2), Some(1)],
+                "{backend}"
+            );
+            assert_eq!(h.get(30), Some(9));
+            assert_eq!(h.get(31), None);
+            drop(h);
+            map.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn shard_sub_scans_merge_like_a_range_query() {
+        let map = small_hash(4, ShardBackend::Bst);
+        let mut h = map.handle();
+        for k in 0..80u64 {
+            h.insert(k, k);
+        }
+        let direct = h.range_query(10, 70);
+        let runs: Vec<Vec<(u64, u64)>> = (0..4)
+            .map(|s| h.shard_range_query(s, 10, 70))
+            .filter(|r| !r.is_empty())
+            .collect();
+        assert_eq!(merge_sorted_runs(runs), direct);
+        // A shard outside the plan returns nothing.
+        assert_eq!(h.shard_range_query(3, 5, 5), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "routes to shard")]
+    fn cross_shard_plans_are_rejected() {
+        let map = Arc::new(
+            ShardedMap::with_config(ShardedConfig {
+                shards: 4,
+                key_space: 100,
+                batched: true,
+                ..ShardedConfig::default()
+            })
+            .unwrap(),
+        );
+        let mut h = map.handle();
+        // Key 90 belongs to shard 3, not shard 0.
+        h.shard_batch(0, &[BatchOp::Insert(1, 1), BatchOp::Insert(90, 1)]);
+    }
+
+    #[test]
+    fn degenerate_batching_and_admission_probe_are_typed_errors() {
+        let err = ShardedMap::with_config(ShardedConfig {
+            strategy: Strategy::NonHtm,
+            batched: true,
+            ..ShardedConfig::default()
+        })
+        .unwrap_err();
+        assert_eq!(err, ConfigError::BatchedStrategy(Strategy::NonHtm));
+        let err = ShardedMap::with_config(ShardedConfig {
+            admission_probe: Some(threepath_core::AdmissionProbeConfig {
+                ladder: vec![],
+                ..threepath_core::AdmissionProbeConfig::default()
+            }),
+            ..ShardedConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidAdmissionProbe(_)));
+        // Sane values pass and the map still works.
+        let map = Arc::new(
+            ShardedMap::with_config(ShardedConfig {
+                shards: 2,
+                key_space: 100,
+                batched: true,
+                admission_probe: Some(threepath_core::AdmissionProbeConfig::default()),
+                ..ShardedConfig::default()
+            })
+            .unwrap(),
+        );
+        let mut h = map.handle();
+        h.shard_batch(0, &[BatchOp::Insert(3, 3)]);
+        assert_eq!(h.get(3), Some(3));
+        drop(h);
         map.validate().unwrap();
     }
 

@@ -56,6 +56,13 @@ pub enum ConfigError {
     /// An HTM admission window of zero threads: nobody could ever run
     /// the fast path while the fallback lock is held.
     ZeroAdmissionWindow,
+    /// Degenerate admission-probe tuning (what
+    /// `threepath_core::AdmissionProbeConfig::validate` rejects).
+    InvalidAdmissionProbe(&'static str),
+    /// Batching was requested with a strategy the batch entry point
+    /// cannot run on (only TLE and 3-path have the single-transaction
+    /// fast path plus serialized section a batch commits through).
+    BatchedStrategy(threepath_core::Strategy),
     /// A per-shard HTM override names a shard index `>= shards`.
     OverrideOutOfRange {
         /// The offending shard index.
@@ -100,6 +107,13 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroAdmissionWindow => {
                 f.write_str("the HTM admission window must admit at least one thread")
             }
+            ConfigError::InvalidAdmissionProbe(why) => {
+                write!(f, "admission-probe tuning rejected: {why}")
+            }
+            ConfigError::BatchedStrategy(s) => write!(
+                f,
+                "batched maps require the TLE or 3-path strategy, not `{s}`"
+            ),
             ConfigError::OverrideOutOfRange { shard, shards } => write!(
                 f,
                 "per-shard HTM override for shard {shard}, but only {shards} shards exist"

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use threepath_abtree::{AbTree, AbTreeConfig, AbTreeHandle};
 use threepath_bst::{Bst, BstConfig, BstHandle};
-use threepath_core::{PathStats, Strategy, StrategySwapError};
+use threepath_core::{BatchApply, BatchOp, PathKind, PathStats, Strategy, StrategySwapError};
 
 use crate::map::ShardedConfig;
 
@@ -73,6 +73,8 @@ impl ShardTree {
                 scan_path: cfg.scan_path,
                 admission: cfg.admission,
                 read_probe: cfg.read_probe.clone(),
+                admission_probe: cfg.admission_probe.clone(),
+                batched: cfg.batched,
             }))),
             ShardBackend::AbTree => ShardTree::AbTree(Arc::new(AbTree::with_config(AbTreeConfig {
                 strategy: cfg.strategy,
@@ -88,6 +90,8 @@ impl ShardTree {
                 scan_path: cfg.scan_path,
                 admission: cfg.admission,
                 read_probe: cfg.read_probe.clone(),
+                admission_probe: cfg.admission_probe.clone(),
+                batched: cfg.batched,
                 ..AbTreeConfig::default()
             }))),
         }
@@ -106,6 +110,14 @@ impl ShardTree {
         match self {
             ShardTree::Bst(t) => t.strategy(),
             ShardTree::AbTree(t) => t.strategy(),
+        }
+    }
+
+    /// Whether the tree was built with the batch entry point enabled.
+    pub fn is_batched(&self) -> bool {
+        match self {
+            ShardTree::Bst(t) => t.is_batched(),
+            ShardTree::AbTree(t) => t.is_batched(),
         }
     }
 
@@ -222,6 +234,30 @@ impl ShardHandle {
         match self {
             ShardHandle::Bst(h) => h.range_query(lo, hi),
             ShardHandle::AbTree(h) => h.range_query(lo, hi),
+        }
+    }
+
+    /// Applies a coalesced plan in submission order in one fast-path
+    /// transaction or one serialized section (see the backend trees'
+    /// `run_batch`). Requires a batched tree.
+    pub fn run_batch(&mut self, ops: &[BatchOp]) -> (Vec<Option<u64>>, PathKind) {
+        match self {
+            ShardHandle::Bst(h) => h.run_batch(ops),
+            ShardHandle::AbTree(h) => h.run_batch(ops),
+        }
+    }
+
+    /// [`Self::run_batch`] with a flat-combining hook, invoked only when
+    /// the batch escalates to the serialized section (while this thread
+    /// holds the fallback lock).
+    pub fn run_batch_with(
+        &mut self,
+        ops: &[BatchOp],
+        combine: impl FnOnce(&mut dyn BatchApply),
+    ) -> (Vec<Option<u64>>, PathKind) {
+        match self {
+            ShardHandle::Bst(h) => h.run_batch_with(ops, combine),
+            ShardHandle::AbTree(h) => h.run_batch_with(ops, combine),
         }
     }
 

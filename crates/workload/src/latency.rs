@@ -1,0 +1,211 @@
+//! Log-bucketed latency histograms and the per-op-class report.
+//!
+//! Closed-loop trials measure each operation's client-observed latency
+//! (for server trials, the whole submit-to-reply round trip). Storing
+//! every sample would perturb the measurement; a fixed 64-bucket
+//! power-of-two histogram keeps recording to a handful of instructions
+//! and makes merging across threads and trials a vector add, at the cost
+//! of percentile resolution (each bucket spans one octave; percentiles
+//! interpolate linearly inside the winning bucket).
+
+use std::time::Duration;
+
+/// Number of histogram buckets: bucket `b > 0` holds samples whose
+/// nanosecond count has bit length `b` (i.e. `[2^(b-1), 2^b)`); bucket 0
+/// holds zero-length samples. 63 octaves cover every representable
+/// `u64` nanosecond value (~584 years), so nothing clips.
+const BUCKETS: usize = 64;
+
+/// A log-bucketed histogram of operation latencies.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.record_nanos(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one sample given directly in nanoseconds.
+    pub fn record_nanos(&mut self, nanos: u64) {
+        let bucket = (64 - nanos.leading_zeros()) as usize;
+        self.counts[bucket.min(BUCKETS - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether any sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The latency at quantile `q ∈ [0, 1]` (`0.5` = median), linearly
+    /// interpolated inside the winning bucket. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).min(self.total as f64 - 1.0);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (seen + c) as f64 > rank {
+                // Bucket b spans [lo, 2*lo) with lo = 2^(b-1) (b = 0 is
+                // the zero bucket). Interpolate by the rank's position
+                // among this bucket's samples.
+                if b == 0 {
+                    return Duration::ZERO;
+                }
+                let lo = 1u64 << (b - 1);
+                let frac = (rank - seen as f64) / c as f64;
+                return Duration::from_nanos(lo + (lo as f64 * frac) as u64);
+            }
+            seen += c;
+        }
+        Duration::ZERO
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
+/// Client-observed latency histograms, one per operation class.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyReport {
+    /// Inserts and deletes.
+    pub update: LatencyHistogram,
+    /// Point lookups.
+    pub read: LatencyHistogram,
+    /// Range queries and scans.
+    pub range: LatencyHistogram,
+}
+
+impl LatencyReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds another report into this one, class by class.
+    pub fn merge(&mut self, other: &LatencyReport) {
+        self.update.merge(&other.update);
+        self.read.merge(&other.read);
+        self.range.merge(&other.range);
+    }
+
+    /// All classes folded into one histogram — the whole-trial latency
+    /// distribution (every trial completes operations, so this is never
+    /// empty for a measured trial; benchmark sanity checks key off it).
+    pub fn overall(&self) -> LatencyHistogram {
+        let mut all = self.update.clone();
+        all.merge(&self.read);
+        all.merge(&self.range);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), Duration::ZERO);
+        assert_eq!(h.p99(), Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_land_in_the_right_octave() {
+        let mut h = LatencyHistogram::new();
+        // 90 fast ops (~1 µs) and 10 slow ones (~1 ms).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(1));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.p50();
+        assert!(p50 >= Duration::from_nanos(512) && p50 < Duration::from_micros(2), "{p50:?}");
+        let p95 = h.p95();
+        assert!(p95 >= Duration::from_micros(512) && p95 < Duration::from_millis(2), "{p95:?}");
+        assert!(h.p99() >= p95);
+        assert!(h.quantile(0.0) <= p50);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_classes() {
+        let mut a = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        let mut b = LatencyHistogram::new();
+        b.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(10));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+
+        let mut r = LatencyReport::new();
+        r.update.record(Duration::from_micros(1));
+        r.read.record(Duration::from_micros(2));
+        r.range.record(Duration::from_micros(4));
+        let mut s = LatencyReport::new();
+        s.merge(&r);
+        s.merge(&r);
+        assert_eq!(s.update.count(), 2);
+        assert_eq!(s.overall().count(), 6);
+    }
+
+    #[test]
+    fn zero_and_huge_samples_stay_in_range() {
+        let mut h = LatencyHistogram::new();
+        h.record_nanos(0);
+        h.record_nanos(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.0), Duration::ZERO);
+        assert!(h.p99() > Duration::from_secs(1 << 32));
+    }
+}

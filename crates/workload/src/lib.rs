@@ -34,20 +34,24 @@
 
 #![warn(missing_docs)]
 
+mod latency;
 mod map;
 mod metrics;
 mod runner;
+mod server_trial;
 mod spec;
 pub mod zipf;
 
+pub use latency::{LatencyHistogram, LatencyReport};
 pub use map::{AnyHandle, AnyTree};
 pub use metrics::{average, TrialResult};
 pub use runner::{prefill, run_trial, run_trials};
+pub use server_trial::{run_server_trial, run_server_trials, ServerTrialSpec};
 pub use spec::{KeyDist, ParseKeyDistError, Structure, TrialSpec, Workload};
 pub use zipf::KeySampler;
 // Policy knobs of sharded trials, re-exported so harnesses can configure
 // specs without depending on `threepath-sharded` directly.
-pub use threepath_sharded::{AdaptiveConfig, RouterKind};
+pub use threepath_sharded::{AdaptiveConfig, RouterKind, ShardBackend};
 
 /// Reads a `usize` configuration value from the environment, falling back
 /// to `default`. Benchmarks use `THREEPATH_*` variables to scale sweeps.

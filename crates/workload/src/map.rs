@@ -44,6 +44,10 @@ fn tree_config(spec: &TrialSpec, shards: usize, sharded: bool) -> ShardedConfig 
         admission: spec.admission,
         read_probe: spec.read_probe.clone(),
         controller: None,
+        admission_probe: spec.admission_probe.clone(),
+        // Direct trials drive one op per transaction; batch coalescing is
+        // the server trial runner's regime (see `crate::server_trial`).
+        batched: false,
     }
 }
 

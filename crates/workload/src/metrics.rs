@@ -5,6 +5,8 @@ use std::time::Duration;
 use threepath_core::{PathKind, PathStats};
 use threepath_reclaim::PoolStats;
 
+use crate::latency::LatencyReport;
+
 /// Measurements from one trial.
 #[derive(Debug, Clone)]
 pub struct TrialResult {
@@ -34,6 +36,10 @@ pub struct TrialResult {
     /// worker threads dropped their handles (all zeros when the trial ran
     /// with `pool: false`).
     pub pool: PoolStats,
+    /// Client-observed per-operation latency histograms, one per op
+    /// class (p50/p95/p99 via [`crate::LatencyHistogram`]). For server
+    /// trials each sample is the full submit-to-reply round trip.
+    pub latency: LatencyReport,
 }
 
 impl TrialResult {
@@ -82,8 +88,10 @@ pub fn average(results: &[TrialResult]) -> TrialResult {
     let mut elapsed = Duration::ZERO;
     let mut keysum_ok = true;
     let mut pool = PoolStats::default();
+    let mut latency = LatencyReport::new();
     for r in results {
         stats.merge(&r.stats);
+        latency.merge(&r.latency);
         throughput += r.throughput;
         total_ops += r.total_ops;
         update_ops += r.update_ops;
@@ -106,6 +114,7 @@ pub fn average(results: &[TrialResult]) -> TrialResult {
         keysum_ok,
         final_size: results.last().unwrap().final_size,
         pool,
+        latency,
     }
 }
 
@@ -126,7 +135,21 @@ mod tests {
             keysum_ok: ok,
             final_size: 5,
             pool: PoolStats::default(),
+            latency: LatencyReport::new(),
         }
+    }
+
+    #[test]
+    fn average_merges_latency_histograms() {
+        let mut a = dummy(1.0, true);
+        a.latency.update.record(Duration::from_micros(3));
+        let mut b = dummy(1.0, true);
+        b.latency.update.record(Duration::from_micros(3));
+        b.latency.read.record(Duration::from_micros(1));
+        let avg = average(&[a, b]);
+        assert_eq!(avg.latency.update.count(), 2);
+        assert_eq!(avg.latency.read.count(), 1);
+        assert_eq!(avg.latency.overall().count(), 3);
     }
 
     #[test]

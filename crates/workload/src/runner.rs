@@ -7,6 +7,7 @@ use std::time::Instant;
 use threepath_core::PathStats;
 use threepath_htm::SplitMix64;
 
+use crate::latency::LatencyReport;
 use crate::map::{AnyHandle, AnyTree};
 use crate::metrics::TrialResult;
 use crate::spec::{TrialSpec, Workload};
@@ -43,6 +44,7 @@ struct WorkerOutcome {
     scans: u64,
     keysum_delta: i64,
     stats: PathStats,
+    latency: LatencyReport,
 }
 
 fn updater_loop(
@@ -50,11 +52,13 @@ fn updater_loop(
     sampler: &KeySampler,
     rng: &mut SplitMix64,
     stop: &AtomicBool,
+    lat: &mut LatencyReport,
 ) -> (u64, i64) {
     let mut ops = 0u64;
     let mut delta = 0i64;
     while !stop.load(Ordering::Relaxed) {
         let k = sampler.sample(rng);
+        let start = Instant::now();
         if rng.next_below(2) == 0 {
             if h.insert(k, ops).is_none() {
                 delta += k as i64;
@@ -62,6 +66,7 @@ fn updater_loop(
         } else if h.remove(k).is_some() {
             delta -= k as i64;
         }
+        lat.update.record(start.elapsed());
         ops += 1;
     }
     (ops, delta)
@@ -75,6 +80,7 @@ fn read_mix_loop(
     rng: &mut SplitMix64,
     stop: &AtomicBool,
     read_pct: u8,
+    lat: &mut LatencyReport,
 ) -> (u64, u64, i64) {
     let mut updates = 0u64;
     let mut reads = 0u64;
@@ -82,9 +88,12 @@ fn read_mix_loop(
     while !stop.load(Ordering::Relaxed) {
         let k = sampler.sample(rng);
         if rng.next_below(100) < u64::from(read_pct) {
+            let start = Instant::now();
             std::hint::black_box(h.get(k));
+            lat.read.record(start.elapsed());
             reads += 1;
         } else {
+            let start = Instant::now();
             if rng.next_below(2) == 0 {
                 if h.insert(k, reads).is_none() {
                     delta += k as i64;
@@ -92,6 +101,7 @@ fn read_mix_loop(
             } else if h.remove(k).is_some() {
                 delta -= k as i64;
             }
+            lat.update.record(start.elapsed());
             updates += 1;
         }
     }
@@ -108,6 +118,7 @@ fn scan_mix_loop(
     stop: &AtomicBool,
     scan_pct: u8,
     scan_len: u64,
+    lat: &mut LatencyReport,
 ) -> (u64, u64, i64) {
     let mut updates = 0u64;
     let mut scans = 0u64;
@@ -115,28 +126,41 @@ fn scan_mix_loop(
     while !stop.load(Ordering::Relaxed) {
         let k = sampler.sample(rng);
         if rng.next_below(100) < u64::from(scan_pct) {
+            let start = Instant::now();
             let out = h.range_query(k, k.saturating_add(scan_len));
             std::hint::black_box(&out);
+            lat.range.record(start.elapsed());
             scans += 1;
         } else {
+            let start = Instant::now();
             if h.insert(k, scans).is_none() {
                 delta += k as i64;
             }
+            lat.update.record(start.elapsed());
             updates += 1;
         }
     }
     (updates, scans, delta)
 }
 
-fn rq_loop(h: &mut AnyHandle, key_range: u64, rq_extent: u64, rng: &mut SplitMix64, stop: &AtomicBool) -> u64 {
+fn rq_loop(
+    h: &mut AnyHandle,
+    key_range: u64,
+    rq_extent: u64,
+    rng: &mut SplitMix64,
+    stop: &AtomicBool,
+    lat: &mut LatencyReport,
+) -> u64 {
     let mut ops = 0u64;
     while !stop.load(Ordering::Relaxed) {
         let lo = rng.next_below(key_range);
         // s = floor(x^2 * S) + 1: many small queries, a few very large.
         let x = rng.next_f64();
         let s = (x * x * rq_extent as f64) as u64 + 1;
+        let start = Instant::now();
         let out = h.range_query(lo, lo.saturating_add(s));
         std::hint::black_box(&out);
+        lat.range.record(start.elapsed());
         ops += 1;
     }
     ops
@@ -181,22 +205,23 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
                 let is_rq_thread = matches!(spec.workload, Workload::Heavy { .. })
                     && t == spec.threads - 1
                     && spec.threads >= 1;
+                let mut lat = LatencyReport::new();
                 let (updates, reads, rqs, scans, delta) = if is_rq_thread {
                     let Workload::Heavy { rq_extent } = spec.workload else {
                         unreachable!()
                     };
-                    let rqs = rq_loop(&mut h, spec.key_range, rq_extent, &mut rng, &stop);
+                    let rqs = rq_loop(&mut h, spec.key_range, rq_extent, &mut rng, &stop, &mut lat);
                     (0, 0, rqs, 0, 0)
                 } else if let Workload::ReadHeavy { read_pct } = spec.workload {
                     let (updates, reads, delta) =
-                        read_mix_loop(&mut h, sampler, &mut rng, &stop, read_pct);
+                        read_mix_loop(&mut h, sampler, &mut rng, &stop, read_pct, &mut lat);
                     (updates, reads, 0, 0, delta)
                 } else if let Workload::ScanHeavy { scan_pct, scan_len } = spec.workload {
                     let (updates, scans, delta) =
-                        scan_mix_loop(&mut h, sampler, &mut rng, &stop, scan_pct, scan_len);
+                        scan_mix_loop(&mut h, sampler, &mut rng, &stop, scan_pct, scan_len, &mut lat);
                     (updates, 0, 0, scans, delta)
                 } else {
-                    let (ops, delta) = updater_loop(&mut h, sampler, &mut rng, &stop);
+                    let (ops, delta) = updater_loop(&mut h, sampler, &mut rng, &stop, &mut lat);
                     (ops, 0, 0, 0, delta)
                 };
                 delta_total.fetch_add(delta, Ordering::Relaxed);
@@ -207,6 +232,7 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
                     scans,
                     keysum_delta: delta,
                     stats: h.stats(),
+                    latency: lat,
                 }
             }));
         }
@@ -225,8 +251,10 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
     let mut rqs = 0u64;
     let mut scans = 0u64;
     let mut delta: i128 = 0;
+    let mut latency = LatencyReport::new();
     for o in &outcomes {
         stats.merge(&o.stats);
+        latency.merge(&o.latency);
         updates += o.updates;
         reads += o.reads;
         rqs += o.rqs;
@@ -252,6 +280,7 @@ pub fn run_trial(spec: &TrialSpec) -> TrialResult {
         final_size: tree.len(),
         // Worker handles dropped at join, so their counters are folded.
         pool: tree.pool_stats(),
+        latency,
     }
 }
 

@@ -300,6 +300,10 @@ pub struct TrialSpec {
     /// [`threepath_core::DEFAULT_READ_ATTEMPTS`] (see
     /// [`threepath_core::ReadBoundConfig`]).
     pub read_probe: Option<threepath_core::ReadBoundConfig>,
+    /// Probe the HTM admission window cap on a ladder instead of keeping
+    /// the `admission` cap static (see
+    /// [`threepath_core::AdmissionProbeConfig`]); requires `admission`.
+    pub admission_probe: Option<threepath_core::AdmissionProbeConfig>,
     /// Base PRNG seed (trial `i` derives per-thread seeds from it).
     pub seed: u64,
 }
@@ -327,6 +331,7 @@ impl Default for TrialSpec {
             scan_path: true,
             admission: None,
             read_probe: None,
+            admission_probe: None,
             seed: 0x5EED,
         }
     }

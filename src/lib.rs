@@ -13,5 +13,6 @@ pub use threepath_kcas as kcas;
 pub use threepath_llxscx as llxscx;
 pub use threepath_rcu as rcu;
 pub use threepath_reclaim as reclaim;
+pub use threepath_server as server;
 pub use threepath_sharded as sharded;
 pub use threepath_workload as workload;
