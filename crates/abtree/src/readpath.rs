@@ -415,15 +415,15 @@ mod tests {
             let mut m = DirectMem::new(&rt, &ctx);
             assert_eq!(l.ver_cell().load_direct(&rt), 0);
             // Shift-insert: one wrapped mutation -> +2.
-            let r = ops::insert_seq(&mut m, entry, &found(), 4, 40, false).unwrap();
+            let r = ops::insert_seq(&mut m, entry, &found(), 4, 40, false, None).unwrap();
             assert_eq!(r, (None, false));
             assert_eq!(l.ver_cell().load_direct(&rt), 2);
             // Value-only update: single atomic cell, no bump.
-            let r = ops::insert_seq(&mut m, entry, &found(), 4, 41, false).unwrap();
+            let r = ops::insert_seq(&mut m, entry, &found(), 4, 41, false, None).unwrap();
             assert_eq!(r, (Some(40), false));
             assert_eq!(l.ver_cell().load_direct(&rt), 2);
             // In-place delete: +2 again.
-            let r = ops::delete_seq(&mut m, entry, &found(), 2, 1, false).unwrap();
+            let r = ops::delete_seq(&mut m, entry, &found(), 2, 1, false, None).unwrap();
             assert_eq!(r, (Some(20), false));
             assert_eq!(l.ver_cell().load_direct(&rt), 4);
             // The optimistic reader agrees with the mutated content.
@@ -515,7 +515,7 @@ mod tests {
                 l: leaf,
             };
             let mut m = DirectMem::new(&rt, &ctx);
-            let r = ops::insert_seq(&mut m, entry, &f, 999, 1000, false).unwrap();
+            let r = ops::insert_seq(&mut m, entry, &f, 999, 1000, false, None).unwrap();
             assert_eq!(r, (None, false));
         });
         assert_eq!(

@@ -65,7 +65,17 @@ pub(crate) struct ScanState {
     /// Subranges already known invalid at read time (mid-flight leaf
     /// mutations the seqlock refused to read through).
     failed: Vec<(u64, u64)>,
+    /// DFS worklist, drained by every `scan_range` call; lives here so a
+    /// handle-owned scratch state reuses its capacity across scans.
+    stack: Vec<(*mut AbNode, u64, u64)>,
 }
+
+// SAFETY: the recorded pointers are only dereferenced inside
+// `attempt_full`/`attempt_partial`, under the epoch pin of the scan that
+// recorded them (`attempt_full` clears every vector first). Between
+// scans the contents are dead values retained purely for allocation
+// reuse, so moving the scratch to another thread moves inert words.
+unsafe impl Send for ScanState {}
 
 /// Whether `[lo, hi)` overlaps any of the (sorted, disjoint) `holes`.
 fn intersects(holes: &[(u64, u64)], lo: u64, hi: u64) -> bool {
@@ -84,6 +94,7 @@ impl ScanState {
             trace: Vec::new(),
             segments: Vec::new(),
             failed: Vec::new(),
+            stack: Vec::new(),
         }
     }
 
@@ -118,8 +129,9 @@ impl ScanState {
             lo,
             hi,
         });
-        let mut stack: Vec<(*mut AbNode, u64, u64)> = vec![(root, lo, hi)];
-        while let Some((ptr, clo, chi)) = stack.pop() {
+        debug_assert!(self.stack.is_empty(), "worklist drained by every walk");
+        self.stack.push((root, lo, hi));
+        while let Some((ptr, clo, chi)) = self.stack.pop() {
             let n = unsafe { &*ptr };
             if n.leaf {
                 // The window between routing here and the version snapshot
@@ -176,7 +188,7 @@ impl ScanState {
                         lo: klo,
                         hi: khi,
                     });
-                    stack.push((child, klo, khi));
+                    self.stack.push((child, klo, khi));
                 }
             }
         }
@@ -448,7 +460,7 @@ mod tests {
                 l: leaf,
             };
             let mut m = DirectMem::new(&rt, &ctx);
-            let r = ops::insert_seq(&mut m, entry, &f, 999, 1000, false).unwrap();
+            let r = ops::insert_seq(&mut m, entry, &f, 999, 1000, false, None).unwrap();
             assert_eq!(r, (None, false));
         });
         assert_eq!(r, None, "the torn scan must fail the set re-check");

@@ -25,6 +25,15 @@ pub(crate) struct BstNode {
     children: [TxCell; 2],
     pub(crate) key: u64,
     pub(crate) value: TxCell,
+    /// Seqlock-style version word for the optimistic scan path: the only
+    /// in-place mutation a live leaf ever sees (the sequential insert's
+    /// existing-key value overwrite) wraps the value write in an
+    /// odd/even bump, so a scan certifies a copied leaf with one version
+    /// check instead of re-reading the value (which would be ABA-blind).
+    /// NOT part of [`BstNode::mutable`]: SCX replaces nodes wholesale and
+    /// never mutates a published node in place, so the version word only
+    /// tracks the sequential value overwrite.
+    pub(crate) ver: TxCell,
     pub(crate) is_leaf: bool,
 }
 
@@ -35,6 +44,7 @@ impl BstNode {
             children: [TxCell::new(0), TxCell::new(0)],
             key,
             value: TxCell::new(value),
+            ver: TxCell::new(0),
             is_leaf: true,
         }
     }
@@ -45,6 +55,7 @@ impl BstNode {
             children: [TxCell::new(left as u64), TxCell::new(right as u64)],
             key,
             value: TxCell::new(0),
+            ver: TxCell::new(0),
             is_leaf: false,
         }
     }

@@ -247,8 +247,19 @@ pub(crate) fn insert_seq<M: Mem>(
     let p = unsafe { &*f.p };
     let l = unsafe { &*f.l };
     if l.key == key {
+        // In-place value overwrite — the one mutation a live leaf ever
+        // sees. Wrap it in the leaf's seqlock bump (odd while the write
+        // is in flight) so optimistic scans certify copied values by
+        // version instead of re-reading them. Inside a transaction the
+        // three writes commit atomically (the odd state is never
+        // observable); under the TLE lock the odd window is real and a
+        // racing scan's version check fails exactly then.
         let old = m.read(&l.value)?;
+        let v0 = m.read(&l.ver)?;
+        debug_assert!(v0 % 2 == 0, "leaf version odd outside a mutation");
+        m.write(&l.ver, v0.wrapping_add(1))?;
         m.write(&l.value, value)?;
+        m.write(&l.ver, v0.wrapping_add(2))?;
         Ok(Some(old))
     } else {
         let nl = m.alloc(BstNode::new_leaf(key, value));

@@ -1,85 +1,78 @@
-//! Uninstrumented optimistic range scans (the multi-leaf extension of
-//! `crate::rq::rq_validated` with tiered escalation).
+//! Uninstrumented optimistic range scans over the BST.
 //!
-//! A BST scan walks every leaf covering `[lo, hi)` with LLX snapshots —
-//! software reads, zero HTM transactions — and accumulates a *validation
-//! set*, each entry tagged with the key subrange it covers (left subtree
-//! `[clo, key)`, right `[key, chi)` — a stable property of the immutable
-//! node key):
+//! A scan walks every leaf covering `[lo, hi)` with **direct loads** —
+//! no LLX snapshots, no transactions — and accumulates a flat *validation
+//! set* of words, each tagged with the key subrange it covers (left
+//! subtree `[clo, key)`, right `[key, chi)` — a stable property of the
+//! immutable node key):
 //!
-//! * every visited node's `info` word (catches template-path SCXs, which
-//!   freeze and replace through it) **and marked bit** (catches the
-//!   sequential delete, which splices through a plain child write and
-//!   only marks the removed nodes);
 //! * every **followed edge** — the child cell must still hold the pointer
-//!   the walk followed (catches sequential inserts/deletes, which swing
-//!   child pointers without touching `info`);
-//! * every **copied leaf value** (catches the sequential insert's
-//!   in-place value write, which touches nothing else).
+//!   the walk followed. Every committed BST mutation (template SCX or
+//!   sequential splice) becomes visible by swinging exactly one child
+//!   pointer on the update path, so an unchanged followed-edge frontier
+//!   certifies the walked region's whole shape;
+//! * every copied leaf's **`ver` seqlock word** — the one mutation that
+//!   swings no edge is the sequential insert's in-place value overwrite,
+//!   which wraps the write in an odd/even bump of [`BstNode::ver`]
+//!   (`crate::ops::insert_seq`). An odd version at read time is a
+//!   mid-flight write (recorded as a failed subrange); an even version
+//!   unchanged at re-check certifies the copied value.
 //!
-//! A final pass re-checks the whole set. Pointers, `info` words and
-//! marked bits cannot recur while the scan's epoch pin blocks node
-//! recycling, so unchanged-at-recheck means unchanged-throughout: every
-//! entry's interval covers the instant the pass began, and the copied
+//! This is the (a,b)-tree's per-leaf version-ladder discipline lifted to
+//! the BST, replacing the PR 6 per-node `info`/marked/edge/value
+//! quadruples: the set shrinks from ~4 entries per *visited node* to one
+//! entry per followed edge plus one per copied leaf, which is what closes
+//! the calm-scan gap against the transactional walk. The old value-ABA
+//! caveat (values certified *by value*, blind to write-away-write-back)
+//! is gone: `ver` is monotone, so an unchanged version word really means
+//! no write happened.
+//!
+//! A final pass re-checks the whole set. Pointers cannot recur while the
+//! scan's epoch pin blocks node recycling and `ver` never decreases, so
+//! unchanged-at-recheck means unchanged-throughout: every entry's
+//! validity interval covers the instant the pass began, and the copied
 //! pairs are the tree's content over `[lo, hi)` at that single instant.
-//! (Values are certified *by value*, the usual optimistic-validation
-//! assumption: a racing write-away-write-back of the identical value is
-//! indistinguishable from quiescence — and indistinguishable in effect.)
 //!
-//! Where `rq_validated` restarts from scratch on any lost race, this
-//! module keeps the failed attempt's state so the partial-rescan tier
-//! (`ExecCtx::run_scan`'s last resort before the transactional machinery)
-//! can merge the invalidated subranges into holes
-//! ([`threepath_core::merge_subranges`]), re-walk only the holes, and
-//! re-validate the **combined** set in one final pass — preserving the
-//! single-instant argument while re-reading only what was lost.
+//! Lost races escalate in tiers (`ExecCtx::run_scan` drives them): full
+//! re-walks up to the attempt budget, then the partial-rescan tier —
+//! invalidated subranges merge into holes
+//! ([`threepath_core::merge_subranges`]), still-valid entries and the
+//! segments outside the holes are retained, only the holes are re-walked,
+//! and the **combined** set re-validates in one final pass, preserving
+//! the single-instant argument while re-reading only what was lost. Only
+//! when even that fails does the scan leave the optimistic regime — for
+//! the snapshot tier or, last, the transactional machinery (see
+//! `crate::tree::Bst::range_query`).
 
 use threepath_core::{merge_subranges, ScanTally};
-use threepath_htm::TxCell;
-use threepath_llxscx::{LlxResult, ScxEngine, ScxThread};
+use threepath_htm::{HtmRuntime, TxCell};
 
 use crate::node::{BstNode, SENT1};
 
 /// How many hole-repair rounds one partial-rescan tier may run before the
-/// scan escalates to the transactional machinery.
+/// scan escalates past the optimistic regime.
 pub(crate) const PARTIAL_ROUNDS: u32 = 4;
 
-/// What one validation-set entry certifies.
-enum Check {
-    /// The node's `info` word is unchanged and its marked bit still clear.
-    Node { node: *mut BstNode, info: u64 },
-    /// The cell (a followed child edge, or a copied leaf value) still
-    /// holds the word the walk observed.
-    Word { cell: *const TxCell, value: u64 },
-}
-
-/// One recorded dependency, tagged with the key subrange that part of the
-/// answer covers.
+/// One recorded dependency: a cell (a followed child edge, or a copied
+/// leaf's `ver` word), the value the scan's answer relies on, and the key
+/// subrange that part of the answer covers.
 struct TraceEntry {
-    check: Check,
+    cell: *const TxCell,
+    value: u64,
     lo: u64,
     hi: u64,
 }
 
 impl TraceEntry {
     /// Whether the dependency still holds. Requires the scan's epoch pin.
-    fn holds(&self, rt: &threepath_htm::HtmRuntime) -> bool {
-        match self.check {
-            Check::Node { node, info } => {
-                // SAFETY: recorded nodes were reached under the caller's
-                // epoch pin, still held.
-                let n = unsafe { &*node };
-                n.hdr.info().load_direct(rt) == info && n.hdr.marked().load_direct(rt) == 0
-            }
-            // SAFETY: the cell lives in a node reached under the pin.
-            Check::Word { cell, value } => unsafe { &*cell }.load_direct(rt) == value,
-        }
+    fn holds(&self, rt: &HtmRuntime) -> bool {
+        // SAFETY: the cell lives in a node reached under the pin.
+        unsafe { &*self.cell }.load_direct(rt) == self.value
     }
 }
 
-/// The pair copied from one snapshotted leaf (empty when the leaf's key
-/// falls outside the query or is a sentinel), tagged with the leaf's
-/// routed subrange.
+/// The pair copied from one leaf (empty when the leaf's key falls outside
+/// the query or is a sentinel), tagged with the leaf's routed subrange.
 struct Segment {
     lo: u64,
     hi: u64,
@@ -91,10 +84,20 @@ struct Segment {
 pub(crate) struct ScanState {
     trace: Vec<TraceEntry>,
     segments: Vec<Segment>,
-    /// Subranges already known invalid at read time (LLX refused to
-    /// snapshot: the node was finalized or an SCX was in flight).
+    /// Subranges already known invalid at read time (a leaf's `ver` was
+    /// odd: an in-place value write was in flight).
     failed: Vec<(u64, u64)>,
+    /// DFS worklist, drained by every `scan_range` call; lives here so a
+    /// handle-owned scratch state reuses its capacity across scans.
+    stack: Vec<(*mut BstNode, u64, u64)>,
 }
+
+// SAFETY: the recorded pointers are only dereferenced inside
+// `attempt_full`/`attempt_partial`, under the epoch pin of the scan that
+// recorded them (`attempt_full` clears every vector first). Between
+// scans the contents are dead values retained purely for allocation
+// reuse, so moving the scratch to another thread moves inert words.
+unsafe impl Send for ScanState {}
 
 /// Whether `[lo, hi)` overlaps any of the (sorted, disjoint) `holes`.
 fn intersects(holes: &[(u64, u64)], lo: u64, hi: u64) -> bool {
@@ -113,96 +116,93 @@ impl ScanState {
             trace: Vec::new(),
             segments: Vec::new(),
             failed: Vec::new(),
+            stack: Vec::new(),
         }
     }
 
-    /// Pruned LLX-snapshot DFS over `[lo, hi)`, appending to the
-    /// validation set and segments. A node LLX refuses to snapshot is
-    /// recorded as a failed subrange rather than aborting the walk, so
+    /// Pruned direct-load DFS over `[lo, hi)`, appending to the
+    /// validation set and segments. A leaf read mid-mutation (odd `ver`)
+    /// is recorded as a failed subrange rather than aborting the walk, so
     /// the partial tier knows exactly what to re-read. Requires the
     /// caller's epoch pin.
+    ///
+    /// `stall` is a test hook invoked after each leaf's version/value
+    /// snapshot (the window the final re-validation must certify);
+    /// production callers pass a no-op.
     fn scan_range(
         &mut self,
-        eng: &ScxEngine,
-        th: &ScxThread,
+        rt: &HtmRuntime,
         root: *mut BstNode,
         lo: u64,
         hi: u64,
         tally: &mut ScanTally,
+        stall: &mut dyn FnMut(),
     ) {
         if lo >= hi {
             return;
         }
-        let rt = eng.runtime();
-        let mut stack: Vec<(*mut BstNode, u64, u64)> = vec![(root, lo, hi)];
-        while let Some((ptr, clo, chi)) = stack.pop() {
+        debug_assert!(self.stack.is_empty(), "worklist drained by every walk");
+        self.stack.push((root, lo, hi));
+        while let Some((ptr, clo, chi)) = self.stack.pop() {
             // SAFETY: reachable under the caller's epoch pin.
             let n = unsafe { &*ptr };
-            let h = match eng.llx(th, &n.hdr, n.mutable()) {
-                LlxResult::Snapshot(h) => h,
-                _ => {
-                    self.failed.push((clo, chi));
-                    continue;
-                }
-            };
-            self.trace.push(TraceEntry {
-                check: Check::Node {
-                    node: ptr,
-                    info: h.info_observed(),
-                },
-                lo: clo,
-                hi: chi,
-            });
             if n.is_leaf {
                 tally.leaves += 1;
-                let pair = (n.key >= clo && n.key < chi && n.key < SENT1)
-                    .then(|| (n.key, n.value.load_direct(rt)));
-                if let Some((_, v)) = pair {
-                    // The sequential insert updates values in place with
-                    // no other trace: certify the copied word itself.
+                let in_range = n.key >= clo && n.key < chi && n.key < SENT1;
+                if in_range {
+                    let v0 = n.ver.load_direct(rt);
+                    if v0 % 2 == 1 {
+                        // An in-place value write is in flight; the value
+                        // word is torn until the writer's closing bump.
+                        self.failed.push((clo, chi));
+                        continue;
+                    }
+                    let value = n.value.load_direct(rt);
+                    stall();
                     self.trace.push(TraceEntry {
-                        check: Check::Word {
-                            cell: &n.value,
-                            value: v,
-                        },
+                        cell: &n.ver,
+                        value: v0,
                         lo: clo,
                         hi: chi,
                     });
+                    self.segments.push(Segment {
+                        lo: clo,
+                        hi: chi,
+                        pair: Some((n.key, value)),
+                    });
+                } else {
+                    stall();
+                    self.segments.push(Segment {
+                        lo: clo,
+                        hi: chi,
+                        pair: None,
+                    });
                 }
-                self.segments.push(Segment {
-                    lo: clo,
-                    hi: chi,
-                    pair,
-                });
             } else {
                 // Left subtree keys < n.key; right >= n.key. Push the
                 // right first so the left is processed first (ascending).
                 // Each followed edge joins the validation set under the
-                // child's subrange: the sequential ops swing child
-                // pointers without touching `info`, and this is where
-                // those swings become visible.
+                // child's subrange: every committed mutation (SCX or
+                // sequential splice) swings exactly one such edge.
                 for (dir, (elo, ehi)) in [(1, (n.key.max(clo), chi)), (0, (clo, n.key.min(chi)))] {
                     if elo < ehi {
-                        let child = h.snapshot().get_ptr(dir);
+                        let child = n.child(dir).load_direct(rt) as *mut BstNode;
                         self.trace.push(TraceEntry {
-                            check: Check::Word {
-                                cell: n.child(dir),
-                                value: child as u64,
-                            },
+                            cell: n.child(dir),
+                            value: child as u64,
                             lo: elo,
                             hi: ehi,
                         });
-                        stack.push((child, elo, ehi));
+                        self.stack.push((child, elo, ehi));
                     }
                 }
             }
         }
     }
 
-    /// The merged subranges whose coverage is currently invalid: failed
-    /// LLXs plus every validation-set entry that no longer holds.
-    fn invalid_subranges(&self, eng: &ScxEngine) -> Vec<(u64, u64)> {
-        let rt = eng.runtime();
+    /// The merged subranges whose coverage is currently invalid: torn
+    /// leaf reads plus every validation-set entry that no longer holds.
+    fn invalid_subranges(&self, rt: &HtmRuntime) -> Vec<(u64, u64)> {
         let mut holes = self.failed.clone();
         for e in &self.trace {
             if !e.holds(rt) {
@@ -225,18 +225,18 @@ impl ScanState {
     /// the invalidated subranges. Requires the caller's epoch pin.
     pub(crate) fn attempt_full(
         &mut self,
-        eng: &ScxEngine,
-        th: &ScxThread,
+        rt: &HtmRuntime,
         root: *mut BstNode,
         lo: u64,
         hi: u64,
         tally: &mut ScanTally,
+        stall: &mut dyn FnMut(),
     ) -> Option<Vec<(u64, u64)>> {
         self.trace.clear();
         self.segments.clear();
         self.failed.clear();
-        self.scan_range(eng, th, root, lo, hi, tally);
-        if self.invalid_subranges(eng).is_empty() {
+        self.scan_range(rt, root, lo, hi, tally, stall);
+        if self.invalid_subranges(rt).is_empty() {
             Some(self.assemble())
         } else {
             None
@@ -246,19 +246,18 @@ impl ScanState {
     /// The partial-rescan tier: merge the invalidated subranges into
     /// holes, drop the entries and segments the holes swallow, re-walk
     /// only the holes, and re-validate the combined set — up to `rounds`
-    /// times. `None` = the caller escalates to the transactional
-    /// machinery. Requires the caller's epoch pin.
+    /// times. `None` = the caller escalates past the optimistic regime.
+    /// Requires the caller's epoch pin.
     pub(crate) fn attempt_partial(
         &mut self,
-        eng: &ScxEngine,
-        th: &ScxThread,
+        rt: &HtmRuntime,
         root: *mut BstNode,
         tally: &mut ScanTally,
+        stall: &mut dyn FnMut(),
         rounds: u32,
     ) -> Option<Vec<(u64, u64)>> {
-        let rt = eng.runtime();
         for _ in 0..rounds {
-            let mut holes = self.invalid_subranges(eng);
+            let mut holes = self.invalid_subranges(rt);
             if holes.is_empty() {
                 return Some(self.assemble());
             }
@@ -289,10 +288,10 @@ impl ScanState {
             self.trace.retain(|e| e.holds(rt) && !contained(&holes, e.lo, e.hi));
             self.segments.retain(|s| !intersects(&holes, s.lo, s.hi));
             for &(hlo, hhi) in &holes {
-                self.scan_range(eng, th, root, hlo, hhi, tally);
+                self.scan_range(rt, root, hlo, hhi, tally, stall);
             }
         }
-        if self.invalid_subranges(eng).is_empty() {
+        if self.invalid_subranges(rt).is_empty() {
             Some(self.assemble())
         } else {
             None
@@ -302,6 +301,8 @@ impl ScanState {
 
 #[cfg(test)]
 mod tests {
+    use threepath_htm::HtmConfig;
+
     use super::*;
 
     #[test]
@@ -313,5 +314,160 @@ mod tests {
         assert!(contained(&holes, 5, 12));
         assert!(!contained(&holes, 4, 12));
         assert!(!contained(&holes, 11, 41), "spanning two holes never counts");
+    }
+
+    /// A three-leaf test tree:
+    ///
+    /// ```text
+    ///        entry(key=5)
+    ///        /          \
+    ///    l1(2,20)    inner(8)
+    ///                /      \
+    ///           l2(6,60)  l3(9,90)
+    /// ```
+    fn three_leaf_tree() -> (*mut BstNode, *mut BstNode, *mut BstNode, *mut BstNode, *mut BstNode) {
+        let l1 = Box::into_raw(Box::new(BstNode::new_leaf(2, 20)));
+        let l2 = Box::into_raw(Box::new(BstNode::new_leaf(6, 60)));
+        let l3 = Box::into_raw(Box::new(BstNode::new_leaf(9, 90)));
+        let inner = Box::into_raw(Box::new(BstNode::new_internal(8, l2, l3)));
+        let entry = Box::into_raw(Box::new(BstNode::new_internal(5, l1, inner)));
+        (entry, inner, l1, l2, l3)
+    }
+
+    unsafe fn free_three_leaf_tree(
+        t: (*mut BstNode, *mut BstNode, *mut BstNode, *mut BstNode, *mut BstNode),
+    ) {
+        unsafe {
+            drop(Box::from_raw(t.0));
+            drop(Box::from_raw(t.1));
+            drop(Box::from_raw(t.2));
+            drop(Box::from_raw(t.3));
+            drop(Box::from_raw(t.4));
+        }
+    }
+
+    #[test]
+    fn quiet_scan_walks_the_leaves_in_order() {
+        let rt = HtmRuntime::new(HtmConfig::default());
+        let t = three_leaf_tree();
+        let (entry, ..) = t;
+        let mut state = ScanState::new();
+        let mut tally = ScanTally::default();
+        let r = state.attempt_full(&rt, entry, 0, 100, &mut tally, &mut || {});
+        assert_eq!(r, Some(vec![(2, 20), (6, 60), (9, 90)]));
+        assert_eq!(tally.leaves, 3);
+        // Pruning: a subrange covering the right subtree skips l1.
+        let mut state = ScanState::new();
+        let r = state.attempt_full(&rt, entry, 6, 100, &mut tally, &mut || {});
+        assert_eq!(r, Some(vec![(6, 60), (9, 90)]));
+        assert_eq!(tally.leaves, 5);
+        // Empty and inverted ranges validate nothing.
+        let mut state = ScanState::new();
+        assert_eq!(
+            state.attempt_full(&rt, entry, 50, 50, &mut tally, &mut || {}),
+            Some(vec![])
+        );
+        assert_eq!(tally.leaves, 5);
+        // SAFETY: test-owned nodes.
+        unsafe { free_three_leaf_tree(t) };
+    }
+
+    /// The version ladder catches an in-place value overwrite that lands
+    /// between a leaf's snapshot and the final validation pass: the stall
+    /// hook performs `insert_seq`'s whole seqlock-wrapped value write on
+    /// an *already-copied* leaf, so only the recorded `ver` word can
+    /// reject the stale copy (the edge frontier never changes). The
+    /// partial tier then repairs exactly the invalidated leaf.
+    #[test]
+    fn in_place_mutation_mid_walk_is_caught_by_the_version_ladder() {
+        let rt = HtmRuntime::new(HtmConfig::default());
+        let t = three_leaf_tree();
+        let (entry, _, l1, ..) = t;
+        let mut state = ScanState::new();
+        let mut tally = ScanTally::default();
+        let mut leaves_seen = 0u32;
+        let r = state.attempt_full(&rt, entry, 0, 100, &mut tally, &mut || {
+            leaves_seen += 1;
+            if leaves_seen == 3 {
+                // All three leaves copied; overwrite l1 the way
+                // `ops::insert_seq` does under the TLE lock.
+                let l = unsafe { &*l1 };
+                let v0 = l.ver.load_direct(&rt);
+                assert_eq!(v0 % 2, 0);
+                l.ver.store_direct(&rt, v0 + 1);
+                l.value.store_direct(&rt, 21);
+                l.ver.store_direct(&rt, v0 + 2);
+            }
+        });
+        assert_eq!(r, None, "the stale copy must fail the version re-check");
+        let before_partial = tally.leaves;
+        let r = state.attempt_partial(&rt, entry, &mut tally, &mut || {}, PARTIAL_ROUNDS);
+        assert_eq!(r, Some(vec![(2, 21), (6, 60), (9, 90)]));
+        assert_eq!(
+            tally.leaves - before_partial,
+            1,
+            "only the invalidated leaf is re-read"
+        );
+        // SAFETY: test-owned nodes.
+        unsafe { free_three_leaf_tree(t) };
+    }
+
+    /// The version-word dependency discipline on a standalone leaf — no
+    /// tree walk, so unlike the walking tests it holds no
+    /// integer-round-tripped child pointers and runs under the nightly
+    /// Miri strict-provenance lane: an unchanged even `ver` certifies
+    /// the copied value; any seqlock bump — the odd mid-write state or
+    /// the even landing after it — invalidates the recorded dependency.
+    /// The landing case is the value-ABA defense: `ver` is monotone, so
+    /// a write-away-write-back never re-certifies a stale copy.
+    #[test]
+    fn version_word_recheck_tracks_the_seqlock_protocol() {
+        let rt = HtmRuntime::new(HtmConfig::default());
+        let leaf = BstNode::new_leaf(2, 20);
+        let dep = TraceEntry {
+            cell: &leaf.ver,
+            value: leaf.ver.load_direct(&rt),
+            lo: 0,
+            hi: 5,
+        };
+        assert!(dep.holds(&rt));
+        // Writer opens the seqlock: odd version, dependency broken.
+        leaf.ver.store_direct(&rt, 1);
+        leaf.value.store_direct(&rt, 21);
+        assert!(!dep.holds(&rt), "odd version is a mid-flight write");
+        // Writer lands: even again, but larger — still broken.
+        leaf.ver.store_direct(&rt, 2);
+        assert!(!dep.holds(&rt), "a completed overwrite must not re-certify");
+        // A snapshot taken at the new version holds until the next bump.
+        let dep = TraceEntry {
+            cell: &leaf.ver,
+            value: 2,
+            lo: 0,
+            hi: 5,
+        };
+        assert!(dep.holds(&rt));
+    }
+
+    /// A torn read — the scan arrives while the writer's seqlock is odd —
+    /// is detected at read time and repaired once the writer finishes.
+    #[test]
+    fn odd_version_at_read_time_is_a_failed_subrange() {
+        let rt = HtmRuntime::new(HtmConfig::default());
+        let t = three_leaf_tree();
+        let (entry, _, l1, ..) = t;
+        // Freeze l1 mid-write.
+        unsafe { &*l1 }.ver.store_direct(&rt, 1);
+        let mut state = ScanState::new();
+        let mut tally = ScanTally::default();
+        let r = state.attempt_full(&rt, entry, 0, 100, &mut tally, &mut || {});
+        assert_eq!(r, None, "an odd version is a mid-flight write");
+        // Writer completes; the partial tier re-reads just that leaf.
+        let l = unsafe { &*l1 };
+        l.value.store_direct(&rt, 22);
+        l.ver.store_direct(&rt, 2);
+        let r = state.attempt_partial(&rt, entry, &mut tally, &mut || {}, PARTIAL_ROUNDS);
+        assert_eq!(r, Some(vec![(2, 22), (6, 60), (9, 90)]));
+        // SAFETY: test-owned nodes.
+        unsafe { free_three_leaf_tree(t) };
     }
 }

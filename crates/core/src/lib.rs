@@ -29,9 +29,11 @@
 //! "searches require no synchronization" property gets a first-class
 //! wait-free entry ([`ExecCtx::run_read`] /
 //! [`ExecCtx::run_read_validated`] for point reads,
-//! [`ExecCtx::run_scan`] for multi-leaf range scans) with its own
-//! [`PathKind::Read`] statistics lane — no subscription, no budget tally,
-//! no fallback escalation until the optimistic attempts are exhausted.
+//! [`ExecCtx::run_scan`] / [`ExecCtx::run_scan_snap`] for multi-leaf range
+//! scans) with its own [`PathKind::Read`] statistics lane — no
+//! subscription, no budget tally, no fallback escalation until the
+//! optimistic attempts *and* the [`SnapshotCtl`] snapshot tier are
+//! exhausted.
 
 #![warn(missing_docs)]
 
@@ -43,6 +45,7 @@ pub mod controller;
 mod driver;
 mod effects;
 mod readpath;
+mod snapshot;
 mod snzi;
 mod stats;
 mod strategy;
@@ -57,8 +60,9 @@ pub use controller::{Controller, ProbeConfig, ProbingController, Window};
 pub use driver::{ExecCtx, StrategySwapError, ADAPTIVE_STRATEGIES};
 pub use readpath::{merge_subranges, ReadBoundConfig, ScanTally, DEFAULT_READ_ATTEMPTS};
 pub use effects::Effects;
+pub use snapshot::{SnapToken, SnapshotCtl};
 pub use stats::{AbortCounts, PathKind, PathStats};
 pub use snzi::Snzi;
 pub use strategy::{PathLimits, Strategy};
 pub use sync::{AdmissionGate, FallbackCount, Indicator, TleLock};
-pub use template::{OpOutcome, OrigMode, TemplateMode, TxMode};
+pub use template::{OpOutcome, OrigMode, TemplateMem, TemplateMode, TxMode};

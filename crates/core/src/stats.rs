@@ -113,7 +113,12 @@ pub struct PathStats {
     /// Scans that exhausted every optimistic attempt — including the
     /// partial-rescan repair — and escalated to the transactional
     /// machinery (`run_op`); completed on whatever path finished them.
+    /// Snapshot rescues do *not* count here (see `scan_snapshots`).
     scan_escalations: u64,
+    /// Scans rescued by the snapshot tier: the validation ladder was
+    /// exhausted but a snapshot epoch published, and the scan completed
+    /// wait-free on the read lane instead of entering a transaction.
+    scan_snapshots: u64,
     /// Leaves (or BST nodes) whose validation word was captured and
     /// re-checked by optimistic scans — the size of the validation sets,
     /// summed.
@@ -136,6 +141,10 @@ pub struct PathStats {
     /// while flat-combining: it held a shard's fallback lock for its own
     /// batch and drained further queued batches before releasing.
     combined_ops: u64,
+    /// Single-operation submissions the serving front-end executed
+    /// directly — the shard's combiner claim was free and its queue empty,
+    /// so the op skipped the enqueue/drain machinery entirely.
+    batch_bypasses: u64,
 }
 
 impl PathStats {
@@ -265,6 +274,12 @@ impl PathStats {
         self.scan_escalations += 1;
     }
 
+    /// Records a scan rescued by the snapshot tier after exhausting the
+    /// validation ladder (completed wait-free on the read lane).
+    pub fn record_scan_snapshot(&mut self) {
+        self.scan_snapshots += 1;
+    }
+
     /// Records `n` leaves validated by an optimistic scan attempt.
     pub fn add_scan_leaves_validated(&mut self, n: u64) {
         self.scan_leaves_validated += n;
@@ -280,6 +295,12 @@ impl PathStats {
     /// attempts (completed on fast/middle/fallback, not the read lane).
     pub fn scan_escalations(&self) -> u64 {
         self.scan_escalations
+    }
+
+    /// Scans rescued by the snapshot tier (completed on the read lane,
+    /// with zero transactional attempts).
+    pub fn scan_snapshots(&self) -> u64 {
+        self.scan_snapshots
     }
 
     /// Total leaves captured into optimistic scans' validation sets.
@@ -333,6 +354,17 @@ impl PathStats {
         self.combined_ops
     }
 
+    /// Records a single-operation submission executed directly, bypassing
+    /// the serving front-end's queue (claim free, queue empty).
+    pub fn record_batch_bypass(&mut self) {
+        self.batch_bypasses += 1;
+    }
+
+    /// Single-operation submissions that bypassed the serving queue.
+    pub fn batch_bypasses(&self) -> u64 {
+        self.batch_bypasses
+    }
+
     /// Mean operations per executed batch (0 when no batches ran).
     pub fn mean_batch_size(&self) -> f64 {
         if self.batches == 0 {
@@ -353,12 +385,14 @@ impl PathStats {
         self.read_escalations += other.read_escalations;
         self.scan_retries += other.scan_retries;
         self.scan_escalations += other.scan_escalations;
+        self.scan_snapshots += other.scan_snapshots;
         self.scan_leaves_validated += other.scan_leaves_validated;
         self.admission_overflows += other.admission_overflows;
         self.batches += other.batches;
         self.batch_ops += other.batch_ops;
         self.batch_txns += other.batch_txns;
         self.combined_ops += other.combined_ops;
+        self.batch_bypasses += other.batch_bypasses;
     }
 }
 
@@ -390,13 +424,15 @@ impl fmt::Display for PathStats {
         )?;
         writeln!(
             f,
-            "scan-lane retries {} escalations {} leaves-validated {}",
-            self.scan_retries, self.scan_escalations, self.scan_leaves_validated
+            "scan-lane retries {} escalations {} snapshots {} leaves-validated {}",
+            self.scan_retries, self.scan_escalations, self.scan_snapshots,
+            self.scan_leaves_validated
         )?;
         writeln!(
             f,
-            "batch-lane batches {} ops {} txns {} combined-ops {}",
-            self.batches, self.batch_ops, self.batch_txns, self.combined_ops
+            "batch-lane batches {} ops {} txns {} combined-ops {} bypasses {}",
+            self.batches, self.batch_ops, self.batch_txns, self.combined_ops,
+            self.batch_bypasses
         )?;
         Ok(())
     }
@@ -480,9 +516,11 @@ mod tests {
         s.record_completed(PathKind::Read);
         s.add_scan_retries(2);
         s.record_scan_escalation();
+        s.record_scan_snapshot();
         s.add_scan_leaves_validated(17);
         assert_eq!(s.scan_retries(), 2);
         assert_eq!(s.scan_escalations(), 1);
+        assert_eq!(s.scan_snapshots(), 1);
         assert_eq!(s.scan_leaves_validated(), 17);
         // The scan lane is counters-only: no new PathKind, optimistic
         // scans complete on the read lane.
@@ -492,8 +530,10 @@ mod tests {
         t.merge(&s);
         assert_eq!(t.scan_retries(), 4);
         assert_eq!(t.scan_escalations(), 2);
+        assert_eq!(t.scan_snapshots(), 2);
         assert_eq!(t.scan_leaves_validated(), 34);
         assert!(s.to_string().contains("scan-lane retries 2"));
+        assert!(s.to_string().contains("snapshots 1"));
     }
 
     #[test]
@@ -504,10 +544,12 @@ mod tests {
         s.record_completed_n(PathKind::Fast, 8);
         s.record_completed_n(PathKind::Fallback, 4);
         s.add_combined_ops(5);
+        s.record_batch_bypass();
         assert_eq!(s.batches(), 2);
         assert_eq!(s.batch_ops(), 12);
         assert_eq!(s.batch_txns(), 3);
         assert_eq!(s.combined_ops(), 5);
+        assert_eq!(s.batch_bypasses(), 1);
         assert!((s.mean_batch_size() - 6.0).abs() < 1e-12);
         assert_eq!(s.total_completed(), 12);
         let mut t = PathStats::new();
@@ -517,7 +559,9 @@ mod tests {
         assert_eq!(t.batch_ops(), 24);
         assert_eq!(t.batch_txns(), 6);
         assert_eq!(t.combined_ops(), 10);
+        assert_eq!(t.batch_bypasses(), 2);
         assert!(s.to_string().contains("batch-lane batches 2"));
+        assert!(s.to_string().contains("bypasses 1"));
         assert_eq!(PathStats::new().mean_batch_size(), 0.0);
     }
 

@@ -153,6 +153,14 @@ impl ShardQueue {
         run
     }
 
+    /// Whether the queue currently holds no requests. A momentary answer
+    /// — callers that act on `true` must hold the combiner claim so no
+    /// drain runs behind their back (pushes may still land; they simply
+    /// wait for the next combiner, exactly as if they arrived later).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.q.lock().unwrap().is_empty()
+    }
+
     /// Tries to become this shard's combiner.
     pub(crate) fn try_claim(&self) -> bool {
         !self.combiner.load(Ordering::Relaxed)

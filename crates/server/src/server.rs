@@ -87,11 +87,31 @@ impl KvServer {
         &self.cfg
     }
 
+    /// Test hook: grabs shard `shard`'s combiner claim, as a racing
+    /// combiner would. Returns whether the claim was free.
+    #[doc(hidden)]
+    pub fn queue_try_claim_for_test(&self, shard: usize) -> bool {
+        self.queues[shard].try_claim()
+    }
+
+    /// Test hook: releases shard `shard`'s combiner claim.
+    #[doc(hidden)]
+    pub fn queue_release_for_test(&self, shard: usize) {
+        self.queues[shard].release()
+    }
+
+    /// Test hook: whether shard `shard`'s queue is momentarily empty.
+    #[doc(hidden)]
+    pub fn queue_is_empty_for_test(&self, shard: usize) -> bool {
+        self.queues[shard].is_empty()
+    }
+
     /// Registers the calling thread and returns a submission handle.
     pub fn client(self: &Arc<Self>) -> ServerClient {
         ServerClient {
             h: self.map.handle(),
             srv: Arc::clone(self),
+            local: PathStats::new(),
         }
     }
 }
@@ -113,6 +133,9 @@ impl fmt::Debug for KvServer {
 pub struct ServerClient {
     srv: Arc<KvServer>,
     h: ShardedHandle,
+    /// Front-end-local counters (the queue-bypass lane) merged into
+    /// [`Self::stats`] alongside the tree-level statistics.
+    local: PathStats,
 }
 
 impl ServerClient {
@@ -138,6 +161,34 @@ impl ServerClient {
         let n = ops.len();
         if n == 0 {
             return Vec::new();
+        }
+        // Single-operation bypass: a one-op submission whose shard queue
+        // is empty and whose combiner claim is free gains nothing from
+        // coalescing — there is nothing to coalesce *with* — so execute
+        // it directly on the tree and skip the enqueue/drive machinery
+        // (and its allocation and yield traffic) entirely. The claim is
+        // held across the operation so no combiner drains behind our
+        // back; a group pushed meanwhile simply waits for the next
+        // combiner, as if it had arrived a moment later. A lone point
+        // operation is atomic by itself, so per-group atomicity — the
+        // queue's reason to exist — is vacuous here.
+        if let [op] = ops.as_slice() {
+            let op = *op;
+            let shard = self.srv.map.shard_of(op.key());
+            let q = &self.srv.queues[shard];
+            if q.try_claim() {
+                if q.is_empty() {
+                    let r = match op {
+                        BatchOp::Insert(k, v) => self.h.insert(k, v),
+                        BatchOp::Remove(k) => self.h.remove(k),
+                        BatchOp::Get(k) => self.h.get(k),
+                    };
+                    self.srv.queues[shard].release();
+                    self.local.record_batch_bypass();
+                    return vec![r];
+                }
+                q.release();
+            }
         }
         // Compile the batch: one group per shard, remembering each op's
         // position so replies reassemble in submission order.
@@ -216,9 +267,12 @@ impl ServerClient {
     }
 
     /// Merged path statistics across every shard this client has combined
-    /// on (includes work it executed for other clients).
+    /// on (includes work it executed for other clients), plus this
+    /// client's front-end counters (queue bypasses).
     pub fn stats(&self) -> PathStats {
-        self.h.stats()
+        let mut s = self.h.stats();
+        s.merge(&self.local);
+        s
     }
 
     /// Closed-loop completion: until every own request is answered, try

@@ -295,6 +295,62 @@ fn calm_same_shard_updates_commit_in_k_over_cap_transactions() {
     assert_eq!(srv.map().len(), 32);
 }
 
+/// Single-operation submissions on an idle server skip the queue
+/// entirely: the combiner claim is free and the shard queue empty, so the
+/// op executes directly and only the bypass counter moves — no batch plan
+/// is compiled. Multi-op submissions still travel the queue, and a held
+/// combiner claim disables the bypass.
+#[test]
+fn single_op_submissions_bypass_idle_queues() {
+    let srv = server(
+        ShardBackend::Bst,
+        RouterKind::Range,
+        ExecStrategy::ThreePath,
+        0.0,
+        8,
+    );
+    let mut c = srv.client();
+    assert_eq!(c.insert(7, 70), None);
+    assert_eq!(c.get(7), Some(70));
+    assert_eq!(c.submit(vec![BatchOp::Remove(7)]), vec![Some(70)]);
+    let stats = c.stats();
+    assert_eq!(stats.batch_bypasses(), 3, "all three one-op submissions bypass");
+    assert_eq!(stats.batches(), 0, "no batch plan was compiled");
+
+    // A two-op submission must not bypass even when idle.
+    c.submit(vec![BatchOp::Insert(1, 1), BatchOp::Insert(2, 2)]);
+    let stats = c.stats();
+    assert_eq!(stats.batch_bypasses(), 3);
+    assert!(stats.batches() >= 1, "multi-op submissions travel the queue");
+
+    // With the combiner claim held by someone else, a one-op submission
+    // falls back to the queue; it completes once the claim is released
+    // (here: a racing thread that combines on the shard's behalf).
+    let shard = srv.map().shard_of(42);
+    assert!(srv.queue_try_claim_for_test(shard));
+    std::thread::scope(|s| {
+        let t = {
+            let srv = Arc::clone(&srv);
+            s.spawn(move || {
+                let mut c2 = srv.client();
+                let r = c2.insert(42, 420);
+                (r, c2.stats().batch_bypasses())
+            })
+        };
+        // Release only once the submitter has visibly enqueued — at that
+        // point it has already declined the bypass, so the assertion
+        // below is deterministic.
+        while srv.queue_is_empty_for_test(shard) {
+            std::thread::yield_now();
+        }
+        srv.queue_release_for_test(shard);
+        let (r, bypasses) = t.join().unwrap();
+        assert_eq!(r, None);
+        assert_eq!(bypasses, 0, "held claim must disable the bypass");
+    });
+    assert_eq!(srv.map().len(), 3);
+}
+
 /// Construction rejects maps without the batch entry point and degenerate
 /// tuning with typed errors.
 #[test]

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 use threepath::abtree::{AbTree, AbTreeConfig};
 use threepath::bst::{Bst, BstConfig};
-use threepath::core::Strategy as ExecStrategy;
+use threepath::core::{merge_subranges, Strategy as ExecStrategy};
 use threepath::htm::HtmConfig;
 use threepath::kcas::KcasList;
 use threepath::sharded::{RouterKind, ShardBackend, ShardedConfig, ShardedMap};
@@ -140,6 +140,37 @@ proptest! {
         prop_assert_eq!(map.key_sum(), want_sum);
         let want: Vec<(u64, u64)> = oracle.into_iter().collect();
         prop_assert_eq!(map.collect(), want);
+    }
+
+    /// The hole-repair interval algebra behind partial rescans: merging
+    /// arbitrary subranges — adjacent, overlapping, swallowed, inverted,
+    /// empty — must preserve exactly the covered points (brute-force
+    /// membership oracle over the small universe), emit a minimal sorted
+    /// disjoint list, and be a fixpoint (re-merging the output is a
+    /// no-op, so repeated repair rounds cannot oscillate).
+    #[test]
+    fn merge_subranges_matches_coverage_oracle(
+        ranges in proptest::collection::vec((0..48u64, 0..48u64), 0..24),
+    ) {
+        let merged = merge_subranges(ranges.clone());
+        let covered = |set: &[(u64, u64)], x: u64| set.iter().any(|&(lo, hi)| lo <= x && x < hi);
+        for x in 0..48u64 {
+            prop_assert_eq!(
+                covered(&merged, x),
+                covered(&ranges, x),
+                "coverage differs at {}", x
+            );
+        }
+        for &(lo, hi) in &merged {
+            prop_assert!(lo < hi, "empty subrange survived: [{}, {})", lo, hi);
+        }
+        for w in merged.windows(2) {
+            prop_assert!(
+                w[0].1 < w[1].0,
+                "adjacent or overlapping output: {:?} then {:?}", w[0], w[1]
+            );
+        }
+        prop_assert_eq!(merge_subranges(merged.clone()), merged, "not a fixpoint");
     }
 
     #[test]

@@ -33,6 +33,7 @@ use common::StopOnDrop;
 use threepath::core::{PathKind, PathStats, Strategy};
 use threepath::htm::{HtmConfig, SplitMix64};
 use threepath::sharded::{RouterKind, ShardBackend, ShardTree, ShardedConfig, ShardedMap};
+use threepath::workload::{run_trial, Structure, TrialSpec, Workload};
 
 /// Whole key space; see the region map in [`race`].
 const KEY_SPACE: u64 = 512;
@@ -316,6 +317,75 @@ fn sharded_scanners_race_updaters() {
             }
         });
         map.validate().unwrap();
+    }
+}
+
+/// Acceptance criterion (snapshot tier): a sustained-churn `ScanHeavy`
+/// trial whose scans are long (`scan_len` ≥ 1000) completes every scan
+/// transaction-free. Scans whose validation ladder the churn defeats are
+/// rescued by the wait-free snapshot tier and counted as
+/// `scan_snapshots`; none may degrade into a `run_op` transaction
+/// (`scan_escalations == 0`), so the read lane carries exactly one
+/// completion per scan.
+#[test]
+fn sustained_churn_scan_heavy_trial_is_transaction_free() {
+    for structure in [Structure::Bst, Structure::AbTree] {
+        let mut snapshots = 0u64;
+        // The BST's validation sets are node-granular, so a long scan's
+        // tiers each span scheduler slices and churn defeats the whole
+        // ladder regularly; the rescue must fire. The ladder only
+        // exhausts when the scheduler interleaves churn into *every*
+        // tier of one scan, which is probabilistic, so repeat short
+        // trials until a rescue is observed (in practice the first
+        // trial). The (a,b)-tree's leaf-granular sets are ~16x smaller
+        // and its repair rounds run in microseconds, so on a small host
+        // the ladder may simply never exhaust — its rescue path is
+        // covered deterministically by the in-crate snapshot test; here
+        // it contributes the acceptance property itself (zero
+        // transactional escalations under churn).
+        let require_rescue = matches!(structure, Structure::Bst);
+        let seeds: u64 = if require_rescue { 6 } else { 1 };
+        for seed in 1..=seeds {
+            let spec = TrialSpec {
+                structure,
+                strategy: Strategy::ThreePath,
+                threads: 4,
+                duration: std::time::Duration::from_millis(250),
+                key_range: 40_000,
+                workload: Workload::ScanHeavy {
+                    scan_pct: 10,
+                    scan_len: 20_000,
+                },
+                read_probe: Some(threepath::core::ReadBoundConfig {
+                    epoch_ops: 2,
+                    ladder: vec![2],
+                    ..threepath::core::ReadBoundConfig::default()
+                }),
+                seed,
+                ..TrialSpec::default()
+            };
+            let r = run_trial(&spec);
+            assert!(r.keysum_ok, "{structure}: keysum diverged");
+            assert!(r.scan_ops > 0, "{structure}: trial ran no scans");
+            assert_eq!(
+                r.stats.scan_escalations(),
+                0,
+                "{structure}: a long scan escalated into a transaction"
+            );
+            assert_eq!(
+                r.stats.completed(PathKind::Read),
+                r.scan_ops,
+                "{structure}: scans must complete on the read lane only"
+            );
+            snapshots += r.stats.scan_snapshots();
+            if snapshots > 0 {
+                break;
+            }
+        }
+        assert!(
+            !require_rescue || snapshots > 0,
+            "{structure}: churn never drove a scan into the snapshot tier"
+        );
     }
 }
 
