@@ -32,12 +32,21 @@
 //!   paper's 10/10, the storm-optimal 1/1, and a deep 20/20) under a calm
 //!   mix and an injected 85%-spurious abort storm. Adaptive should track
 //!   the best fixed budget in each regime without knowing it in advance.
+//! * **persist A/B** — the update-heavy sharded workload with durability
+//!   off, group-committed (fsync every 64 records), and fsync-per-record.
+//!   The volatile arm doubles as the zero-cost guard (it must log
+//!   nothing); the fsync sweep prices the WAL's policy knob.
+//! * **recovery** — cold-start `ShardedMap::recover` timing over a known
+//!   key population, WAL-only replay vs snapshot-bounded replay. The
+//!   per-trial recovery wall time feeds the latency histogram, so the
+//!   JSON's `recovery/…` percentiles are real measurements.
 //!
 //! Writes `BENCH_micro.json` (series → ops/s, abort mix, pool hit rate)
 //! at the workspace root alongside the printed tables. Scale with
 //! `THREEPATH_*` variables or `THREEPATH_SMOKE=1` (see crate docs).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use criterion::{Criterion};
 
@@ -45,12 +54,16 @@ use threepath_bench::{
     bench_record, measure_server_spec, measure_spec, write_bench_json, BenchEnv, BenchRecord,
 };
 use threepath_bst::{Bst, BstConfig};
-use threepath_core::{BudgetConfig, PathKind, PathLimits, ProbeConfig, ReadBoundConfig, Strategy};
+use threepath_core::{
+    BudgetConfig, PathKind, PathLimits, PathStats, ProbeConfig, ReadBoundConfig, Strategy,
+};
 use threepath_htm::{HtmConfig, HtmRuntime, TxCell};
 use threepath_llxscx::{LlxResult, ScxArgs, ScxEngine, ScxHeader};
-use threepath_reclaim::{Domain, ReclaimMode};
+use threepath_reclaim::{Domain, PoolStats, ReclaimMode};
+use threepath_sharded::{FsyncPolicy, PersistConfig, ShardedConfig, ShardedMap};
 use threepath_workload::{
-    average, run_trial, KeyDist, ServerTrialSpec, ShardBackend, Structure, TrialSpec, Workload,
+    average, run_trial, KeyDist, LatencyReport, PersistSpec, ServerTrialSpec, ShardBackend,
+    Structure, TrialSpec, Workload,
 };
 
 fn bench_htm_primitives(c: &mut Criterion) {
@@ -718,6 +731,190 @@ fn batch_ab(env: &BenchEnv, records: &mut Vec<BenchRecord>) {
     }
 }
 
+/// Removes the auto-named per-trial persistence directories this process
+/// created under the system temp dir (the trial runner invents one per
+/// map build so repeated trials never clobber each other's manifests).
+fn clean_trial_dirs() {
+    let prefix = format!("threepath-trial-{}-", std::process::id());
+    if let Ok(rd) = std::fs::read_dir(std::env::temp_dir()) {
+        for e in rd.flatten() {
+            if e.file_name().to_string_lossy().starts_with(&prefix) {
+                let _ = std::fs::remove_dir_all(e.path());
+            }
+        }
+    }
+}
+
+/// Durability A/B: the same update-heavy sharded workload with the WAL
+/// off, group-committed, and fsync-per-record. The volatile arm is the
+/// zero-cost guard — a map built with `persist: None` must log nothing —
+/// and the two persistent arms price the fsync-policy knob: group commit
+/// amortizes the sync over 64 committed records, `Always` pays one per
+/// record (the bound a machine-crash durability story would pay).
+fn persist_ab(env: &BenchEnv, records: &mut Vec<BenchRecord>) {
+    println!("\n== persist A/B: volatile vs group-commit WAL vs fsync-always (sharded BST) ==");
+    println!(
+        "{:<28} {:>7} {:>14} {:>9} {:>11} {:>10}",
+        "series", "threads", "ops/s", "vs off", "wal recs", "snapshots"
+    );
+    const SHARDS: usize = 4;
+    let structure = Structure::ShardedBst { shards: SHARDS };
+    let key_range = ((structure.paper_key_range() as f64 * env.scale) as u64).max(256);
+    let threads = env.max_threads();
+    let base = TrialSpec {
+        structure,
+        strategy: Strategy::ThreePath,
+        threads,
+        duration: env.duration,
+        key_range,
+        ..TrialSpec::default()
+    };
+    let arms: [(&str, Option<PersistSpec>); 3] = [
+        ("volatile", None),
+        (
+            "group",
+            Some(PersistSpec {
+                fsync: FsyncPolicy::EveryN(64),
+                ..PersistSpec::default()
+            }),
+        ),
+        (
+            "always",
+            Some(PersistSpec {
+                fsync: FsyncPolicy::Always,
+                ..PersistSpec::default()
+            }),
+        ),
+    ];
+    let mut volatile_tp = 0.0;
+    for (label, persist) in arms {
+        let persistent = persist.is_some();
+        let r = measure_spec(
+            env,
+            &TrialSpec {
+                persist,
+                ..base.clone()
+            },
+        );
+        if persistent {
+            assert!(r.stats.wal_records() > 0, "persistent arm never logged");
+        } else {
+            assert_eq!(r.stats.wal_records(), 0, "volatile arm touched the WAL");
+            volatile_tp = r.throughput;
+        }
+        println!(
+            "{:<28} {:>7} {:>14.0} {:>8.2}x {:>11} {:>10}",
+            format!("bst{SHARDS}/update-heavy/{label}"),
+            threads,
+            r.throughput,
+            r.throughput / volatile_tp,
+            r.stats.wal_records(),
+            r.stats.wal_snapshots()
+        );
+        records.push(bench_record(
+            format!("persist-ab/bst{SHARDS}/{label}/{threads}t"),
+            &r,
+        ));
+    }
+    clean_trial_dirs();
+}
+
+/// Recovery timing: build a persistent sharded map, insert a known key
+/// population, drop the map (releasing the shard logs), then time
+/// `ShardedMap::recover` from cold. Two arms: WAL-only replay (every
+/// record re-executed) and snapshot-bounded replay (load the snapshot,
+/// replay only the short tail). `ops_per_sec` counts recovery work items
+/// (snapshot pairs loaded + operations replayed) per second, and every
+/// trial's recovery wall time feeds the latency histogram — the
+/// `recovery/…` JSON series is the repo's durability-restart budget.
+fn recovery_bench(env: &BenchEnv, records: &mut Vec<BenchRecord>) {
+    println!("\n== recovery: cold start from WAL-only vs snapshot+tail (sharded BST) ==");
+    println!(
+        "{:<26} {:>8} {:>10} {:>10} {:>11} {:>13}",
+        "series", "keys", "snap", "replayed", "recover ms", "items/s"
+    );
+    const SHARDS: usize = 4;
+    let keys: u64 = if env.smoke { 2_000 } else { 50_000 };
+    let snapshot_period = if env.smoke { 128 } else { 1024 };
+    for (label, snapshot_every) in [("wal-only", None), ("snapshots", Some(snapshot_period))] {
+        let dir = std::env::temp_dir().join(format!(
+            "threepath-recovery-{}-{label}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ShardedConfig {
+            shards: SHARDS,
+            key_space: keys.max(SHARDS as u64),
+            persist: Some(PersistConfig {
+                // write() suffices: recovery replays the page cache, and
+                // nothing in this bench kills the machine.
+                fsync: FsyncPolicy::Never,
+                snapshot_every,
+                ..PersistConfig::new(&dir)
+            }),
+            ..ShardedConfig::default()
+        };
+        let map = Arc::new(ShardedMap::with_config(cfg.clone()).expect("valid recovery bench config"));
+        let mut h = map.handle();
+        // Scattered insertion order (48271 is prime and coprime with both
+        // key counts): sequential keys would degenerate the unbalanced
+        // external BST during the load phase and measure list-walking,
+        // not recovery.
+        for i in 0..keys {
+            let k = (i * 48271) % keys;
+            h.insert(k, k);
+        }
+        drop(h);
+        drop(map); // close the shard logs so recovery reopens them cold
+        let expect_sum = u128::from(keys) * u128::from(keys - 1) / 2;
+        let mut latency = LatencyReport::new();
+        let mut elapsed_total = 0.0f64;
+        let mut items_total = 0u64;
+        let mut last_reports = Vec::new();
+        for _ in 0..env.trials.max(1) {
+            let start = Instant::now();
+            let (recovered, reports) =
+                ShardedMap::recover(&dir, cfg.clone()).expect("recovery failed");
+            let dt = start.elapsed();
+            assert_eq!(recovered.len(), keys as usize, "recovery lost keys");
+            assert_eq!(recovered.key_sum(), expect_sum, "recovery key sum drifted");
+            latency.update.record(dt);
+            elapsed_total += dt.as_secs_f64();
+            items_total += reports
+                .iter()
+                .map(|r| r.snapshot_pairs as u64 + r.ops_replayed)
+                .sum::<u64>();
+            last_reports = reports;
+        }
+        let replayed: u64 = last_reports.iter().map(|r| r.records_replayed).sum();
+        let snap_pairs: usize = last_reports.iter().map(|r| r.snapshot_pairs).sum();
+        if snapshot_every.is_some() {
+            assert!(snap_pairs > 0, "snapshot arm never installed a snapshot");
+        } else {
+            assert_eq!(snap_pairs, 0, "wal-only arm loaded a snapshot");
+        }
+        let trials = env.trials.max(1) as f64;
+        let items_per_sec = items_total as f64 / elapsed_total.max(1e-9);
+        println!(
+            "{:<26} {:>8} {:>10} {:>10} {:>11.2} {:>13.0}",
+            format!("bst{SHARDS}/{label}"),
+            keys,
+            snap_pairs,
+            replayed,
+            elapsed_total * 1e3 / trials,
+            items_per_sec
+        );
+        records.push(BenchRecord {
+            name: format!("recovery/bst{SHARDS}/{label}"),
+            ops_per_sec: items_per_sec,
+            stats: PathStats::new(),
+            pool: PoolStats::default(),
+            latency,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 fn main() {
     let mut c = Criterion::default()
         .sample_size(20)
@@ -737,5 +934,7 @@ fn main() {
     budget_ab(&env, &mut records);
     admission_ab(&env, &mut records);
     batch_ab(&env, &mut records);
+    persist_ab(&env, &mut records);
+    recovery_bench(&env, &mut records);
     write_bench_json("micro", &records);
 }

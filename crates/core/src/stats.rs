@@ -145,6 +145,14 @@ pub struct PathStats {
     /// directly — the shard's combiner claim was free and its queue empty,
     /// so the op skipped the enqueue/drain machinery entirely.
     batch_bypasses: u64,
+    /// Write-ahead-log records this thread appended (durability layer;
+    /// zero on volatile maps). One record per executed update plan.
+    wal_records: u64,
+    /// Frame bytes those appends wrote.
+    wal_bytes: u64,
+    /// Shard snapshots this thread installed (each also truncated the
+    /// shard's log).
+    wal_snapshots: u64,
 }
 
 impl PathStats {
@@ -365,6 +373,35 @@ impl PathStats {
         self.batch_bypasses
     }
 
+    /// Records write-ahead-log appends: `records` records totalling
+    /// `bytes` frame bytes (durability layer). A flat-combined batch run
+    /// appends several records under one log lock hold, so this takes
+    /// the delta rather than assuming one record per call.
+    pub fn record_wal_appends(&mut self, records: u64, bytes: u64) {
+        self.wal_records += records;
+        self.wal_bytes += bytes;
+    }
+
+    /// Records an installed shard snapshot (durability layer).
+    pub fn record_wal_snapshot(&mut self) {
+        self.wal_snapshots += 1;
+    }
+
+    /// Write-ahead-log records appended.
+    pub fn wal_records(&self) -> u64 {
+        self.wal_records
+    }
+
+    /// Write-ahead-log frame bytes appended.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes
+    }
+
+    /// Shard snapshots installed.
+    pub fn wal_snapshots(&self) -> u64 {
+        self.wal_snapshots
+    }
+
     /// Mean operations per executed batch (0 when no batches ran).
     pub fn mean_batch_size(&self) -> f64 {
         if self.batches == 0 {
@@ -393,6 +430,9 @@ impl PathStats {
         self.batch_txns += other.batch_txns;
         self.combined_ops += other.combined_ops;
         self.batch_bypasses += other.batch_bypasses;
+        self.wal_records += other.wal_records;
+        self.wal_bytes += other.wal_bytes;
+        self.wal_snapshots += other.wal_snapshots;
     }
 }
 
@@ -434,6 +474,13 @@ impl fmt::Display for PathStats {
             self.batches, self.batch_ops, self.batch_txns, self.combined_ops,
             self.batch_bypasses
         )?;
+        if self.wal_records > 0 {
+            writeln!(
+                f,
+                "wal-lane records {} bytes {} snapshots {}",
+                self.wal_records, self.wal_bytes, self.wal_snapshots
+            )?;
+        }
         Ok(())
     }
 }

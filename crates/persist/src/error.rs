@@ -1,0 +1,152 @@
+//! The typed durability error surface. Recovery **never panics on bad
+//! bytes**: every malformed byte sequence maps to one of these variants
+//! (or to silent tail truncation when the damage is the expected
+//! signature of a crashed append).
+
+use std::fmt;
+use std::io;
+
+/// Error from the persistence layer. `Clone + PartialEq` so it can ride
+/// inside `threepath_sharded::ConfigError` (io errors are captured as
+/// `(ErrorKind, message)` rather than the non-cloneable `io::Error`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// An operating-system I/O failure, annotated with the operation and
+    /// path so a failed recovery names the exact file.
+    Io {
+        /// What the layer was doing ("open wal", "fsync dir", ...).
+        op: &'static str,
+        /// The file or directory involved.
+        path: String,
+        /// The underlying `io::ErrorKind`.
+        kind: io::ErrorKind,
+        /// The rendered OS error message.
+        msg: String,
+    },
+    /// A structurally *valid-checksum* record violates the format: a
+    /// sequence-number gap, an unknown op tag, or a payload whose length
+    /// disagrees with its op count. Unlike a torn tail (truncated
+    /// silently), this cannot be produced by a crashed append and fails
+    /// closed.
+    CorruptRecord {
+        /// The log file.
+        path: String,
+        /// Byte offset of the offending record.
+        offset: u64,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// A snapshot file whose header, body, or trailing checksum is
+    /// malformed. Snapshots are written atomically (temp + rename), so
+    /// unlike the log tail there is no benign torn state to absorb.
+    CorruptSnapshot {
+        /// The snapshot file.
+        path: String,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// The snapshot and log disagree about where the log begins: the
+    /// log's `base_seq` is beyond the snapshot's covered sequence (or a
+    /// snapshot exists that the log's lineage cannot have produced), so
+    /// replaying would silently skip committed updates.
+    SnapshotMismatch {
+        /// The file whose header exposed the disagreement.
+        path: String,
+        /// The log's base sequence number.
+        log_base: u64,
+        /// The snapshot's covered sequence number (0 when absent).
+        snapshot_seq: u64,
+    },
+    /// The file carries a recognized magic but a format version this
+    /// build does not speak — fail closed rather than misparse.
+    VersionSkew {
+        /// The file.
+        path: String,
+        /// Version found in the header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The file does not start with the expected magic — it is not one
+    /// of ours (or the header itself was destroyed).
+    BadMagic {
+        /// The file.
+        path: String,
+    },
+    /// A fresh persistent map was asked to initialize a directory that
+    /// already holds shard state. Creating would clobber it; use
+    /// `recover` instead.
+    WouldClobber {
+        /// The pre-existing file.
+        path: String,
+    },
+    /// The directory's manifest disagrees with the configured map layout
+    /// (shard count, backend, router, or key space). Replaying a log
+    /// under a different partition would scatter keys to wrong shards.
+    ManifestMismatch {
+        /// Which layout field disagrees.
+        field: &'static str,
+        /// Value recorded in the manifest.
+        stored: u64,
+        /// Value in the supplied configuration.
+        configured: u64,
+    },
+    /// `recover` was called without a persistence configuration.
+    NotPersisted,
+    /// Degenerate persistence tuning (e.g. `fsync: EveryN(0)` or
+    /// `snapshot_every: Some(0)`).
+    InvalidConfig(&'static str),
+    /// A [`FailPoints`](crate::FailPoints) hook fired in the log writer —
+    /// test-only by construction, surfaced as an error so harnesses can
+    /// observe exactly where the injected fault landed.
+    Injected {
+        /// The fail point that fired.
+        point: &'static str,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { op, path, kind, msg } => {
+                write!(f, "i/o failure during {op} on {path}: {msg} ({kind:?})")
+            }
+            PersistError::CorruptRecord { path, offset, reason } => write!(
+                f,
+                "corrupt log record in {path} at byte {offset}: {reason}"
+            ),
+            PersistError::CorruptSnapshot { path, reason } => {
+                write!(f, "corrupt snapshot {path}: {reason}")
+            }
+            PersistError::SnapshotMismatch { path, log_base, snapshot_seq } => write!(
+                f,
+                "snapshot/log disagree in {path}: log starts after seq {log_base} but the \
+                 snapshot covers up to seq {snapshot_seq}"
+            ),
+            PersistError::VersionSkew { path, found, supported } => write!(
+                f,
+                "{path} has format version {found}; this build supports version {supported}"
+            ),
+            PersistError::BadMagic { path } => {
+                write!(f, "{path} does not carry a threepath persistence magic")
+            }
+            PersistError::WouldClobber { path } => write!(
+                f,
+                "{path} already exists; building a fresh persistent map would clobber it \
+                 (use recover to resume)"
+            ),
+            PersistError::ManifestMismatch { field, stored, configured } => write!(
+                f,
+                "manifest mismatch on {field}: directory was written with {stored}, \
+                 configuration says {configured}"
+            ),
+            PersistError::NotPersisted => {
+                f.write_str("recover requires a persistence configuration (persist was None)")
+            }
+            PersistError::InvalidConfig(why) => write!(f, "invalid persistence tuning: {why}"),
+            PersistError::Injected { point } => write!(f, "injected fault at `{point}`"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}

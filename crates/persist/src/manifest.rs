@@ -1,0 +1,142 @@
+//! The directory manifest: the map layout the shard files were written
+//! under. Recovery refuses to replay logs into a differently-partitioned
+//! map — the same bytes would scatter keys to the wrong shards.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::{crc32c, io_err, sync_dir, PersistError, FORMAT_VERSION};
+
+const MAGIC: &[u8; 4] = b"3PMF";
+/// magic + version + shards + backend + router + key_space + crc
+const LEN: usize = 4 + 4 + 4 + 4 + 4 + 8 + 4;
+
+/// The layout a persistence directory was created under. The `backend`
+/// and `router` fields are opaque tags supplied by the sharded layer
+/// (this crate never interprets them — it only insists they match on
+/// recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Manifest {
+    /// Shard count.
+    pub shards: u32,
+    /// Backend tag (sharded-layer defined).
+    pub backend: u32,
+    /// Router tag (sharded-layer defined).
+    pub router: u32,
+    /// Configured key-space bound.
+    pub key_space: u64,
+}
+
+/// The manifest file inside `dir`.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("manifest")
+}
+
+/// Writes `m` as `dir/manifest` (temp file + fsync + atomic rename).
+/// Fails with [`PersistError::WouldClobber`] if a manifest already
+/// exists.
+pub fn write_manifest(dir: &Path, m: &Manifest) -> Result<(), PersistError> {
+    let path = manifest_path(dir);
+    if path.exists() {
+        return Err(PersistError::WouldClobber {
+            path: path.display().to_string(),
+        });
+    }
+    let mut buf = Vec::with_capacity(LEN);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&m.shards.to_le_bytes());
+    buf.extend_from_slice(&m.backend.to_le_bytes());
+    buf.extend_from_slice(&m.router.to_le_bytes());
+    buf.extend_from_slice(&m.key_space.to_le_bytes());
+    let crc = crc32c(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+
+    let tmp = dir.join("manifest.tmp");
+    fs::write(&tmp, &buf).map_err(|e| io_err("write manifest", &tmp, e))?;
+    let f = fs::File::open(&tmp).map_err(|e| io_err("reopen manifest", &tmp, e))?;
+    f.sync_all().map_err(|e| io_err("fsync manifest", &tmp, e))?;
+    fs::rename(&tmp, &path).map_err(|e| io_err("rename manifest", &tmp, e))?;
+    sync_dir(dir)
+}
+
+/// Reads and validates `dir/manifest`. `Ok(None)` when absent.
+pub fn read_manifest(dir: &Path) -> Result<Option<Manifest>, PersistError> {
+    let path = manifest_path(dir);
+    let buf = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err("read manifest", &path, e)),
+    };
+    let disp = || path.display().to_string();
+    if buf.len() != LEN {
+        return Err(PersistError::CorruptSnapshot {
+            path: disp(),
+            reason: "manifest has the wrong length",
+        });
+    }
+    if &buf[0..4] != MAGIC {
+        return Err(PersistError::BadMagic { path: disp() });
+    }
+    let stored_crc = u32::from_le_bytes(buf[LEN - 4..].try_into().unwrap());
+    if crc32c(&buf[..LEN - 4]) != stored_crc {
+        return Err(PersistError::CorruptSnapshot {
+            path: disp(),
+            reason: "manifest checksum mismatch",
+        });
+    }
+    let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(PersistError::VersionSkew {
+            path: disp(),
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    Ok(Some(Manifest {
+        shards: u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+        backend: u32::from_le_bytes(buf[12..16].try_into().unwrap()),
+        router: u32::from_le_bytes(buf[16..20].try_into().unwrap()),
+        key_space: u64::from_le_bytes(buf[20..28].try_into().unwrap()),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::test_dir;
+
+    #[test]
+    fn round_trips_and_rejects_damage() {
+        let dir = test_dir("manifest");
+        let m = Manifest { shards: 4, backend: 1, router: 0, key_space: 1 << 20 };
+        assert_eq!(read_manifest(&dir).unwrap(), None);
+        write_manifest(&dir, &m).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), Some(m));
+        // A second write would clobber.
+        assert!(matches!(
+            write_manifest(&dir, &m),
+            Err(PersistError::WouldClobber { .. })
+        ));
+        // Flip one byte: checksum mismatch, typed error, no panic.
+        let path = manifest_path(&dir);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[9] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_manifest(&dir),
+            Err(PersistError::CorruptSnapshot { .. })
+        ));
+        // A future format version fails closed.
+        bytes[9] ^= 0x40;
+        bytes[4] = 9;
+        let crc = crc32c(&bytes[..LEN - 4]);
+        bytes[LEN - 4..].copy_from_slice(&crc.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_manifest(&dir),
+            Err(PersistError::VersionSkew { found: 9, .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

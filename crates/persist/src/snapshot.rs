@@ -1,0 +1,138 @@
+//! Snapshot files: a shard's full pair set at a covered sequence number.
+//! Written atomically (temp file, fsync, rename, directory fsync), so a
+//! snapshot either exists completely or not at all — recovery never has
+//! to absorb a torn snapshot the way it absorbs a torn log tail.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::{crc32c, io_err, sync_dir, PersistError, FORMAT_VERSION};
+
+const MAGIC: &[u8; 4] = b"3PSN";
+/// magic + version + shard + covered seq + pair count
+const HEADER_LEN: usize = 4 + 4 + 4 + 8 + 8;
+
+/// The snapshot file for `shard` inside `dir`.
+pub fn snapshot_path(dir: &Path, shard: u32) -> PathBuf {
+    dir.join(format!("shard-{shard}.snap"))
+}
+
+/// Writes a snapshot of `pairs` covering all records up to and including
+/// `seq`, atomically replacing any previous snapshot for `shard`.
+pub fn write_snapshot(
+    dir: &Path,
+    shard: u32,
+    seq: u64,
+    pairs: &[(u64, u64)],
+) -> Result<(), PersistError> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + pairs.len() * 16 + 4);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&shard.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+    for &(k, v) in pairs {
+        buf.extend_from_slice(&k.to_le_bytes());
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    let crc = crc32c(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+
+    let path = snapshot_path(dir, shard);
+    let tmp = dir.join(format!("shard-{shard}.snap.tmp"));
+    fs::write(&tmp, &buf).map_err(|e| io_err("write snapshot", &tmp, e))?;
+    let f = fs::File::open(&tmp).map_err(|e| io_err("reopen snapshot", &tmp, e))?;
+    f.sync_all().map_err(|e| io_err("fsync snapshot", &tmp, e))?;
+    fs::rename(&tmp, &path).map_err(|e| io_err("rename snapshot", &tmp, e))?;
+    sync_dir(dir)
+}
+
+/// Reads and validates `shard`'s snapshot. `Ok(None)` when the shard has
+/// never snapshotted; any malformed byte is a typed error, never a
+/// panic. Returns the covered sequence number and the pairs.
+#[allow(clippy::type_complexity)]
+pub fn read_snapshot(
+    dir: &Path,
+    shard: u32,
+) -> Result<Option<(u64, Vec<(u64, u64)>)>, PersistError> {
+    let path = snapshot_path(dir, shard);
+    let buf = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err("read snapshot", &path, e)),
+    };
+    let disp = || path.display().to_string();
+    let corrupt = |reason| PersistError::CorruptSnapshot { path: disp(), reason };
+    if buf.len() < HEADER_LEN + 4 {
+        return Err(corrupt("shorter than a snapshot header"));
+    }
+    if &buf[0..4] != MAGIC {
+        return Err(PersistError::BadMagic { path: disp() });
+    }
+    let stored_crc = u32::from_le_bytes(buf[buf.len() - 4..].try_into().unwrap());
+    if crc32c(&buf[..buf.len() - 4]) != stored_crc {
+        return Err(corrupt("body checksum mismatch"));
+    }
+    let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(PersistError::VersionSkew {
+            path: disp(),
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let stored_shard = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    if stored_shard != shard {
+        return Err(corrupt("snapshot belongs to a different shard"));
+    }
+    let seq = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+    let count = u64::from_le_bytes(buf[20..28].try_into().unwrap());
+    let body = &buf[HEADER_LEN..buf.len() - 4];
+    if body.len() as u64 != count * 16 {
+        return Err(corrupt("pair count disagrees with body length"));
+    }
+    let mut pairs = Vec::with_capacity(count as usize);
+    for chunk in body.chunks_exact(16) {
+        pairs.push((
+            u64::from_le_bytes(chunk[..8].try_into().unwrap()),
+            u64::from_le_bytes(chunk[8..].try_into().unwrap()),
+        ));
+    }
+    Ok(Some((seq, pairs)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::test_dir;
+
+    #[test]
+    fn round_trips_replaces_and_rejects_damage() {
+        let dir = test_dir("snapshot");
+        assert_eq!(read_snapshot(&dir, 0).unwrap(), None);
+        write_snapshot(&dir, 0, 10, &[(1, 2), (3, 4)]).unwrap();
+        assert_eq!(read_snapshot(&dir, 0).unwrap(), Some((10, vec![(1, 2), (3, 4)])));
+        // A newer snapshot atomically replaces the old one.
+        write_snapshot(&dir, 0, 25, &[(5, 6)]).unwrap();
+        assert_eq!(read_snapshot(&dir, 0).unwrap(), Some((25, vec![(5, 6)])));
+        // Wrong shard index in the header is detected.
+        write_snapshot(&dir, 7, 3, &[]).unwrap();
+        let wrong = snapshot_path(&dir, 7);
+        fs::rename(&wrong, snapshot_path(&dir, 8)).unwrap();
+        assert!(matches!(
+            read_snapshot(&dir, 8),
+            Err(PersistError::CorruptSnapshot { reason: "snapshot belongs to a different shard", .. })
+        ));
+        // Bit-flip anywhere in the body: checksum catches it.
+        let path = snapshot_path(&dir, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&dir, 0),
+            Err(PersistError::CorruptSnapshot { reason: "body checksum mismatch", .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -66,4 +66,4 @@
 mod queue;
 mod server;
 
-pub use server::{KvServer, ServerClient, ServerConfig, ServerError};
+pub use server::{KvServer, ServerClient, ServerConfig, ServerError, SubmitError};

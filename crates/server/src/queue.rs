@@ -92,17 +92,38 @@ impl Pending {
 /// One shard's submission queue plus its combiner claim flag. The mutex
 /// guards only push/pop (never held across tree operations); `combiner`
 /// elects the one thread currently allowed to drain and execute, so
-/// plans commit in queue order.
+/// plans commit in queue order. `closed` lives under the same mutex so
+/// that once [`ShardQueue::close`] returns, no further push can ever
+/// land: everything the shutdown drain finds is everything there is.
 #[derive(Debug, Default)]
 pub(crate) struct ShardQueue {
-    q: Mutex<VecDeque<Arc<Pending>>>,
+    q: Mutex<Inner>,
     combiner: AtomicBool,
 }
 
+#[derive(Debug, Default)]
+struct Inner {
+    q: VecDeque<Arc<Pending>>,
+    closed: bool,
+}
+
 impl ShardQueue {
-    /// Enqueues a request at the tail.
-    pub(crate) fn push(&self, p: Arc<Pending>) {
-        self.q.lock().unwrap().push_back(p);
+    /// Enqueues a request at the tail. Returns `false` (leaving the
+    /// request unqueued) once the queue has been closed for shutdown.
+    #[must_use]
+    pub(crate) fn push(&self, p: Arc<Pending>) -> bool {
+        let mut inner = self.q.lock().unwrap();
+        if inner.closed {
+            return false;
+        }
+        inner.q.push_back(p);
+        true
+    }
+
+    /// Closes the queue: every subsequent [`ShardQueue::push`] fails.
+    /// Requests already queued stay queued and still drain.
+    pub(crate) fn close(&self) {
+        self.q.lock().unwrap().closed = true;
     }
 
     /// Pops the next run of whole operation groups — at least one, then
@@ -111,12 +132,13 @@ impl ShardQueue {
     /// never split). When a sub-scan heads the queue, returns that
     /// sub-scan by itself. `None` when the queue is empty.
     pub(crate) fn pop_run(&self, cap: usize) -> Option<Vec<Arc<Pending>>> {
-        let mut q = self.q.lock().unwrap();
+        let mut inner = self.q.lock().unwrap();
+        let q = &mut inner.q;
         let head = q.front()?;
         if matches!(head.req, Request::Range(..)) {
             return Some(vec![q.pop_front().unwrap()]);
         }
-        Some(Self::drain_ops(&mut q, cap))
+        Some(Self::drain_ops(q, cap))
     }
 
     /// Pops the next run of operation groups only — the flat-combining
@@ -124,9 +146,10 @@ impl ShardQueue {
     /// batch's serialized section. `None` when the queue is empty or a
     /// sub-scan heads it.
     pub(crate) fn pop_op_run(&self, cap: usize) -> Option<Vec<Arc<Pending>>> {
-        let mut q = self.q.lock().unwrap();
+        let mut inner = self.q.lock().unwrap();
+        let q = &mut inner.q;
         match q.front() {
-            Some(p) if matches!(p.req, Request::Ops(_)) => Some(Self::drain_ops(&mut q, cap)),
+            Some(p) if matches!(p.req, Request::Ops(_)) => Some(Self::drain_ops(q, cap)),
             _ => None,
         }
     }
@@ -158,7 +181,7 @@ impl ShardQueue {
     /// drain runs behind their back (pushes may still land; they simply
     /// wait for the next combiner, exactly as if they arrived later).
     pub(crate) fn is_empty(&self) -> bool {
-        self.q.lock().unwrap().is_empty()
+        self.q.lock().unwrap().q.is_empty()
     }
 
     /// Tries to become this shard's combiner.
@@ -199,10 +222,22 @@ mod tests {
     }
 
     #[test]
+    fn closing_rejects_pushes_but_drains_the_backlog() {
+        let q = ShardQueue::default();
+        assert!(q.push(ops_group(&[1])));
+        q.close();
+        assert!(!q.push(ops_group(&[2])), "closed queue rejects pushes");
+        // The pre-close backlog still drains.
+        assert_eq!(q.pop_run(8).unwrap().len(), 1);
+        assert!(q.pop_run(8).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn groups_are_never_split() {
         let q = ShardQueue::default();
-        q.push(ops_group(&[1, 2, 3]));
-        q.push(ops_group(&[4, 5, 6]));
+        assert!(q.push(ops_group(&[1, 2, 3])));
+        assert!(q.push(ops_group(&[4, 5, 6])));
         // Cap 4: the second group does not fit, so it must wait whole.
         let run = q.pop_run(4).unwrap();
         assert_eq!(run.len(), 1);
@@ -210,7 +245,7 @@ mod tests {
         let run = q.pop_run(4).unwrap();
         assert_eq!(run.len(), 1);
         // An oversized group still rides alone rather than splitting.
-        q.push(ops_group(&[1, 2, 3, 4, 5, 6, 7]));
+        assert!(q.push(ops_group(&[1, 2, 3, 4, 5, 6, 7])));
         let run = q.pop_run(4).unwrap();
         assert_eq!(run[0].op_count(), 7);
     }
@@ -218,17 +253,17 @@ mod tests {
     #[test]
     fn runs_coalesce_groups_and_isolate_scans() {
         let q = ShardQueue::default();
-        q.push(ops_group(&[1]));
-        q.push(ops_group(&[2, 3]));
-        q.push(Pending::new(Request::Range(0, 10)));
-        q.push(ops_group(&[4]));
+        assert!(q.push(ops_group(&[1])));
+        assert!(q.push(ops_group(&[2, 3])));
+        assert!(q.push(Pending::new(Request::Range(0, 10))));
+        assert!(q.push(ops_group(&[4])));
 
         let run = q.pop_run(8).unwrap();
         assert_eq!(run.len(), 2, "groups coalesce up to the scan");
         let run = q.pop_run(8).unwrap();
         assert!(matches!(run[0].req, Request::Range(0, 10)));
         // The op-only drain refuses to pop a heading scan.
-        q.push(Pending::new(Request::Range(5, 6)));
+        assert!(q.push(Pending::new(Request::Range(5, 6))));
         assert_eq!(q.pop_op_run(8).unwrap().len(), 1);
         assert!(q.pop_op_run(8).is_none());
         assert!(q.pop_run(8).is_some());

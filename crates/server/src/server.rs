@@ -2,10 +2,11 @@
 //! submission handles.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use threepath_core::{BatchOp, PathStats};
-use threepath_sharded::{merge_sorted_runs, ShardedHandle, ShardedMap};
+use threepath_sharded::{merge_sorted_runs, PersistError, ShardedHandle, ShardedMap};
 
 use crate::queue::{Pending, Request, ShardQueue};
 
@@ -53,6 +54,27 @@ impl fmt::Display for ServerError {
 
 impl std::error::Error for ServerError {}
 
+/// Error from [`ServerClient::try_submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The server is shutting down and no longer accepts submissions.
+    /// Groups of this submission that were already enqueued before
+    /// shutdown closed their queues are still applied (whole, atomically
+    /// per shard) by the shutdown drain; their replies are discarded —
+    /// the same applied-but-unacknowledged outcome a crash can produce.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::ShuttingDown => f.write_str("the server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// The serving front-end over a batched [`ShardedMap`]: one submission
 /// queue per shard, shared by every [`ServerClient`]. See the crate docs
 /// for the execution model.
@@ -60,6 +82,7 @@ pub struct KvServer {
     map: Arc<ShardedMap>,
     queues: Vec<ShardQueue>,
     cfg: ServerConfig,
+    stopping: AtomicBool,
 }
 
 impl KvServer {
@@ -74,7 +97,54 @@ impl KvServer {
             return Err(ServerError::NotBatched);
         }
         let queues = (0..map.shard_count()).map(|_| ShardQueue::default()).collect();
-        Ok(KvServer { map, queues, cfg })
+        Ok(KvServer {
+            map,
+            queues,
+            cfg,
+            stopping: AtomicBool::new(false),
+        })
+    }
+
+    /// Whether [`KvServer::shutdown`] has begun: new submissions are
+    /// being rejected.
+    pub fn is_shutting_down(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: rejects all new submissions, drains every
+    /// shard's queue through the combiner (publishing the backlog's
+    /// replies), then flushes and fsyncs every shard's write-ahead log
+    /// when the map is persistent. After this returns, the on-disk state
+    /// reflects every acknowledged update and the map is quiescent —
+    /// safe to drop, or to hand to [`ShardedMap::recover`] in a new
+    /// process. Idempotent; concurrent in-flight submissions either
+    /// complete normally or observe [`SubmitError::ShuttingDown`].
+    pub fn shutdown(&self) -> Result<(), PersistError> {
+        self.stopping.store(true, Ordering::SeqCst);
+        for q in &self.queues {
+            q.close();
+        }
+        // Drain the backlog. A client that still holds a shard's
+        // combiner claim is draining that shard for us; spin until every
+        // queue is observed empty *while we hold its claim* (so nothing
+        // can be mid-drain behind our back — pushes are already closed).
+        let mut h = self.map.handle();
+        for shard in 0..self.queues.len() {
+            loop {
+                if self.queues[shard].try_claim() {
+                    combine_shard(self, &mut h, shard);
+                    let empty = self.queues[shard].is_empty();
+                    self.queues[shard].release();
+                    if empty {
+                        break;
+                    }
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        drop(h);
+        self.map.sync_persist()
     }
 
     /// The underlying map.
@@ -156,11 +226,24 @@ impl ServerClient {
     ///
     /// # Panics
     ///
-    /// Panics if an insert key exceeds the trees' maximum key.
+    /// Panics if an insert key exceeds the trees' maximum key, or if the
+    /// server is shutting down (use [`ServerClient::try_submit`] to
+    /// observe shutdown as data instead).
     pub fn submit(&mut self, ops: Vec<BatchOp>) -> Vec<Option<u64>> {
+        self.try_submit(ops)
+            .expect("submission rejected: the server is shutting down")
+    }
+
+    /// [`ServerClient::submit`], but a server that is shutting down is
+    /// reported as [`SubmitError::ShuttingDown`] instead of a panic. See
+    /// that variant for the fate of a submission racing shutdown.
+    pub fn try_submit(&mut self, ops: Vec<BatchOp>) -> Result<Vec<Option<u64>>, SubmitError> {
         let n = ops.len();
         if n == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
+        }
+        if self.srv.is_shutting_down() {
+            return Err(SubmitError::ShuttingDown);
         }
         // Single-operation bypass: a one-op submission whose shard queue
         // is empty and whose combiner claim is free gains nothing from
@@ -177,6 +260,14 @@ impl ServerClient {
             let shard = self.srv.map.shard_of(op.key());
             let q = &self.srv.queues[shard];
             if q.try_claim() {
+                // Re-check shutdown while holding the claim: the claim
+                // blocks the shutdown drain of this shard, so an update
+                // executed past this check is applied (and logged)
+                // before shutdown's final fsync barrier.
+                if self.srv.is_shutting_down() {
+                    q.release();
+                    return Err(SubmitError::ShuttingDown);
+                }
                 if q.is_empty() {
                     let r = match op {
                         BatchOp::Insert(k, v) => self.h.insert(k, v),
@@ -185,7 +276,7 @@ impl ServerClient {
                     };
                     self.srv.queues[shard].release();
                     self.local.record_batch_bypass();
-                    return vec![r];
+                    return Ok(vec![r]);
                 }
                 q.release();
             }
@@ -205,20 +296,33 @@ impl ServerClient {
         }
         let mut pends = Vec::with_capacity(groups.len());
         let mut positions = Vec::with_capacity(groups.len());
+        let mut rejected = false;
         for (shard, at, plan) in groups {
             let p = Pending::new(Request::Ops(plan));
-            self.srv.queues[shard].push(Arc::clone(&p));
-            pends.push((shard, p));
-            positions.push(at);
+            if self.srv.queues[shard].push(Arc::clone(&p)) {
+                pends.push((shard, p));
+                positions.push(at);
+            } else {
+                // Shutdown closed this queue between our entry check and
+                // the push. Groups already enqueued will still be
+                // drained and applied; wait for them (their replies are
+                // discarded with the error — applied-but-unacknowledged,
+                // like a crash immediately after the log append).
+                rejected = true;
+                break;
+            }
         }
         self.drive(&pends);
+        if rejected {
+            return Err(SubmitError::ShuttingDown);
+        }
         let mut out = vec![None; n];
         for (at, (_, p)) in positions.iter().zip(&pends) {
             for (&i, r) in at.iter().zip(p.take_replies()) {
                 out[i] = r;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Inserts or updates `key` through the submission queue, returning
@@ -243,16 +347,27 @@ impl ServerClient {
     /// or sort-merge into one ascending sequence. Like the direct
     /// [`ShardedHandle::range_query`], a query spanning multiple shards
     /// is not a single atomic snapshot of the whole map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is shutting down.
     pub fn range_query(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        assert!(
+            !self.srv.is_shutting_down(),
+            "range query rejected: the server is shutting down"
+        );
         let plan = self.srv.map.router().shards_for_range(lo, hi);
-        let pends: Vec<(usize, Arc<Pending>)> = plan
-            .iter()
-            .map(|&(shard, _, _)| {
-                let p = Pending::new(Request::Range(lo, hi));
-                self.srv.queues[shard].push(Arc::clone(&p));
-                (shard, p)
-            })
-            .collect();
+        let mut pends: Vec<(usize, Arc<Pending>)> = Vec::with_capacity(plan.len());
+        for &(shard, _, _) in &plan {
+            let p = Pending::new(Request::Range(lo, hi));
+            if !self.srv.queues[shard].push(Arc::clone(&p)) {
+                // Shutdown raced us; finish what was enqueued, then give
+                // up with the same panic the entry assertion raises.
+                self.drive(&pends);
+                panic!("range query rejected: the server is shutting down");
+            }
+            pends.push((shard, p));
+        }
         self.drive(&pends);
         let runs: Vec<Vec<(u64, u64)>> = pends
             .iter()
@@ -309,32 +424,37 @@ impl ServerClient {
         }
     }
 
-    /// Drains `shard`'s queue as its combiner: each run of queued point
-    /// operations becomes one coalesced plan committed through the batch
-    /// entry point (with the flat-combining hook draining further runs
-    /// if the plan escalates to the serialized section); a queued
-    /// sub-scan runs on the shard's optimistic scan path.
+    /// Drains `shard`'s queue as its combiner.
     fn combine(&mut self, shard: usize) {
-        let srv = &self.srv;
-        let h = &mut self.h;
-        while let Some(run) = srv.queues[shard].pop_run(srv.cfg.batch_cap) {
-            if let [p] = run.as_slice() {
-                if let Request::Range(lo, hi) = &p.req {
-                    p.publish_range(h.shard_range_query(shard, *lo, *hi));
-                    continue;
-                }
+        combine_shard(&self.srv, &mut self.h, shard);
+    }
+}
+
+/// Drains `shard`'s queue as its combiner: each run of queued point
+/// operations becomes one coalesced plan committed through the batch
+/// entry point (with the flat-combining hook draining further runs if
+/// the plan escalates to the serialized section); a queued sub-scan runs
+/// on the shard's optimistic scan path. Shared by client `drive` loops
+/// and the [`KvServer::shutdown`] drain (callers hold the shard's
+/// combiner claim).
+fn combine_shard(srv: &KvServer, h: &mut ShardedHandle, shard: usize) {
+    while let Some(run) = srv.queues[shard].pop_run(srv.cfg.batch_cap) {
+        if let [p] = run.as_slice() {
+            if let Request::Range(lo, hi) = &p.req {
+                p.publish_range(h.shard_range_query(shard, *lo, *hi));
+                continue;
             }
-            let plan = plan_of(&run);
-            let (replies, _path) = h.shard_batch_with(shard, &plan, |apply| {
-                for _ in 0..srv.cfg.combine_rounds {
-                    let Some(more) = srv.queues[shard].pop_op_run(srv.cfg.batch_cap) else {
-                        break;
-                    };
-                    publish_replies(&more, apply.apply(&plan_of(&more)));
-                }
-            });
-            publish_replies(&run, replies);
         }
+        let plan = plan_of(&run);
+        let (replies, _path) = h.shard_batch_with(shard, &plan, |apply| {
+            for _ in 0..srv.cfg.combine_rounds {
+                let Some(more) = srv.queues[shard].pop_op_run(srv.cfg.batch_cap) else {
+                    break;
+                };
+                publish_replies(&more, apply.apply(&plan_of(&more)));
+            }
+        });
+        publish_replies(&run, replies);
     }
 }
 

@@ -54,6 +54,7 @@
 
 mod adaptive;
 mod map;
+mod persist;
 mod router;
 mod tree;
 
@@ -61,3 +62,9 @@ pub use adaptive::{AdaptiveConfig, AdaptiveController, ControllerFactory};
 pub use map::{merge_sorted_runs, ShardedConfig, ShardedHandle, ShardedMap};
 pub use router::{ConfigError, HashRouter, RangeRouter, Router, RouterKind};
 pub use tree::{ShardBackend, ShardHandle, ShardTree};
+// The durability layer's public surface, re-exported so callers can
+// configure persistence ([`ShardedConfig::persist`]) and interpret
+// [`ShardedMap::recover`] results without naming the persist crate.
+pub use threepath_persist::{
+    FailPoints, FsyncPolicy, PersistConfig, PersistError, RecoveryReport, WalStats,
+};

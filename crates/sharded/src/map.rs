@@ -7,9 +7,11 @@ use threepath_core::{
     Strategy,
 };
 use threepath_htm::HtmConfig;
+use threepath_persist::{PersistConfig, PersistError, ShardWal};
 use threepath_reclaim::ReclaimMode;
 
 use crate::adaptive::{AdaptiveConfig, AdaptiveController, ControllerFactory};
+use crate::persist::PersistLayer;
 use crate::router::{ConfigError, HashRouter, RangeRouter, Router, RouterKind};
 use crate::tree::{ShardBackend, ShardHandle, ShardTree};
 
@@ -117,6 +119,16 @@ pub struct ShardedConfig {
     /// section, with a flat-combining hook for queue-draining servers.
     /// Requires a TLE or 3-path strategy.
     pub batched: bool,
+    /// Per-shard durability: `Some` gives every shard an append-only,
+    /// checksummed write-ahead log (plus periodic snapshots) in
+    /// `persist.dir`, written **before** any update's reply is
+    /// published, so [`ShardedMap::recover`] can rebuild the map after a
+    /// crash. `None` (the default) is the volatile map — the update
+    /// path's only extra cost is this one armed check. Building with
+    /// `Some` initializes a fresh directory and refuses to clobber an
+    /// existing one; use [`ShardedMap::recover`] to resume. Requires the
+    /// built-in routers (the manifest must pin the partition).
+    pub persist: Option<PersistConfig>,
 }
 
 impl ShardedConfig {
@@ -131,10 +143,11 @@ impl ShardedConfig {
             .unwrap_or_else(|| self.htm.clone())
     }
 
-    fn validate(&self) -> Result<(), ConfigError> {
+    pub(crate) fn validate(&self) -> Result<(), ConfigError> {
         if self.shards == 0 {
             return Err(ConfigError::ZeroShards);
         }
+        crate::persist::validate_persist(self)?;
         if let Some(a) = &self.adaptive {
             a.validate()?;
             if !threepath_core::ADAPTIVE_STRATEGIES.contains(&self.strategy) {
@@ -199,6 +212,7 @@ impl Default for ShardedConfig {
             controller: None,
             admission_probe: None,
             batched: false,
+            persist: None,
         }
     }
 }
@@ -226,6 +240,7 @@ pub struct ShardedMap {
     backend: ShardBackend,
     strategy: Strategy,
     key_space: u64,
+    persist: Option<PersistLayer>,
 }
 
 impl ShardedMap {
@@ -236,30 +251,65 @@ impl ShardedMap {
     }
 
     /// A map with the given configuration, routing through the built-in
-    /// policy `cfg.router` selects.
+    /// policy `cfg.router` selects. With [`ShardedConfig::persist`] set
+    /// this initializes a **fresh** persistence directory (manifest plus
+    /// one empty log per shard) and fails with a typed
+    /// [`PersistError::WouldClobber`] if the directory is already
+    /// initialized — resume an existing directory with
+    /// [`ShardedMap::recover`] instead.
     pub fn with_config(cfg: ShardedConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
-        let router: Arc<dyn Router> = match cfg.router {
-            RouterKind::Range => Arc::new(RangeRouter::new(cfg.shards, cfg.key_space)?),
-            RouterKind::Hash => Arc::new(HashRouter::new(cfg.shards)?),
+        let router = Self::router_of(&cfg)?;
+        let persist = match &cfg.persist {
+            Some(_) => Some(PersistLayer::create(&cfg)?),
+            None => None,
         };
-        Self::build(cfg, router)
+        Self::build(cfg, router, persist)
     }
 
     /// A map routed by a custom [`Router`] policy. The router must
     /// partition exactly `cfg.shards` shards; `cfg.router` is ignored.
+    /// Persistence is not supported here: the manifest can only pin the
+    /// built-in routing policies, and recovering under a router it
+    /// cannot validate would silently mis-partition the replayed keys.
     pub fn with_router(cfg: ShardedConfig, router: Arc<dyn Router>) -> Result<Self, ConfigError> {
         cfg.validate()?;
+        if cfg.persist.is_some() {
+            return Err(ConfigError::Persist(PersistError::InvalidConfig(
+                "custom routers cannot be persisted: the manifest only pins built-in routing",
+            )));
+        }
         if router.shard_count() != cfg.shards {
             return Err(ConfigError::RouterShardMismatch {
                 router: router.shard_count(),
                 shards: cfg.shards,
             });
         }
-        Self::build(cfg, router)
+        Self::build(cfg, router, None)
     }
 
-    fn build(cfg: ShardedConfig, router: Arc<dyn Router>) -> Result<Self, ConfigError> {
+    fn router_of(cfg: &ShardedConfig) -> Result<Arc<dyn Router>, ConfigError> {
+        Ok(match cfg.router {
+            RouterKind::Range => Arc::new(RangeRouter::new(cfg.shards, cfg.key_space)?),
+            RouterKind::Hash => Arc::new(HashRouter::new(cfg.shards)?),
+        })
+    }
+
+    /// Assembles a recovered map around already-recovered log writers
+    /// (no fresh directory initialization).
+    pub(crate) fn build_recovered(
+        cfg: ShardedConfig,
+        layer: PersistLayer,
+    ) -> Result<Arc<Self>, ConfigError> {
+        let router = Self::router_of(&cfg)?;
+        Ok(Arc::new(Self::build(cfg, router, Some(layer))?))
+    }
+
+    fn build(
+        cfg: ShardedConfig,
+        router: Arc<dyn Router>,
+        persist: Option<PersistLayer>,
+    ) -> Result<Self, ConfigError> {
         let shards: Vec<ShardTree> = (0..cfg.shards)
             .map(|s| ShardTree::build_shard(&cfg, s))
             .collect();
@@ -282,6 +332,7 @@ impl ShardedMap {
             backend: cfg.backend,
             strategy: cfg.strategy,
             key_space: cfg.key_space,
+            persist,
         })
     }
 
@@ -354,6 +405,7 @@ impl ShardedMap {
         ShardedHandle {
             cached: (0..self.shards.len()).map(|_| None).collect(),
             adapt: vec![AdaptSample::default(); self.shards.len()],
+            local: PathStats::new(),
             map: Arc::clone(self),
         }
     }
@@ -413,6 +465,10 @@ impl ShardedMap {
     pub(crate) fn shard_tree(&self, shard: usize) -> &ShardTree {
         &self.shards[shard]
     }
+
+    pub(crate) fn persist_layer(&self) -> Option<&PersistLayer> {
+        self.persist.as_ref()
+    }
 }
 
 impl Default for ShardedMap {
@@ -430,6 +486,7 @@ impl std::fmt::Debug for ShardedMap {
             .field("strategy", &self.strategy)
             .field("adaptive", &self.adaptive.is_some())
             .field("key_space", &self.key_space)
+            .field("persist", &self.persist.is_some())
             .finish()
     }
 }
@@ -454,6 +511,9 @@ pub struct ShardedHandle {
     map: Arc<ShardedMap>,
     cached: Vec<Option<ShardHandle>>,
     adapt: Vec<AdaptSample>,
+    /// Handle-local stats lanes the inner tree handles cannot see (the
+    /// WAL lane); merged into [`ShardedHandle::stats`].
+    local: PathStats,
 }
 
 impl ShardedHandle {
@@ -467,7 +527,8 @@ impl ShardedHandle {
         if slot.is_none() {
             *slot = Some(self.map.shards[shard].handle());
         }
-        slot.as_mut().unwrap()
+        slot.as_mut()
+            .expect("shard handle slot was just populated above")
     }
 
     /// Adaptive bookkeeping after an operation on `shard`: every
@@ -498,20 +559,80 @@ impl ShardedHandle {
         ctl.record(shard, d_ops, d_conflicts, d_other, self.map.shard_tree(shard));
     }
 
-    /// Inserts a pair, returning the previous value.
+    /// Inserts a pair, returning the previous value. On a persistent
+    /// map the update is logged to its shard's write-ahead log before
+    /// this method returns.
     pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
         let s = self.map.shard_of(key);
-        let r = self.shard_handle(s).insert(key, value);
+        let r = if self.map.persist.is_some() {
+            self.persistent_point_op(s, BatchOp::Insert(key, value))
+        } else {
+            self.shard_handle(s).insert(key, value)
+        };
         self.note_op(s);
         r
     }
 
-    /// Removes a key, returning its value.
+    /// Removes a key, returning its value. Logged write-ahead on a
+    /// persistent map, like [`ShardedHandle::insert`].
     pub fn remove(&mut self, key: u64) -> Option<u64> {
         let s = self.map.shard_of(key);
-        let r = self.shard_handle(s).remove(key);
+        let r = if self.map.persist.is_some() {
+            self.persistent_point_op(s, BatchOp::Remove(key))
+        } else {
+            self.shard_handle(s).remove(key)
+        };
         self.note_op(s);
         r
+    }
+
+    /// The persistent update discipline for point operations: hold the
+    /// shard's log lock across *append + execute* so log order is commit
+    /// order, appending **before** executing so no acknowledged update
+    /// can be missing from the log. Runtime log IO failure is fail-stop
+    /// by design — continuing would acknowledge updates the log never
+    /// saw.
+    fn persistent_point_op(&mut self, s: usize, op: BatchOp) -> Option<u64> {
+        let map = Arc::clone(&self.map);
+        let layer = map
+            .persist_layer()
+            .expect("caller checked the map is persistent");
+        let mut wal = layer.lock(s);
+        let before = wal.stats();
+        wal.append(std::slice::from_ref(&op))
+            .expect("WAL append failed (fail-stop: the log is the map)");
+        let r = match op {
+            BatchOp::Insert(k, v) => self.shard_handle(s).insert(k, v),
+            BatchOp::Remove(k) => self.shard_handle(s).remove(k),
+            BatchOp::Get(_) => unreachable!("reads are never logged"),
+        };
+        self.persist_finish(&map, s, &mut wal, before);
+        r
+    }
+
+    /// After a logged update, record the handle-local WAL lane and take
+    /// a snapshot if the cadence is due. Runs under the held log lock:
+    /// every other persistent updater of this shard is excluded, so the
+    /// shard is update-quiescent and `collect` sees a consistent image
+    /// (concurrent readers are harmless).
+    fn persist_finish(
+        &mut self,
+        map: &Arc<ShardedMap>,
+        s: usize,
+        wal: &mut ShardWal,
+        before: threepath_persist::WalStats,
+    ) {
+        let after = wal.stats();
+        if after.records > before.records {
+            self.local
+                .record_wal_appends(after.records - before.records, after.bytes - before.bytes);
+        }
+        if wal.snapshot_due() {
+            let pairs = map.shard_tree(s).collect();
+            wal.install_snapshot(&pairs)
+                .expect("WAL snapshot failed (fail-stop: the log is the map)");
+            self.local.record_wal_snapshot();
+        }
     }
 
     /// Looks up a key: routes straight to the owning shard's read path —
@@ -575,7 +696,23 @@ impl ShardedHandle {
     /// the map is not batched.
     pub fn shard_batch(&mut self, shard: usize, ops: &[BatchOp]) -> (Vec<Option<u64>>, PathKind) {
         self.check_shard_plan(shard, ops);
-        let r = self.shard_handle(shard).run_batch(ops);
+        let r = if self.map.persist.is_some() {
+            let map = Arc::clone(&self.map);
+            let layer = map
+                .persist_layer()
+                .expect("caller checked the map is persistent");
+            let mut wal = layer.lock(shard);
+            let before = wal.stats();
+            // One batch = one record: the whole plan becomes durable (or
+            // is discarded at recovery) atomically under its checksum.
+            wal.append(ops)
+                .expect("WAL append failed (fail-stop: the log is the map)");
+            let r = self.shard_handle(shard).run_batch(ops);
+            self.persist_finish(&map, shard, &mut wal, before);
+            r
+        } else {
+            self.shard_handle(shard).run_batch(ops)
+        };
         self.note_op(shard);
         r
     }
@@ -593,7 +730,31 @@ impl ShardedHandle {
         combine: impl FnOnce(&mut dyn BatchApply),
     ) -> (Vec<Option<u64>>, PathKind) {
         self.check_shard_plan(shard, ops);
-        let r = self.shard_handle(shard).run_batch_with(ops, combine);
+        let r = if self.map.persist.is_some() {
+            let map = Arc::clone(&self.map);
+            let layer = map
+                .persist_layer()
+                .expect("caller checked the map is persistent");
+            let mut wal = layer.lock(shard);
+            let before = wal.stats();
+            wal.append(ops)
+                .expect("WAL append failed (fail-stop: the log is the map)");
+            // Combined plans are applied (and their replies published)
+            // inside the serialized section, so they log through a
+            // write-ahead wrapper of the combiner's BatchApply.
+            let wal_ref = &mut *wal;
+            let r = self.shard_handle(shard).run_batch_with(ops, move |apply| {
+                let mut logged = crate::persist::LoggedApply {
+                    wal: wal_ref,
+                    inner: apply,
+                };
+                combine(&mut logged);
+            });
+            self.persist_finish(&map, shard, &mut wal, before);
+            r
+        } else {
+            self.shard_handle(shard).run_batch_with(ops, combine)
+        };
         self.note_op(shard);
         r
     }
@@ -625,12 +786,14 @@ impl ShardedHandle {
         r
     }
 
-    /// Merged path statistics across every shard this thread has touched.
+    /// Merged path statistics across every shard this thread has
+    /// touched, including this handle's WAL lane on a persistent map.
     pub fn stats(&self) -> PathStats {
         let mut merged = PathStats::new();
         for h in self.cached.iter().flatten() {
             merged.merge(h.stats());
         }
+        merged.merge(&self.local);
         merged
     }
 }
@@ -652,7 +815,7 @@ impl std::fmt::Debug for ShardedHandle {
 pub fn merge_sorted_runs(runs: Vec<Vec<(u64, u64)>>) -> Vec<(u64, u64)> {
     match runs.len() {
         0 => return Vec::new(),
-        1 => return runs.into_iter().next().unwrap(),
+        1 => return runs.into_iter().next().expect("len checked == 1"),
         _ => {}
     }
     let total = runs.iter().map(Vec::len).sum();

@@ -77,6 +77,11 @@ pub enum ConfigError {
         /// The configured shard count.
         shards: usize,
     },
+    /// The durability layer rejected the configuration or the on-disk
+    /// state (invalid tuning, a directory that would be clobbered, a
+    /// manifest disagreeing with the configured layout, corrupt
+    /// snapshot/log state — see [`threepath_persist::PersistError`]).
+    Persist(threepath_persist::PersistError),
 }
 
 impl fmt::Display for ConfigError {
@@ -122,6 +127,7 @@ impl fmt::Display for ConfigError {
                 f,
                 "router partitions {router} shards but the map was configured with {shards}"
             ),
+            ConfigError::Persist(e) => write!(f, "persistence: {e}"),
         }
     }
 }

@@ -47,7 +47,7 @@ pub use map::{AnyHandle, AnyTree};
 pub use metrics::{average, TrialResult};
 pub use runner::{prefill, run_trial, run_trials};
 pub use server_trial::{run_server_trial, run_server_trials, ServerTrialSpec};
-pub use spec::{KeyDist, ParseKeyDistError, Structure, TrialSpec, Workload};
+pub use spec::{KeyDist, ParseKeyDistError, PersistSpec, Structure, TrialSpec, Workload};
 pub use zipf::KeySampler;
 // Policy knobs of sharded trials, re-exported so harnesses can configure
 // specs without depending on `threepath-sharded` directly.

@@ -10,10 +10,27 @@ use std::sync::Arc;
 
 use threepath_core::PathStats;
 use threepath_sharded::{
-    ShardBackend, ShardHandle, ShardTree, ShardedConfig, ShardedHandle, ShardedMap,
+    PersistConfig, ShardBackend, ShardHandle, ShardTree, ShardedConfig, ShardedHandle, ShardedMap,
 };
 
-use crate::spec::{Structure, TrialSpec};
+use crate::spec::{PersistSpec, Structure, TrialSpec};
+
+/// Maps the spec's durability knobs onto the sharded layer's config,
+/// inventing a unique temp directory when the spec names none (so
+/// repeated trial builds never collide on `WouldClobber`).
+fn persist_config(spec: &PersistSpec) -> PersistConfig {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = spec.dir.clone().unwrap_or_else(|| {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("threepath-trial-{}-{n}", std::process::id()))
+    });
+    PersistConfig {
+        fsync: spec.fsync,
+        snapshot_every: spec.snapshot_every,
+        ..PersistConfig::new(dir)
+    }
+}
 
 /// Maps a trial spec onto the sharded-layer config: the per-tree knobs
 /// verbatim, the trial's key range as the partitioned key space, plus the
@@ -49,6 +66,15 @@ fn tree_config(spec: &TrialSpec, shards: usize, sharded: bool) -> ShardedConfig 
         // Direct trials drive one op per transaction; batch coalescing is
         // the server trial runner's regime (see `crate::server_trial`).
         batched: false,
+        persist: if sharded {
+            spec.persist.as_ref().map(persist_config)
+        } else {
+            assert!(
+                spec.persist.is_none(),
+                "persistence requires a sharded structure (the WAL is per-shard)"
+            );
+            None
+        },
     }
 }
 

@@ -1,12 +1,13 @@
 //! Trial specifications.
 
+use std::path::PathBuf;
 use std::str::FromStr;
 use std::time::Duration;
 
 use threepath_core::{BudgetConfig, Strategy};
 use threepath_htm::HtmConfig;
 use threepath_reclaim::ReclaimMode;
-use threepath_sharded::{AdaptiveConfig, RouterKind};
+use threepath_sharded::{AdaptiveConfig, FsyncPolicy, RouterKind};
 
 use crate::zipf::{KeySampler, RankMap};
 
@@ -237,6 +238,32 @@ impl std::fmt::Display for Workload {
     }
 }
 
+/// Durability knobs for a trial over a persistent sharded map (the
+/// write-ahead-log cost panels). Maps onto
+/// [`threepath_sharded::PersistConfig`]; only sharded structures can
+/// persist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistSpec {
+    /// Log directory. `None` (the default) picks a unique directory
+    /// under the system temp dir per build — callers that want to
+    /// recover or clean up afterwards should name one explicitly.
+    pub dir: Option<PathBuf>,
+    /// When appends reach the disk (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Snapshot cadence in records per shard; `None` never snapshots.
+    pub snapshot_every: Option<u64>,
+}
+
+impl Default for PersistSpec {
+    fn default() -> Self {
+        PersistSpec {
+            dir: None,
+            fsync: FsyncPolicy::EveryN(64),
+            snapshot_every: Some(8192),
+        }
+    }
+}
+
 /// Full description of one timed trial.
 #[derive(Debug, Clone)]
 pub struct TrialSpec {
@@ -310,6 +337,10 @@ pub struct TrialSpec {
     /// the `admission` cap static (see
     /// [`threepath_core::AdmissionProbeConfig`]); requires `admission`.
     pub admission_probe: Option<threepath_core::AdmissionProbeConfig>,
+    /// Per-shard write-ahead logging (see [`PersistSpec`]). `None` (the
+    /// default) runs volatile — the baseline every persistence panel
+    /// compares against. Only valid on sharded structures.
+    pub persist: Option<PersistSpec>,
     /// Base PRNG seed (trial `i` derives per-thread seeds from it).
     pub seed: u64,
 }
@@ -339,6 +370,7 @@ impl Default for TrialSpec {
             admission: None,
             read_probe: None,
             admission_probe: None,
+            persist: None,
             seed: 0x5EED,
         }
     }

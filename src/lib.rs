@@ -11,6 +11,7 @@ pub use threepath_htm as htm;
 pub use threepath_hybridnorec as hybridnorec;
 pub use threepath_kcas as kcas;
 pub use threepath_llxscx as llxscx;
+pub use threepath_persist as persist;
 pub use threepath_rcu as rcu;
 pub use threepath_reclaim as reclaim;
 pub use threepath_server as server;

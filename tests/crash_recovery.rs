@@ -1,0 +1,251 @@
+//! Kill-and-restart crash harness for the persistent sharded map.
+//!
+//! The driver test re-invokes this test binary as a *worker* process
+//! (filtered to `crash_worker_entry` via the libtest CLI), lets it hammer
+//! a persistent map with a deterministic per-thread workload, SIGKILLs it
+//! at a random point — prefill, steady state, or mid-snapshot, depending
+//! on where the delay lands — recovers the directory in-process, and
+//! checks the recovered state against an oracle of *acknowledged*
+//! operations. Then it restarts the worker on the same directory and
+//! repeats, so later rounds recover, resume, and crash again.
+//!
+//! The oracle works because each worker thread owns a disjoint key class
+//! (`key % THREADS == t`) and a deterministic operation stream: thread
+//! `t` records an acknowledgement count `c_t` (a plain 8-byte overwrite,
+//! durable across SIGKILL because the page cache survives process death)
+//! after every map call returns. An op is only acknowledged after its WAL
+//! record is written (write-ahead under the shard log lock), so the
+//! recovered class-`t` state must equal the stream prefix of length
+//! `c_t` or `c_t + 1` — the single in-flight op may be logged (even
+//! applied) but unacknowledged, exactly the contract a crash permits.
+//! Anything else — a lost acknowledged op, a half-applied batch, an
+//! invented key — fails the round.
+//!
+//! Schedule-sensitive and process-spawning, so gated like the other
+//! concurrent suites; Unix-only (SIGKILL via `Child::kill`). The seed
+//! matrix is driven by `THREEPATH_CRASH_SEED` / `THREEPATH_CRASH_ROUNDS`
+//! so CI can sweep seeds without recompiling.
+#![cfg(all(unix, feature = "stress-tests"))]
+
+use std::collections::BTreeMap;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use threepath::htm::SplitMix64;
+use threepath::sharded::{FsyncPolicy, PersistConfig, ShardedConfig, ShardedMap};
+
+const THREADS: u64 = 3;
+const SHARDS: usize = 4;
+const KEY_SPACE: u64 = 4096;
+/// Per-thread stream length: long enough that the kill always lands
+/// mid-run on the first rounds (a worker that drains its stream simply
+/// exits and the kill is a no-op).
+const OPS_PER_THREAD: u64 = 1_000_000;
+
+fn crash_cfg(dir: &Path) -> ShardedConfig {
+    ShardedConfig {
+        shards: SHARDS,
+        key_space: KEY_SPACE,
+        persist: Some(PersistConfig {
+            fsync: FsyncPolicy::EveryN(8),
+            // Aggressive cadence: snapshots rotate every shard's log many
+            // times per kill window, so kills land before, during, and
+            // after rotations across the rounds.
+            snapshot_every: Some(64),
+            ..PersistConfig::new(dir)
+        }),
+        ..ShardedConfig::default()
+    }
+}
+
+/// Operation `i` of thread `t`'s stream: random-access deterministic (no
+/// sequential RNG state), so the worker can resume at any index and the
+/// driver can replay any prefix. Keys stay inside the thread's class
+/// (`key % THREADS == t`); `Some(v)` inserts, `None` removes.
+fn op_at(seed: u64, t: u64, i: u64) -> (u64, Option<u64>) {
+    let mut rng = SplitMix64::new(
+        seed ^ t.wrapping_mul(0xA24B_AED4_963E_E407) ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let r = rng.next_u64();
+    let key = t + THREADS * (r % (KEY_SPACE / THREADS));
+    if r & 2 == 0 {
+        (key, Some(i ^ r))
+    } else {
+        (key, None)
+    }
+}
+
+/// The class-`t` key/value state after acknowledging `len` stream ops.
+fn class_state(seed: u64, t: u64, len: u64) -> Vec<(u64, u64)> {
+    let mut m = BTreeMap::new();
+    for i in 0..len {
+        match op_at(seed, t, i) {
+            (k, Some(v)) => {
+                m.insert(k, v);
+            }
+            (k, None) => {
+                m.remove(&k);
+            }
+        }
+    }
+    m.into_iter().collect()
+}
+
+fn ack_path(dir: &Path, t: u64) -> PathBuf {
+    dir.join(format!("ack-{t}"))
+}
+
+fn read_ack(dir: &Path, t: u64) -> u64 {
+    let mut buf = [0u8; 8];
+    match std::fs::File::open(ack_path(dir, t)) {
+        Ok(f) => match f.read_at(&mut buf, 0) {
+            Ok(8) => u64::from_le_bytes(buf),
+            _ => 0, // absent or torn ack counter: no ops acknowledged
+        },
+        Err(_) => 0,
+    }
+}
+
+/// Worker process body: build or recover the persistent map, then resume
+/// every thread's stream from its acknowledged count and run until the
+/// stream drains or the driver kills us.
+fn run_worker(dir: &Path, seed: u64) {
+    let cfg = crash_cfg(dir);
+    let map = if cfg.persist.as_ref().expect("crash cfg persists").initialized() {
+        ShardedMap::recover(dir, cfg).expect("worker recovery failed").0
+    } else {
+        Arc::new(ShardedMap::with_config(cfg).expect("valid crash cfg"))
+    };
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let map = Arc::clone(&map);
+            let dir = dir.to_path_buf();
+            s.spawn(move || {
+                let ack = std::fs::OpenOptions::new()
+                    .create(true)
+                    .write(true)
+                    .truncate(false) // a restart resumes from the old count
+                    .open(ack_path(&dir, t))
+                    .expect("open ack file");
+                let mut h = map.handle();
+                // Resuming at the acked count may re-apply one already
+                // logged op; ops are idempotent by construction (the
+                // value is a function of the index), so the state stays
+                // a stream prefix.
+                for i in read_ack(&dir, t)..OPS_PER_THREAD {
+                    match op_at(seed, t, i) {
+                        (k, Some(v)) => {
+                            h.insert(k, v);
+                        }
+                        (k, None) => {
+                            h.remove(k);
+                        }
+                    }
+                    ack.write_at(&(i + 1).to_le_bytes(), 0)
+                        .expect("write ack counter");
+                }
+            });
+        }
+    });
+}
+
+/// Worker entry point: inert in normal test runs (the driver arms it via
+/// the environment when re-invoking this binary).
+#[test]
+fn crash_worker_entry() {
+    let Ok(dir) = std::env::var("THREEPATH_CRASH_DIR") else {
+        return;
+    };
+    let seed = std::env::var("THREEPATH_CRASH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC0FF_EE00);
+    run_worker(Path::new(&dir), seed);
+}
+
+/// The driver: spawn, kill, recover, check, restart — several rounds on
+/// one directory.
+#[test]
+fn kill_and_restart_recovers_acknowledged_state() {
+    let seed: u64 = std::env::var("THREEPATH_CRASH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC0FF_EE00);
+    let rounds: u64 = std::env::var("THREEPATH_CRASH_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let dir = std::env::temp_dir().join(format!(
+        "threepath-crash-{}-{seed:x}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create crash dir");
+    let exe = std::env::current_exe().expect("own test binary path");
+    let mut delay_rng = SplitMix64::new(seed ^ 0xD15A_57E2);
+    let mut prev_total = 0u64;
+    for round in 0..rounds {
+        let mut child = std::process::Command::new(&exe)
+            .args(["crash_worker_entry", "--exact", "--test-threads=1", "--nocapture"])
+            .env("THREEPATH_CRASH_DIR", &dir)
+            .env("THREEPATH_CRASH_SEED", seed.to_string())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+            .expect("spawn crash worker");
+        // Kill delays sweep the interesting phases: short lands in
+        // startup/recovery/prefill, long in steady state with many
+        // snapshot rotations behind it.
+        let delay = 30 + delay_rng.next_below(150);
+        std::thread::sleep(Duration::from_millis(delay));
+        child.kill().expect("SIGKILL the worker");
+        child.wait().expect("reap the worker");
+
+        let cfg = crash_cfg(&dir);
+        if !cfg.persist.as_ref().expect("crash cfg persists").initialized() {
+            // The kill landed before the worker wrote the manifest (the
+            // atomic last step of layer creation): nothing durable
+            // exists yet, so nothing may have been acknowledged either.
+            for t in 0..THREADS {
+                assert_eq!(read_ack(&dir, t), 0, "acked ops with no durable state");
+            }
+            continue;
+        }
+        let (map, reports) = ShardedMap::recover(&dir, cfg).expect("driver recovery failed");
+        map.validate().expect("recovered map validates");
+        let pairs = map.collect();
+        let mut total = 0u64;
+        for t in 0..THREADS {
+            let c = read_ack(&dir, t);
+            total += c;
+            let got: Vec<(u64, u64)> = pairs
+                .iter()
+                .copied()
+                .filter(|(k, _)| k % THREADS == t)
+                .collect();
+            let acked = class_state(seed, t, c);
+            if got != acked {
+                let with_inflight = class_state(seed, t, c + 1);
+                assert_eq!(
+                    got, with_inflight,
+                    "round {round} class {t}: recovered state is neither the \
+                     acked prefix ({c} ops) nor acked+1 (torn bytes this round: {})",
+                    reports.iter().map(|r| r.bytes_truncated).sum::<u64>()
+                );
+            }
+        }
+        assert!(
+            total >= prev_total,
+            "round {round}: acknowledged counts moved backwards"
+        );
+        prev_total = total;
+        drop(map); // release the shard logs before the next worker opens them
+    }
+    assert!(
+        prev_total > 0,
+        "no worker ever acknowledged an op — the harness never exercised a crash"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,243 @@
+//! Facade-level durability tests: persistent `ShardedMap`s round-tripped
+//! through crash-shaped endings (drop without shutdown, injected torn
+//! appends) and the graceful path (server `shutdown()`), each followed by
+//! `ShardedMap::recover` and compared against an in-process oracle.
+//!
+//! The per-record framing, fail points, and torn-tail truncation rules
+//! are unit-tested inside `threepath-persist`; this file checks the
+//! *integration*: the sharded map logs write-ahead through every entry
+//! point (point ops, batches, the server's coalesced plans), the
+//! manifest pins the layout, and recovery rebuilds exactly the
+//! acknowledged state.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use threepath::core::BatchOp;
+use threepath::server::{KvServer, ServerConfig, SubmitError};
+use threepath::sharded::{
+    FailPoints, FsyncPolicy, PersistConfig, ShardedConfig, ShardedMap,
+};
+
+/// A fresh, unique persistence directory under the system temp dir.
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "threepath-facade-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn persistent_cfg(dir: &PathBuf, batched: bool) -> ShardedConfig {
+    ShardedConfig {
+        shards: 4,
+        key_space: 1024,
+        batched,
+        persist: Some(PersistConfig {
+            fsync: FsyncPolicy::EveryN(8),
+            snapshot_every: Some(16),
+            ..PersistConfig::new(dir)
+        }),
+        ..ShardedConfig::default()
+    }
+}
+
+/// Point ops and explicit same-shard batches through the facade, ended by
+/// an unceremonious drop (the crash shape: no shutdown, no final sync),
+/// recovered, and compared key-for-key against a `BTreeMap` oracle.
+#[test]
+fn facade_round_trip_survives_a_dropped_map() {
+    let dir = fresh_dir("roundtrip");
+    let cfg = persistent_cfg(&dir, true);
+    let map = Arc::new(ShardedMap::with_config(cfg.clone()).expect("valid config"));
+    let mut h = map.handle();
+    let mut oracle = BTreeMap::new();
+    for k in 0..200u64 {
+        assert_eq!(h.insert(k, k * 3), oracle.insert(k, k * 3));
+    }
+    for k in (0..200u64).step_by(3) {
+        assert_eq!(h.remove(k), oracle.remove(&k));
+    }
+    // A same-shard batch rides the batch entry point (one WAL record for
+    // the whole plan).
+    let shard = map.shard_of(7);
+    let ops: Vec<BatchOp> = (0..8)
+        .map(|i| map.key_space() / 4 * shard as u64 + i)
+        .map(|k| BatchOp::Insert(k, k + 1_000))
+        .collect();
+    for op in &ops {
+        if let BatchOp::Insert(k, v) = *op {
+            oracle.insert(k, v);
+        }
+    }
+    h.shard_batch(shard, &ops);
+    drop(h);
+    drop(map); // no shutdown, no sync: the crash shape
+
+    let (recovered, reports) = ShardedMap::recover(&dir, cfg).expect("recovery failed");
+    assert_eq!(reports.len(), 4);
+    assert!(reports.iter().all(|r| r.bytes_truncated == 0));
+    let mut rh = recovered.handle();
+    let pairs = rh.range_query(0, u64::MAX);
+    let expect: Vec<(u64, u64)> = oracle.into_iter().collect();
+    assert_eq!(pairs, expect);
+    recovered.validate().expect("recovered map validates");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The graceful path: a server over a persistent map is shut down, which
+/// drains the queues and fsyncs every shard log; recovery then returns
+/// exactly the pre-shutdown state, and the stopped server refuses new
+/// submissions with the typed error rather than a panic.
+#[test]
+fn server_shutdown_then_recover_preserves_every_reply() {
+    let dir = fresh_dir("shutdown");
+    let cfg = persistent_cfg(&dir, true);
+    let map = Arc::new(ShardedMap::with_config(cfg.clone()).expect("valid config"));
+    let srv = Arc::new(KvServer::new(map, ServerConfig::default()).expect("batched map"));
+    let mut c = srv.client();
+    let mut oracle = BTreeMap::new();
+    for k in 0..300u64 {
+        let v = k.wrapping_mul(0x9E37_79B9);
+        assert_eq!(c.insert(k, v), oracle.insert(k, v));
+    }
+    // Shard-straddling submissions go through the queues and coalesce.
+    let replies = c.submit((0..32).map(|k| BatchOp::Remove(k * 8)).collect());
+    for (i, r) in replies.iter().enumerate() {
+        assert_eq!(*r, oracle.remove(&(i as u64 * 8)));
+    }
+    let before: Vec<(u64, u64)> = oracle.into_iter().collect();
+
+    srv.shutdown().expect("shutdown flushes and syncs");
+    assert!(srv.is_shutting_down());
+    assert_eq!(
+        c.try_submit(vec![BatchOp::Insert(1, 1)]),
+        Err(SubmitError::ShuttingDown)
+    );
+    // Idempotent: a second shutdown finds empty queues and re-syncs.
+    srv.shutdown().expect("shutdown is idempotent");
+    drop(c);
+    drop(srv);
+
+    let (recovered, _) = ShardedMap::recover(&dir, cfg).expect("recovery failed");
+    let mut rh = recovered.handle();
+    assert_eq!(rh.range_query(0, u64::MAX), before);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An injected mid-record tear at the facade level: the armed append
+/// panics (fail-stop — the log is the map), and recovery truncates the
+/// torn frame, restoring exactly the acknowledged prefix.
+#[test]
+fn injected_torn_append_recovers_the_acknowledged_prefix() {
+    let dir = fresh_dir("torn");
+    let mut cfg = persistent_cfg(&dir, false);
+    {
+        let p = cfg.persist.as_mut().expect("persistent test config");
+        p.snapshot_every = None; // keep every record in the log tail
+        p.failpoints = FailPoints {
+            // Each shard's 6th append dies after 5 bytes of frame.
+            torn_append: Some((5, 5)),
+            ..FailPoints::default()
+        };
+    }
+    let map = Arc::new(ShardedMap::with_config(cfg.clone()).expect("valid config"));
+    let shard0_keys: Vec<u64> = (0..cfg.key_space)
+        .filter(|&k| map.shard_of(k) == 0)
+        .take(6)
+        .collect();
+    let mut acked = Vec::new();
+    for (i, &k) in shard0_keys.iter().enumerate() {
+        let map = Arc::clone(&map);
+        let k2 = k;
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            map.handle().insert(k2, k2 + 1);
+        }));
+        if i < 5 {
+            r.expect("appends before the fail point succeed");
+            acked.push((k, k + 1));
+        } else {
+            r.expect_err("the armed append is fail-stop");
+        }
+    }
+    drop(map);
+
+    // Recovery must silently cut the torn frame and keep the prefix.
+    let mut clean = cfg.clone();
+    clean.persist.as_mut().expect("persistent test config").failpoints =
+        FailPoints::default();
+    let (recovered, reports) = ShardedMap::recover(&dir, clean).expect("torn tail is not fatal");
+    assert!(
+        reports[0].bytes_truncated > 0,
+        "the tear left partial bytes to cut"
+    );
+    let mut rh = recovered.handle();
+    assert_eq!(rh.range_query(0, u64::MAX), acked);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+}
+
+fn op_strategy(key_range: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..key_range, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0..key_range).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Arbitrary op sequences against a persistent sharded map with a
+    /// mid-sequence crash-and-recover: the map is dropped (no sync) at an
+    /// arbitrary cut point, recovered, and driven to the end; final state
+    /// must equal the `BTreeMap` oracle exactly.
+    #[test]
+    fn persistent_sharded_map_matches_btreemap_across_a_restart(
+        ops in proptest::collection::vec(op_strategy(256), 1..200),
+        cut in 0usize..200,
+        snapshot_every in prop_oneof![Just(None), Just(Some(8u64))],
+    ) {
+        let dir = fresh_dir("prop");
+        let mut cfg = persistent_cfg(&dir, false);
+        cfg.persist.as_mut().expect("persistent test config").snapshot_every = snapshot_every;
+        let cut = cut.min(ops.len());
+        let mut oracle = BTreeMap::new();
+
+        let map = Arc::new(ShardedMap::with_config(cfg.clone()).expect("valid config"));
+        let mut h = map.handle();
+        for op in &ops[..cut] {
+            match *op {
+                Op::Insert(k, v) => prop_assert_eq!(h.insert(k, v), oracle.insert(k, v)),
+                Op::Remove(k) => prop_assert_eq!(h.remove(k), oracle.remove(&k)),
+            }
+        }
+        drop(h);
+        drop(map);
+
+        let (map, _) = ShardedMap::recover(&dir, cfg).expect("recovery failed");
+        let mut h = map.handle();
+        for op in &ops[cut..] {
+            match *op {
+                Op::Insert(k, v) => prop_assert_eq!(h.insert(k, v), oracle.insert(k, v)),
+                Op::Remove(k) => prop_assert_eq!(h.remove(k), oracle.remove(&k)),
+            }
+        }
+        let pairs = h.range_query(0, u64::MAX);
+        let expect: Vec<(u64, u64)> = oracle.into_iter().collect();
+        prop_assert_eq!(pairs, expect);
+        drop(h);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -334,16 +334,21 @@ fn sustained_churn_scan_heavy_trial_is_transaction_free() {
         // The BST's validation sets are node-granular, so a long scan's
         // tiers each span scheduler slices and churn defeats the whole
         // ladder regularly; the rescue must fire. The ladder only
-        // exhausts when the scheduler interleaves churn into *every*
-        // tier of one scan, which is probabilistic, so repeat short
-        // trials until a rescue is observed (in practice the first
-        // trial). The (a,b)-tree's leaf-granular sets are ~16x smaller
-        // and its repair rounds run in microseconds, so on a small host
-        // the ladder may simply never exhaust — its rescue path is
-        // covered deterministically by the in-crate snapshot test; here
-        // it contributes the acceptance property itself (zero
-        // transactional escalations under churn).
-        let require_rescue = matches!(structure, Structure::Bst);
+        // exhausts when churn lands inside *every* tier of one scan —
+        // including the microsecond partial-rescan window — which needs
+        // threads actually running in parallel. On a single-CPU host the
+        // scheduler's coarse slices let the final tier re-validate
+        // unopposed (observed: 40 seeds, ~60 first-tier defeats per
+        // trial, zero ladder exhaustions), so there — as for the
+        // (a,b)-tree, whose leaf-granular sets are ~16x smaller and
+        // whose repair rounds run in microseconds on any host — the
+        // rescue stays covered by the deterministic in-crate snapshot
+        // tests and this trial contributes the acceptance property
+        // itself (zero transactional escalations under churn).
+        let parallel_host = std::thread::available_parallelism()
+            .map(|n| n.get() >= 2)
+            .unwrap_or(false);
+        let require_rescue = parallel_host && matches!(structure, Structure::Bst);
         let seeds: u64 = if require_rescue { 6 } else { 1 };
         for seed in 1..=seeds {
             let spec = TrialSpec {
